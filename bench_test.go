@@ -1,0 +1,506 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (reduced row samples; use cmd/characterize for full-scale
+// runs) plus ablations of the model's design choices and
+// micro-benchmarks of the substrates.
+//
+// Figure benchmarks report the paper's headline series as custom
+// metrics, e.g. BenchmarkFig4TimeToFirstBitflip reports
+// S_combined_636ns_ms alongside the usual ns/op.
+package rowfuse_test
+
+import (
+	"context"
+	"io"
+	"testing"
+	"time"
+
+	"rowfuse/internal/bender"
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+	"rowfuse/internal/mitigation"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/report"
+	"rowfuse/internal/thermal"
+	"rowfuse/internal/timing"
+)
+
+// benchStudy runs a reduced-scale study.
+func benchStudy(b *testing.B, sweep []time.Duration, patterns []pattern.Kind) *core.Study {
+	b.Helper()
+	s := core.NewStudy(core.StudyConfig{
+		Sweep:         sweep,
+		Patterns:      patterns,
+		RowsPerRegion: 12,
+		Dies:          1,
+		Runs:          1,
+	})
+	if err := s.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// --- Table and figure regeneration ---------------------------------------
+
+func BenchmarkTable1Inventory(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := report.Table1(io.Discard, chipdb.Modules()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	var rows []core.Table2Row
+	for i := 0; i < b.N; i++ {
+		s := benchStudy(b, timing.Table2Marks(), []pattern.Kind{pattern.DoubleSided, pattern.Combined})
+		var err error
+		rows, err = s.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Table2(io.Discard, rows); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, r := range rows {
+		if r.Info.ID == "S0" {
+			b.ReportMetric(r.Measured.RH.Avg, "S0_RH_ACmin")
+			b.ReportMetric(r.Measured.C78.Avg, "S0_C78_ACmin")
+			b.ReportMetric(r.Measured.C702.Avg, "S0_C702_ACmin")
+		}
+	}
+}
+
+// fig4Sweep is a reduced tAggON sweep that still covers the paper's
+// highlighted marks.
+func fig4Sweep() []time.Duration {
+	return []time.Duration{
+		timing.TRAS, 256 * time.Nanosecond, 636 * time.Nanosecond,
+		2400 * time.Nanosecond, timing.AggOnTREFI, timing.AggOnNineTREFI,
+		timing.AggOnMax,
+	}
+}
+
+func fig4Point(b *testing.B, data core.Fig4Data, mfr chipdb.Manufacturer, k pattern.Kind, aggOn time.Duration) core.Fig4Point {
+	b.Helper()
+	for _, pt := range data[mfr][k] {
+		if pt.AggOn == aggOn {
+			return pt
+		}
+	}
+	b.Fatalf("missing point %v/%v/%v", mfr, k, aggOn)
+	return core.Fig4Point{}
+}
+
+func BenchmarkFig4TimeToFirstBitflip(b *testing.B) {
+	var data core.Fig4Data
+	for i := 0; i < b.N; i++ {
+		s := benchStudy(b, fig4Sweep(), nil)
+		var err error
+		data, err = s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig4(io.Discard, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	at636 := 636 * time.Nanosecond
+	b.ReportMetric(fig4Point(b, data, chipdb.MfrS, pattern.Combined, at636).TimeMeanMs, "S_combined_636ns_ms")
+	b.ReportMetric(fig4Point(b, data, chipdb.MfrS, pattern.DoubleSided, at636).TimeMeanMs, "S_double_636ns_ms")
+	b.ReportMetric(fig4Point(b, data, chipdb.MfrS, pattern.SingleSided, at636).TimeMeanMs, "S_single_636ns_ms")
+	b.ReportMetric(fig4Point(b, data, chipdb.MfrS, pattern.Combined, timing.AggOnNineTREFI).TimeMeanMs, "S_combined_70.2us_ms")
+	b.ReportMetric(fig4Point(b, data, chipdb.MfrS, pattern.SingleSided, timing.AggOnNineTREFI).TimeMeanMs, "S_single_70.2us_ms")
+}
+
+func BenchmarkFig4ACmin(b *testing.B) {
+	var data core.Fig4Data
+	for i := 0; i < b.N; i++ {
+		s := benchStudy(b, fig4Sweep(), nil)
+		var err error
+		data, err = s.Fig4()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	at636 := 636 * time.Nanosecond
+	codes := map[chipdb.Manufacturer]string{chipdb.MfrS: "S", chipdb.MfrH: "H", chipdb.MfrM: "M"}
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
+		rh := fig4Point(b, data, mfr, pattern.DoubleSided, timing.TRAS).ACminMean
+		comb := fig4Point(b, data, mfr, pattern.Combined, at636).ACminMean
+		b.ReportMetric(rh, codes[mfr]+"_RH_ACmin")
+		b.ReportMetric(100*(1-comb/rh), codes[mfr]+"_comb636_reduction_pct")
+	}
+}
+
+func BenchmarkFig5Directionality(b *testing.B) {
+	var data core.Fig5Data
+	for i := 0; i < b.N; i++ {
+		s := benchStudy(b, fig4Sweep(), []pattern.Kind{pattern.Combined})
+		var err error
+		data, err = s.Fig5()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig5(io.Discard, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	sCurve := data[chipdb.MfrS]["8Gb C-Die"]
+	mCurve := data[chipdb.MfrM]["16Gb E-Die"]
+	b.ReportMetric(sCurve[0].OneToZeroFrac, "S_8GbC_frac_at_36ns")
+	b.ReportMetric(sCurve[len(sCurve)-1].OneToZeroFrac, "S_8GbC_frac_at_300us")
+	b.ReportMetric(mCurve[0].OneToZeroFrac, "M_16GbE_frac_at_36ns")
+	b.ReportMetric(mCurve[len(mCurve)-1].OneToZeroFrac, "M_16GbE_frac_at_300us")
+}
+
+func benchFig6(b *testing.B) core.Fig6Data {
+	b.Helper()
+	var data core.Fig6Data
+	for i := 0; i < b.N; i++ {
+		s := benchStudy(b, fig4Sweep(), nil)
+		var err error
+		data, err = s.Fig6()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := report.Fig6(io.Discard, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return data
+}
+
+func BenchmarkFig6OverlapSingleSided(b *testing.B) {
+	data := benchFig6(b)
+	curve := data[chipdb.MfrS]["8Gb D-Die"].VsSingle
+	b.ReportMetric(curve[0].Overlap, "overlap_at_36ns")
+	b.ReportMetric(curve[len(curve)-1].Overlap, "overlap_at_300us")
+}
+
+func BenchmarkFig6OverlapDoubleSided(b *testing.B) {
+	data := benchFig6(b)
+	curve := data[chipdb.MfrS]["8Gb D-Die"].VsDouble
+	var dip float64 = 1
+	for _, pt := range curve {
+		if pt.ConvFlips > 0 && pt.Overlap < dip {
+			dip = pt.Overlap
+		}
+	}
+	b.ReportMetric(curve[0].Overlap, "overlap_at_36ns")
+	b.ReportMetric(dip, "overlap_dip")
+	b.ReportMetric(curve[len(curve)-1].Overlap, "overlap_at_300us")
+}
+
+// --- Ablations (DESIGN.md design choices) --------------------------------
+
+// ablationACminRatio measures the combined/double ACmin ratio at 70.2us
+// under a given weak-side coupling.
+func ablationACminRatio(b *testing.B, coupling float64) float64 {
+	b.Helper()
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	profile.WeakSideCoupling = coupling
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{Profile: profile, Params: params, NumRows: 8192})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(k pattern.Kind) pattern.Spec {
+		s, err := pattern.New(k, timing.AggOnNineTREFI, timing.Default())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return s
+	}
+	var sumC, sumD float64
+	for victim := 100; victim < 140; victim++ {
+		rc, err := e.CharacterizeRow(victim, mk(pattern.Combined), core.RunOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rd, err := e.CharacterizeRow(victim, mk(pattern.DoubleSided), core.RunOpts{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rc.NoBitflip || rd.NoBitflip {
+			continue
+		}
+		sumC += float64(rc.ACmin)
+		sumD += float64(rd.ACmin)
+	}
+	return sumC / sumD
+}
+
+// BenchmarkAblationSideCoupling quantifies Hypothesis 1: the combined
+// pattern's cost vs double-sided RowPress as a function of the weak-side
+// press coupling.
+func BenchmarkAblationSideCoupling(b *testing.B) {
+	var sym, asym float64
+	for i := 0; i < b.N; i++ {
+		sym = ablationACminRatio(b, 1.0)
+		asym = ablationACminRatio(b, 0.1)
+	}
+	b.ReportMetric(sym, "ratio_symmetric")
+	b.ReportMetric(asym, "ratio_asymmetric")
+}
+
+// BenchmarkAblationSynergy quantifies the double-sided hammer synergy:
+// the single/double RowHammer ACmin ratio with and without it.
+func BenchmarkAblationSynergy(b *testing.B) {
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ratio := func(synergy float64) float64 {
+		params := device.DefaultParams()
+		params.Synergy = synergy
+		e, err := core.NewAnalyticEngine(core.AnalyticConfig{Profile: mi.Profile(params), Params: params, NumRows: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := func(k pattern.Kind) pattern.Spec {
+			s, err := pattern.New(k, timing.TRAS, timing.Default())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}
+		var sumS, sumD float64
+		for victim := 100; victim < 130; victim++ {
+			rs, err := e.CharacterizeRow(victim, spec(pattern.SingleSided), core.RunOpts{Budget: 200 * time.Millisecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rd, err := e.CharacterizeRow(victim, spec(pattern.DoubleSided), core.RunOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rs.NoBitflip || rd.NoBitflip {
+				continue
+			}
+			sumS += float64(rs.ACmin)
+			sumD += float64(rd.ACmin)
+		}
+		return sumS / sumD
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = ratio(3.5)
+		without = ratio(1.0)
+	}
+	b.ReportMetric(with, "single_over_double_with_synergy")
+	b.ReportMetric(without, "single_over_double_no_synergy")
+}
+
+// BenchmarkAblationInterleavePenalty quantifies Observation 3's 3-4%
+// combined-vs-single time penalty against the interleave term.
+func BenchmarkAblationInterleavePenalty(b *testing.B) {
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	timeRatio := func(delta float64) float64 {
+		params := device.DefaultParams()
+		params.InterleavePenalty = delta
+		e, err := core.NewAnalyticEngine(core.AnalyticConfig{Profile: mi.Profile(params), Params: params, NumRows: 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		spec := func(k pattern.Kind) pattern.Spec {
+			s, err := pattern.New(k, timing.AggOnNineTREFI, timing.Default())
+			if err != nil {
+				b.Fatal(err)
+			}
+			return s
+		}
+		var sumC, sumS float64
+		for victim := 100; victim < 130; victim++ {
+			rc, err := e.CharacterizeRow(victim, spec(pattern.Combined), core.RunOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rs, err := e.CharacterizeRow(victim, spec(pattern.SingleSided), core.RunOpts{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rc.NoBitflip || rs.NoBitflip {
+				continue
+			}
+			sumC += rc.TimeToFirst.Seconds()
+			sumS += rs.TimeToFirst.Seconds()
+		}
+		return sumC / sumS
+	}
+	var with, without float64
+	for i := 0; i < b.N; i++ {
+		with = timeRatio(device.DefaultParams().InterleavePenalty)
+		without = timeRatio(0)
+	}
+	b.ReportMetric(100*(with-1), "penalty_default_pct")
+	b.ReportMetric(100*(without-1), "penalty_zero_pct")
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+func benchProfile() device.Profile {
+	return device.Profile{
+		Serial:              "BENCH",
+		HammerACmin:         45000,
+		PressTau:            44 * time.Millisecond,
+		HammerPressSens:     1.888,
+		RowSigmaHammer:      0.2,
+		RowSigmaPress:       0.25,
+		HammerOneToZeroFrac: 0.3,
+		PressOneToZeroFrac:  0.97,
+		WeakCellsPerMech:    24,
+		CellSpacing:         0.04,
+		RetentionMin:        70 * time.Millisecond,
+	}
+}
+
+func BenchmarkDeviceActPre(b *testing.B) {
+	bank, err := device.NewBank(device.BankConfig{
+		Profile: benchProfile(),
+		Params:  device.DefaultParams(),
+		NumRows: 65536,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	now := time.Duration(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := bank.Activate(1000, now); err != nil {
+			b.Fatal(err)
+		}
+		now += timing.TRAS
+		if err := bank.Precharge(now); err != nil {
+			b.Fatal(err)
+		}
+		now += timing.TRP
+	}
+}
+
+func BenchmarkGenerateRowCells(b *testing.B) {
+	p := benchProfile()
+	d := device.DefaultParams()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		device.GenerateRowCells(p, d, 0, i%65536, 8192, 0)
+	}
+}
+
+func BenchmarkAnalyticCharacterizeRow(b *testing.B) {
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile: benchProfile(),
+		Params:  device.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CharacterizeRow(1+i%60000, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBenderInterpreter(b *testing.B) {
+	chip, err := device.NewChip(device.ChipConfig{
+		Profile: benchProfile(),
+		Params:  device.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng, err := bender.NewEngine(bender.EngineConfig{Chip: chip})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec, err := pattern.New(pattern.DoubleSided, timing.TRAS, timing.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog, err := bender.CompilePattern(spec, 0, 1000, 100, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Reset()
+		if err := eng.Run(prog); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssemble(b *testing.B) {
+	src := `
+SET r0 5000
+loop:
+ACT 0 100
+WAIT 36
+PRE 0
+WAIT 15
+ACT 0 102
+WAIT 36
+PRE 0
+WAIT 15
+DJNZ r0 loop
+END
+`
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bender.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkECCEncodeDecode(b *testing.B) {
+	data := []byte{0x55, 0xAA, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC}
+	buf := make([]byte, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		check, err := mitigation.EncodeWord(data)
+		if err != nil {
+			b.Fatal(err)
+		}
+		copy(buf, data)
+		buf[0] ^= 1
+		if _, err := mitigation.DecodeWord(buf, check); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMisraGriesObserve(b *testing.B) {
+	m := mitigation.NewMisraGries(16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Observe(i % 1024)
+	}
+}
+
+func BenchmarkThermalControlTick(b *testing.B) {
+	plant := thermal.NewPlant(25)
+	ctrl, err := thermal.NewController(thermal.ControllerConfig{Plant: plant, Setpoint: 50})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctrl.Run(100 * time.Millisecond)
+	}
+}

@@ -1,0 +1,127 @@
+// Command benderprog assembles, disassembles and runs DRAM Bender
+// programs against a simulated chip.
+//
+// Usage:
+//
+//	benderprog -run prog.bprog [-module S0] [-dump-captured]
+//	benderprog -disasm prog.bprog
+//	benderprog -example          # print a sample hammer program
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rowfuse/internal/bender"
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/timing"
+)
+
+const exampleProgram = `; Double-sided RowHammer on rows 99/101 (victim 100), 2000 iterations.
+; Initialize the victim and aggressors first.
+SET r0 2000
+loop:
+ACT 0 99
+WAIT 36           ; tRAS
+PRE 0
+WAIT 15           ; tRP
+ACT 0 101
+WAIT 36
+PRE 0
+WAIT 15
+DJNZ r0 loop
+END
+`
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benderprog:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benderprog", flag.ContinueOnError)
+	var (
+		runPath  = fs.String("run", "", "assemble and execute this program file")
+		disasm   = fs.String("disasm", "", "assemble this file and print the disassembly")
+		example  = fs.Bool("example", false, "print a sample program and exit")
+		moduleID = fs.String("module", "S0", "module profile to execute against")
+		dumpCap  = fs.Bool("dump-captured", false, "hex-dump the capture buffer after -run")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *example:
+		fmt.Print(exampleProgram)
+		return nil
+	case *disasm != "":
+		src, err := os.ReadFile(*disasm)
+		if err != nil {
+			return err
+		}
+		p, err := bender.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		fmt.Print(p.Disassemble())
+		return nil
+	case *runPath != "":
+		src, err := os.ReadFile(*runPath)
+		if err != nil {
+			return err
+		}
+		p, err := bender.Assemble(string(src))
+		if err != nil {
+			return err
+		}
+		mi, err := chipdb.ByID(*moduleID)
+		if err != nil {
+			return err
+		}
+		params := device.DefaultParams()
+		numRows, rowBytes := mi.Geometry()
+		chip, err := device.NewChip(device.ChipConfig{
+			Profile:  mi.Profile(params),
+			Params:   params,
+			NumRows:  numRows,
+			RowBytes: rowBytes,
+		})
+		if err != nil {
+			return err
+		}
+		eng, err := bender.NewEngine(bender.EngineConfig{Chip: chip, Timings: timing.Default()})
+		if err != nil {
+			return err
+		}
+		if err := eng.Run(p); err != nil {
+			return err
+		}
+		fmt.Printf("executed %d ACT, %d PRE, %d RD, %d WR, %d REF in %v device time\n",
+			eng.CommandCount(bender.OpAct), eng.CommandCount(bender.OpPre),
+			eng.CommandCount(bender.OpRd), eng.CommandCount(bender.OpWr),
+			eng.CommandCount(bender.OpRef), eng.Now())
+		if *dumpCap {
+			dump(eng.Captured())
+		}
+		return nil
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -run, -disasm, -example is required")
+	}
+}
+
+func dump(data []byte) {
+	const width = 16
+	for off := 0; off < len(data); off += width {
+		end := off + width
+		if end > len(data) {
+			end = len(data)
+		}
+		fmt.Printf("%08x  % x\n", off, data[off:end])
+	}
+}

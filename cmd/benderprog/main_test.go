@@ -1,0 +1,98 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	return out, runErr
+}
+
+func TestExampleProgramAssemblesAndRuns(t *testing.T) {
+	out, err := capture(t, func() error { return run([]string{"-example"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "prog.bprog")
+	if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runOut, err := capture(t, func() error { return run([]string{"-run", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(runOut, "4000 ACT") {
+		t.Errorf("run output missing ACT count:\n%s", runOut)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "p.bprog")
+	if err := os.WriteFile(path, []byte("SET r0 3\nloop:\nNOP\nDJNZ r0 loop\nEND\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"-disasm", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "DJNZ r0 1") {
+		t.Errorf("disassembly wrong:\n%s", out)
+	}
+}
+
+func TestRunWithCaptureDump(t *testing.T) {
+	src := `
+ACT 0 50
+WAIT 15
+WR 0 0 171
+WAIT 15
+RD 0 0
+WAIT 15
+PRE 0
+END
+`
+	path := filepath.Join(t.TempDir(), "rd.bprog")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := capture(t, func() error { return run([]string{"-run", path, "-dump-captured"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "ab ab") {
+		t.Errorf("capture dump missing written bytes (0xAB):\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Error("no-mode invocation accepted")
+	}
+	if err := run([]string{"-run", "/nonexistent.bprog"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-run", "/dev/null", "-module", "Z9"}); err == nil {
+		t.Error("unknown module accepted")
+	}
+}

@@ -1,0 +1,371 @@
+// Command characterize reproduces the paper's tables and figures on the
+// simulated DRAM chip population.
+//
+// Usage:
+//
+//	characterize -exp table1|table2|fig4|fig5|fig6|tempsweep|datapattern|hcdist|all [flags]
+//
+// Examples:
+//
+//	characterize -exp fig4 -rows 100 -dies 2
+//	characterize -exp table2 -rows 1000 -runs 3 -csv out/
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/report"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "characterize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	var (
+		exp     = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, tempsweep, datapattern, hcdist, or all")
+		rows    = fs.Int("rows", 200, "victim rows per bank region (paper: 1000)")
+		dies    = fs.Int("dies", 1, "dies per module to characterize (0 = all, as in the paper)")
+		runs    = fs.Int("runs", 3, "repeats per measurement (paper: 3)")
+		module  = fs.String("module", "", "restrict to one module ID (e.g. S0)")
+		csvDir  = fs.String("csv", "", "also write CSV files into this directory")
+		jsonOut = fs.String("json", "", "write a JSON result archive to this file (requires -exp all)")
+		temp    = fs.Float64("temp", 50, "die temperature in Celsius (paper: 50)")
+		budget  = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
+		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	mods := chipdb.Modules()
+	if *module != "" {
+		mi, err := chipdb.ByID(*module)
+		if err != nil {
+			return err
+		}
+		mods = []chipdb.ModuleInfo{mi}
+	}
+
+	switch *exp {
+	case "table1":
+		return report.Table1(os.Stdout, mods)
+	case "tempsweep":
+		return runTempSweep(mods[0], *rows, *budget, *csvDir)
+	case "datapattern":
+		return runDataPatternSweep(mods[0], *rows, *budget, *csvDir)
+	case "hcdist":
+		return runHCDist(mods[0], *rows, *budget)
+	}
+
+	sweep := timing.PaperSweep()
+	if *exp == "table2" {
+		sweep = timing.Table2Marks()
+	}
+
+	cfg := core.StudyConfig{
+		Modules:       mods,
+		Sweep:         sweep,
+		RowsPerRegion: *rows,
+		Dies:          *dies,
+		Runs:          *runs,
+		Concurrency:   *workers,
+		Opts: core.RunOpts{
+			Budget: *budget,
+			TempC:  *temp,
+			Data:   device.Checkerboard,
+		},
+		Progress: func(done, total int) {
+			if done%25 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "  %d/%d cells\n", done, total)
+			}
+		},
+	}
+	study := core.NewStudy(cfg)
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points (%d rows/region, %d runs)...\n",
+		len(mods), 3, len(sweep), *rows, *runs)
+	if err := study.Run(context.Background()); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "study done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	var csv func(name string, emit func(f *os.File) error) error
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return err
+		}
+		csv = func(name string, emit func(f *os.File) error) error {
+			f, err := os.Create(filepath.Join(*csvDir, name))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			return emit(f)
+		}
+	} else {
+		csv = func(string, func(f *os.File) error) error { return nil }
+	}
+
+	if want("table1") {
+		if err := report.Table1(os.Stdout, mods); err != nil {
+			return err
+		}
+	}
+	if want("fig4") {
+		data, err := study.Fig4()
+		if err != nil {
+			return err
+		}
+		if err := report.Fig4(os.Stdout, data); err != nil {
+			return err
+		}
+		if err := csv("fig4.csv", func(f *os.File) error { return report.Fig4CSV(f, data) }); err != nil {
+			return err
+		}
+		if err := printObservations(study); err != nil {
+			return err
+		}
+	}
+	if want("fig5") {
+		data, err := study.Fig5()
+		if err != nil {
+			return err
+		}
+		if err := report.Fig5(os.Stdout, data); err != nil {
+			return err
+		}
+		if err := csv("fig5.csv", func(f *os.File) error { return report.Fig5CSV(f, data) }); err != nil {
+			return err
+		}
+	}
+	if want("fig6") {
+		data, err := study.Fig6()
+		if err != nil {
+			return err
+		}
+		if err := report.Fig6(os.Stdout, data); err != nil {
+			return err
+		}
+		if err := csv("fig6.csv", func(f *os.File) error { return report.Fig6CSV(f, data) }); err != nil {
+			return err
+		}
+	}
+	if want("table2") {
+		rows, err := study.Table2()
+		if err != nil {
+			return err
+		}
+		if err := report.Table2(os.Stdout, rows); err != nil {
+			return err
+		}
+		if err := csv("table2.csv", func(f *os.File) error { return report.Table2CSV(f, rows) }); err != nil {
+			return err
+		}
+	}
+	if *jsonOut != "" {
+		if *exp != "all" {
+			return fmt.Errorf("-json requires -exp all (the archive bundles every figure and table)")
+		}
+		if err := writeArchive(*jsonOut, study); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "result archive written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// writeArchive bundles every reproduction into a JSON archive.
+func writeArchive(path string, study *core.Study) error {
+	fig4, err := study.Fig4()
+	if err != nil {
+		return err
+	}
+	fig5, err := study.Fig5()
+	if err != nil {
+		return err
+	}
+	fig6, err := study.Fig6()
+	if err != nil {
+		return err
+	}
+	table2, err := study.Table2()
+	if err != nil {
+		return err
+	}
+	a := resultio.NewArchive(resultio.MetaFromStudy(study.Config()), fig4, fig5, fig6, table2)
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return resultio.Save(f, a)
+}
+
+// runTempSweep characterizes one module across die temperatures with the
+// combined pattern at tAggON = 636 ns.
+func runTempSweep(mi chipdb.ModuleInfo, rows int, budget time.Duration, csvDir string) error {
+	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
+	if err != nil {
+		return err
+	}
+	pts, err := core.TempSweep(core.TempSweepConfig{
+		Module:        mi,
+		Spec:          spec,
+		Temps:         []float64{30, 40, 50, 60, 70, 85},
+		RowsPerRegion: rows,
+		Opts:          core.RunOpts{Budget: budget},
+	})
+	if err != nil {
+		return err
+	}
+	if err := report.TempSweep(os.Stdout, mi.ID, pts); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, "tempsweep.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return report.TempSweepCSV(f, mi.ID, pts)
+	}
+	return nil
+}
+
+// runHCDist prints the per-row ACmin distribution of one module for
+// double-sided RowHammer and the combined pattern at 636 ns (the
+// spatial variation defenses must account for).
+func runHCDist(mi chipdb.ModuleInfo, rowsPerRegion int, budget time.Duration) error {
+	params := device.DefaultParams()
+	numRows, rowBytes := mi.Geometry()
+	eng, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile:  mi.Profile(params),
+		Params:   params,
+		NumRows:  numRows,
+		RowBytes: rowBytes,
+	})
+	if err != nil {
+		return err
+	}
+	victims := core.PaperRows(numRows, rowsPerRegion)
+	cases := []struct {
+		label string
+		kind  pattern.Kind
+		aggOn time.Duration
+	}{
+		{"double-sided RowHammer @ tRAS", pattern.DoubleSided, timing.TRAS},
+		{"combined RH+RP @ 636ns", pattern.Combined, 636 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		spec, err := pattern.New(c.kind, c.aggOn, timing.Default())
+		if err != nil {
+			return err
+		}
+		var values []float64
+		for _, v := range victims {
+			res, err := eng.CharacterizeRow(v, spec, core.RunOpts{Budget: budget})
+			if err != nil {
+				return err
+			}
+			if !res.NoBitflip {
+				values = append(values, float64(res.ACmin))
+			}
+		}
+		if err := report.ACminDistribution(os.Stdout, mi.ID+" "+c.label, values); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// runDataPatternSweep characterizes one module across data patterns with
+// double-sided RowHammer.
+func runDataPatternSweep(mi chipdb.ModuleInfo, rows int, budget time.Duration, csvDir string) error {
+	spec, err := pattern.New(pattern.DoubleSided, timing.TRAS, timing.Default())
+	if err != nil {
+		return err
+	}
+	pts, err := core.DataPatternSweep(core.DataPatternSweepConfig{
+		Module:        mi,
+		Spec:          spec,
+		RowsPerRegion: rows,
+		Opts:          core.RunOpts{Budget: budget},
+	})
+	if err != nil {
+		return err
+	}
+	if err := report.DataPatternSweep(os.Stdout, mi.ID, pts); err != nil {
+		return err
+	}
+	if csvDir != "" {
+		if err := os.MkdirAll(csvDir, 0o755); err != nil {
+			return err
+		}
+		f, err := os.Create(filepath.Join(csvDir, "datapattern.csv"))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return report.DataPatternSweepCSV(f, mi.ID, pts)
+	}
+	return nil
+}
+
+// printObservations prints the paper's headline observation checks.
+func printObservations(study *core.Study) error {
+	fig4, err := study.Fig4()
+	if err != nil {
+		return err
+	}
+	fmt.Println("\nHeadline observations (cf. paper Observations 1-3):")
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
+		series, ok := fig4[mfr]
+		if !ok {
+			continue
+		}
+		find := func(k pattern.Kind, agg time.Duration) (core.Fig4Point, bool) {
+			for _, pt := range series[k] {
+				if pt.AggOn == agg && pt.Modules > 0 {
+					return pt, true
+				}
+			}
+			return core.Fig4Point{}, false
+		}
+		c636, ok1 := find(pattern.Combined, 636*time.Nanosecond)
+		d636, ok2 := find(pattern.DoubleSided, 636*time.Nanosecond)
+		s636, ok3 := find(pattern.SingleSided, 636*time.Nanosecond)
+		if ok1 && ok2 && ok3 {
+			fmt.Printf("  %v @636ns: combined %.1fms vs double %.1fms (%.1f%% faster) vs single %.1fms (%.1f%% faster)\n",
+				mfr, c636.TimeMeanMs, d636.TimeMeanMs, 100*(1-c636.TimeMeanMs/d636.TimeMeanMs),
+				s636.TimeMeanMs, 100*(1-c636.TimeMeanMs/s636.TimeMeanMs))
+		}
+		c702, ok1 := find(pattern.Combined, timing.AggOnNineTREFI)
+		s702, ok2 := find(pattern.SingleSided, timing.AggOnNineTREFI)
+		if ok1 && ok2 {
+			fmt.Printf("  %v @70.2us: combined %.1fms vs single %.1fms (%.1f%% slower)\n",
+				mfr, c702.TimeMeanMs, s702.TimeMeanMs, 100*(c702.TimeMeanMs/s702.TimeMeanMs-1))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture redirects stdout around fn and returns what it printed.
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return out
+}
+
+func TestRunTable1(t *testing.T) {
+	out := capture(t, func() error { return run([]string{"-exp", "table1"}) })
+	if !strings.Contains(out, "84 chips") {
+		t.Errorf("table1 output missing chip total:\n%s", out)
+	}
+}
+
+func TestRunTable2SingleModule(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-exp", "table2", "-module", "S2", "-rows", "4", "-runs", "1"})
+	})
+	if !strings.Contains(out, "S2") || !strings.Contains(out, "ACmin measured") {
+		t.Errorf("table2 output malformed:\n%s", out)
+	}
+}
+
+func TestRunTempSweep(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-exp", "tempsweep", "-module", "S2", "-rows", "3"})
+	})
+	if !strings.Contains(out, "Temperature sweep") {
+		t.Errorf("tempsweep output malformed:\n%s", out)
+	}
+}
+
+func TestRunDataPatternSweep(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-exp", "datapattern", "-module", "S2", "-rows", "3"})
+	})
+	if !strings.Contains(out, "Data-pattern sweep") || !strings.Contains(out, "checkerboard") {
+		t.Errorf("datapattern output malformed:\n%s", out)
+	}
+}
+
+func TestRunCSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "archive.json")
+	capture(t, func() error {
+		return run([]string{
+			"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1",
+			"-csv", dir, "-json", jsonPath,
+		})
+	})
+	for _, f := range []string{"fig4.csv", "fig5.csv", "fig6.csv", "table2.csv", "archive.json"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("expected output file %s: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"version": 1`) {
+		t.Error("archive missing version")
+	}
+}
+
+func TestRunRejectsUnknownModule(t *testing.T) {
+	if err := run([]string{"-module", "Z9"}); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestRunJSONRequiresAll(t *testing.T) {
+	if err := run([]string{"-exp", "fig4", "-module", "M4", "-rows", "2", "-runs", "1", "-json", filepath.Join(t.TempDir(), "a.json")}); err == nil {
+		t.Error("-json with -exp fig4 accepted")
+	}
+}
+
+func TestRunHCDist(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-exp", "hcdist", "-module", "S2", "-rows", "4"})
+	})
+	if !strings.Contains(out, "RowHammer") || !strings.Contains(out, "mean=") {
+		t.Errorf("hcdist output malformed:\n%s", out)
+	}
+}

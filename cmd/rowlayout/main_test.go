@@ -1,0 +1,71 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outCh := make(chan string, 1)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outCh
+	r.Close()
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	return out
+}
+
+func TestReverseEngineerSamsungScheme(t *testing.T) {
+	out := capture(t, func() error {
+		return run([]string{"-module", "S0", "-start", "64", "-rows", "10", "-window", "4"})
+	})
+	if !strings.Contains(out, "swizzle([0 1 3 2])") {
+		t.Errorf("missing true scheme:\n%s", out)
+	}
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "verification:") {
+			continue
+		}
+		found = true
+		var correct, checked int
+		if _, err := fmt.Sscanf(line, "verification: %d/%d", &correct, &checked); err != nil {
+			t.Fatalf("unparseable verification line %q: %v", line, err)
+		}
+		if checked == 0 || correct != checked {
+			t.Errorf("verification %d/%d, want all correct", correct, checked)
+		}
+	}
+	if !found {
+		t.Errorf("missing verification line:\n%s", out)
+	}
+}
+
+func TestUnknownModule(t *testing.T) {
+	if err := run([]string{"-module", "Z9"}); err == nil {
+		t.Error("unknown module accepted")
+	}
+}
+
+func TestMinMaxHelpers(t *testing.T) {
+	if min(2, 3) != 2 || min(3, 2) != 2 || max(2, 3) != 3 || max(3, 2) != 3 {
+		t.Error("min/max helpers broken")
+	}
+}

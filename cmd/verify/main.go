@@ -1,0 +1,167 @@
+// Command verify checks a result archive (produced by
+// `characterize -exp all -json ...`) against the paper's ground truth:
+// every Table 2 cell within tolerance, every "No Bitflip" cell matched,
+// and the headline observation relations of Fig. 4. It exits non-zero on
+// any violation, making full-scale reproductions CI-checkable.
+//
+// Usage:
+//
+//	verify -archive results/archive.json [-tol 0.25]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/resultio"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "verify:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run returns 0 when the archive matches the paper, 1 on check
+// failures, and an error for operational problems.
+func run(args []string, w io.Writer) (int, error) {
+	fs := flag.NewFlagSet("verify", flag.ContinueOnError)
+	var (
+		archivePath = fs.String("archive", "results/archive.json", "result archive to verify")
+		tol         = fs.Float64("tol", 0.25, "relative ACmin tolerance per Table 2 cell")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	f, err := os.Open(*archivePath)
+	if err != nil {
+		return 2, err
+	}
+	defer f.Close()
+	a, err := resultio.Load(f)
+	if err != nil {
+		return 2, err
+	}
+
+	failures := 0
+	report := func(ok bool, format string, args ...any) {
+		status := "ok  "
+		if !ok {
+			status = "FAIL"
+			failures++
+		}
+		fmt.Fprintf(w, "%s  %s\n", status, fmt.Sprintf(format, args...))
+	}
+
+	checkTable2(a, *tol, report)
+	checkObservations(a, report)
+
+	if failures > 0 {
+		fmt.Fprintf(w, "\n%d check(s) failed\n", failures)
+		return 1, nil
+	}
+	fmt.Fprintln(w, "\nall checks passed")
+	return 0, nil
+}
+
+type reporter func(ok bool, format string, args ...any)
+
+// checkTable2 compares every archived Table 2 cell against the paper.
+func checkTable2(a *resultio.Archive, tol float64, report reporter) {
+	if len(a.Table2) == 0 {
+		report(false, "archive has no Table 2 data")
+		return
+	}
+	for _, row := range a.Table2 {
+		cells := []struct {
+			name        string
+			paper, meas resultio.Cell
+		}{
+			{"RH@36ns", row.Paper.RHACmin, row.Measured.RHACmin},
+			{"RP@7.8us", row.Paper.RP78ACmin, row.Measured.RP78ACmin},
+			{"RP@70.2us", row.Paper.RP702ACmin, row.Measured.RP702ACmin},
+			{"C@7.8us", row.Paper.C78ACmin, row.Measured.C78ACmin},
+			{"C@70.2us", row.Paper.C702ACmin, row.Measured.C702ACmin},
+		}
+		for _, c := range cells {
+			paperNB := c.paper.Avg == 0
+			measNB := c.meas.Avg == 0
+			switch {
+			case paperNB != measNB:
+				report(false, "%s %s: No-Bitflip mismatch (paper %v, measured %v)",
+					row.Module, c.name, paperNB, measNB)
+			case paperNB:
+				report(true, "%s %s: No Bitflip reproduced", row.Module, c.name)
+			default:
+				e := c.meas.Avg/c.paper.Avg - 1
+				if e < 0 {
+					e = -e
+				}
+				report(e <= tol, "%s %s: %.0f vs paper %.0f (%.1f%% error, tol %.0f%%)",
+					row.Module, c.name, c.meas.Avg, c.paper.Avg, 100*e, 100*tol)
+			}
+		}
+	}
+}
+
+// checkObservations validates the headline Fig. 4 relations per
+// manufacturer: Observation 1 (combined faster than both conventional
+// patterns at 636 ns), Observation 2 (combined ACmin above double-sided
+// but below RowHammer), Observation 3 (combined within 0-15% of
+// single-sided time at 70.2 µs, never faster).
+func checkObservations(a *resultio.Archive, report reporter) {
+	if len(a.Fig4) == 0 {
+		report(false, "archive has no Fig. 4 data")
+		return
+	}
+	point := func(mfr, pat string, ns int64) (resultio.Fig4Row, bool) {
+		for _, r := range a.Fig4 {
+			if r.Mfr == mfr && r.Pattern == pat && r.AggOnNs == ns && r.Modules > 0 {
+				return r, true
+			}
+		}
+		return resultio.Fig4Row{}, false
+	}
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
+		name := mfr.String()
+		comb636, ok1 := point(name, "combined", 636)
+		dbl636, ok2 := point(name, "double", 636)
+		sgl636, ok3 := point(name, "single", 636)
+		if !ok1 || !ok2 || !ok3 {
+			report(false, "%s: missing 636ns data", name)
+			continue
+		}
+		report(comb636.TimeMeanMs < dbl636.TimeMeanMs,
+			"%s Obs1: combined %.1fms faster than double %.1fms at 636ns",
+			name, comb636.TimeMeanMs, dbl636.TimeMeanMs)
+		report(comb636.TimeMeanMs < sgl636.TimeMeanMs,
+			"%s Obs1: combined %.1fms faster than single %.1fms at 636ns",
+			name, comb636.TimeMeanMs, sgl636.TimeMeanMs)
+
+		rh, okRH := point(name, "double", 36)
+		if okRH {
+			report(comb636.ACminMean > dbl636.ACminMean && comb636.ACminMean < rh.ACminMean,
+				"%s Obs2: combined ACmin %.0f between double %.0f and RowHammer %.0f",
+				name, comb636.ACminMean, dbl636.ACminMean, rh.ACminMean)
+		} else {
+			report(false, "%s: missing RowHammer baseline", name)
+		}
+
+		comb702, ok4 := point(name, "combined", 70200)
+		sgl702, ok5 := point(name, "single", 70200)
+		if ok4 && ok5 {
+			ratio := comb702.TimeMeanMs / sgl702.TimeMeanMs
+			report(ratio >= 1.0 && ratio <= 1.15,
+				"%s Obs3: combined/single time ratio %.3f at 70.2us (want 1.00-1.15)",
+				name, ratio)
+		} else {
+			report(false, "%s: missing 70.2us data", name)
+		}
+	}
+}

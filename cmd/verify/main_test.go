@@ -1,0 +1,148 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
+)
+
+// buildArchive produces a reduced-scale archive for verification tests.
+func buildArchive(t *testing.T) string {
+	t.Helper()
+	s := core.NewStudy(core.StudyConfig{
+		Sweep:         timing.PaperSweep(),
+		RowsPerRegion: 20,
+		Dies:          1,
+		Runs:          1,
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := resultio.NewArchive(resultio.MetaFromStudy(s.Config()), fig4, fig5, fig6, table2)
+	path := filepath.Join(t.TempDir(), "archive.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := resultio.Save(f, a); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyPassesOnFaithfulArchive(t *testing.T) {
+	path := buildArchive(t)
+	var buf bytes.Buffer
+	code, err := run([]string{"-archive", path, "-tol", "0.30"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("verification failed on a faithful archive (exit %d):\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "all checks passed") {
+		t.Error("missing pass summary")
+	}
+}
+
+func TestVerifyFailsOnTamperedArchive(t *testing.T) {
+	path := buildArchive(t)
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := resultio.Load(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper: pretend M1 flipped under RowPress.
+	for i := range a.Table2 {
+		if a.Table2[i].Module == "M1" {
+			a.Table2[i].Measured.RP702ACmin = resultio.Cell{Avg: 500, Min: 200}
+		}
+	}
+	tampered := filepath.Join(t.TempDir(), "tampered.json")
+	out, err := os.Create(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultio.Save(out, a); err != nil {
+		t.Fatal(err)
+	}
+	out.Close()
+	var buf bytes.Buffer
+	code, err := run([]string{"-archive", tampered}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Error("tampered archive passed verification")
+	}
+	if !strings.Contains(buf.String(), "No-Bitflip mismatch") {
+		t.Errorf("missing mismatch report:\n%s", buf.String())
+	}
+}
+
+func TestVerifyOperationalErrors(t *testing.T) {
+	if _, err := run([]string{"-archive", "/nonexistent.json"}, io.Discard); err == nil {
+		t.Error("missing archive accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := run([]string{"-archive", bad}, io.Discard); err == nil {
+		t.Error("corrupt archive accepted")
+	}
+}
+
+// TestVerifyChecksInventory ensures the checker iterates all paper
+// modules (a truncated archive must fail).
+func TestVerifyChecksInventory(t *testing.T) {
+	if len(chipdb.Modules()) != 14 {
+		t.Fatal("inventory changed")
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	f, err := os.Create(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resultio.Save(f, &resultio.Archive{Version: resultio.FormatVersion}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	code, err := run([]string{"-archive", empty}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code == 0 {
+		t.Error("empty archive passed verification")
+	}
+}

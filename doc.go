@@ -1,0 +1,35 @@
+// Package rowfuse reproduces "An Experimental Characterization of
+// Combined RowHammer and RowPress Read Disturbance in Modern DRAM Chips"
+// (Luo et al., DSN Disrupt 2024) as a self-contained Go library.
+//
+// The paper characterizes a DRAM access pattern that combines RowHammer
+// (many short aggressor-row activations) with RowPress (long
+// aggressor-row open times) on 84 real DDR4 chips, driven by an
+// FPGA-based testing platform. This repository replaces every hardware
+// component with a calibrated simulation and rebuilds the full
+// characterization pipeline on top:
+//
+//   - internal/device — a cell-level DRAM device model with a
+//     two-mechanism read-disturbance physics model, refresh, retention,
+//     data-pattern dependence and in-DRAM row remapping;
+//   - internal/bender — a DRAM Bender / SoftMC-style programmable memory
+//     controller (instruction set, assembler, cycle interpreter);
+//   - internal/thermal — the heater-pad PID temperature control loop;
+//   - internal/chipdb — the paper's Table 1 chip inventory with per-DIMM
+//     disturbance profiles inverted from Table 2;
+//   - internal/rowmap — vendor row-remapping schemes and the
+//     reverse-engineering methodology that recovers them;
+//   - internal/pattern — the single-sided, double-sided and combined
+//     access patterns of Fig. 3;
+//   - internal/core — the characterization engines (ACmin, time to first
+//     bitflip, bitflip recording, the 60 ms experiment budget) and the
+//     study orchestration behind every figure and table;
+//   - internal/mitigation — TRR and rank-ECC models (the paper's
+//     future-work item on mitigations);
+//   - internal/report — table/figure renderers and CSV emitters.
+//
+// See README.md for a quickstart, DESIGN.md for the model derivation and
+// calibration, and EXPERIMENTS.md for paper-vs-measured numbers. The
+// benchmarks in bench_test.go regenerate every table and figure of the
+// paper's evaluation.
+package rowfuse

@@ -1,0 +1,27 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"rowfuse/internal/analysis"
+)
+
+// ExampleOverlap demonstrates the paper's Fig. 6 overlap definition:
+// |A ∩ B| / |B|, asymmetric in its arguments.
+func ExampleOverlap() {
+	combined := map[string]struct{}{"r5:b100": {}, "r7:b8": {}, "r9:b63": {}}
+	double := map[string]struct{}{"r5:b100": {}, "r7:b8": {}, "r8:b2": {}, "r9:b1": {}}
+	ratio, ok := analysis.Overlap(combined, double)
+	fmt.Printf("%v %.2f\n", ok, ratio)
+	// Output: true 0.50
+}
+
+// ExampleFitPowerLaw verifies a key property of the press regime: ACmin
+// is inverse-linear in the extra on-time (exponent -1).
+func ExampleFitPowerLaw() {
+	onTimeUs := []float64{7.8, 15.6, 31.2, 70.2}
+	acmin := []float64{6900, 3450, 1725, 766.7}
+	_, exponent, r2, _ := analysis.FitPowerLaw(onTimeUs, acmin)
+	fmt.Printf("exponent %.2f r2 %.3f\n", exponent, r2)
+	// Output: exponent -1.00 r2 1.000
+}

@@ -1,0 +1,217 @@
+package bender
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// AssembleError reports a failure assembling bender source.
+type AssembleError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *AssembleError) Error() string {
+	return fmt.Sprintf("bender: line %d: %s", e.Line, e.Msg)
+}
+
+// Assemble parses bender assembly into a Program.
+//
+// Syntax, one instruction per line:
+//
+//	; comment
+//	label:
+//	SET r0 5000
+//	loop:
+//	ACT 0 100
+//	WAIT 36
+//	PRE 0
+//	WAIT 15
+//	DJNZ r0 loop
+//	END
+//
+// Operands are decimal immediates or registers r0..r15. Jump targets are
+// labels. Durations for WAIT are in nanoseconds.
+func Assemble(src string) (*Program, error) {
+	type pending struct {
+		instr int
+		label string
+		line  int
+	}
+	labels := make(map[string]int)
+	var fixups []pending
+	p := &Program{}
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		if strings.HasSuffix(line, ":") {
+			name := strings.TrimSuffix(line, ":")
+			if name == "" || strings.ContainsAny(name, " \t") {
+				return nil, &AssembleError{Line: ln + 1, Msg: "invalid label"}
+			}
+			if _, dup := labels[name]; dup {
+				return nil, &AssembleError{Line: ln + 1, Msg: fmt.Sprintf("duplicate label %q", name)}
+			}
+			labels[name] = len(p.Instrs)
+			continue
+		}
+
+		fields := strings.Fields(line)
+		mnemonic := strings.ToUpper(fields[0])
+		args := fields[1:]
+
+		operand := func(i int) (Operand, error) {
+			if i >= len(args) {
+				return Operand{}, fmt.Errorf("missing operand %d", i+1)
+			}
+			a := args[i]
+			if len(a) >= 2 && (a[0] == 'r' || a[0] == 'R') {
+				if idx, err := strconv.Atoi(a[1:]); err == nil {
+					if idx < 0 || idx >= NumRegs {
+						return Operand{}, fmt.Errorf("register %s out of range", a)
+					}
+					return Reg(idx), nil
+				}
+			}
+			v, err := strconv.ParseInt(a, 0, 64)
+			if err != nil {
+				return Operand{}, fmt.Errorf("bad operand %q", a)
+			}
+			return Imm(v), nil
+		}
+		// target parses a jump target: either a numeric instruction
+		// index (as the disassembler emits) or a label name needing a
+		// fixup pass.
+		target := func(i int) (Operand, string, error) {
+			if i >= len(args) {
+				return Operand{}, "", fmt.Errorf("missing jump target")
+			}
+			if v, err := strconv.ParseInt(args[i], 0, 64); err == nil {
+				return Imm(v), "", nil
+			}
+			return Operand{}, args[i], nil
+		}
+		fail := func(err error) (*Program, error) {
+			return nil, &AssembleError{Line: ln + 1, Msg: err.Error()}
+		}
+
+		var in Instr
+		var err error
+		switch mnemonic {
+		case "ACT":
+			in.Op = OpAct
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			if in.B, err = operand(1); err != nil {
+				return fail(err)
+			}
+		case "PRE":
+			in.Op = OpPre
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+		case "RD":
+			in.Op = OpRd
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			if in.B, err = operand(1); err != nil {
+				return fail(err)
+			}
+		case "WR":
+			in.Op = OpWr
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			if in.B, err = operand(1); err != nil {
+				return fail(err)
+			}
+			if in.C, err = operand(2); err != nil {
+				return fail(err)
+			}
+		case "REF":
+			in.Op = OpRef
+		case "WAIT":
+			in.Op = OpWait
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+		case "SET":
+			in.Op = OpSet
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			if in.B, err = operand(1); err != nil {
+				return fail(err)
+			}
+		case "ADD":
+			in.Op = OpAdd
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			if in.B, err = operand(1); err != nil {
+				return fail(err)
+			}
+		case "DJNZ":
+			in.Op = OpDjnz
+			if in.A, err = operand(0); err != nil {
+				return fail(err)
+			}
+			tgt, lbl, err := target(1)
+			if err != nil {
+				return fail(err)
+			}
+			if lbl != "" {
+				fixups = append(fixups, pending{instr: len(p.Instrs), label: lbl, line: ln + 1})
+			} else {
+				in.B = tgt
+			}
+		case "JMP":
+			in.Op = OpJmp
+			tgt, lbl, err := target(0)
+			if err != nil {
+				return fail(err)
+			}
+			if lbl != "" {
+				fixups = append(fixups, pending{instr: len(p.Instrs), label: lbl, line: ln + 1})
+			} else {
+				in.A = tgt
+			}
+		case "NOP":
+			in.Op = OpNop
+		case "END":
+			in.Op = OpEnd
+		default:
+			return nil, &AssembleError{Line: ln + 1, Msg: fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+		}
+		p.Instrs = append(p.Instrs, in)
+	}
+
+	for _, f := range fixups {
+		target, ok := labels[f.label]
+		if !ok {
+			return nil, &AssembleError{Line: f.line, Msg: fmt.Sprintf("undefined label %q", f.label)}
+		}
+		in := &p.Instrs[f.instr]
+		if in.Op == OpJmp {
+			in.A = Imm(int64(target))
+		} else {
+			in.B = Imm(int64(target))
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

@@ -1,0 +1,147 @@
+package bender
+
+import (
+	"fmt"
+
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// Builder incrementally constructs bender programs from Go, the way the
+// real DRAM Bender host library generates instruction streams.
+type Builder struct {
+	p       Program
+	timings timing.Set
+	burst   int
+}
+
+// NewBuilder creates a builder for a timing set and burst size.
+func NewBuilder(ts timing.Set, burst int) *Builder {
+	if burst <= 0 {
+		burst = 8
+	}
+	return &Builder{timings: ts, burst: burst}
+}
+
+// Emit appends a raw instruction.
+func (b *Builder) Emit(in Instr) *Builder {
+	b.p.Instrs = append(b.p.Instrs, in)
+	return b
+}
+
+// Label returns the index of the next emitted instruction, usable as a
+// jump target.
+func (b *Builder) Label() int { return len(b.p.Instrs) }
+
+// Act emits ACT bank,row followed by a wait of onTime.
+func (b *Builder) Act(bank, row int, onTimeNs int64) *Builder {
+	b.Emit(Instr{Op: OpAct, A: Imm(int64(bank)), B: Imm(int64(row))})
+	b.Emit(Instr{Op: OpWait, A: Imm(onTimeNs)})
+	return b
+}
+
+// Pre emits PRE bank followed by a tRP wait.
+func (b *Builder) Pre(bank int) *Builder {
+	b.Emit(Instr{Op: OpPre, A: Imm(int64(bank))})
+	b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TRP.Nanoseconds())})
+	return b
+}
+
+// Set emits SET reg, value.
+func (b *Builder) Set(reg int, v int64) *Builder {
+	b.Emit(Instr{Op: OpSet, A: Reg(reg), B: Imm(v)})
+	return b
+}
+
+// Djnz emits DJNZ reg, target.
+func (b *Builder) Djnz(reg, target int) *Builder {
+	b.Emit(Instr{Op: OpDjnz, A: Reg(reg), B: Imm(int64(target))})
+	return b
+}
+
+// End emits END and returns the finished program.
+func (b *Builder) End() *Program {
+	b.Emit(Instr{Op: OpEnd})
+	p := b.p
+	b.p = Program{}
+	return &p
+}
+
+// WriteRow emits a full-row initialization: ACT, a burst-train of WR
+// commands covering rowBytes, then PRE.
+func (b *Builder) WriteRow(bank, row, rowBytes int, fill byte) *Builder {
+	b.Emit(Instr{Op: OpAct, A: Imm(int64(bank)), B: Imm(int64(row))})
+	b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TRCD.Nanoseconds())})
+	for col := 0; col < rowBytes; col += b.burst {
+		b.Emit(Instr{Op: OpWr, A: Imm(int64(bank)), B: Imm(int64(col)), C: Imm(int64(fill))})
+		b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TCCD.Nanoseconds())})
+	}
+	b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TWR.Nanoseconds())})
+	b.Pre(bank)
+	return b
+}
+
+// ReadRow emits a full-row readback into the capture buffer.
+func (b *Builder) ReadRow(bank, row, rowBytes int) *Builder {
+	b.Emit(Instr{Op: OpAct, A: Imm(int64(bank)), B: Imm(int64(row))})
+	b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TRCD.Nanoseconds())})
+	for col := 0; col < rowBytes; col += b.burst {
+		b.Emit(Instr{Op: OpRd, A: Imm(int64(bank)), B: Imm(int64(col))})
+		b.Emit(Instr{Op: OpWait, A: Imm(b.timings.TCCD.Nanoseconds())})
+	}
+	b.Pre(bank)
+	return b
+}
+
+// CompilePattern compiles n iterations of an access pattern against a
+// victim row into a looped bender program (register r15 is the loop
+// counter).
+func CompilePattern(spec pattern.Spec, bank, victim int, n int64, burst int) (*Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bender: iteration count must be positive, got %d", n)
+	}
+	acts := spec.Acts()
+	if len(acts) == 0 {
+		return nil, fmt.Errorf("bender: pattern %v has no activations", spec.Kind)
+	}
+	b := NewBuilder(spec.Timings, burst)
+	b.Set(15, n)
+	loop := b.Label()
+	for _, a := range acts {
+		b.Act(bank, victim+a.RowOffset, a.OnTime.Nanoseconds())
+		b.Pre(bank)
+	}
+	b.Djnz(15, loop)
+	p := b.End()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// CompileCharacterization compiles a full single-row characterization:
+// initialize the aggressors and the victim with the data pattern bytes,
+// hammer for n iterations, then read the victim back. The victim's
+// readback occupies the last rowBytes bytes of the capture buffer.
+func CompileCharacterization(spec pattern.Spec, bank, victim, rowBytes int, aggFill, victimFill byte, n int64, burst int) (*Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("bender: iteration count must be positive, got %d", n)
+	}
+	b := NewBuilder(spec.Timings, burst)
+	b.WriteRow(bank, victim-1, rowBytes, aggFill)
+	b.WriteRow(bank, victim+1, rowBytes, aggFill)
+	b.WriteRow(bank, victim, rowBytes, victimFill)
+	b.Set(15, n)
+	loop := b.Label()
+	for _, a := range spec.Acts() {
+		b.Act(bank, victim+a.RowOffset, a.OnTime.Nanoseconds())
+		b.Pre(bank)
+	}
+	b.Djnz(15, loop)
+	b.ReadRow(bank, victim, rowBytes)
+	p := b.End()
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}

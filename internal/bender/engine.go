@@ -1,0 +1,258 @@
+package bender
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/dramcmd"
+	"rowfuse/internal/timing"
+)
+
+// Engine executes bender programs against a simulated DRAM chip with a
+// cycle-accurate clock. Command-to-command spacing comes entirely from
+// the program's WAIT instructions, mirroring the full timing control the
+// FPGA platform exposes (including the ability to violate JEDEC timings
+// on purpose).
+type Engine struct {
+	chip    *device.Chip
+	timings timing.Set
+	// burst is the RD/WR burst size in bytes.
+	burst int
+	// maxSteps bounds execution (0 = default).
+	maxSteps int64
+
+	// Execution state.
+	now      time.Duration
+	regs     [NumRegs]int64
+	captured []byte
+	steps    int64
+	cmdCount map[Opcode]int64
+
+	// record enables command-trace capture.
+	record bool
+	trace  dramcmd.Trace
+}
+
+// EngineConfig configures a bender engine.
+type EngineConfig struct {
+	Chip    *device.Chip
+	Timings timing.Set
+	// Burst is the RD/WR burst size in bytes (default 8, a DDR4 BL8
+	// burst of one x8 device).
+	Burst int
+	// MaxSteps bounds the executed instruction count (default 500M).
+	MaxSteps int64
+	// RecordTrace captures every DRAM command as a timestamped
+	// dramcmd.Trace (for validation, replay and debugging).
+	RecordTrace bool
+}
+
+// Errors returned by the engine.
+var (
+	ErrStepLimit = errors.New("bender: instruction step limit exceeded")
+	ErrNilChip   = errors.New("bender: engine needs a chip")
+)
+
+// NewEngine builds an engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) {
+	if cfg.Chip == nil {
+		return nil, ErrNilChip
+	}
+	if cfg.Timings == (timing.Set{}) {
+		cfg.Timings = timing.Default()
+	}
+	if err := cfg.Timings.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Burst == 0 {
+		cfg.Burst = 8
+	}
+	if cfg.MaxSteps == 0 {
+		cfg.MaxSteps = 500_000_000
+	}
+	return &Engine{
+		chip:     cfg.Chip,
+		timings:  cfg.Timings,
+		burst:    cfg.Burst,
+		maxSteps: cfg.MaxSteps,
+		cmdCount: make(map[Opcode]int64),
+		record:   cfg.RecordTrace,
+	}, nil
+}
+
+// Trace returns the recorded command trace (empty unless RecordTrace was
+// set).
+func (e *Engine) Trace() *dramcmd.Trace {
+	out := &dramcmd.Trace{Commands: make([]dramcmd.Command, len(e.trace.Commands))}
+	copy(out.Commands, e.trace.Commands)
+	return out
+}
+
+// recordCmd appends a command to the trace when recording is enabled.
+func (e *Engine) recordCmd(c dramcmd.Command) {
+	if e.record {
+		c.At = e.now
+		e.trace.Append(c)
+	}
+}
+
+// Now returns the engine clock.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Captured returns the bytes read by RD instructions so far (shared
+// buffer, valid until Reset).
+func (e *Engine) Captured() []byte { return e.captured }
+
+// CommandCount returns how many instructions of an opcode have executed.
+func (e *Engine) CommandCount(op Opcode) int64 { return e.cmdCount[op] }
+
+// Reset clears clock, registers and capture buffer (device state is
+// untouched: the chip keeps its accumulated disturbance, as real
+// hardware would).
+func (e *Engine) Reset() {
+	e.now = 0
+	e.regs = [NumRegs]int64{}
+	e.captured = nil
+	e.steps = 0
+	e.cmdCount = make(map[Opcode]int64)
+}
+
+// RuntimeError wraps an execution failure with program position.
+type RuntimeError struct {
+	PC    int
+	Instr Instr
+	Time  time.Duration
+	Err   error
+}
+
+// Error implements the error interface.
+func (e *RuntimeError) Error() string {
+	return fmt.Sprintf("bender: pc=%d (%s) t=%v: %v", e.PC, e.Instr, e.Time, e.Err)
+}
+
+// Unwrap exposes the cause.
+func (e *RuntimeError) Unwrap() error { return e.Err }
+
+// value resolves an operand against the register file.
+func (e *Engine) value(o Operand) int64 {
+	if o.Reg {
+		return e.regs[o.Val]
+	}
+	return o.Val
+}
+
+// Run executes the program to END (or the end of the instruction list).
+func (e *Engine) Run(p *Program) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	pc := 0
+	for pc < len(p.Instrs) {
+		in := p.Instrs[pc]
+		e.steps++
+		if e.steps > e.maxSteps {
+			return &RuntimeError{PC: pc, Instr: in, Time: e.now, Err: ErrStepLimit}
+		}
+		e.cmdCount[in.Op]++
+
+		fail := func(err error) error {
+			return &RuntimeError{PC: pc, Instr: in, Time: e.now, Err: err}
+		}
+		advance := func() { e.now += e.timings.TCK }
+
+		switch in.Op {
+		case OpAct:
+			bank, err := e.bank(in.A)
+			if err != nil {
+				return fail(err)
+			}
+			row := int(e.value(in.B))
+			if err := bank.Activate(row, e.now); err != nil {
+				return fail(err)
+			}
+			e.recordCmd(dramcmd.Command{Kind: dramcmd.ACT, Bank: int(e.value(in.A)), Row: row})
+			advance()
+		case OpPre:
+			bank, err := e.bank(in.A)
+			if err != nil {
+				return fail(err)
+			}
+			if err := bank.Precharge(e.now); err != nil {
+				return fail(err)
+			}
+			e.recordCmd(dramcmd.Command{Kind: dramcmd.PRE, Bank: int(e.value(in.A))})
+			advance()
+		case OpRd:
+			bank, err := e.bank(in.A)
+			if err != nil {
+				return fail(err)
+			}
+			data, err := bank.Read(int(e.value(in.B)), e.burst, e.now)
+			if err != nil {
+				return fail(err)
+			}
+			e.captured = append(e.captured, data...)
+			e.recordCmd(dramcmd.Command{Kind: dramcmd.RD, Bank: int(e.value(in.A)), Col: int(e.value(in.B))})
+			advance()
+		case OpWr:
+			bank, err := e.bank(in.A)
+			if err != nil {
+				return fail(err)
+			}
+			fill := byte(e.value(in.C))
+			buf := device.FillRow(e.burst, fill)
+			if err := bank.Write(int(e.value(in.B)), buf, e.now); err != nil {
+				return fail(err)
+			}
+			e.recordCmd(dramcmd.Command{Kind: dramcmd.WR, Bank: int(e.value(in.A)), Col: int(e.value(in.B)), Data: buf})
+			advance()
+		case OpRef:
+			for i := 0; i < e.chip.NumBanks(); i++ {
+				b, err := e.chip.Bank(i)
+				if err != nil {
+					return fail(err)
+				}
+				if err := b.Refresh(e.now); err != nil {
+					return fail(err)
+				}
+			}
+			e.recordCmd(dramcmd.Command{Kind: dramcmd.REF})
+			e.now += e.timings.TRFC
+		case OpWait:
+			d := e.value(in.A)
+			if d < 0 {
+				return fail(fmt.Errorf("negative wait %d", d))
+			}
+			e.now += time.Duration(d) * time.Nanosecond
+		case OpSet:
+			e.regs[in.A.Val] = e.value(in.B)
+			advance()
+		case OpAdd:
+			e.regs[in.A.Val] += e.value(in.B)
+			advance()
+		case OpDjnz:
+			e.regs[in.A.Val]--
+			advance()
+			if e.regs[in.A.Val] != 0 {
+				pc = int(in.B.Val)
+				continue
+			}
+		case OpJmp:
+			advance()
+			pc = int(in.A.Val)
+			continue
+		case OpNop:
+			advance()
+		case OpEnd:
+			return nil
+		}
+		pc++
+	}
+	return nil
+}
+
+func (e *Engine) bank(o Operand) (*device.Bank, error) {
+	return e.chip.Bank(int(e.value(o)))
+}

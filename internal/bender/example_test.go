@@ -1,0 +1,46 @@
+package bender_test
+
+import (
+	"fmt"
+	"log"
+
+	"rowfuse/internal/bender"
+)
+
+// ExampleAssemble shows the bender assembly dialect: a double-sided
+// RowHammer loop with a register loop counter.
+func ExampleAssemble() {
+	prog, err := bender.Assemble(`
+; double-sided hammer, 3 iterations
+SET r0 3
+loop:
+ACT 0 99
+WAIT 36
+PRE 0
+WAIT 15
+ACT 0 101
+WAIT 36
+PRE 0
+WAIT 15
+DJNZ r0 loop
+END
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(len(prog.Instrs), "instructions")
+	fmt.Print(prog.Disassemble())
+	// Output:
+	// 11 instructions
+	// SET r0 3                 ; 0
+	// ACT 0 99                 ; 1
+	// WAIT 36                  ; 2
+	// PRE 0                    ; 3
+	// WAIT 15                  ; 4
+	// ACT 0 101                ; 5
+	// WAIT 36                  ; 6
+	// PRE 0                    ; 7
+	// WAIT 15                  ; 8
+	// DJNZ r0 1                ; 9
+	// END                      ; 10
+}

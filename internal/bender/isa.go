@@ -1,0 +1,190 @@
+// Package bender simulates the FPGA-based DRAM-testing infrastructure
+// the paper builds on (DRAM Bender / SoftMC): a programmable memory
+// controller with its own small instruction set, an assembler, and a
+// cycle-accurate interpreter that drives the simulated DRAM device.
+//
+// Experiments are expressed as programs — sequences of DRAM commands,
+// waits and loops — exactly as they would be on the real platform, which
+// gives the same fine-grained control over command timings (tAggON
+// sweeps, back-to-back activations) the paper's methodology requires.
+package bender
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Opcode is a bender instruction opcode.
+type Opcode int
+
+// The bender ISA.
+const (
+	// OpAct activates row B of bank A (operands may be registers).
+	OpAct Opcode = iota + 1
+	// OpPre precharges bank A.
+	OpPre
+	// OpRd reads one burst at column B of the open row in bank A into
+	// the capture buffer.
+	OpRd
+	// OpWr writes the fill byte C to one burst at column B of the open
+	// row in bank A.
+	OpWr
+	// OpRef issues a refresh command.
+	OpRef
+	// OpWait advances time by A nanoseconds.
+	OpWait
+	// OpSet loads immediate B into register A.
+	OpSet
+	// OpAdd adds immediate B to register A.
+	OpAdd
+	// OpDjnz decrements register A and jumps to instruction B if the
+	// register is still non-zero (the SoftMC-style loop primitive).
+	OpDjnz
+	// OpJmp jumps unconditionally to instruction A.
+	OpJmp
+	// OpNop does nothing and consumes one clock cycle.
+	OpNop
+	// OpEnd terminates the program.
+	OpEnd
+)
+
+var opNames = map[Opcode]string{
+	OpAct:  "ACT",
+	OpPre:  "PRE",
+	OpRd:   "RD",
+	OpWr:   "WR",
+	OpRef:  "REF",
+	OpWait: "WAIT",
+	OpSet:  "SET",
+	OpAdd:  "ADD",
+	OpDjnz: "DJNZ",
+	OpJmp:  "JMP",
+	OpNop:  "NOP",
+	OpEnd:  "END",
+}
+
+// String returns the mnemonic.
+func (o Opcode) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("Opcode(%d)", int(o))
+}
+
+// NumRegs is the register-file size (r0..r15), matching the small
+// register files of SoftMC-class platforms.
+const NumRegs = 16
+
+// Operand is an instruction operand: either an immediate or a register
+// reference.
+type Operand struct {
+	// Reg selects register addressing.
+	Reg bool
+	// Val is the immediate value or the register index.
+	Val int64
+}
+
+// Imm builds an immediate operand.
+func Imm(v int64) Operand { return Operand{Val: v} }
+
+// Reg builds a register operand.
+func Reg(i int) Operand { return Operand{Reg: true, Val: int64(i)} }
+
+// String renders the operand in assembly syntax (registers as rN).
+func (o Operand) String() string {
+	if o.Reg {
+		return fmt.Sprintf("r%d", o.Val)
+	}
+	return fmt.Sprintf("%d", o.Val)
+}
+
+// Instr is one bender instruction.
+type Instr struct {
+	Op      Opcode
+	A, B, C Operand
+}
+
+// String renders the instruction in assembly syntax.
+func (i Instr) String() string {
+	switch i.Op {
+	case OpAct:
+		return fmt.Sprintf("ACT %s %s", i.A, i.B)
+	case OpPre:
+		return fmt.Sprintf("PRE %s", i.A)
+	case OpRd:
+		return fmt.Sprintf("RD %s %s", i.A, i.B)
+	case OpWr:
+		return fmt.Sprintf("WR %s %s %s", i.A, i.B, i.C)
+	case OpRef:
+		return "REF"
+	case OpWait:
+		return fmt.Sprintf("WAIT %s", i.A)
+	case OpSet:
+		return fmt.Sprintf("SET %s %s", i.A, i.B)
+	case OpAdd:
+		return fmt.Sprintf("ADD %s %s", i.A, i.B)
+	case OpDjnz:
+		return fmt.Sprintf("DJNZ %s %s", i.A, i.B)
+	case OpJmp:
+		return fmt.Sprintf("JMP %s", i.A)
+	case OpNop:
+		return "NOP"
+	case OpEnd:
+		return "END"
+	default:
+		return i.Op.String()
+	}
+}
+
+// Program is an executable bender program.
+type Program struct {
+	Instrs []Instr
+}
+
+// Validate checks structural correctness: known opcodes, register
+// indices in range, and jump targets within the program.
+func (p *Program) Validate() error {
+	n := int64(len(p.Instrs))
+	for idx, in := range p.Instrs {
+		if _, ok := opNames[in.Op]; !ok {
+			return fmt.Errorf("bender: instr %d: unknown opcode %d", idx, int(in.Op))
+		}
+		for _, op := range []Operand{in.A, in.B, in.C} {
+			if op.Reg && (op.Val < 0 || op.Val >= NumRegs) {
+				return fmt.Errorf("bender: instr %d (%s): register r%d out of range", idx, in, op.Val)
+			}
+		}
+		switch in.Op {
+		case OpDjnz:
+			if !in.A.Reg {
+				return fmt.Errorf("bender: instr %d (%s): DJNZ needs a register operand", idx, in)
+			}
+			if in.B.Reg || in.B.Val < 0 || in.B.Val >= n {
+				return fmt.Errorf("bender: instr %d (%s): jump target out of range", idx, in)
+			}
+		case OpJmp:
+			if in.A.Reg || in.A.Val < 0 || in.A.Val >= n {
+				return fmt.Errorf("bender: instr %d (%s): jump target out of range", idx, in)
+			}
+		case OpSet, OpAdd:
+			if !in.A.Reg {
+				return fmt.Errorf("bender: instr %d (%s): destination must be a register", idx, in)
+			}
+		case OpWait:
+			if !in.A.Reg && in.A.Val < 0 {
+				return fmt.Errorf("bender: instr %d (%s): negative wait", idx, in)
+			}
+		}
+	}
+	return nil
+}
+
+// Disassemble renders the program as assembly text with instruction
+// indices as comments.
+func (p *Program) Disassemble() string {
+	var b strings.Builder
+	for i, in := range p.Instrs {
+		fmt.Fprintf(&b, "%-24s ; %d\n", in.String(), i)
+	}
+	return b.String()
+}

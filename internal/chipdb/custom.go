@@ -1,0 +1,130 @@
+package chipdb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// customModule is the JSON schema for user-supplied module definitions,
+// so downstream users can characterize simulated DIMMs beyond the
+// paper's inventory. ACmin cells use the same semantics as Table 2
+// (total activations; zero/omitted = No Bitflip).
+type customModule struct {
+	ID          string `json:"id"`
+	Mfr         string `json:"mfr"` // "S", "H" or "M"
+	Vendor      string `json:"vendor"`
+	DIMMPart    string `json:"dimmPart"`
+	DRAMPart    string `json:"dramPart"`
+	DieRev      string `json:"dieRev"`
+	DensityGbit int    `json:"densityGbit"`
+	Org         string `json:"org"`
+	NumChips    int    `json:"numChips"`
+	DateCode    string `json:"dateCode"`
+
+	RHAvg    float64 `json:"rhAcminAvg"`
+	RHMin    float64 `json:"rhAcminMin"`
+	RP78Avg  float64 `json:"rp78AcminAvg"`
+	RP78Min  float64 `json:"rp78AcminMin"`
+	RP702Avg float64 `json:"rp702AcminAvg"`
+	RP702Min float64 `json:"rp702AcminMin"`
+	C78Avg   float64 `json:"c78AcminAvg"`
+	C78Min   float64 `json:"c78AcminMin"`
+	C702Avg  float64 `json:"c702AcminAvg"`
+	C702Min  float64 `json:"c702AcminMin"`
+}
+
+// LoadModules parses a JSON array of custom module definitions into
+// ModuleInfo values usable everywhere the built-in inventory is.
+func LoadModules(r io.Reader) ([]ModuleInfo, error) {
+	var raw []customModule
+	if err := json.NewDecoder(r).Decode(&raw); err != nil {
+		return nil, fmt.Errorf("chipdb: parse custom modules: %w", err)
+	}
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("chipdb: no modules in input")
+	}
+	seen := make(map[string]bool, len(raw))
+	out := make([]ModuleInfo, 0, len(raw))
+	for i, cm := range raw {
+		mi, err := cm.toModuleInfo()
+		if err != nil {
+			return nil, fmt.Errorf("chipdb: module %d (%q): %w", i, cm.ID, err)
+		}
+		if seen[mi.ID] {
+			return nil, fmt.Errorf("chipdb: duplicate module ID %q", mi.ID)
+		}
+		seen[mi.ID] = true
+		out = append(out, mi)
+	}
+	return out, nil
+}
+
+func (cm customModule) toModuleInfo() (ModuleInfo, error) {
+	var mfr Manufacturer
+	switch cm.Mfr {
+	case "S":
+		mfr = MfrS
+	case "H":
+		mfr = MfrH
+	case "M":
+		mfr = MfrM
+	default:
+		return ModuleInfo{}, fmt.Errorf("mfr must be S, H or M, got %q", cm.Mfr)
+	}
+	switch {
+	case cm.ID == "":
+		return ModuleInfo{}, fmt.Errorf("missing id")
+	case cm.RHAvg <= 0:
+		return ModuleInfo{}, fmt.Errorf("rhAcminAvg must be positive (RowHammer vulnerability is universal)")
+	case cm.RHMin < 0 || cm.RHMin > cm.RHAvg:
+		return ModuleInfo{}, fmt.Errorf("rhAcminMin out of range")
+	case cm.DensityGbit <= 0:
+		return ModuleInfo{}, fmt.Errorf("densityGbit must be positive")
+	case cm.NumChips <= 0 || cm.NumChips > 32:
+		return ModuleInfo{}, fmt.Errorf("numChips out of range")
+	case cm.Org != "x4" && cm.Org != "x8" && cm.Org != "x16":
+		return ModuleInfo{}, fmt.Errorf("org must be x4, x8 or x16, got %q", cm.Org)
+	}
+	cell := func(avg, min float64) (PaperACmin, error) {
+		if avg == 0 && min == 0 {
+			return PaperACmin{}, nil
+		}
+		if avg <= 0 || min <= 0 || min > avg {
+			return PaperACmin{}, fmt.Errorf("bad ACmin cell avg=%g min=%g", avg, min)
+		}
+		return PaperACmin{Avg: avg, Min: min}, nil
+	}
+	rhMin := cm.RHMin
+	if rhMin == 0 {
+		rhMin = cm.RHAvg / 2
+	}
+	var p PaperNumbers
+	p.RH = PaperACmin{Avg: cm.RHAvg, Min: rhMin}
+	var err error
+	if p.RP78, err = cell(cm.RP78Avg, cm.RP78Min); err != nil {
+		return ModuleInfo{}, err
+	}
+	if p.RP702, err = cell(cm.RP702Avg, cm.RP702Min); err != nil {
+		return ModuleInfo{}, err
+	}
+	if p.C78, err = cell(cm.C78Avg, cm.C78Min); err != nil {
+		return ModuleInfo{}, err
+	}
+	if p.C702, err = cell(cm.C702Avg, cm.C702Min); err != nil {
+		return ModuleInfo{}, err
+	}
+	// Press consistency: a module with a 70.2us RowPress cell but no
+	// combined cell (or vice versa at the same mark) is fine; but a
+	// combined ACmin below the double-sided one at the same mark is
+	// unphysical (Observation 2).
+	if !p.RP702.NoBitflip() && !p.C702.NoBitflip() && p.C702.Avg < p.RP702.Avg {
+		return ModuleInfo{}, fmt.Errorf("combined ACmin below double-sided at 70.2us is unphysical")
+	}
+	return ModuleInfo{
+		ID: cm.ID, Mfr: mfr, Vendor: cm.Vendor,
+		DIMMPart: cm.DIMMPart, DRAMPart: cm.DRAMPart, DieRev: cm.DieRev,
+		DensityGbit: cm.DensityGbit, Org: cm.Org, NumChips: cm.NumChips,
+		DateCode: cm.DateCode, Paper: p,
+	}, nil
+}

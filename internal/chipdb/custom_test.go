@@ -1,0 +1,92 @@
+package chipdb
+
+import (
+	"strings"
+	"testing"
+
+	"rowfuse/internal/device"
+)
+
+const customJSON = `[
+  {
+    "id": "X0", "mfr": "S", "vendor": "Acme", "dimmPart": "ACME-1",
+    "dramPart": "ACME-D1", "dieRev": "Z", "densityGbit": 8, "org": "x8",
+    "numChips": 8, "dateCode": "2401",
+    "rhAcminAvg": 30000, "rhAcminMin": 15000,
+    "rp78AcminAvg": 6000, "rp78AcminMin": 2000,
+    "rp702AcminAvg": 700, "rp702AcminMin": 250,
+    "c78AcminAvg": 9500, "c78AcminMin": 2500,
+    "c702AcminAvg": 1100, "c702AcminMin": 300
+  },
+  {
+    "id": "X1", "mfr": "M", "vendor": "Acme", "dimmPart": "ACME-2",
+    "dramPart": "ACME-D2", "dieRev": "Y", "densityGbit": 16, "org": "x16",
+    "numChips": 4,
+    "rhAcminAvg": 120000
+  }
+]`
+
+func TestLoadModules(t *testing.T) {
+	mods, err := LoadModules(strings.NewReader(customJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("got %d modules", len(mods))
+	}
+	x0 := mods[0]
+	if x0.ID != "X0" || x0.Mfr != MfrS || x0.DensityGbit != 8 {
+		t.Errorf("X0 fields wrong: %+v", x0)
+	}
+	if x0.Paper.RP702.Avg != 700 {
+		t.Errorf("X0 RP702 = %g", x0.Paper.RP702.Avg)
+	}
+	// X1 has only RowHammer data: press-immune.
+	x1 := mods[1]
+	if !x1.PressImmune() {
+		t.Error("X1 should be press-immune")
+	}
+	if x1.Paper.RH.Min != 60000 {
+		t.Errorf("X1 RH min default = %g, want avg/2", x1.Paper.RH.Min)
+	}
+
+	// Custom modules must produce valid device profiles and run through
+	// the characterization machinery.
+	params := device.DefaultParams()
+	for _, mi := range mods {
+		if err := mi.Profile(params).Validate(); err != nil {
+			t.Errorf("%s: invalid profile: %v", mi.ID, err)
+		}
+		if _, err := mi.NewModule(params, 0); err != nil {
+			t.Errorf("%s: device build: %v", mi.ID, err)
+		}
+	}
+}
+
+func TestLoadModulesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		json string
+	}{
+		{"garbage", "{nope"},
+		{"empty", "[]"},
+		{"missing id", `[{"mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000}]`},
+		{"bad mfr", `[{"id":"A","mfr":"Q","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000}]`},
+		{"no rowhammer", `[{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8}]`},
+		{"bad org", `[{"id":"A","mfr":"S","densityGbit":8,"org":"x32","numChips":8,"rhAcminAvg":1000}]`},
+		{"min above avg", `[{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000,"rhAcminMin":2000}]`},
+		{"bad press cell", `[{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000,"rp78AcminAvg":100}]`},
+		{"unphysical combined", `[{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":50000,
+			"rp702AcminAvg":1000,"rp702AcminMin":500,"c702AcminAvg":800,"c702AcminMin":400}]`},
+		{"duplicate ids", `[
+			{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000},
+			{"id":"A","mfr":"S","densityGbit":8,"org":"x8","numChips":8,"rhAcminAvg":1000}]`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadModules(strings.NewReader(tc.json)); err == nil {
+				t.Error("bad input accepted")
+			}
+		})
+	}
+}

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"math"
+
+	"rowfuse/internal/device"
+)
+
+// welford is an online mean/variance/min accumulator (Welford's
+// algorithm), used so module-scale studies aggregate observations in
+// O(1) memory instead of retaining every row result.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+}
+
+func (w *welford) add(v float64) {
+	w.n++
+	if w.n == 1 || v < w.min {
+		w.min = v
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+func (w *welford) stats(total int) Stats {
+	st := Stats{N: w.n, Total: total}
+	if w.n == 0 {
+		return st
+	}
+	st.Mean = w.mean
+	st.Min = w.min
+	if w.n > 1 {
+		st.Std = math.Sqrt(w.m2 / float64(w.n-1))
+	}
+	return st
+}
+
+// cellAggregate accumulates one (module, pattern, tAggON) cell's
+// observations incrementally.
+type cellAggregate struct {
+	total     int
+	acmin     welford
+	timeSec   welford
+	flips     int
+	oneToZero int
+	flipKeys  map[uint64]struct{}
+}
+
+func newCellAggregate() *cellAggregate {
+	return &cellAggregate{flipKeys: make(map[uint64]struct{})}
+}
+
+// observe folds one row measurement into the aggregate.
+func (a *cellAggregate) observe(die int, rr RowResult) {
+	a.total++
+	if rr.NoBitflip {
+		return
+	}
+	a.acmin.add(float64(rr.ACmin))
+	a.timeSec.add(rr.TimeToFirst.Seconds())
+	for _, f := range rr.Flips {
+		a.flips++
+		if f.Dir == device.OneToZero {
+			a.oneToZero++
+		}
+		key := uint64(die)<<40 | uint64(f.Row)<<13 | uint64(f.Bit)
+		a.flipKeys[key] = struct{}{}
+	}
+}

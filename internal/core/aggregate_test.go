@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rowfuse/internal/device"
+)
+
+func TestWelfordMatchesSummarize(t *testing.T) {
+	values := []float64{3, 1, 4, 1, 5, 9, 2, 6, 5, 3.5}
+	var w welford
+	for _, v := range values {
+		w.add(v)
+	}
+	got := w.stats(len(values))
+	want := summarize(values, len(values))
+	if math.Abs(got.Mean-want.Mean) > 1e-12 {
+		t.Errorf("mean %g vs %g", got.Mean, want.Mean)
+	}
+	if math.Abs(got.Std-want.Std) > 1e-12 {
+		t.Errorf("std %g vs %g", got.Std, want.Std)
+	}
+	if got.Min != want.Min || got.N != want.N {
+		t.Errorf("min/n %g/%d vs %g/%d", got.Min, got.N, want.Min, want.N)
+	}
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w welford
+	st := w.stats(7)
+	if st.Flipped() || st.Total != 7 || st.Mean != 0 {
+		t.Errorf("empty welford stats: %+v", st)
+	}
+}
+
+func TestCellAggregateObserve(t *testing.T) {
+	a := newCellAggregate()
+	a.observe(0, RowResult{NoBitflip: true})
+	a.observe(0, RowResult{
+		ACmin:       100,
+		TimeToFirst: 2 * time.Millisecond,
+		Flips: []device.Bitflip{
+			{Row: 5, Bit: 9, Dir: device.OneToZero},
+			{Row: 5, Bit: 12, Dir: device.ZeroToOne},
+		},
+	})
+	a.observe(1, RowResult{
+		ACmin:       200,
+		TimeToFirst: 4 * time.Millisecond,
+		Flips: []device.Bitflip{
+			{Row: 5, Bit: 9, Dir: device.OneToZero}, // same bit, other die
+		},
+	})
+	if a.total != 3 {
+		t.Errorf("total = %d", a.total)
+	}
+	st := a.acmin.stats(a.total)
+	if st.N != 2 || st.Mean != 150 || st.Min != 100 {
+		t.Errorf("acmin stats %+v", st)
+	}
+	if a.flips != 3 || a.oneToZero != 2 {
+		t.Errorf("flips %d oneToZero %d", a.flips, a.oneToZero)
+	}
+	// Keys are namespaced by die: the same (row,bit) on two dies stays
+	// distinct.
+	if len(a.flipKeys) != 3 {
+		t.Errorf("unique keys = %d, want 3", len(a.flipKeys))
+	}
+}

@@ -1,0 +1,239 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+)
+
+// AnalyticEngine computes first-flip points in closed form from the
+// device damage model, without executing individual commands. It matches
+// BankEngine exactly (see the cross-validation test) while being orders
+// of magnitude faster, which makes the paper's full sweep (14 modules x
+// 3K rows x 14 tAggON points x 3 patterns x 3 repeats) tractable.
+type AnalyticEngine struct {
+	profile  device.Profile
+	params   device.DisturbParams
+	weakSide float64
+	bank     int
+	numRows  int
+	rowBits  int
+}
+
+var _ Engine = (*AnalyticEngine)(nil)
+
+// AnalyticConfig configures an AnalyticEngine.
+type AnalyticConfig struct {
+	Profile device.Profile
+	Params  device.DisturbParams
+	// Bank is the bank index (seeds the cell populations).
+	Bank int
+	// NumRows defaults to 65536, RowBytes to 1024.
+	NumRows  int
+	RowBytes int
+}
+
+// NewAnalyticEngine validates the configuration and builds the engine.
+func NewAnalyticEngine(cfg AnalyticConfig) (*AnalyticEngine, error) {
+	if err := cfg.Profile.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Params.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.NumRows == 0 {
+		cfg.NumRows = 65536
+	}
+	if cfg.RowBytes == 0 {
+		cfg.RowBytes = 1024
+	}
+	return &AnalyticEngine{
+		profile:  cfg.Profile,
+		params:   cfg.Params,
+		weakSide: device.WeakSideCouplingOf(cfg.Profile, cfg.Params),
+		bank:     cfg.Bank,
+		numRows:  cfg.NumRows,
+		rowBits:  cfg.RowBytes * 8,
+	}, nil
+}
+
+// actTerms is the per-activation damage decomposition for one pattern.
+type actTerms struct {
+	// boost is hs(t) for this activation.
+	boost float64
+	// side is which neighbour the victim is disturbed from.
+	side device.Side
+	// steadyExposure / firstExposure are the raw press exposures in
+	// seconds under steady-state and first-iteration interleaving
+	// conditions (side coupling is applied per cell).
+	steadyExposure float64
+	firstExposure  float64
+	// steadySynergy / firstSynergy indicate whether the double-sided
+	// hammer synergy applies.
+	steadySynergy bool
+	firstSynergy  bool
+	// end is the time offset of this activation's precharge within the
+	// iteration.
+	end time.Duration
+}
+
+// decompose precomputes the per-activation damage terms of a pattern.
+// The steady/first split mirrors BankEngine's state rules exactly: the
+// very first activation of the strong aggressor sees no synergy (the
+// other side has not activated yet) and no interleave penalty.
+func (e *AnalyticEngine) decompose(spec pattern.Spec) []actTerms {
+	acts := spec.Acts()
+	multi := len(acts) > 1
+	terms := make([]actTerms, len(acts))
+	for i, a := range acts {
+		side := device.SideStrong
+		if a.RowOffset > 0 {
+			side = device.SideWeak
+		}
+		first := i > 0 // only act 0 of iteration 1 lacks synergy/interleave
+		terms[i] = actTerms{
+			boost:          e.params.HammerBoost(a.OnTime),
+			side:           side,
+			steadyExposure: e.params.PressExposure(a.OnTime, multi),
+			firstExposure:  e.params.PressExposure(a.OnTime, multi && first),
+			steadySynergy:  multi,
+			firstSynergy:   multi && first,
+			end:            spec.ActEnd(i),
+		}
+	}
+	return terms
+}
+
+// cellFlip is a first-flip point for one cell.
+type cellFlip struct {
+	iter int64 // 1-based iteration of the flip
+	act  int   // 0-based act index within the iteration
+}
+
+// firstFlip solves for the first (iteration, act) at which the cell's
+// accumulated damage reaches 1, or ok=false if it never does.
+func firstFlip(c *device.WeakCell, terms []actTerms, weakSide, tf float64, maxIters int64) (cellFlip, bool) {
+	if maxIters <= 0 {
+		return cellFlip{}, false
+	}
+	// Per-act steady and first-iteration damages.
+	var steadyTotal float64
+	steady := make([]float64, len(terms))
+	first := make([]float64, len(terms))
+	for i, t := range terms {
+		hs := t.boost
+		hf := t.boost
+		if t.steadySynergy {
+			hs *= c.Syn
+		}
+		if t.firstSynergy {
+			hf *= c.Syn
+		}
+		sideFactor := device.SideFactor(t.side, weakSide, c.WeakSide)
+		steady[i] = tf * (hs/c.Th + t.steadyExposure*sideFactor/c.Tp)
+		first[i] = tf * (hf/c.Th + t.firstExposure*sideFactor/c.Tp)
+		steadyTotal += steady[i]
+	}
+
+	// Iteration 1.
+	acc := 0.0
+	for i := range first {
+		acc += first[i]
+		if acc >= 1 {
+			return cellFlip{iter: 1, act: i}, true
+		}
+	}
+	if steadyTotal <= 0 {
+		return cellFlip{}, false
+	}
+
+	// Steady iterations 2..N.
+	remaining := 1 - acc
+	n := int64(math.Ceil(remaining / steadyTotal))
+	if n < 1 {
+		n = 1
+	}
+	iter := 1 + n
+	if iter > maxIters {
+		return cellFlip{}, false
+	}
+	// Locate the act within the flip iteration. Floating-point rounding
+	// in the ceil above may leave the crossing one iteration later.
+	base := acc + float64(n-1)*steadyTotal
+	for {
+		a := base
+		for i := range steady {
+			a += steady[i]
+			if a >= 1 {
+				return cellFlip{iter: iter, act: i}, true
+			}
+		}
+		base = a
+		iter++
+		if iter > maxIters {
+			return cellFlip{}, false
+		}
+	}
+}
+
+// CharacterizeRow implements Engine.
+func (e *AnalyticEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts) (RowResult, error) {
+	opts = opts.withDefaults()
+	if err := checkVictim(victim, e.numRows); err != nil {
+		return RowResult{}, err
+	}
+	res := RowResult{Victim: victim, Spec: spec, NoBitflip: true}
+
+	terms := e.decompose(spec)
+	tf := e.params.TempFactor(opts.TempC)
+	maxIters := spec.MaxIterations(opts.Budget)
+	cells := device.GenerateRowCells(e.profile, e.params, e.bank, victim, e.rowBits, opts.Run)
+
+	bestIter := int64(math.MaxInt64)
+	bestAct := 0
+	var bestCells []*device.WeakCell
+	for _, c := range cells {
+		// A cell only produces an observable flip if the victim data
+		// pattern stores the value its mechanism attacks.
+		if opts.Data.VictimBitAt(c.Bit) != c.Dir.From() {
+			continue
+		}
+		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters)
+		if !ok {
+			continue
+		}
+		switch {
+		case fp.iter < bestIter || (fp.iter == bestIter && fp.act < bestAct):
+			bestIter, bestAct = fp.iter, fp.act
+			bestCells = bestCells[:0]
+			bestCells = append(bestCells, c)
+		case fp.iter == bestIter && fp.act == bestAct:
+			bestCells = append(bestCells, c)
+		}
+	}
+	if len(bestCells) == 0 {
+		return res, nil
+	}
+
+	res.NoBitflip = false
+	res.Iterations = bestIter
+	res.ACmin = (bestIter-1)*int64(spec.ActsPerIteration()) + int64(bestAct) + 1
+	res.TimeToFirst = time.Duration(bestIter-1)*spec.IterationTime() + terms[bestAct].end
+	if res.TimeToFirst > opts.Budget {
+		return RowResult{Victim: victim, Spec: spec, NoBitflip: true}, nil
+	}
+	for _, c := range bestCells {
+		res.Flips = append(res.Flips, device.Bitflip{
+			Row:  victim,
+			Bit:  c.Bit,
+			Dir:  c.Dir,
+			Mech: c.Mech,
+		})
+	}
+	return res, nil
+}
+
+// NumRows returns the engine's bank row count.
+func (e *AnalyticEngine) NumRows() int { return e.numRows }

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func testEngine(t *testing.T, moduleID string) *AnalyticEngine {
+	t.Helper()
+	mi, err := chipdb.ByID(moduleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	e, err := NewAnalyticEngine(AnalyticConfig{
+		Profile: mi.Profile(params),
+		Params:  params,
+		NumRows: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func testSpec(t *testing.T, k pattern.Kind, aggOn time.Duration) pattern.Spec {
+	t.Helper()
+	s, err := pattern.New(k, aggOn, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestAnalyticEngineValidation(t *testing.T) {
+	if _, err := NewAnalyticEngine(AnalyticConfig{Params: device.DefaultParams()}); err == nil {
+		t.Error("accepted empty profile")
+	}
+}
+
+func TestVictimRangeChecks(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.Combined, timing.TRAS)
+	for _, victim := range []int{0, -5, 8191, 9000} {
+		if _, err := e.CharacterizeRow(victim, spec, RunOpts{}); !errors.Is(err, ErrVictimOutOfRange) {
+			t.Errorf("victim %d: err = %v, want ErrVictimOutOfRange", victim, err)
+		}
+	}
+	if _, err := e.CharacterizeRow(1, spec, RunOpts{}); err != nil {
+		t.Errorf("victim 1 should be legal: %v", err)
+	}
+}
+
+func TestCharacterizeRowBasics(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	res, err := e.CharacterizeRow(1000, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoBitflip {
+		t.Fatal("RowHammer on S0 must flip within 60ms")
+	}
+	if res.ACmin <= 0 || res.Iterations <= 0 || res.TimeToFirst <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.ACmin > 2*res.Iterations {
+		t.Errorf("ACmin %d exceeds 2x iterations %d", res.ACmin, res.Iterations)
+	}
+	if len(res.Flips) == 0 {
+		t.Error("flip reported but no flip records")
+	}
+	for _, f := range res.Flips {
+		if f.Row != 1000 {
+			t.Errorf("flip in row %d, want 1000", f.Row)
+		}
+	}
+	// Deterministic.
+	res2, err := e.CharacterizeRow(1000, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ACmin != res.ACmin || res2.TimeToFirst != res.TimeToFirst {
+		t.Error("repeat measurement with same run seed differs")
+	}
+}
+
+func TestBudgetEnforcement(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	full, err := e.CharacterizeRow(1000, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A budget below the measured first-flip time must yield NoBitflip.
+	tight, err := e.CharacterizeRow(1000, spec, RunOpts{Budget: full.TimeToFirst / 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tight.NoBitflip {
+		t.Error("flip reported past the budget")
+	}
+	// A budget just above must still flip.
+	loose, err := e.CharacterizeRow(1000, spec, RunOpts{Budget: full.TimeToFirst * 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.NoBitflip {
+		t.Error("flip lost with a sufficient budget")
+	}
+}
+
+func TestPressImmuneModuleNoBitflip(t *testing.T) {
+	e := testEngine(t, "M1")
+	for _, aggOn := range []time.Duration{timing.AggOnTREFI, timing.AggOnNineTREFI, timing.AggOnMax} {
+		for _, kind := range []pattern.Kind{pattern.DoubleSided, pattern.Combined, pattern.SingleSided} {
+			res, err := e.CharacterizeRow(2000, testSpec(t, kind, aggOn), RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.NoBitflip {
+				t.Errorf("M1 %s@%v flipped (ACmin %d); the paper reports No Bitflip", kind.Short(), aggOn, res.ACmin)
+			}
+		}
+	}
+	// But RowHammer at minimal on-time still flips M1.
+	res, err := e.CharacterizeRow(2000, testSpec(t, pattern.DoubleSided, timing.TRAS), RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoBitflip {
+		t.Error("M1 must still be RowHammer-vulnerable")
+	}
+}
+
+func TestDataPatternChangesOutcome(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	var results []RowResult
+	for _, dp := range []device.DataPattern{device.Checkerboard, device.AllOnes, device.AllZeros} {
+		res, err := e.CharacterizeRow(1500, spec, RunOpts{Data: dp})
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, res)
+	}
+	// All-ones permits only 1->0 flips; all-zeros only 0->1.
+	for _, f := range results[1].Flips {
+		if f.Dir != device.OneToZero {
+			t.Errorf("all-ones victim flipped %v", f.Dir)
+		}
+	}
+	for _, f := range results[2].Flips {
+		if f.Dir != device.ZeroToOne {
+			t.Errorf("all-zeros victim flipped %v", f.Dir)
+		}
+	}
+}
+
+func TestRunNoisePerturbsACmin(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	base, err := e.CharacterizeRow(1200, spec, RunOpts{Run: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy, err := e.CharacterizeRow(1200, spec, RunOpts{Run: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.ACmin == noisy.ACmin {
+		t.Error("run noise did not perturb ACmin")
+	}
+	ratio := float64(noisy.ACmin) / float64(base.ACmin)
+	if ratio < 0.85 || ratio > 1.18 {
+		t.Errorf("run-to-run ratio %g exceeds the 3%% noise model", ratio)
+	}
+}
+
+func TestTemperatureAcceleratesFlips(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	cold, err := e.CharacterizeRow(1300, spec, RunOpts{TempC: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := e.CharacterizeRow(1300, spec, RunOpts{TempC: 85})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.ACmin >= cold.ACmin {
+		t.Errorf("85C ACmin %d >= 50C ACmin %d", hot.ACmin, cold.ACmin)
+	}
+}
+
+func TestPaperRows(t *testing.T) {
+	rows := PaperRows(65536, 1000)
+	if len(rows) != 3000 {
+		t.Fatalf("got %d rows, want 3000", len(rows))
+	}
+	seen := make(map[int]bool)
+	for _, r := range rows {
+		if r < 1 || r > 65534 {
+			t.Errorf("victim %d out of safe range", r)
+		}
+		if seen[r] {
+			t.Errorf("duplicate victim %d", r)
+		}
+		seen[r] = true
+	}
+	// The three regions are represented.
+	if rows[0] != 1 {
+		t.Errorf("first region starts at %d, want 1", rows[0])
+	}
+	if rows[len(rows)-1] != 65534 {
+		t.Errorf("last region ends at %d, want 65534", rows[len(rows)-1])
+	}
+	if PaperRows(65536, 0) != nil || PaperRows(4, 10) != nil {
+		t.Error("degenerate inputs should return nil")
+	}
+}
+
+func TestACminParityWithinIteration(t *testing.T) {
+	// For two-activation patterns, ACmin can be odd when the flip lands
+	// on the first activation of the final iteration; the relation
+	// ACmin = 2*(iters-1) + 1 or 2*iters must always hold.
+	e := testEngine(t, "S0")
+	for _, aggOn := range []time.Duration{timing.TRAS, timing.AggOnTREFI} {
+		spec := testSpec(t, pattern.Combined, aggOn)
+		for victim := 100; victim < 130; victim++ {
+			res, err := e.CharacterizeRow(victim, spec, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.NoBitflip {
+				continue
+			}
+			lo := 2 * (res.Iterations - 1)
+			if res.ACmin != lo+1 && res.ACmin != lo+2 {
+				t.Errorf("victim %d: ACmin %d inconsistent with %d iterations", victim, res.ACmin, res.Iterations)
+			}
+		}
+	}
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// TestBudgetRationale demonstrates the methodology rule behind the
+// paper's 60 ms cap (Section 3.1): an experiment that runs past tREFW
+// without refresh collects retention failures that contaminate the
+// read-disturbance measurement. The BankEngine path exposes this: a
+// slow, press-immune-ish row measured with an oversized budget reports
+// flips whose mechanism is retention, not read disturbance.
+func TestBudgetRationale(t *testing.T) {
+	mi, err := chipdb.ByID("M1") // press-immune: no press flips ever
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	bank, err := device.NewBank(device.BankConfig{
+		Profile: profile,
+		Params:  params,
+		NumRows: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewBankEngine(bank)
+	spec, err := pattern.New(pattern.Combined, timing.AggOnNineTREFI, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Within the paper's budget: no bitflip (the die is press-immune
+	// and the hammer path cannot fit enough activations).
+	res, err := eng.CharacterizeRow(500, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoBitflip {
+		t.Fatalf("M1 flipped within 60ms (mech %v) — calibration broken", res.Flips[0].Mech)
+	}
+
+	// With a 300 ms budget — far past tREFW — "bitflips" appear, but
+	// they are retention failures, not read disturbance.
+	res, err = eng.CharacterizeRow(500, spec, RunOpts{Budget: 300 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoBitflip {
+		t.Skip("this row's retention tail is above 300ms; rare but possible")
+	}
+	for _, f := range res.Flips {
+		if f.Mech != device.MechRetention {
+			t.Errorf("oversized-budget flip mechanism = %v, want retention", f.Mech)
+		}
+	}
+	if res.TimeToFirst < timing.TREFW {
+		t.Errorf("retention failure at %v, before tREFW %v", res.TimeToFirst, timing.TREFW)
+	}
+}
+
+// TestBudgetGuardsAnalyticPath: the analytic engine never reports
+// retention failures (it models read disturbance only), so its NoBitflip
+// at 60 ms must stay NoBitflip at any budget for a press-immune die —
+// the budget guard and the retention model are separate concerns.
+func TestBudgetGuardsAnalyticPath(t *testing.T) {
+	e := testEngine(t, "M1")
+	spec := testSpec(t, pattern.Combined, timing.AggOnNineTREFI)
+	res, err := e.CharacterizeRow(500, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoBitflip {
+		t.Fatal("M1 flipped within budget")
+	}
+	// Even with 10x the budget, the hammer path eventually flips — but
+	// only far past the point where a real experiment would be
+	// retention-contaminated. The harness must keep the default budget
+	// for methodology-faithful runs.
+	res, err = e.CharacterizeRow(500, spec, RunOpts{Budget: 600 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.NoBitflip && res.TimeToFirst < 60*time.Millisecond {
+		t.Errorf("flip at %v contradicts the 60ms NoBitflip result", res.TimeToFirst)
+	}
+}

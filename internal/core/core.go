@@ -1,0 +1,133 @@
+// Package core implements the paper's characterization methodology: it
+// measures ACmin (the minimum number of total aggressor-row activations
+// needed to induce at least one bitflip) and the time to the first
+// bitflip for any access pattern, records the observed bitflips, and
+// enforces the 60 ms experiment budget the paper uses to exclude
+// retention failures.
+//
+// Two engines implement the same contract: AnalyticEngine computes
+// first-flip points in closed form from the device damage model (used for
+// the full 3K-row sweeps behind Figs. 4-6 and Table 2), and BankEngine
+// drives a simulated device.Bank command by command (used for
+// cross-validation and by the DRAM Bender substrate). A dedicated test
+// asserts the two agree.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+)
+
+// DefaultBudget is the paper's per-experiment runtime cap, chosen
+// strictly below tREFW = 64 ms so retention failures cannot contaminate
+// read-disturbance results.
+const DefaultBudget = 60 * time.Millisecond
+
+// RunOpts configures one row characterization.
+type RunOpts struct {
+	// Budget caps the hammering wall time (default DefaultBudget).
+	Budget time.Duration
+	// Data selects the initialization data pattern (default
+	// checkerboard, as in the paper).
+	Data device.DataPattern
+	// TempC is the die temperature (default 50 C, the paper's setpoint).
+	TempC float64
+	// Run selects a run-to-run noise realization (0 = noise-free).
+	Run int64
+}
+
+// withDefaults fills zero fields.
+func (o RunOpts) withDefaults() RunOpts {
+	if o.Budget == 0 {
+		o.Budget = DefaultBudget
+	}
+	if o.Data == 0 {
+		o.Data = device.Checkerboard
+	}
+	if o.TempC == 0 {
+		o.TempC = 50.0
+	}
+	return o
+}
+
+// RowResult is the outcome of characterizing one victim row with one
+// pattern.
+type RowResult struct {
+	// Victim is the physical victim row index.
+	Victim int
+	// Spec is the pattern that was applied.
+	Spec pattern.Spec
+	// NoBitflip reports that no bitflip occurred within the budget
+	// (Table 2's "No Bitflip" cells).
+	NoBitflip bool
+	// Iterations is the pattern iteration count at the first flip.
+	Iterations int64
+	// ACmin is the minimum total aggressor-row activations for the
+	// first flip (the paper's ACmin).
+	ACmin int64
+	// TimeToFirst is the hammering wall time until the first flip.
+	TimeToFirst time.Duration
+	// Flips are the bitflips observed at the ACmin point.
+	Flips []device.Bitflip
+}
+
+// Engine measures the first-bitflip point of one victim row.
+type Engine interface {
+	// CharacterizeRow applies spec to the victim row and returns the
+	// first-flip measurement.
+	CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts) (RowResult, error)
+}
+
+// Errors shared by engines.
+var (
+	// ErrVictimOutOfRange reports a victim row whose aggressors fall
+	// outside the bank.
+	ErrVictimOutOfRange = errors.New("core: victim row needs both neighbours in range")
+)
+
+func checkVictim(victim, numRows int) error {
+	if victim < 1 || victim >= numRows-1 {
+		return fmt.Errorf("%w: victim %d, bank rows %d", ErrVictimOutOfRange, victim, numRows)
+	}
+	return nil
+}
+
+// PaperRows returns the victim-row sample the paper uses: perRegion rows
+// at the beginning, middle and end of the bank. Victims start at row 1
+// and end at numRows-2 so each has two in-range aggressors.
+func PaperRows(numRows, perRegion int) []int {
+	if perRegion <= 0 || numRows < 8 {
+		return nil
+	}
+	max := numRows - 2
+	rows := make([]int, 0, 3*perRegion)
+	add := func(start int) {
+		for i := 0; i < perRegion; i++ {
+			r := start + i
+			if r < 1 {
+				r = 1
+			}
+			if r > max {
+				break
+			}
+			rows = append(rows, r)
+		}
+	}
+	add(1)
+	add(numRows/2 - perRegion/2)
+	add(numRows - 1 - perRegion)
+	// Deduplicate in the unlikely case regions overlap (tiny banks).
+	seen := make(map[int]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// CrossoverPoint describes where two patterns' time-to-first-bitflip
+// curves cross as tAggON grows (Fig. 4's qualitative structure: the
+// combined pattern wins at small on-times, single-sided RowPress
+// catches up at large ones).
+type CrossoverPoint struct {
+	// Below and Above bracket the crossover: at Below the first pattern
+	// is faster, at Above the second is.
+	Below time.Duration
+	Above time.Duration
+}
+
+// CrossoverConfig configures a crossover search between two patterns on
+// one engine.
+type CrossoverConfig struct {
+	Engine *AnalyticEngine
+	// A and B are the two pattern families to compare.
+	A, B pattern.Kind
+	// Sweep is the tAggON grid to scan (must be ascending).
+	Sweep []time.Duration
+	// Rows is the victim sample (mean time decides the winner).
+	Rows []int
+	Opts RunOpts
+}
+
+// FindCrossover scans the sweep and returns the first bracket where the
+// faster pattern changes from A to B (or B to A). ok=false means no
+// crossover inside the sweep (one pattern dominates throughout, or one
+// of them never flips).
+func FindCrossover(cfg CrossoverConfig) (CrossoverPoint, bool, error) {
+	if cfg.Engine == nil {
+		return CrossoverPoint{}, false, fmt.Errorf("core: crossover needs an engine")
+	}
+	if len(cfg.Sweep) < 2 {
+		return CrossoverPoint{}, false, fmt.Errorf("core: crossover needs at least two sweep points")
+	}
+	if !sort.SliceIsSorted(cfg.Sweep, func(i, j int) bool { return cfg.Sweep[i] < cfg.Sweep[j] }) {
+		return CrossoverPoint{}, false, fmt.Errorf("core: sweep must be ascending")
+	}
+	if len(cfg.Rows) == 0 {
+		return CrossoverPoint{}, false, fmt.Errorf("core: crossover needs victim rows")
+	}
+
+	meanTime := func(kind pattern.Kind, aggOn time.Duration) (float64, bool, error) {
+		spec, err := pattern.New(kind, aggOn, timing.Default())
+		if err != nil {
+			return 0, false, err
+		}
+		sum, n := 0.0, 0
+		for _, victim := range cfg.Rows {
+			res, err := cfg.Engine.CharacterizeRow(victim, spec, cfg.Opts)
+			if err != nil {
+				return 0, false, err
+			}
+			if !res.NoBitflip {
+				sum += res.TimeToFirst.Seconds()
+				n++
+			}
+		}
+		if n == 0 {
+			return 0, false, nil
+		}
+		return sum / float64(n), true, nil
+	}
+
+	var prevSign int
+	var prevAggOn time.Duration
+	havePrev := false
+	for _, aggOn := range cfg.Sweep {
+		ta, okA, err := meanTime(cfg.A, aggOn)
+		if err != nil {
+			return CrossoverPoint{}, false, err
+		}
+		tb, okB, err := meanTime(cfg.B, aggOn)
+		if err != nil {
+			return CrossoverPoint{}, false, err
+		}
+		if !okA || !okB {
+			havePrev = false
+			continue
+		}
+		sign := 0
+		switch {
+		case ta < tb:
+			sign = -1
+		case ta > tb:
+			sign = 1
+		}
+		if havePrev && sign != 0 && prevSign != 0 && sign != prevSign {
+			return CrossoverPoint{Below: prevAggOn, Above: aggOn}, true, nil
+		}
+		if sign != 0 {
+			prevSign = sign
+			prevAggOn = aggOn
+			havePrev = true
+		}
+	}
+	return CrossoverPoint{}, false, nil
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// TestEnginesAgree is the dual-execution-path cross-validation promised
+// in DESIGN.md: the closed-form AnalyticEngine and the command-by-command
+// BankEngine must produce identical ACmin, iteration counts, first-flip
+// times and flip sets for the same configuration.
+func TestEnginesAgree(t *testing.T) {
+	mi, err := chipdb.ByID("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	const numRows = 4096
+
+	analytic, err := NewAnalyticEngine(AnalyticConfig{
+		Profile: profile,
+		Params:  params,
+		NumRows: numRows,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	aggOns := []time.Duration{
+		timing.TRAS,
+		636 * time.Nanosecond,
+		timing.AggOnTREFI,
+		timing.AggOnNineTREFI,
+	}
+	victims := []int{100, 1777, 3000}
+	for _, kind := range []pattern.Kind{pattern.SingleSided, pattern.DoubleSided, pattern.Combined} {
+		for _, aggOn := range aggOns {
+			spec, err := pattern.New(kind, aggOn, timing.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, victim := range victims {
+				// A fresh bank per case keeps device state independent.
+				bank, err := device.NewBank(device.BankConfig{
+					Profile: profile,
+					Params:  params,
+					NumRows: numRows,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				be := NewBankEngine(bank)
+
+				want, err := analytic.CharacterizeRow(victim, spec, RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := be.CharacterizeRow(victim, spec, RunOpts{})
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				label := kind.Short() + "@" + aggOn.String()
+				if got.NoBitflip != want.NoBitflip {
+					t.Errorf("%s victim %d: NoBitflip bank=%v analytic=%v", label, victim, got.NoBitflip, want.NoBitflip)
+					continue
+				}
+				if got.NoBitflip {
+					continue
+				}
+				if got.ACmin != want.ACmin {
+					t.Errorf("%s victim %d: ACmin bank=%d analytic=%d", label, victim, got.ACmin, want.ACmin)
+				}
+				if got.Iterations != want.Iterations {
+					t.Errorf("%s victim %d: iterations bank=%d analytic=%d", label, victim, got.Iterations, want.Iterations)
+				}
+				if got.TimeToFirst != want.TimeToFirst {
+					t.Errorf("%s victim %d: time bank=%v analytic=%v", label, victim, got.TimeToFirst, want.TimeToFirst)
+				}
+				if !sameFlips(got.Flips, want.Flips) {
+					t.Errorf("%s victim %d: flips bank=%v analytic=%v", label, victim, got.Flips, want.Flips)
+				}
+			}
+		}
+	}
+}
+
+func sameFlips(a, b []device.Bitflip) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ka := make([]uint64, len(a))
+	kb := make([]uint64, len(b))
+	for i := range a {
+		ka[i] = a[i].Key()
+		kb[i] = b[i].Key()
+	}
+	sort.Slice(ka, func(i, j int) bool { return ka[i] < ka[j] })
+	sort.Slice(kb, func(i, j int) bool { return kb[i] < kb[j] })
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEnginesAgreeOnDirections additionally checks flip direction and
+// mechanism attribution between the paths.
+func TestEnginesAgreeOnDirections(t *testing.T) {
+	mi, err := chipdb.ByID("M4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	analytic, err := NewAnalyticEngine(AnalyticConfig{Profile: profile, Params: params, NumRows: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := pattern.New(pattern.Combined, timing.AggOnTREFI, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bank, err := device.NewBank(device.BankConfig{Profile: profile, Params: params, NumRows: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := analytic.CharacterizeRow(512, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBankEngine(bank).CharacterizeRow(512, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NoBitflip || b.NoBitflip {
+		t.Fatal("expected flips on M4 at 7.8us")
+	}
+	if len(a.Flips) != len(b.Flips) {
+		t.Fatalf("flip counts differ: %d vs %d", len(a.Flips), len(b.Flips))
+	}
+	for i := range a.Flips {
+		if a.Flips[i].Dir != b.Flips[i].Dir {
+			t.Errorf("flip %d direction differs: %v vs %v", i, a.Flips[i].Dir, b.Flips[i].Dir)
+		}
+		if a.Flips[i].Mech != b.Flips[i].Mech {
+			t.Errorf("flip %d mechanism differs: %v vs %v", i, a.Flips[i].Mech, b.Flips[i].Mech)
+		}
+	}
+}

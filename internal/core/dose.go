@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+)
+
+// CellFlipPoint is one cell's first-flip coordinate under a pattern.
+type CellFlipPoint struct {
+	Flip device.Bitflip
+	// Iterations is the 1-based pattern iteration of the flip.
+	Iterations int64
+	// ACount is the total activation count at the flip (the cell's
+	// "hammer count to first flip", HCfirst, generalized to combined
+	// patterns).
+	ACount int64
+}
+
+// CellFlipPoints computes the first-flip point of every vulnerable cell
+// of a victim row under the pattern, sorted by activation count. Unlike
+// CharacterizeRow (which stops at the row's first flip, as the paper's
+// ACmin procedure does), this exposes the whole dose-response curve of
+// the row.
+func (e *AnalyticEngine) CellFlipPoints(victim int, spec pattern.Spec, opts RunOpts) ([]CellFlipPoint, error) {
+	opts = opts.withDefaults()
+	if err := checkVictim(victim, e.numRows); err != nil {
+		return nil, err
+	}
+	terms := e.decompose(spec)
+	tf := e.params.TempFactor(opts.TempC)
+	maxIters := spec.MaxIterations(opts.Budget)
+	cells := device.GenerateRowCells(e.profile, e.params, e.bank, victim, e.rowBits, opts.Run)
+
+	var points []CellFlipPoint
+	for _, c := range cells {
+		if opts.Data.VictimBitAt(c.Bit) != c.Dir.From() {
+			continue
+		}
+		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters)
+		if !ok {
+			continue
+		}
+		points = append(points, CellFlipPoint{
+			Flip: device.Bitflip{
+				Row:  victim,
+				Bit:  c.Bit,
+				Dir:  c.Dir,
+				Mech: c.Mech,
+			},
+			Iterations: fp.iter,
+			ACount:     (fp.iter-1)*int64(spec.ActsPerIteration()) + int64(fp.act) + 1,
+		})
+	}
+	sort.Slice(points, func(i, j int) bool { return points[i].ACount < points[j].ACount })
+	return points, nil
+}
+
+// FlipsAtCount returns the bitflips that have occurred once totalActs
+// aggressor activations of the pattern have been applied.
+func (e *AnalyticEngine) FlipsAtCount(victim int, spec pattern.Spec, totalActs int64, opts RunOpts) ([]device.Bitflip, error) {
+	points, err := e.CellFlipPoints(victim, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	var flips []device.Bitflip
+	for _, p := range points {
+		if p.ACount <= totalActs {
+			flips = append(flips, p.Flip)
+		}
+	}
+	return flips, nil
+}
+
+// DosePoint is one point of a dose-response curve: how many bits of the
+// row have flipped after a given activation dose.
+type DosePoint struct {
+	TotalActs int64
+	Flips     int
+}
+
+// DoseResponse evaluates the cumulative flip count of a victim row at
+// each activation dose (doses need not be sorted).
+func (e *AnalyticEngine) DoseResponse(victim int, spec pattern.Spec, doses []int64, opts RunOpts) ([]DosePoint, error) {
+	if len(doses) == 0 {
+		return nil, fmt.Errorf("core: dose response needs at least one dose")
+	}
+	points, err := e.CellFlipPoints(victim, spec, opts)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]DosePoint, 0, len(doses))
+	for _, d := range doses {
+		n := 0
+		for _, p := range points {
+			if p.ACount <= d {
+				n++
+			}
+		}
+		out = append(out, DosePoint{TotalActs: d, Flips: n})
+	}
+	return out, nil
+}

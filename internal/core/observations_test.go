@@ -1,0 +1,227 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// TestObservation2 asserts the paper's Observation 2: as tAggON starts to
+// increase, the combined pattern needs slightly MORE activations than the
+// conventional double-sided RowPress pattern, while both need far fewer
+// than RowHammer.
+func TestObservation2(t *testing.T) {
+	s := smallStudy(t, StudyConfig{
+		Sweep: []time.Duration{timing.TRAS, 636 * time.Nanosecond},
+	})
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
+		fig4, err := s.Fig4()
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh := fig4[mfr][pattern.DoubleSided][0]
+		comb := fig4[mfr][pattern.Combined][1]
+		dbl := fig4[mfr][pattern.DoubleSided][1]
+		if comb.Modules == 0 || dbl.Modules == 0 {
+			t.Fatalf("%v: missing data", mfr)
+		}
+		if comb.ACminMean <= dbl.ACminMean {
+			t.Errorf("%v: combined ACmin %.0f not above double-sided %.0f at 636ns",
+				mfr, comb.ACminMean, dbl.ACminMean)
+		}
+		if comb.ACminMean >= rh.ACminMean {
+			t.Errorf("%v: combined ACmin %.0f not below RowHammer's %.0f",
+				mfr, comb.ACminMean, rh.ACminMean)
+		}
+		// The paper reports 40.5-46.9% combined ACmin reduction vs
+		// RowHammer at 636ns.
+		red := 1 - comb.ACminMean/rh.ACminMean
+		if red < 0.20 || red > 0.60 {
+			t.Errorf("%v: combined ACmin reduction %.0f%% outside the paper's regime", mfr, red*100)
+		}
+	}
+}
+
+// TestObservation4 asserts the directionality shift of Fig. 5: for
+// Mfr. S/H the 1->0 fraction rises toward 1 with tAggON; for Mfr. M
+// (except the 16Gb B-die) it falls.
+func TestObservation4(t *testing.T) {
+	s := smallStudy(t, StudyConfig{
+		Sweep: []time.Duration{timing.TRAS, timing.AggOnNineTREFI},
+	})
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH} {
+		for die, pts := range f5[mfr] {
+			lo, hi := pts[0], pts[1]
+			if lo.Flips == 0 || hi.Flips == 0 {
+				continue
+			}
+			if hi.OneToZeroFrac <= lo.OneToZeroFrac {
+				t.Errorf("%v %s: 1->0 fraction did not rise (%.2f -> %.2f)", mfr, die, lo.OneToZeroFrac, hi.OneToZeroFrac)
+			}
+			if hi.OneToZeroFrac < 0.85 {
+				t.Errorf("%v %s: 1->0 fraction at 70.2us = %.2f, want ~1 (press dominated)", mfr, die, hi.OneToZeroFrac)
+			}
+		}
+	}
+	for die, pts := range f5[chipdb.MfrM] {
+		lo, hi := pts[0], pts[1]
+		if lo.Flips == 0 || hi.Flips == 0 {
+			continue
+		}
+		if die == "16Gb B-Die" {
+			if hi.OneToZeroFrac <= lo.OneToZeroFrac {
+				t.Errorf("M 16Gb B-die must follow the S/H trend (%.2f -> %.2f)", lo.OneToZeroFrac, hi.OneToZeroFrac)
+			}
+		} else if hi.OneToZeroFrac >= lo.OneToZeroFrac {
+			t.Errorf("M %s: 1->0 fraction should fall (%.2f -> %.2f)", die, lo.OneToZeroFrac, hi.OneToZeroFrac)
+		}
+	}
+}
+
+// TestObservations5And6 asserts the overlap trends of Fig. 6.
+func TestObservations5And6(t *testing.T) {
+	s := smallStudy(t, StudyConfig{
+		Modules: []chipdb.ModuleInfo{mustModule(t, "S0"), mustModule(t, "S1"), mustModule(t, "H0")},
+		Sweep:   []time.Duration{timing.TRAS, 2400 * time.Nanosecond, timing.AggOnNineTREFI},
+		Dies:    2,
+	})
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for mfr, byDie := range f6 {
+		for die, curves := range byDie {
+			vs := curves.VsSingle
+			vd := curves.VsDouble
+			// Observation 5: overlap with single-sided increases with
+			// tAggON and exceeds 75% at 70.2us.
+			if vs[0].Overlap >= vs[2].Overlap {
+				t.Errorf("%v %s: overlap with single did not rise (%.2f -> %.2f)", mfr, die, vs[0].Overlap, vs[2].Overlap)
+			}
+			if vs[2].Overlap < 0.75 {
+				t.Errorf("%v %s: overlap with single at 70.2us = %.2f, want > 0.75", mfr, die, vs[2].Overlap)
+			}
+			// Observation 6: overlap with double starts at 1.0 (the
+			// patterns are identical at tRAS), dips, then recovers past
+			// 75%.
+			if vd[0].Overlap != 1.0 {
+				t.Errorf("%v %s: overlap with double at tRAS = %.2f, want exactly 1", mfr, die, vd[0].Overlap)
+			}
+			if vd[1].Overlap >= vd[0].Overlap {
+				t.Errorf("%v %s: overlap with double did not dip at 2.4us (%.2f)", mfr, die, vd[1].Overlap)
+			}
+			if vd[2].Overlap < 0.75 {
+				t.Errorf("%v %s: overlap with double at 70.2us = %.2f, want > 0.75", mfr, die, vd[2].Overlap)
+			}
+		}
+	}
+}
+
+// TestHypothesis2 checks that at large tAggON the flips of the combined
+// pattern come from the press mechanism (RowPress dominance).
+func TestHypothesis2PressDominance(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.Combined, timing.AggOnNineTREFI)
+	press, total := 0, 0
+	for victim := 100; victim < 200; victim++ {
+		res, err := e.CharacterizeRow(victim, spec, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Flips {
+			total++
+			if f.Mech == device.MechPress {
+				press++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no flips")
+	}
+	if frac := float64(press) / float64(total); frac < 0.9 {
+		t.Errorf("press fraction at 70.2us = %.2f, want ~1 (Hypothesis 2)", frac)
+	}
+	// And at tRAS the hammer mechanism dominates.
+	specRH := testSpec(t, pattern.Combined, timing.TRAS)
+	hammer := 0
+	total = 0
+	for victim := 100; victim < 200; victim++ {
+		res, err := e.CharacterizeRow(victim, specRH, RunOpts{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range res.Flips {
+			total++
+			if f.Mech == device.MechHammer {
+				hammer++
+			}
+		}
+	}
+	if frac := float64(hammer) / float64(total); frac < 0.95 {
+		t.Errorf("hammer fraction at tRAS = %.2f, want ~1", frac)
+	}
+}
+
+// TestHypothesis1SideAsymmetry verifies the implemented Hypothesis 1
+// directly: making the press coupling symmetric (coupling = 1) shrinks
+// the combined-vs-double ACmin gap, while a strongly asymmetric coupling
+// widens it.
+func TestHypothesis1SideAsymmetry(t *testing.T) {
+	mi := mustModule(t, "S0")
+	params := device.DefaultParams()
+	gapAt := func(coupling float64) float64 {
+		profile := mi.Profile(params)
+		profile.WeakSideCoupling = coupling
+		e, err := NewAnalyticEngine(AnalyticConfig{Profile: profile, Params: params, NumRows: 8192})
+		if err != nil {
+			t.Fatal(err)
+		}
+		specC := testSpec(t, pattern.Combined, timing.AggOnNineTREFI)
+		specD := testSpec(t, pattern.DoubleSided, timing.AggOnNineTREFI)
+		var sumC, sumD float64
+		n := 0
+		for victim := 100; victim < 140; victim++ {
+			rc, err := e.CharacterizeRow(victim, specC, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rd, err := e.CharacterizeRow(victim, specD, RunOpts{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rc.NoBitflip || rd.NoBitflip {
+				continue
+			}
+			sumC += float64(rc.ACmin)
+			sumD += float64(rd.ACmin)
+			n++
+		}
+		if n == 0 {
+			t.Fatal("no flips")
+		}
+		return sumC / sumD
+	}
+	symmetric := gapAt(1.0)
+	asymmetric := gapAt(0.1)
+	if asymmetric >= symmetric {
+		t.Errorf("combined/double ACmin ratio should shrink with asymmetry: sym=%.2f asym=%.2f", symmetric, asymmetric)
+	}
+	// With near-total asymmetry the combined pattern loses almost
+	// nothing vs double-sided (the weak side contributed nothing).
+	if asymmetric > 1.25 {
+		t.Errorf("ratio at coupling 0.1 = %.2f, want close to 1", asymmetric)
+	}
+	// With symmetric coupling the combined pattern needs ~2x the
+	// activations (it wastes half its acts on a non-pressing side).
+	if symmetric < 1.6 || symmetric > 2.3 {
+		t.Errorf("ratio at coupling 1.0 = %.2f, want ~2", symmetric)
+	}
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/dramcmd"
+)
+
+// ReplayTrace executes a timestamped command trace against a bank —
+// the glue between trace-producing tools (the bender interpreter's
+// RecordTrace, pattern.Spec.Trace) and the device model. It enables
+// record-once / replay-anywhere experiments: capture a command stream
+// from one run and re-apply it to a different simulated module.
+//
+// REF commands are applied to the target bank only (a trace replayed
+// onto a single bank has no visibility into sibling banks).
+func ReplayTrace(bank *device.Bank, tr *dramcmd.Trace) error {
+	if bank == nil {
+		return fmt.Errorf("core: replay needs a bank")
+	}
+	if tr == nil {
+		return fmt.Errorf("core: replay needs a trace")
+	}
+	for i, c := range tr.Commands {
+		var err error
+		switch c.Kind {
+		case dramcmd.ACT:
+			err = bank.Activate(c.Row, c.At)
+		case dramcmd.PRE:
+			err = bank.Precharge(c.At)
+		case dramcmd.RD:
+			_, err = bank.Read(c.Col, 8, c.At)
+		case dramcmd.WR:
+			err = bank.Write(c.Col, c.Data, c.At)
+		case dramcmd.REF:
+			err = bank.Refresh(c.At)
+		case dramcmd.NOP:
+			// No device effect.
+		default:
+			err = fmt.Errorf("unsupported command kind %v", c.Kind)
+		}
+		if err != nil {
+			return fmt.Errorf("core: replay command %d (%s): %w", i, c.Kind, err)
+		}
+	}
+	return nil
+}

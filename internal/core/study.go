@@ -1,0 +1,339 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// StudyConfig configures a full characterization campaign across modules,
+// patterns and tAggON values.
+type StudyConfig struct {
+	// Modules is the DIMM set (default: the full Table 1 inventory).
+	Modules []chipdb.ModuleInfo
+	// Params are the disturbance model constants (default calibrated).
+	Params device.DisturbParams
+	// Timings is the DDR4 timing set (default timing.Default()).
+	Timings timing.Set
+	// Sweep is the list of tAggON values (default timing.PaperSweep()).
+	Sweep []time.Duration
+	// Patterns lists the pattern families (default all three).
+	Patterns []pattern.Kind
+	// RowsPerRegion is the victim sample per bank region; the paper
+	// uses 1000 (x3 regions = 3K rows). Defaults to 1000.
+	RowsPerRegion int
+	// Dies limits how many dies per module are characterized
+	// (0 = all dies, as in the paper).
+	Dies int
+	// Runs is the repeat count per measurement (paper: 3).
+	Runs int
+	// Bank is the bank under test (the paper picks one arbitrary bank).
+	Bank int
+	// Opts are the per-row run options (budget, data pattern, temp).
+	Opts RunOpts
+	// Concurrency bounds the worker pool (default GOMAXPROCS).
+	Concurrency int
+	// KeepObservations retains every raw RowObservation on the
+	// ModuleResult (memory-heavy at paper scale; the figure and table
+	// extractors only need the incremental aggregates).
+	KeepObservations bool
+	// Progress, when set, is invoked after each completed cell with the
+	// done and total cell counts (called from worker goroutines; must be
+	// safe for concurrent use).
+	Progress func(done, total int)
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Modules == nil {
+		c.Modules = chipdb.Modules()
+	}
+	if c.Params == (device.DisturbParams{}) {
+		c.Params = device.DefaultParams()
+	}
+	if c.Timings == (timing.Set{}) {
+		c.Timings = timing.Default()
+	}
+	if c.Sweep == nil {
+		c.Sweep = timing.PaperSweep()
+	}
+	if c.Patterns == nil {
+		c.Patterns = []pattern.Kind{pattern.SingleSided, pattern.DoubleSided, pattern.Combined}
+	}
+	if c.RowsPerRegion == 0 {
+		c.RowsPerRegion = 1000
+	}
+	if c.Runs == 0 {
+		c.Runs = 3
+	}
+	if c.Concurrency == 0 {
+		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	c.Opts = c.Opts.withDefaults()
+	return c
+}
+
+// RowObservation is one row measurement with its die and repeat indices.
+type RowObservation struct {
+	Die int
+	Run int
+	RowResult
+}
+
+// ModuleResult aggregates the observations of one (module, pattern,
+// tAggON) cell. Aggregation is incremental (constant memory per cell);
+// raw observations are retained only with StudyConfig.KeepObservations.
+type ModuleResult struct {
+	Info chipdb.ModuleInfo
+	Spec pattern.Spec
+	// Rows holds the raw observations when KeepObservations is set.
+	Rows []RowObservation
+
+	agg *cellAggregate
+}
+
+// Stats is a mean/min/std summary of a per-row metric.
+type Stats struct {
+	Mean float64
+	Min  float64
+	Std  float64
+	// N is the number of observations that flipped.
+	N int
+	// Total is the number of observations attempted.
+	Total int
+}
+
+// Flipped reports whether at least one observation produced a bitflip
+// ("No Bitflip" in Table 2 corresponds to Flipped() == false).
+func (s Stats) Flipped() bool { return s.N > 0 }
+
+func summarize(values []float64, total int) Stats {
+	st := Stats{N: len(values), Total: total}
+	if len(values) == 0 {
+		return st
+	}
+	st.Min = values[0]
+	var sum float64
+	for _, v := range values {
+		sum += v
+		if v < st.Min {
+			st.Min = v
+		}
+	}
+	st.Mean = sum / float64(len(values))
+	var ss float64
+	for _, v := range values {
+		d := v - st.Mean
+		ss += d * d
+	}
+	st.Std = 0
+	if len(values) > 1 {
+		st.Std = math.Sqrt(ss / float64(len(values)-1))
+	}
+	return st
+}
+
+// Observations returns the number of row measurements folded into the
+// cell.
+func (r *ModuleResult) Observations() int { return r.agg.total }
+
+// ACminStats summarizes ACmin across flipped observations.
+func (r *ModuleResult) ACminStats() Stats {
+	return r.agg.acmin.stats(r.agg.total)
+}
+
+// TimeStats summarizes time-to-first-bitflip (in seconds) across flipped
+// observations.
+func (r *ModuleResult) TimeStats() Stats {
+	return r.agg.timeSec.stats(r.agg.total)
+}
+
+// OneToZeroFraction returns the fraction of observed bitflips with 1->0
+// direction, and the flip count.
+func (r *ModuleResult) OneToZeroFraction() (float64, int) {
+	if r.agg.flips == 0 {
+		return 0, 0
+	}
+	return float64(r.agg.oneToZero) / float64(r.agg.flips), r.agg.flips
+}
+
+// FlipKeys returns the set of unique bitflips across all observations,
+// keyed by (die, row, bit). The returned map is the aggregate's own
+// storage; callers must not mutate it.
+func (r *ModuleResult) FlipKeys() map[uint64]struct{} {
+	return r.agg.flipKeys
+}
+
+type studyKey struct {
+	moduleID string
+	kind     pattern.Kind
+	aggOn    time.Duration
+}
+
+// Study runs and caches a characterization campaign.
+type Study struct {
+	cfg StudyConfig
+
+	mu      sync.Mutex
+	results map[studyKey]*ModuleResult
+}
+
+// NewStudy builds a study with defaults applied.
+func NewStudy(cfg StudyConfig) *Study {
+	return &Study{
+		cfg:     cfg.withDefaults(),
+		results: make(map[studyKey]*ModuleResult),
+	}
+}
+
+// Config returns the effective (defaulted) configuration.
+func (s *Study) Config() StudyConfig { return s.cfg }
+
+// Run executes every (module, pattern, tAggON) cell on a bounded worker
+// pool. It is safe to call once; results are cached for the figure and
+// table extractors.
+func (s *Study) Run(ctx context.Context) error {
+	type task struct {
+		mi    chipdb.ModuleInfo
+		kind  pattern.Kind
+		aggOn time.Duration
+	}
+	var tasks []task
+	for _, mi := range s.cfg.Modules {
+		for _, k := range s.cfg.Patterns {
+			for _, t := range s.cfg.Sweep {
+				tasks = append(tasks, task{mi: mi, kind: k, aggOn: t})
+			}
+		}
+	}
+
+	taskCh := make(chan task)
+	errCh := make(chan error, 1)
+	var done atomic.Int64
+	total := len(tasks)
+	var wg sync.WaitGroup
+	for w := 0; w < s.cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range taskCh {
+				res, err := s.runCell(t.mi, t.kind, t.aggOn)
+				if err != nil {
+					select {
+					case errCh <- err:
+					default:
+					}
+					return
+				}
+				s.mu.Lock()
+				s.results[studyKey{t.mi.ID, t.kind, t.aggOn}] = res
+				s.mu.Unlock()
+				if s.cfg.Progress != nil {
+					s.cfg.Progress(int(done.Add(1)), total)
+				}
+			}
+		}()
+	}
+
+feed:
+	for _, t := range tasks {
+		select {
+		case taskCh <- t:
+		case <-ctx.Done():
+			break feed
+		case err := <-errCh:
+			close(taskCh)
+			wg.Wait()
+			return err
+		}
+	}
+	close(taskCh)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+	}
+	return ctx.Err()
+}
+
+// runCell characterizes one (module, pattern, tAggON) combination across
+// dies, rows and repeats.
+func (s *Study) runCell(mi chipdb.ModuleInfo, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, error) {
+	spec, err := pattern.New(kind, aggOn, s.cfg.Timings)
+	if err != nil {
+		return nil, fmt.Errorf("module %s: %w", mi.ID, err)
+	}
+	numRows, rowBytes := mi.Geometry()
+	rows := PaperRows(numRows, s.cfg.RowsPerRegion)
+	profile := mi.Profile(s.cfg.Params)
+
+	dies := mi.NumChips
+	if s.cfg.Dies > 0 && s.cfg.Dies < dies {
+		dies = s.cfg.Dies
+	}
+
+	res := &ModuleResult{Info: mi, Spec: spec, agg: newCellAggregate()}
+	for die := 0; die < dies; die++ {
+		eng, err := NewAnalyticEngine(AnalyticConfig{
+			Profile:  device.DieProfile(profile, die),
+			Params:   s.cfg.Params,
+			Bank:     s.cfg.Bank,
+			NumRows:  numRows,
+			RowBytes: rowBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("module %s die %d: %w", mi.ID, die, err)
+		}
+		for run := 0; run < s.cfg.Runs; run++ {
+			opts := s.cfg.Opts
+			opts.Run = int64(run)
+			for _, victim := range rows {
+				rr, err := eng.CharacterizeRow(victim, spec, opts)
+				if err != nil {
+					return nil, fmt.Errorf("module %s die %d row %d: %w", mi.ID, die, victim, err)
+				}
+				res.agg.observe(die, rr)
+				if s.cfg.KeepObservations {
+					res.Rows = append(res.Rows, RowObservation{Die: die, Run: run, RowResult: rr})
+				}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Result returns the cached cell for (moduleID, kind, aggOn).
+func (s *Study) Result(moduleID string, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.results[studyKey{moduleID, kind, aggOn}]
+	return r, ok
+}
+
+// mustResult is Result for internal extractors that know the cell exists.
+func (s *Study) mustResult(moduleID string, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, error) {
+	r, ok := s.Result(moduleID, kind, aggOn)
+	if !ok {
+		return nil, fmt.Errorf("core: study has no result for %s/%s/%v (was Run called with it in the sweep?)",
+			moduleID, kind.Short(), aggOn)
+	}
+	return r, nil
+}
+
+// SweepSorted returns the study's tAggON sweep in ascending order.
+func (s *Study) SweepSorted() []time.Duration {
+	sw := make([]time.Duration, len(s.cfg.Sweep))
+	copy(sw, s.cfg.Sweep)
+	sort.Slice(sw, func(i, j int) bool { return sw[i] < sw[j] })
+	return sw
+}

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"fmt"
+
+	"rowfuse/internal/analysis"
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+)
+
+// TempPoint is one temperature of a temperature-sensitivity sweep (the
+// paper's future-work item 1: "testing more DRAM chips with more data
+// patterns and temperatures").
+type TempPoint struct {
+	TempC float64
+	// ACmin summarizes per-row ACmin across the sampled rows.
+	ACmin analysis.Summary
+	// TimeMs summarizes per-row time to first bitflip in milliseconds.
+	TimeMs analysis.Summary
+	// Flipped / Total count rows with at least one bitflip.
+	Flipped int
+	Total   int
+}
+
+// TempSweepConfig configures a temperature sweep of one module.
+type TempSweepConfig struct {
+	Module chipdb.ModuleInfo
+	Params device.DisturbParams
+	Spec   pattern.Spec
+	// Temps lists the die temperatures to characterize at.
+	Temps []float64
+	// RowsPerRegion defaults to 30.
+	RowsPerRegion int
+	// Opts supplies budget and data pattern (TempC is overridden).
+	Opts RunOpts
+}
+
+// TempSweep characterizes one module across die temperatures.
+func TempSweep(cfg TempSweepConfig) ([]TempPoint, error) {
+	if len(cfg.Temps) == 0 {
+		return nil, fmt.Errorf("core: temperature sweep needs at least one temperature")
+	}
+	if cfg.RowsPerRegion == 0 {
+		cfg.RowsPerRegion = 30
+	}
+	if cfg.Params == (device.DisturbParams{}) {
+		cfg.Params = device.DefaultParams()
+	}
+	numRows, rowBytes := cfg.Module.Geometry()
+	eng, err := NewAnalyticEngine(AnalyticConfig{
+		Profile:  cfg.Module.Profile(cfg.Params),
+		Params:   cfg.Params,
+		NumRows:  numRows,
+		RowBytes: rowBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := PaperRows(numRows, cfg.RowsPerRegion)
+
+	out := make([]TempPoint, 0, len(cfg.Temps))
+	for _, temp := range cfg.Temps {
+		opts := cfg.Opts
+		opts.TempC = temp
+		var acs, times []float64
+		for _, victim := range rows {
+			res, err := eng.CharacterizeRow(victim, cfg.Spec, opts)
+			if err != nil {
+				return nil, err
+			}
+			if res.NoBitflip {
+				continue
+			}
+			acs = append(acs, float64(res.ACmin))
+			times = append(times, res.TimeToFirst.Seconds()*1000)
+		}
+		pt := TempPoint{TempC: temp, Flipped: len(acs), Total: len(rows)}
+		if len(acs) > 0 {
+			if pt.ACmin, err = analysis.Summarize(acs); err != nil {
+				return nil, err
+			}
+			if pt.TimeMs, err = analysis.Summarize(times); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// DataPatternPoint is one data pattern of a data-pattern-dependence
+// sweep.
+type DataPatternPoint struct {
+	Pattern device.DataPattern
+	ACmin   analysis.Summary
+	// OneToZeroFrac is the direction mix of the observed flips.
+	OneToZeroFrac float64
+	// Flipped / Total count rows with at least one bitflip.
+	Flipped int
+	Total   int
+}
+
+// DataPatternSweepConfig configures a data-pattern sweep of one module.
+type DataPatternSweepConfig struct {
+	Module chipdb.ModuleInfo
+	Params device.DisturbParams
+	Spec   pattern.Spec
+	// Patterns defaults to all supported data patterns.
+	Patterns []device.DataPattern
+	// RowsPerRegion defaults to 30.
+	RowsPerRegion int
+	Opts          RunOpts
+}
+
+// DataPatternSweep characterizes one module across initialization data
+// patterns, exposing the data-pattern dependence of read disturbance.
+func DataPatternSweep(cfg DataPatternSweepConfig) ([]DataPatternPoint, error) {
+	if cfg.Patterns == nil {
+		cfg.Patterns = []device.DataPattern{
+			device.Checkerboard, device.CheckerboardInv,
+			device.AllOnes, device.AllZeros, device.RowStripe,
+		}
+	}
+	if cfg.RowsPerRegion == 0 {
+		cfg.RowsPerRegion = 30
+	}
+	if cfg.Params == (device.DisturbParams{}) {
+		cfg.Params = device.DefaultParams()
+	}
+	numRows, rowBytes := cfg.Module.Geometry()
+	eng, err := NewAnalyticEngine(AnalyticConfig{
+		Profile:  cfg.Module.Profile(cfg.Params),
+		Params:   cfg.Params,
+		NumRows:  numRows,
+		RowBytes: rowBytes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := PaperRows(numRows, cfg.RowsPerRegion)
+
+	out := make([]DataPatternPoint, 0, len(cfg.Patterns))
+	for _, dp := range cfg.Patterns {
+		opts := cfg.Opts
+		opts.Data = dp
+		var acs []float64
+		oneToZero, flips := 0, 0
+		for _, victim := range rows {
+			res, err := eng.CharacterizeRow(victim, cfg.Spec, opts)
+			if err != nil {
+				return nil, err
+			}
+			if res.NoBitflip {
+				continue
+			}
+			acs = append(acs, float64(res.ACmin))
+			for _, f := range res.Flips {
+				flips++
+				if f.Dir == device.OneToZero {
+					oneToZero++
+				}
+			}
+		}
+		pt := DataPatternPoint{Pattern: dp, Flipped: len(acs), Total: len(rows)}
+		if len(acs) > 0 {
+			if pt.ACmin, err = analysis.Summarize(acs); err != nil {
+				return nil, err
+			}
+			pt.OneToZeroFrac = float64(oneToZero) / float64(flips)
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/analysis"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func TestCellFlipPointsSortedAndConsistent(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	points, err := e.CellFlipPoints(1000, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) < 2 {
+		t.Fatalf("only %d flip points; want a dose-response tail", len(points))
+	}
+	for i := 1; i < len(points); i++ {
+		if points[i].ACount < points[i-1].ACount {
+			t.Fatal("flip points not sorted by activation count")
+		}
+	}
+	// The first point must agree with CharacterizeRow.
+	res, err := e.CharacterizeRow(1000, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NoBitflip {
+		t.Fatal("no first flip")
+	}
+	if points[0].ACount != res.ACmin {
+		t.Errorf("first flip point ACount %d != ACmin %d", points[0].ACount, res.ACmin)
+	}
+}
+
+func TestFlipsAtCountMonotone(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	res, err := e.CharacterizeRow(1100, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	below, err := e.FlipsAtCount(1100, spec, res.ACmin-1, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(below) != 0 {
+		t.Errorf("%d flips below ACmin", len(below))
+	}
+	at, err := e.FlipsAtCount(1100, spec, res.ACmin, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(at) == 0 {
+		t.Error("no flips at ACmin")
+	}
+	far, err := e.FlipsAtCount(1100, spec, res.ACmin*3, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(far) < len(at) {
+		t.Error("flip count not monotone in dose")
+	}
+}
+
+func TestDoseResponse(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	res, err := e.CharacterizeRow(1200, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doses := []int64{res.ACmin / 2, res.ACmin, res.ACmin * 2, res.ACmin * 4}
+	pts, err := e.DoseResponse(1200, spec, doses, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	if pts[0].Flips != 0 {
+		t.Error("flips below ACmin")
+	}
+	if pts[1].Flips == 0 {
+		t.Error("no flips at ACmin")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Flips < pts[i-1].Flips {
+			t.Error("dose response not monotone")
+		}
+	}
+	if _, err := e.DoseResponse(1200, spec, nil, RunOpts{}); err == nil {
+		t.Error("empty dose list accepted")
+	}
+}
+
+func TestTempSweep(t *testing.T) {
+	spec := testSpec(t, pattern.Combined, 636*time.Nanosecond)
+	pts, err := TempSweep(TempSweepConfig{
+		Module:        mustModule(t, "S1"),
+		Spec:          spec,
+		Temps:         []float64{40, 50, 65, 85},
+		RowsPerRegion: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	// ACmin must fall monotonically with temperature (Arrhenius
+	// acceleration).
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Flipped == 0 || pts[i-1].Flipped == 0 {
+			continue
+		}
+		if pts[i].ACmin.Mean >= pts[i-1].ACmin.Mean {
+			t.Errorf("ACmin not decreasing with temperature: %.0f@%gC >= %.0f@%gC",
+				pts[i].ACmin.Mean, pts[i].TempC, pts[i-1].ACmin.Mean, pts[i-1].TempC)
+		}
+	}
+	if _, err := TempSweep(TempSweepConfig{Module: mustModule(t, "S1"), Spec: spec}); err == nil {
+		t.Error("empty temperature list accepted")
+	}
+}
+
+func TestDataPatternSweep(t *testing.T) {
+	spec := testSpec(t, pattern.DoubleSided, timing.TRAS)
+	pts, err := DataPatternSweep(DataPatternSweepConfig{
+		Module:        mustModule(t, "S1"),
+		Spec:          spec,
+		RowsPerRegion: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d patterns", len(pts))
+	}
+	byPattern := map[device.DataPattern]DataPatternPoint{}
+	for _, pt := range pts {
+		byPattern[pt.Pattern] = pt
+	}
+	// All-ones victims can only flip 1->0; all-zeros only 0->1.
+	if p := byPattern[device.AllOnes]; p.Flipped > 0 && p.OneToZeroFrac != 1 {
+		t.Errorf("all-ones 1->0 fraction = %g, want 1", p.OneToZeroFrac)
+	}
+	if p := byPattern[device.AllZeros]; p.Flipped > 0 && p.OneToZeroFrac != 0 {
+		t.Errorf("all-zeros 1->0 fraction = %g, want 0", p.OneToZeroFrac)
+	}
+	// Checkerboard (the calibration anchor) must flip at least as many
+	// rows as any single-polarity pattern.
+	cb := byPattern[device.Checkerboard]
+	for _, dp := range []device.DataPattern{device.AllOnes, device.AllZeros} {
+		if byPattern[dp].Flipped > cb.Flipped {
+			t.Errorf("%v flipped more rows (%d) than checkerboard (%d)",
+				dp, byPattern[dp].Flipped, cb.Flipped)
+		}
+	}
+}
+
+// TestPressLinearity verifies the model property the calibration relies
+// on (DESIGN.md section 3): in the press-dominated regime, per-row ACmin
+// is inverse-linear in the extra on-time — a power-law fit of ACmin vs
+// (tAggON - tRAS) must have exponent ~ -1.
+func TestPressLinearity(t *testing.T) {
+	e := testEngine(t, "S0")
+	var x, y []float64
+	for _, aggOn := range []time.Duration{
+		20 * time.Microsecond, 40 * time.Microsecond,
+		timing.AggOnNineTREFI, 150 * time.Microsecond,
+	} {
+		spec := testSpec(t, pattern.DoubleSided, aggOn)
+		res, err := e.CharacterizeRow(900, spec, RunOpts{Budget: 500 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.NoBitflip {
+			t.Fatalf("no flip at %v", aggOn)
+		}
+		x = append(x, (aggOn - timing.TRAS).Seconds())
+		y = append(y, float64(res.ACmin))
+	}
+	_, b, r2, err := analysis.FitPowerLaw(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b < -1.1 || b > -0.85 {
+		t.Errorf("press-regime exponent = %.3f, want ~ -1 (inverse-linear)", b)
+	}
+	if r2 < 0.98 {
+		t.Errorf("power-law fit R2 = %.3f, want ~1", r2)
+	}
+}

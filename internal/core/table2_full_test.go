@@ -1,0 +1,85 @@
+package core
+
+import (
+	"testing"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// TestTable2FullInventory reproduces every cell of Table 2 for all 14
+// modules at reduced row count and asserts agreement with the paper
+// within 30% (the reduced sample and single-die run add variance on top
+// of the calibration error; the full-scale run recorded in
+// EXPERIMENTS.md lands within ~15%).
+func TestTable2FullInventory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full inventory sweep")
+	}
+	s := smallStudy(t, StudyConfig{
+		Modules:  chipdb.Modules(),
+		Sweep:    timing.Table2Marks(),
+		Patterns: []pattern.Kind{pattern.DoubleSided, pattern.Combined},
+	})
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 14 {
+		t.Fatalf("got %d modules", len(rows))
+	}
+	const tol = 0.30
+	for _, row := range rows {
+		id := row.Info.ID
+		cells := []struct {
+			name      string
+			got, want chipdb.PaperACmin
+		}{
+			{"RH@36ns", row.Measured.RH, row.Info.Paper.RH},
+			{"RP@7.8us", row.Measured.RP78, row.Info.Paper.RP78},
+			{"RP@70.2us", row.Measured.RP702, row.Info.Paper.RP702},
+			{"C@7.8us", row.Measured.C78, row.Info.Paper.C78},
+			{"C@70.2us", row.Measured.C702, row.Info.Paper.C702},
+		}
+		for _, c := range cells {
+			switch {
+			case c.want.NoBitflip() && !c.got.NoBitflip():
+				t.Errorf("%s %s: paper No Bitflip, measured %.0f", id, c.name, c.got.Avg)
+			case !c.want.NoBitflip() && c.got.NoBitflip():
+				t.Errorf("%s %s: measured No Bitflip, paper %.0f", id, c.name, c.want.Avg)
+			case !c.want.NoBitflip():
+				if e := relErr(c.got.Avg, c.want.Avg); e > tol {
+					t.Errorf("%s %s: %.0f vs paper %.0f (%.0f%% off)", id, c.name, c.got.Avg, c.want.Avg, e*100)
+				}
+				if c.got.Min > c.got.Avg {
+					t.Errorf("%s %s: min %.0f above avg %.0f", id, c.name, c.got.Min, c.got.Avg)
+				}
+			}
+		}
+	}
+}
+
+// TestTable2MinColumnsScale checks that the measured Min columns track
+// the paper's avg/min spread: the row-to-row sigma was inverted from
+// exactly those ratios, so a module whose paper ratio is ~2 must show a
+// clearly sub-average minimum even on a reduced sample.
+func TestTable2MinColumnsScale(t *testing.T) {
+	s := smallStudy(t, StudyConfig{
+		Modules:       []chipdb.ModuleInfo{mustModule(t, "S0")},
+		Sweep:         timing.Table2Marks(),
+		Patterns:      []pattern.Kind{pattern.DoubleSided, pattern.Combined},
+		RowsPerRegion: 150,
+	})
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := rows[0].Measured
+	ratio := m.RH.Avg / m.RH.Min
+	// Paper's 3000-row ratio is 1.99; a 450-row sample lands lower but
+	// must still show substantial spread.
+	if ratio < 1.3 || ratio > 2.4 {
+		t.Errorf("RH avg/min ratio = %.2f, want ~1.5-2 (paper 1.99)", ratio)
+	}
+}

@@ -1,0 +1,183 @@
+package device
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+func TestBlastFactors(t *testing.T) {
+	p := DefaultParams()
+	h1, p1 := p.BlastFactors(1)
+	if h1 != 1 || p1 != 1 {
+		t.Errorf("distance-1 factors = %g, %g, want 1, 1", h1, p1)
+	}
+	h2, p2 := p.BlastFactors(2)
+	if h2 != p.BlastHammer || p2 != p.BlastPress {
+		t.Errorf("distance-2 factors = %g, %g, want %g, %g", h2, p2, p.BlastHammer, p.BlastPress)
+	}
+	h0, p0 := p.BlastFactors(0)
+	if h0 != 0 || p0 != 0 {
+		t.Error("distance-0 must contribute nothing")
+	}
+}
+
+func TestBlastValidation(t *testing.T) {
+	p := DefaultParams()
+	p.BlastHammer = 1.5
+	if err := p.Validate(); err == nil {
+		t.Error("accepted blast factor >= 1")
+	}
+	p = DefaultParams()
+	p.BlastRadius = 99
+	if err := p.Validate(); err == nil {
+		t.Error("accepted huge blast radius")
+	}
+}
+
+// TestDistanceTwoVictimsNeedFarMoreActivations checks the blast-radius
+// behaviour prior work measures: distance-2 victims are an order of
+// magnitude harder to flip than immediate neighbours.
+func TestDistanceTwoVictimsNeedFarMoreActivations(t *testing.T) {
+	b := testBank(t)
+	rowBytes := b.RowBytes()
+	victim1 := 1000 // middle victim of the pair (999, 1001)
+	victim2 := 1003 // distance-2 victim of aggressor 1001
+	for _, init := range []struct {
+		row  int
+		fill byte
+	}{{999, 0xAA}, {1001, 0xAA}, {victim1, 0x55}, {1002, 0x55}, {victim2, 0x55}} {
+		if err := b.WriteRow(init.row, FillRow(rowBytes, init.fill), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Duration(0)
+	var firstV1 int
+	const maxActs = 200000
+	for act := 1; act <= maxActs; act++ {
+		agg := 999
+		if act%2 == 0 {
+			agg = 1001
+		}
+		if err := b.Activate(agg, now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRAS
+		if err := b.Precharge(now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRP
+		if firstV1 == 0 && act%500 == 0 {
+			flips, err := b.CompareRow(victim1, now)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(flips) > 0 {
+				firstV1 = act
+			}
+		}
+	}
+	if firstV1 == 0 {
+		t.Fatal("distance-1 victim never flipped")
+	}
+	// The distance-2 victim must survive the whole run: at blast factor
+	// 0.045 it would need >20x the distance-1 activation count.
+	flips2, err := b.CompareRow(victim2, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips2) != 0 {
+		t.Errorf("distance-2 victim flipped within %d acts (distance-1 took %d)", maxActs, firstV1)
+	}
+}
+
+// TestActivateRestoresOwnRow checks the charge-restore semantics of row
+// activation: an aggressor's accumulated disturbance is wiped by its own
+// activation.
+func TestActivateRestoresOwnRow(t *testing.T) {
+	b := testBank(t)
+	rowBytes := b.RowBytes()
+	// Row 2000 will be disturbed by its neighbour 1999, then activated
+	// itself; the accumulated damage must reset.
+	for _, init := range []struct {
+		row  int
+		fill byte
+	}{{1999, 0xAA}, {2000, 0x55}} {
+		if err := b.WriteRow(init.row, FillRow(rowBytes, init.fill), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Duration(0)
+	hammerOnce := func(row int) {
+		t.Helper()
+		if err := b.Activate(row, now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRAS
+		if err := b.Precharge(now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRP
+	}
+	for i := 0; i < 1000; i++ {
+		hammerOnce(1999)
+	}
+	cells := b.VictimCells(2000)
+	accBefore := 0.0
+	for _, c := range cells {
+		accBefore += c.Accumulated()
+	}
+	if accBefore == 0 {
+		t.Fatal("no damage accumulated in victim")
+	}
+	// Activating the victim itself restores its charge.
+	hammerOnce(2000)
+	accAfter := 0.0
+	for _, c := range cells {
+		accAfter += c.Accumulated()
+	}
+	if accAfter >= accBefore {
+		t.Errorf("activation did not restore charge: %g -> %g", accBefore, accAfter)
+	}
+}
+
+// TestAggressorsDoNotFlip: in a double-sided pattern the aggressor rows
+// disturb each other at distance 2, but their own activations restore
+// them, so aggressors never flip.
+func TestAggressorsDoNotFlip(t *testing.T) {
+	b := testBank(t)
+	rowBytes := b.RowBytes()
+	for _, init := range []struct {
+		row  int
+		fill byte
+	}{{2999, 0xAA}, {3001, 0xAA}, {3000, 0x55}} {
+		if err := b.WriteRow(init.row, FillRow(rowBytes, init.fill), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	now := time.Duration(0)
+	for i := 0; i < 120000; i++ {
+		agg := 2999
+		if i%2 == 1 {
+			agg = 3001
+		}
+		if err := b.Activate(agg, now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRAS
+		if err := b.Precharge(now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRP
+	}
+	for _, agg := range []int{2999, 3001} {
+		flips, err := b.CompareRow(agg, now)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(flips) != 0 {
+			t.Errorf("aggressor row %d flipped (%d flips)", agg, len(flips))
+		}
+	}
+}

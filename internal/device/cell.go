@@ -1,0 +1,123 @@
+package device
+
+import "fmt"
+
+// Mechanism labels the dominant read-disturbance mechanism of a weak cell.
+type Mechanism int
+
+// Weak-cell mechanisms.
+const (
+	MechHammer Mechanism = iota + 1
+	MechPress
+	MechRetention
+)
+
+// String returns the mechanism name.
+func (m Mechanism) String() string {
+	switch m {
+	case MechHammer:
+		return "hammer"
+	case MechPress:
+		return "press"
+	case MechRetention:
+		return "retention"
+	default:
+		return fmt.Sprintf("Mechanism(%d)", int(m))
+	}
+}
+
+// Polarity is the direction of a bitflip.
+type Polarity int
+
+// Flip directions.
+const (
+	ZeroToOne Polarity = iota + 1
+	OneToZero
+)
+
+// String returns the conventional "0->1" / "1->0" rendering.
+func (p Polarity) String() string {
+	switch p {
+	case ZeroToOne:
+		return "0->1"
+	case OneToZero:
+		return "1->0"
+	default:
+		return fmt.Sprintf("Polarity(%d)", int(p))
+	}
+}
+
+// From returns the stored bit value a cell must hold for a flip of this
+// polarity to be observable.
+func (p Polarity) From() byte {
+	if p == OneToZero {
+		return 1
+	}
+	return 0
+}
+
+// To returns the bit value after a flip of this polarity.
+func (p Polarity) To() byte {
+	if p == OneToZero {
+		return 0
+	}
+	return 1
+}
+
+// WeakCell is one disturbance-vulnerable cell of a victim row. Thresholds
+// are fixed physical properties; the accumulator is experiment state.
+type WeakCell struct {
+	// Bit is the cell's bit offset within the row (0 <= Bit < rowBits).
+	Bit int
+	// Th is the hammer threshold in unit-activations: one activation at
+	// tAggON = tRAS from one side contributes 1/Th (times synergy and
+	// boost factors) of the flip budget.
+	Th float64
+	// Tp is the press threshold in seconds of strong-side-equivalent
+	// open time beyond tRAS.
+	Tp float64
+	// Syn is the cell's double-sided hammer synergy factor.
+	Syn float64
+	// WeakSide is the cell's weak-side press coupling variance factor
+	// (mean 1; multiplies DisturbParams.WeakSideCoupling).
+	WeakSide float64
+	// Dir is the polarity the cell flips with.
+	Dir Polarity
+	// Mech is the dominant mechanism (diagnostic only; both thresholds
+	// are always active).
+	Mech Mechanism
+
+	// acc is the accumulated damage fraction; the cell flips at >= 1.
+	acc float64
+	// flipped records whether the cell has flipped since the last write.
+	flipped bool
+}
+
+// Accumulated returns the cell's current damage fraction.
+func (c *WeakCell) Accumulated() float64 { return c.acc }
+
+// Flipped reports whether the cell has flipped since the last write to it.
+func (c *WeakCell) Flipped() bool { return c.flipped }
+
+// Bitflip is one observed bitflip in a victim row.
+type Bitflip struct {
+	// Row is the physical row index.
+	Row int
+	// Bit is the bit offset within the row.
+	Bit int
+	// Dir is the observed flip direction.
+	Dir Polarity
+	// Mech is the mechanism that caused the flip (available in
+	// simulation; a real chip would not expose this).
+	Mech Mechanism
+}
+
+// Key returns a compact unique identity for overlap computations.
+func (b Bitflip) Key() uint64 {
+	return uint64(b.Row)<<32 | uint64(uint32(b.Bit))
+}
+
+// String renders the flip as "row:bit dir (mech)".
+func (b Bitflip) String() string {
+	return fmt.Sprintf("row %d bit %d %s (%s)", b.Row, b.Bit, b.Dir, b.Mech)
+}

@@ -1,0 +1,211 @@
+package device
+
+import (
+	"testing"
+)
+
+func TestNewChipDefaults(t *testing.T) {
+	c, err := NewChip(ChipConfig{Profile: validProfile(), Params: DefaultParams()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumBanks() != 16 {
+		t.Errorf("default bank count = %d, want 16", c.NumBanks())
+	}
+	if _, err := c.Bank(15); err != nil {
+		t.Errorf("bank 15: %v", err)
+	}
+	if _, err := c.Bank(16); err == nil {
+		t.Error("bank 16 accepted")
+	}
+	if _, err := c.Bank(-1); err == nil {
+		t.Error("bank -1 accepted")
+	}
+}
+
+func TestNewChipValidation(t *testing.T) {
+	if _, err := NewChip(ChipConfig{Profile: validProfile(), Params: DefaultParams(), NumBanks: 100}); err == nil {
+		t.Error("accepted 100 banks")
+	}
+	bad := validProfile()
+	bad.HammerACmin = -1
+	if _, err := NewChip(ChipConfig{Profile: bad, Params: DefaultParams()}); err == nil {
+		t.Error("accepted invalid profile")
+	}
+}
+
+func TestDieProfileDistinct(t *testing.T) {
+	p := validProfile()
+	d0 := DieProfile(p, 0)
+	d1 := DieProfile(p, 1)
+	if d0.Serial == d1.Serial {
+		t.Error("die profiles share a serial")
+	}
+	if d0.HammerACmin != p.HammerACmin {
+		t.Error("die profile changed calibration values")
+	}
+}
+
+func TestSiblingDiesHaveDistinctWeakCells(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Profile:  validProfile(),
+		Params:   DefaultParams(),
+		NumChips: 2,
+		NumRows:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c0, _ := m.Chip(0)
+	c1, _ := m.Chip(1)
+	b0, _ := c0.Bank(0)
+	b1, _ := c1.Bank(0)
+	cells0 := b0.VictimCells(100)
+	cells1 := b1.VictimCells(100)
+	if cells0[0].Bit == cells1[0].Bit && cells0[0].Th == cells1[0].Th {
+		t.Error("sibling dies have identical weak cells")
+	}
+}
+
+func TestModuleBasics(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Profile:  validProfile(),
+		Params:   DefaultParams(),
+		NumChips: 4,
+		NumRows:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumChips() != 4 {
+		t.Errorf("NumChips = %d, want 4", m.NumChips())
+	}
+	if _, err := m.Chip(4); err == nil {
+		t.Error("chip 4 accepted")
+	}
+	if m.Profile().Serial != "TEST-0" {
+		t.Errorf("module profile serial = %q", m.Profile().Serial)
+	}
+	if m.Params() != DefaultParams() {
+		t.Error("module params mismatch")
+	}
+}
+
+func TestModuleValidation(t *testing.T) {
+	if _, err := NewModule(ModuleConfig{Profile: Profile{}, Params: DefaultParams()}); err == nil {
+		t.Error("accepted empty profile")
+	}
+	if _, err := NewModule(ModuleConfig{Profile: validProfile(), Params: DefaultParams(), NumChips: 33}); err == nil {
+		t.Error("accepted 33 chips")
+	}
+}
+
+func TestSetTemperaturePropagates(t *testing.T) {
+	m, err := NewModule(ModuleConfig{
+		Profile:  validProfile(),
+		Params:   DefaultParams(),
+		NumChips: 2,
+		NumBanks: 2,
+		NumRows:  4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.SetTemperature(75)
+	for ci := 0; ci < m.NumChips(); ci++ {
+		c, _ := m.Chip(ci)
+		for bi := 0; bi < c.NumBanks(); bi++ {
+			b, _ := c.Bank(bi)
+			if b.Temperature() != 75 {
+				t.Fatalf("chip %d bank %d temperature = %g", ci, bi, b.Temperature())
+			}
+		}
+	}
+}
+
+func TestDataPatternHelpers(t *testing.T) {
+	if Checkerboard.AggressorByte() != 0xAA || Checkerboard.VictimByte() != 0x55 {
+		t.Error("checkerboard bytes wrong (paper uses 0xAA/0x55)")
+	}
+	if CheckerboardInv.VictimByte() != 0xAA {
+		t.Error("inverted checkerboard victim byte wrong")
+	}
+	// VictimBitAt must agree with a FillRow buffer.
+	buf := FillRow(4, Checkerboard.VictimByte())
+	for bit := 0; bit < 32; bit++ {
+		if Checkerboard.VictimBitAt(bit) != storedBit(buf, bit) {
+			t.Fatalf("VictimBitAt(%d) disagrees with buffer", bit)
+		}
+	}
+	for _, p := range []DataPattern{Checkerboard, CheckerboardInv, AllOnes, AllZeros, RowStripe, DataPattern(99)} {
+		if p.String() == "" {
+			t.Error("empty pattern name")
+		}
+	}
+}
+
+func TestPolarityHelpers(t *testing.T) {
+	if ZeroToOne.From() != 0 || ZeroToOne.To() != 1 {
+		t.Error("0->1 polarity broken")
+	}
+	if OneToZero.From() != 1 || OneToZero.To() != 0 {
+		t.Error("1->0 polarity broken")
+	}
+	if ZeroToOne.String() != "0->1" || OneToZero.String() != "1->0" {
+		t.Error("polarity rendering wrong")
+	}
+}
+
+func TestBitflipKey(t *testing.T) {
+	a := Bitflip{Row: 5, Bit: 9}
+	b := Bitflip{Row: 5, Bit: 10}
+	c := Bitflip{Row: 6, Bit: 9}
+	if a.Key() == b.Key() || a.Key() == c.Key() {
+		t.Error("bitflip keys collide")
+	}
+	if a.String() == "" || a.Key() != (Bitflip{Row: 5, Bit: 9, Dir: OneToZero}).Key() {
+		t.Error("key must ignore direction, string must render")
+	}
+}
+
+func TestMechanismString(t *testing.T) {
+	for _, m := range []Mechanism{MechHammer, MechPress, MechRetention, Mechanism(42)} {
+		if m.String() == "" {
+			t.Errorf("empty name for %d", int(m))
+		}
+	}
+}
+
+func TestChipSetTemperature(t *testing.T) {
+	c, err := NewChip(ChipConfig{Profile: validProfile(), Params: DefaultParams(), NumBanks: 2, NumRows: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetTemperature(60)
+	b, _ := c.Bank(1)
+	if b.Temperature() != 60 {
+		t.Errorf("bank temp = %g", b.Temperature())
+	}
+	if c.Index() != 0 {
+		t.Errorf("chip index = %d", c.Index())
+	}
+}
+
+func TestBankGeometryAccessors(t *testing.T) {
+	b, err := NewBank(BankConfig{
+		Profile:  validProfile(),
+		Params:   DefaultParams(),
+		Index:    3,
+		NumRows:  4096,
+		RowBytes: 512,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumRows() != 4096 || b.RowBytes() != 512 || b.Index() != 3 {
+		t.Errorf("geometry accessors wrong: %d %d %d", b.NumRows(), b.RowBytes(), b.Index())
+	}
+	if b.Temperature() != DefaultParams().TempRefC {
+		t.Errorf("default temperature = %g, want reference %g", b.Temperature(), DefaultParams().TempRefC)
+	}
+}

@@ -1,0 +1,85 @@
+package device
+
+import "fmt"
+
+// DataPattern names a row-fill data pattern used during characterization.
+type DataPattern int
+
+// Supported data patterns. The paper uses Checkerboard (aggressors 0xAA,
+// victims 0x55); the others support data-pattern-dependence experiments.
+const (
+	Checkerboard DataPattern = iota + 1 // aggressor 0xAA, victim 0x55
+	CheckerboardInv
+	AllOnes
+	AllZeros
+	RowStripe // aggressor 0xFF, victim 0x00
+)
+
+// String returns the pattern name.
+func (p DataPattern) String() string {
+	switch p {
+	case Checkerboard:
+		return "checkerboard"
+	case CheckerboardInv:
+		return "checkerboard-inverted"
+	case AllOnes:
+		return "all-ones"
+	case AllZeros:
+		return "all-zeros"
+	case RowStripe:
+		return "row-stripe"
+	default:
+		return fmt.Sprintf("DataPattern(%d)", int(p))
+	}
+}
+
+// AggressorByte returns the fill byte for aggressor rows.
+func (p DataPattern) AggressorByte() byte {
+	switch p {
+	case Checkerboard:
+		return 0xAA
+	case CheckerboardInv:
+		return 0x55
+	case AllOnes:
+		return 0xFF
+	case AllZeros:
+		return 0x00
+	case RowStripe:
+		return 0xFF
+	default:
+		return 0xAA
+	}
+}
+
+// VictimByte returns the fill byte for victim rows.
+func (p DataPattern) VictimByte() byte {
+	switch p {
+	case Checkerboard:
+		return 0x55
+	case CheckerboardInv:
+		return 0xAA
+	case AllOnes:
+		return 0xFF
+	case AllZeros:
+		return 0x00
+	case RowStripe:
+		return 0x00
+	default:
+		return 0x55
+	}
+}
+
+// FillRow returns a length-n buffer filled with b.
+func FillRow(n int, b byte) []byte {
+	buf := make([]byte, n)
+	for i := range buf {
+		buf[i] = b
+	}
+	return buf
+}
+
+// VictimBitAt returns the bit stored at offset bit of a victim row filled
+// with the pattern's victim byte.
+func (p DataPattern) VictimBitAt(bit int) byte {
+	return (p.VictimByte() >> uint(bit&7)) & 1
+}

@@ -1,0 +1,189 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+// DisturbParams holds the physical constants of the two-mechanism read
+// disturbance model shared by every die (see DESIGN.md section 3).
+//
+// Damage accumulated by a victim cell from one activation of an adjacent
+// aggressor row with on-time t:
+//
+//	fraction = hammer(t)/Th + press(t, side)/Tp
+//
+// where
+//
+//	hammer(t) = hs(t) * (syn_c if double-sided synergy else 1)
+//	hs(t)     = 1 + Kappa*(1 - exp(-(t-tRAS)/Tau))
+//	press(t)  = (t - tRAS) * coupling(side) * (1 - Delta if interleaved)
+//
+// Th is the cell's hammer threshold in unit-activations, Tp its press
+// threshold in seconds of strong-side-equivalent open time.
+type DisturbParams struct {
+	// Kappa is the saturating hammer on-time boost amplitude.
+	Kappa float64
+	// Tau is the hammer boost time constant.
+	Tau time.Duration
+	// Synergy is the mean double-sided hammer synergy multiplier
+	// (per-cell factors are lognormal around this mean).
+	Synergy float64
+	// SynergySigma is the lognormal spread of per-cell synergy factors.
+	SynergySigma float64
+	// WeakSideCoupling is the press coupling of the weak aggressor side
+	// relative to the strong side (Hypothesis 1: one side dominates).
+	WeakSideCoupling float64
+	// InterleavePenalty is the fractional press-efficiency loss when
+	// another aggressor's activation is interleaved between strong-side
+	// presses (reproduces Observation 3's 3-4% penalty).
+	InterleavePenalty float64
+	// TempRefC is the reference temperature at which profiles are
+	// calibrated (the paper characterizes at 50 C).
+	TempRefC float64
+	// TempCoeffPerC is the exponential temperature acceleration per
+	// degree C applied to both mechanisms.
+	TempCoeffPerC float64
+	// TRAS is the minimum row-open time; on-time at or below TRAS
+	// contributes zero press exposure.
+	TRAS time.Duration
+	// BlastHammer is the hammer damage attenuation per additional row
+	// of distance (distance-2 victims receive BlastHammer times the
+	// distance-1 damage). Prior work measures distance-2 RowHammer
+	// ACmin at 10-50x the distance-1 value.
+	BlastHammer float64
+	// BlastPress is the press attenuation per additional row of
+	// distance; RowPress is even more local than RowHammer.
+	BlastPress float64
+	// BlastRadius is the maximum victim distance affected (1 = only
+	// immediate neighbours).
+	BlastRadius int
+}
+
+// DefaultParams returns the calibrated model constants. The values are
+// fitted against the paper's Table 2 and Observations 1-3 (derivation in
+// DESIGN.md section 3 and 6).
+func DefaultParams() DisturbParams {
+	return DisturbParams{
+		Kappa:             1.28,
+		Tau:               350 * time.Nanosecond,
+		Synergy:           3.5,
+		SynergySigma:      0.45,
+		WeakSideCoupling:  0.70,
+		InterleavePenalty: 0.038,
+		TempRefC:          50.0,
+		TempCoeffPerC:     0.022,
+		TRAS:              timing.TRAS,
+		BlastHammer:       0.045,
+		BlastPress:        0.012,
+		BlastRadius:       2,
+	}
+}
+
+// Validate reports whether the parameter set is physically meaningful.
+func (p DisturbParams) Validate() error {
+	switch {
+	case p.Kappa < 0:
+		return fmt.Errorf("device: Kappa must be >= 0, got %g", p.Kappa)
+	case p.Tau <= 0:
+		return fmt.Errorf("device: Tau must be positive, got %v", p.Tau)
+	case p.Synergy < 1:
+		return fmt.Errorf("device: Synergy must be >= 1, got %g", p.Synergy)
+	case p.WeakSideCoupling < 0 || p.WeakSideCoupling > 1:
+		return fmt.Errorf("device: WeakSideCoupling must be in [0,1], got %g", p.WeakSideCoupling)
+	case p.InterleavePenalty < 0 || p.InterleavePenalty >= 1:
+		return fmt.Errorf("device: InterleavePenalty must be in [0,1), got %g", p.InterleavePenalty)
+	case p.TRAS <= 0:
+		return fmt.Errorf("device: TRAS must be positive, got %v", p.TRAS)
+	case p.BlastHammer < 0 || p.BlastHammer >= 1:
+		return fmt.Errorf("device: BlastHammer must be in [0,1), got %g", p.BlastHammer)
+	case p.BlastPress < 0 || p.BlastPress >= 1:
+		return fmt.Errorf("device: BlastPress must be in [0,1), got %g", p.BlastPress)
+	case p.BlastRadius < 0 || p.BlastRadius > 8:
+		return fmt.Errorf("device: BlastRadius must be in [0,8], got %d", p.BlastRadius)
+	}
+	return nil
+}
+
+// BlastFactors returns the hammer and press damage attenuation for a
+// victim at the given row distance from the aggressor.
+func (p DisturbParams) BlastFactors(distance int) (hammer, press float64) {
+	if distance < 1 {
+		return 0, 0
+	}
+	hammer, press = 1, 1
+	for d := 1; d < distance; d++ {
+		hammer *= p.BlastHammer
+		press *= p.BlastPress
+	}
+	return hammer, press
+}
+
+// HammerBoost returns hs(t), the on-time-dependent hammer damage
+// multiplier for one activation held open for onTime.
+func (p DisturbParams) HammerBoost(onTime time.Duration) float64 {
+	extra := onTime - p.TRAS
+	if extra <= 0 {
+		return 1.0
+	}
+	x := float64(extra) / float64(p.Tau)
+	return 1.0 + p.Kappa*(1.0-math.Exp(-x))
+}
+
+// PressExposure returns the raw press exposure (in seconds) of one
+// activation held open for onTime, optionally degraded by interleaving.
+// Side coupling is applied per cell: weak-side exposure is multiplied by
+// WeakSideCoupling times the cell's WeakSide factor.
+func (p DisturbParams) PressExposure(onTime time.Duration, interleaved bool) float64 {
+	extra := onTime - p.TRAS
+	if extra <= 0 {
+		return 0
+	}
+	e := extra.Seconds()
+	if interleaved {
+		e *= 1.0 - p.InterleavePenalty
+	}
+	return e
+}
+
+// SideFactor returns the press coupling multiplier of a side given the
+// effective module coupling and a cell's weak-side variance factor.
+func SideFactor(side Side, coupling, cellWeakSide float64) float64 {
+	if side == SideWeak {
+		return coupling * cellWeakSide
+	}
+	return 1.0
+}
+
+// TempFactor returns the Arrhenius-style damage acceleration at the given
+// temperature (1.0 at the calibration reference).
+func (p DisturbParams) TempFactor(tempC float64) float64 {
+	return math.Exp(p.TempCoeffPerC * (tempC - p.TempRefC))
+}
+
+// Side identifies which physically adjacent aggressor disturbs a victim.
+// Press coupling is asymmetric between the two sides (Hypothesis 1): the
+// aggressor physically below the victim couples strongly, the one above
+// weakly.
+type Side int
+
+// Aggressor sides relative to a victim row.
+const (
+	SideStrong Side = iota + 1 // aggressor physically below the victim
+	SideWeak                   // aggressor physically above the victim
+)
+
+// String returns a human-readable side name.
+func (s Side) String() string {
+	switch s {
+	case SideStrong:
+		return "strong"
+	case SideWeak:
+		return "weak"
+	default:
+		return fmt.Sprintf("Side(%d)", int(s))
+	}
+}

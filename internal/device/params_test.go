@@ -1,0 +1,132 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*DisturbParams)
+	}{
+		{"negative kappa", func(p *DisturbParams) { p.Kappa = -1 }},
+		{"zero tau", func(p *DisturbParams) { p.Tau = 0 }},
+		{"synergy below 1", func(p *DisturbParams) { p.Synergy = 0.5 }},
+		{"weak side above 1", func(p *DisturbParams) { p.WeakSideCoupling = 1.5 }},
+		{"negative weak side", func(p *DisturbParams) { p.WeakSideCoupling = -0.1 }},
+		{"interleave penalty 1", func(p *DisturbParams) { p.InterleavePenalty = 1 }},
+		{"zero tRAS", func(p *DisturbParams) { p.TRAS = 0 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := DefaultParams()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("bad params accepted")
+			}
+		})
+	}
+}
+
+func TestHammerBoostShape(t *testing.T) {
+	p := DefaultParams()
+	if got := p.HammerBoost(timing.TRAS); got != 1.0 {
+		t.Errorf("boost at tRAS = %g, want 1 (pure RowHammer)", got)
+	}
+	if got := p.HammerBoost(timing.TRAS / 2); got != 1.0 {
+		t.Errorf("boost below tRAS = %g, want 1", got)
+	}
+	// Monotone non-decreasing in on-time.
+	prev := 0.0
+	for _, d := range []time.Duration{timing.TRAS, 100 * time.Nanosecond, 636 * time.Nanosecond, 2 * time.Microsecond, 100 * time.Microsecond} {
+		b := p.HammerBoost(d)
+		if b < prev {
+			t.Errorf("boost not monotone: %g after %g at %v", b, prev, d)
+		}
+		prev = b
+	}
+	// Saturates at 1 + Kappa.
+	sat := p.HammerBoost(timing.AggOnMax)
+	if math.Abs(sat-(1+p.Kappa)) > 1e-3 {
+		t.Errorf("boost at 300us = %g, want ~%g (saturation)", sat, 1+p.Kappa)
+	}
+}
+
+func TestPressExposure(t *testing.T) {
+	p := DefaultParams()
+	if got := p.PressExposure(timing.TRAS, false); got != 0 {
+		t.Errorf("exposure at tRAS = %g, want 0", got)
+	}
+	e := p.PressExposure(timing.TRAS+time.Microsecond, false)
+	if math.Abs(e-1e-6) > 1e-12 {
+		t.Errorf("exposure = %g, want 1us beyond tRAS", e)
+	}
+	// Interleave penalty shaves delta off.
+	ei := p.PressExposure(timing.TRAS+time.Microsecond, true)
+	want := 1e-6 * (1 - p.InterleavePenalty)
+	if math.Abs(ei-want) > 1e-12 {
+		t.Errorf("interleaved exposure = %g, want %g", ei, want)
+	}
+	// Linearity: doubling the extra on-time doubles the exposure.
+	e2 := p.PressExposure(timing.TRAS+2*time.Microsecond, false)
+	if math.Abs(e2-2*e) > 1e-12 {
+		t.Errorf("exposure not linear: %g vs 2x%g", e2, e)
+	}
+}
+
+func TestSideFactor(t *testing.T) {
+	if got := SideFactor(SideStrong, 0.7, 1.3); got != 1.0 {
+		t.Errorf("strong side factor = %g, want 1", got)
+	}
+	if got := SideFactor(SideWeak, 0.7, 1.3); math.Abs(got-0.91) > 1e-12 {
+		t.Errorf("weak side factor = %g, want 0.91", got)
+	}
+}
+
+func TestTempFactor(t *testing.T) {
+	p := DefaultParams()
+	if got := p.TempFactor(p.TempRefC); got != 1.0 {
+		t.Errorf("temp factor at reference = %g, want 1", got)
+	}
+	if p.TempFactor(p.TempRefC+10) <= 1 {
+		t.Error("hotter die must accelerate damage")
+	}
+	if p.TempFactor(p.TempRefC-10) >= 1 {
+		t.Error("cooler die must decelerate damage")
+	}
+}
+
+func TestHammerBoostMonotoneProperty(t *testing.T) {
+	p := DefaultParams()
+	f := func(aNs, bNs uint32) bool {
+		a := time.Duration(aNs) * time.Nanosecond
+		b := time.Duration(bNs) * time.Nanosecond
+		if a > b {
+			a, b = b, a
+		}
+		return p.HammerBoost(a) <= p.HammerBoost(b)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if SideStrong.String() != "strong" || SideWeak.String() != "weak" {
+		t.Error("side names wrong")
+	}
+	if Side(9).String() == "" {
+		t.Error("unknown side should render")
+	}
+}

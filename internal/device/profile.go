@@ -1,0 +1,171 @@
+package device
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Profile is the per-DIMM physical disturbance calibration. Profiles are
+// inverted from the paper's Table 2 by internal/chipdb; this package only
+// consumes them.
+type Profile struct {
+	// Serial uniquely identifies the module (used to seed cell
+	// populations so each simulated module has its own weak cells).
+	Serial string
+
+	// HammerACmin is the module-average double-sided RowHammer ACmin at
+	// tAggON = tRAS (total activations across both aggressors).
+	HammerACmin float64
+
+	// PressTau is the module-average cumulative strong-side open time
+	// (beyond tRAS) needed to flip the weakest press cell of a row.
+	PressTau time.Duration
+
+	// HammerPressSens couples hammer-weak cells to the press mechanism:
+	// a hammer cell's press threshold is Th / HammerPressSens (with
+	// HammerPressSens in 1/microsecond units). Zero disables coupling.
+	HammerPressSens float64
+
+	// PressImmune marks dies that exhibit no RowPress bitflips within
+	// the 60 ms experiment budget (the paper's Micron 8Gb B dies).
+	PressImmune bool
+
+	// WeakSideCoupling overrides DisturbParams.WeakSideCoupling for
+	// this module when positive. Table 2's combined-vs-double ACmin
+	// ratios show the side asymmetry varies per module (from ~0.27 on
+	// H1 to ~1.1 on H2, i.e. nearly symmetric).
+	WeakSideCoupling float64
+
+	// RowSigmaHammer / RowSigmaPress are the lognormal row-to-row
+	// spreads of the hammer and press thresholds.
+	RowSigmaHammer float64
+	RowSigmaPress  float64
+
+	// RunSigma is the run-to-run measurement noise applied per repeat.
+	RunSigma float64
+
+	// HammerOneToZeroFrac is the probability that a hammer-weak cell
+	// flips 1->0 (vs 0->1). Depends on the die's true-/anti-cell layout.
+	HammerOneToZeroFrac float64
+	// PressOneToZeroFrac is the same for press-weak cells.
+	PressOneToZeroFrac float64
+
+	// WeakCellsPerMech is the number of weak cells generated per
+	// mechanism per victim row (the observable tail).
+	WeakCellsPerMech int
+
+	// CellSpacing controls how quickly cell thresholds grow past the
+	// row's weakest cell (relative spacing of the order statistics).
+	CellSpacing float64
+
+	// RetentionMin is the minimum retention time of the row's weakest
+	// retention cell; used to model retention failures past tREFW.
+	RetentionMin time.Duration
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	switch {
+	case p.Serial == "":
+		return fmt.Errorf("device: profile missing serial")
+	case p.HammerACmin <= 0:
+		return fmt.Errorf("device: profile %s: HammerACmin must be positive, got %g", p.Serial, p.HammerACmin)
+	case !p.PressImmune && p.PressTau <= 0:
+		return fmt.Errorf("device: profile %s: PressTau must be positive, got %v", p.Serial, p.PressTau)
+	case p.WeakCellsPerMech <= 0:
+		return fmt.Errorf("device: profile %s: WeakCellsPerMech must be positive", p.Serial)
+	case p.HammerOneToZeroFrac < 0 || p.HammerOneToZeroFrac > 1:
+		return fmt.Errorf("device: profile %s: HammerOneToZeroFrac out of [0,1]", p.Serial)
+	case p.PressOneToZeroFrac < 0 || p.PressOneToZeroFrac > 1:
+		return fmt.Errorf("device: profile %s: PressOneToZeroFrac out of [0,1]", p.Serial)
+	case p.WeakSideCoupling < 0 || p.WeakSideCoupling > 2:
+		return fmt.Errorf("device: profile %s: WeakSideCoupling out of [0,2]", p.Serial)
+	}
+	return nil
+}
+
+// WeakSideCouplingOf resolves the effective weak-side press coupling for
+// a profile: the per-module calibration when present, the global model
+// constant otherwise.
+func WeakSideCouplingOf(p Profile, d DisturbParams) float64 {
+	if p.WeakSideCoupling > 0 {
+		return p.WeakSideCoupling
+	}
+	return d.WeakSideCoupling
+}
+
+// effectivePressTau returns the press threshold used for cell generation;
+// press-immune dies get a threshold far beyond any 60 ms experiment.
+func (p Profile) effectivePressTau() time.Duration {
+	if p.PressImmune {
+		return 10 * time.Second
+	}
+	return p.PressTau
+}
+
+// RowSigmaFromAvgMinRatio solves for the lognormal sigma that makes the
+// minimum of n samples equal avg/ratio. Used by chipdb to invert the
+// "Avg. (Min.)" columns of Table 2. For a lognormal with mean-one
+// correction, avg/min ~= exp(sigma^2/2 + z(n)*sigma) where z(n) is the
+// expected normal order-statistic magnitude for the sample count.
+func RowSigmaFromAvgMinRatio(ratio float64, n int) float64 {
+	if ratio <= 1 || n < 2 {
+		return 0.05
+	}
+	z := expectedMinZ(n)
+	// Solve s^2/2 + z*s - ln(ratio) = 0 for s > 0.
+	l := math.Log(ratio)
+	s := -z + math.Sqrt(z*z+2*l)
+	if s < 0.01 {
+		s = 0.01
+	}
+	return s
+}
+
+// expectedMinZ approximates the expected magnitude (positive value) of
+// the minimum of n standard normal samples, via Blom's approximation of
+// the maximum order statistic (the distribution is symmetric).
+func expectedMinZ(n int) float64 {
+	if n < 2 {
+		return 0
+	}
+	p := (float64(n) - 0.375) / (float64(n) + 0.25)
+	return normQuantile(p)
+}
+
+// normQuantile is the standard normal quantile function
+// (Acklam's rational approximation; sufficient accuracy for calibration).
+func normQuantile(p float64) float64 {
+	if p <= 0 {
+		return math.Inf(-1)
+	}
+	if p >= 1 {
+		return math.Inf(1)
+	}
+	a := [6]float64{-39.69683028665376, 220.9460984245205, -275.9285104469687,
+		138.3577518672690, -30.66479806614716, 2.506628277459239}
+	b := [5]float64{-54.47609879822406, 161.5858368580409, -155.6989798598866,
+		66.80131188771972, -13.28068155288572}
+	c := [6]float64{-0.007784894002430293, -0.3223964580411365, -2.400758277161838,
+		-2.549732539343734, 4.374664141464968, 2.938163982698783}
+	d := [4]float64{0.007784695709041462, 0.3224671290700398, 2.445134137142996,
+		3.754408661907416}
+
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}

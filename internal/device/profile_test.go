@@ -1,0 +1,148 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func validProfile() Profile {
+	return Profile{
+		Serial:              "TEST-0",
+		HammerACmin:         45000,
+		PressTau:            44 * time.Millisecond,
+		HammerPressSens:     1.888,
+		RowSigmaHammer:      0.2,
+		RowSigmaPress:       0.25,
+		RunSigma:            0.03,
+		HammerOneToZeroFrac: 0.3,
+		PressOneToZeroFrac:  0.97,
+		WeakCellsPerMech:    24,
+		CellSpacing:         0.04,
+		RetentionMin:        70 * time.Millisecond,
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Profile)
+	}{
+		{"missing serial", func(p *Profile) { p.Serial = "" }},
+		{"zero hammer ACmin", func(p *Profile) { p.HammerACmin = 0 }},
+		{"zero press tau", func(p *Profile) { p.PressTau = 0 }},
+		{"zero weak cells", func(p *Profile) { p.WeakCellsPerMech = 0 }},
+		{"bad hammer frac", func(p *Profile) { p.HammerOneToZeroFrac = 1.5 }},
+		{"bad press frac", func(p *Profile) { p.PressOneToZeroFrac = -0.1 }},
+		{"bad weak coupling", func(p *Profile) { p.WeakSideCoupling = 3 }},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			p := validProfile()
+			tc.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("bad profile accepted")
+			}
+		})
+	}
+}
+
+func TestPressImmuneSkipsTauValidation(t *testing.T) {
+	p := validProfile()
+	p.PressTau = 0
+	p.PressImmune = true
+	if err := p.Validate(); err != nil {
+		t.Errorf("press-immune profile with zero tau rejected: %v", err)
+	}
+	if p.effectivePressTau() < time.Second {
+		t.Error("press-immune effective tau must be enormous")
+	}
+}
+
+func TestWeakSideCouplingOf(t *testing.T) {
+	d := DefaultParams()
+	p := validProfile()
+	if got := WeakSideCouplingOf(p, d); got != d.WeakSideCoupling {
+		t.Errorf("zero profile coupling should fall back to params: got %g", got)
+	}
+	p.WeakSideCoupling = 1.2
+	if got := WeakSideCouplingOf(p, d); got != 1.2 {
+		t.Errorf("profile coupling ignored: got %g", got)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	cases := []struct {
+		p, want float64
+	}{
+		{0.5, 0},
+		{0.8413, 1.0},
+		{0.975, 1.96},
+		{0.1587, -1.0},
+	}
+	for _, tc := range cases {
+		got := normQuantile(tc.p)
+		if math.Abs(got-tc.want) > 0.01 {
+			t.Errorf("normQuantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if !math.IsInf(normQuantile(0), -1) || !math.IsInf(normQuantile(1), 1) {
+		t.Error("quantile at 0/1 should be infinite")
+	}
+	// Symmetry.
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		if d := normQuantile(p) + normQuantile(1-p); math.Abs(d) > 1e-6 {
+			t.Errorf("quantile asymmetric at %g: sum %g", p, d)
+		}
+	}
+}
+
+func TestRowSigmaFromAvgMinRatio(t *testing.T) {
+	// Degenerate inputs fall back to a small positive sigma.
+	if s := RowSigmaFromAvgMinRatio(1.0, 3000); s <= 0 {
+		t.Errorf("sigma for ratio 1 = %g", s)
+	}
+	if s := RowSigmaFromAvgMinRatio(2.0, 1); s <= 0 {
+		t.Errorf("sigma for n=1 = %g", s)
+	}
+	// Monotone in the ratio.
+	s2 := RowSigmaFromAvgMinRatio(2.0, 3000)
+	s3 := RowSigmaFromAvgMinRatio(3.0, 3000)
+	if s3 <= s2 {
+		t.Errorf("sigma not monotone: ratio 3 -> %g <= ratio 2 -> %g", s3, s2)
+	}
+	// Round trip: with the solved sigma, avg/min of n lognormal samples
+	// should land near the requested ratio.
+	const ratio, n = 2.0, 3000
+	sigma := RowSigmaFromAvgMinRatio(ratio, n)
+	r := newRNG(2024)
+	min, sum := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		v := r.meanOneLognormal(sigma)
+		sum += v
+		if v < min {
+			min = v
+		}
+	}
+	got := (sum / n) / min
+	if got < ratio*0.7 || got > ratio*1.4 {
+		t.Errorf("round-trip ratio = %g, want ~%g", got, ratio)
+	}
+}
+
+func TestExpectedMinZ(t *testing.T) {
+	if expectedMinZ(1) != 0 {
+		t.Error("n=1 should give 0")
+	}
+	z100 := expectedMinZ(100)
+	z3000 := expectedMinZ(3000)
+	if z100 <= 0 || z3000 <= 0 {
+		t.Errorf("min-z magnitudes must be positive: %g, %g", z100, z3000)
+	}
+	if z3000 <= z100 {
+		t.Errorf("more samples must push the extreme further out: z(3000)=%g, z(100)=%g", z3000, z100)
+	}
+}

@@ -1,0 +1,127 @@
+package device
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+// TestGenerateRowCellsPropertyRandomProfiles fuzzes the cell generator
+// over bounded random profiles: whatever the calibration inputs, the
+// generated population must be structurally valid.
+func TestGenerateRowCellsPropertyRandomProfiles(t *testing.T) {
+	d := DefaultParams()
+	f := func(acminRaw uint32, tauMsRaw uint16, sensRaw, sigmaRaw uint8, row uint16, immune bool) bool {
+		p := Profile{
+			Serial:              "FUZZ",
+			HammerACmin:         float64(1000 + acminRaw%500000),
+			PressTau:            time.Duration(1+tauMsRaw%500) * time.Millisecond,
+			HammerPressSens:     float64(sensRaw%40) / 10,
+			PressImmune:         immune,
+			RowSigmaHammer:      float64(sigmaRaw%60) / 100,
+			RowSigmaPress:       float64(sigmaRaw%60) / 100,
+			HammerOneToZeroFrac: 0.3,
+			PressOneToZeroFrac:  0.95,
+			WeakCellsPerMech:    8,
+			CellSpacing:         0.05,
+		}
+		cells := GenerateRowCells(p, d, 0, int(row)+1, 4096, 0)
+		if len(cells) != 16 {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, c := range cells {
+			if c.Th <= 0 || c.Tp <= 0 || c.Syn < 1 {
+				return false
+			}
+			if c.Bit < 0 || c.Bit >= 4096 || seen[c.Bit] {
+				return false
+			}
+			seen[c.Bit] = true
+			if c.WeakSide < WeakSideVarMin || c.WeakSide > WeakSideVarMax {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDamageMonotoneInOnTime: for a fixed victim cell population, one
+// activation's damage must be non-decreasing in the on-time (both
+// mechanisms grow with it).
+func TestDamageMonotoneInOnTime(t *testing.T) {
+	b := testBank(t)
+	victim := 3100
+	if err := b.WriteRow(victim, FillRow(b.RowBytes(), 0x55), 0); err != nil {
+		t.Fatal(err)
+	}
+	cells := b.VictimCells(victim)
+	totalAcc := func() float64 {
+		s := 0.0
+		for _, c := range cells {
+			s += c.Accumulated()
+		}
+		return s
+	}
+	now := time.Duration(0)
+	var prevDelta float64
+	for i, onTime := range []time.Duration{timing.TRAS, 200 * time.Nanosecond, time.Microsecond, 10 * time.Microsecond} {
+		before := totalAcc()
+		if err := b.Activate(victim-1, now); err != nil {
+			t.Fatal(err)
+		}
+		now += onTime
+		if err := b.Precharge(now); err != nil {
+			t.Fatal(err)
+		}
+		now += timing.TRP
+		delta := totalAcc() - before
+		if delta <= 0 {
+			t.Fatalf("on-time %v produced no damage", onTime)
+		}
+		if i > 0 && delta < prevDelta {
+			t.Errorf("damage not monotone in on-time: %g after %g at %v", delta, prevDelta, onTime)
+		}
+		prevDelta = delta
+	}
+}
+
+// TestCompareRowAfterPartialWrite checks golden-tracking across partial
+// column writes.
+func TestCompareRowAfterPartialWrite(t *testing.T) {
+	b := testBank(t)
+	now := time.Duration(0)
+	if err := b.WriteRow(42, FillRow(b.RowBytes(), 0x00), now); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Activate(42, now); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Write(8, []byte{0xFF, 0xFF}, now); err != nil {
+		t.Fatal(err)
+	}
+	now += timing.TRAS
+	if err := b.Precharge(now); err != nil {
+		t.Fatal(err)
+	}
+	// Golden was updated by the write: no flips reported.
+	flips, err := b.CompareRow(42, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(flips) != 0 {
+		t.Errorf("partial write reported as %d flips", len(flips))
+	}
+	data, err := b.RowData(42, now)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[8] != 0xFF || data[9] != 0xFF || data[10] != 0x00 {
+		t.Error("partial write contents wrong")
+	}
+}

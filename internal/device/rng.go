@@ -1,0 +1,93 @@
+package device
+
+import "math"
+
+// rng is a small deterministic pseudo-random generator (splitmix64).
+//
+// All cell populations are generated lazily from (module serial, bank, row)
+// seeds so that two runs of the same experiment on the same simulated chip
+// observe the same weak cells — exactly like a real chip, whose weak cells
+// are a fixed physical property.
+type rng struct {
+	state uint64
+	// spare holds a cached second normal variate from Box-Muller.
+	spare    float64
+	hasSpare bool
+}
+
+// newRNG builds a generator from any number of seed words.
+func newRNG(words ...uint64) *rng {
+	var s uint64 = 0x9e3779b97f4a7c15
+	for _, w := range words {
+		s ^= w + 0x9e3779b97f4a7c15 + (s << 6) + (s >> 2)
+		s = mix64(s)
+	}
+	return &rng{state: s}
+}
+
+// hashString folds a string into a 64-bit seed word.
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// next returns the next raw 64-bit value.
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	return mix64(r.state)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (r *rng) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform value in [0, n). n must be positive.
+func (r *rng) intn(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(r.next() % uint64(n))
+}
+
+// norm returns a standard normal variate (Box-Muller).
+func (r *rng) norm() float64 {
+	if r.hasSpare {
+		r.hasSpare = false
+		return r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.float64() - 1
+		v = 2*r.float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.hasSpare = true
+	return u * m
+}
+
+// lognormal returns exp(N(mu, sigma)).
+func (r *rng) lognormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.norm())
+}
+
+// meanOneLognormal returns a lognormal variate with mean exactly 1
+// (mu = -sigma^2/2).
+func (r *rng) meanOneLognormal(sigma float64) float64 {
+	return r.lognormal(-sigma*sigma/2, sigma)
+}

@@ -1,0 +1,130 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := newRNG(1, 2, 3)
+	b := newRNG(1, 2, 3)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatalf("same-seed generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedSensitivity(t *testing.T) {
+	a := newRNG(1, 2, 3)
+	b := newRNG(1, 2, 4)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.next() == b.next() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("different seeds produced %d identical outputs", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := newRNG(42)
+	for i := 0; i < 10000; i++ {
+		v := r.float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("float64() = %g out of [0,1)", v)
+		}
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := newRNG(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 10000; i++ {
+		v := r.intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("intn(13) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 13 {
+		t.Errorf("intn(13) covered %d values, want 13", len(seen))
+	}
+	if r.intn(0) != 0 || r.intn(-5) != 0 {
+		t.Error("intn of non-positive n should return 0")
+	}
+}
+
+func TestNormMoments(t *testing.T) {
+	r := newRNG(99)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.norm()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("norm mean = %g, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("norm variance = %g, want ~1", variance)
+	}
+}
+
+func TestMeanOneLognormal(t *testing.T) {
+	r := newRNG(123)
+	const n = 300000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.meanOneLognormal(0.3)
+		if v <= 0 {
+			t.Fatalf("lognormal produced %g", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-1) > 0.02 {
+		t.Errorf("mean-one lognormal mean = %g, want ~1", mean)
+	}
+}
+
+func TestHashStringProperties(t *testing.T) {
+	if hashString("abc") != hashString("abc") {
+		t.Error("hashString not deterministic")
+	}
+	if hashString("abc") == hashString("abd") {
+		t.Error("trivial collision")
+	}
+	// Property: distinct short strings rarely collide.
+	f := func(a, b string) bool {
+		if a == b {
+			return true
+		}
+		return hashString(a) != hashString(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Errorf("hash collision on random input: %v", err)
+	}
+}
+
+func TestLognormalPositiveProperty(t *testing.T) {
+	f := func(seed uint64, sigmaRaw uint8) bool {
+		sigma := float64(sigmaRaw%100) / 100
+		r := newRNG(seed)
+		for i := 0; i < 20; i++ {
+			if r.lognormal(0, sigma) <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

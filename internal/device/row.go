@@ -1,0 +1,212 @@
+package device
+
+import (
+	"math"
+	"time"
+)
+
+// Bounds on the per-cell weak-side coupling variance. The clamp keeps
+// the lognormal tail from violating Table 2's "No Bitflip" boundary
+// cells (see chipdb's budget caps, which assume WeakSideVarMax).
+const (
+	WeakSideVarMin = 0.5
+	WeakSideVarMax = 1.6
+)
+
+// retCell is a retention-weak cell: it loses its value if the row goes
+// unrefreshed longer than ret.
+type retCell struct {
+	bit     int
+	ret     time.Duration
+	dir     Polarity
+	flipped bool
+}
+
+// rowState is the materialized state of one DRAM row.
+type rowState struct {
+	data   []byte
+	golden []byte
+	weak   []*WeakCell
+	ret    []retCell
+
+	lastRefresh time.Duration
+
+	// Disturbance bookkeeping, per aggressor side (indexed by sideIdx).
+	sideSeen     [2]bool
+	lastActStart [2]time.Duration
+	hasLast      [2]bool
+}
+
+func sideIdx(s Side) int {
+	if s == SideWeak {
+		return 1
+	}
+	return 0
+}
+
+func otherSide(s Side) Side {
+	if s == SideStrong {
+		return SideWeak
+	}
+	return SideStrong
+}
+
+// GenerateRowCells deterministically builds the weak-cell population of a
+// victim row. The population is a fixed physical property of the
+// simulated chip: the same (profile, bank, row, runSeed) always yields the
+// same cells. runSeed models run-to-run measurement noise (the paper
+// repeats each measurement three times); runSeed 0 is the noise-free
+// calibration point.
+//
+// Calibration anchors (see DESIGN.md section 6):
+//   - the weakest hammer cell's double-sided-RowHammer ACmin equals the
+//     row's lognormally-spread share of Profile.HammerACmin;
+//   - the weakest press cell's cumulative strong-side open time equals
+//     the row's share of Profile.PressTau;
+//   - both anchor cells are placed on a bit whose checkerboard (0x55)
+//     value matches their flip direction, since the paper's numbers are
+//     measured under that data pattern.
+func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, runSeed int64) []*WeakCell {
+	r := newRNG(hashString(p.Serial), uint64(bank)<<32|uint64(uint32(row)), 0xce11)
+	noise := func() float64 { return 1.0 }
+	if runSeed != 0 && p.RunSigma > 0 {
+		nr := newRNG(hashString(p.Serial), uint64(bank)<<32|uint64(uint32(row)), uint64(runSeed), 0x4015e)
+		noise = func() float64 { return nr.meanOneLognormal(p.RunSigma) }
+	}
+
+	rowACmin := p.HammerACmin * r.meanOneLognormal(p.RowSigmaHammer)
+	rowPressTau := p.effectivePressTau().Seconds() * r.meanOneLognormal(p.RowSigmaPress)
+
+	used := make(map[int]bool, 2*p.WeakCellsPerMech)
+	pickBit := func(dir Polarity, anchored bool) int {
+		for {
+			b := r.intn(rowBits)
+			if anchored {
+				// Checkerboard 0x55 stores 1 on even bit offsets.
+				want := dir.From()
+				if byte(1-(b&1)) != want {
+					continue
+				}
+			}
+			if !used[b] {
+				used[b] = true
+				return b
+			}
+		}
+	}
+	spacing := func(k int) float64 {
+		if k == 0 {
+			return 1.0
+		}
+		return 1.0 + p.CellSpacing*math.Pow(float64(k), 1.2)*r.lognormal(0, 0.3)
+	}
+	dirFor := func(oneToZeroFrac float64) Polarity {
+		if r.float64() < oneToZeroFrac {
+			return OneToZero
+		}
+		return ZeroToOne
+	}
+	weakSideVar := func() float64 {
+		v := r.meanOneLognormal(0.35)
+		if v < WeakSideVarMin {
+			v = WeakSideVarMin
+		}
+		if v > WeakSideVarMax {
+			v = WeakSideVarMax
+		}
+		return v
+	}
+
+	cells := make([]*WeakCell, 0, 2*p.WeakCellsPerMech)
+
+	// Row-level press coupling of the hammer population. The spread is
+	// per row (not per cell) so that the strong calibration guarantees
+	// ("No Bitflip" cells of Table 2) survive the tails.
+	rowPressSens := p.HammerPressSens * r.meanOneLognormal(0.25)
+
+	// Hammer-weak population.
+	for k := 0; k < p.WeakCellsPerMech; k++ {
+		syn := d.Synergy * r.meanOneLognormal(d.SynergySigma)
+		if syn < 1 {
+			syn = 1
+		}
+		doubleACmin := rowACmin * spacing(k) * noise()
+		th := doubleACmin * syn
+		tp := math.Inf(1)
+		if rowPressSens > 0 {
+			// The press threshold scales with the cell's hammer
+			// vulnerability (not the synergy-inflated Th), in
+			// 1/us units: Tp [s] = ACmin * Synergy / (sens * 1e6).
+			tp = doubleACmin * d.Synergy / (rowPressSens * 1e6)
+		}
+		dir := dirFor(p.HammerOneToZeroFrac)
+		cells = append(cells, &WeakCell{
+			Bit:      pickBit(dir, k == 0),
+			Th:       th,
+			Tp:       tp,
+			Syn:      syn,
+			WeakSide: weakSideVar(),
+			Dir:      dir,
+			Mech:     MechHammer,
+		})
+	}
+
+	// Press-weak population.
+	for k := 0; k < p.WeakCellsPerMech; k++ {
+		syn := d.Synergy * r.meanOneLognormal(d.SynergySigma)
+		if syn < 1 {
+			syn = 1
+		}
+		tp := rowPressTau * spacing(k) * noise()
+		// Press cells are an order of magnitude harder to hammer-flip.
+		th := rowACmin * syn * 12 * r.lognormal(0, 0.3)
+		dir := dirFor(p.PressOneToZeroFrac)
+		// Press cells carry no weak-side variance: Table 2's boundary
+		// cells (S4's double-sided No Bitflip at 70.2 us) require the
+		// press population's side coupling to be tight.
+		cells = append(cells, &WeakCell{
+			Bit:      pickBit(dir, k == 0),
+			Th:       th,
+			Tp:       tp,
+			Syn:      syn,
+			WeakSide: 1.0,
+			Dir:      dir,
+			Mech:     MechPress,
+		})
+	}
+	return cells
+}
+
+// generateRetentionCells builds the retention-weak tail of a row.
+func generateRetentionCells(p Profile, bank, row int, rowBits int) []retCell {
+	r := newRNG(hashString(p.Serial), uint64(bank)<<32|uint64(uint32(row)), 0x4e7e)
+	minRet := p.RetentionMin
+	if minRet <= 0 {
+		minRet = 70 * time.Millisecond
+	}
+	const n = 4
+	cells := make([]retCell, 0, n)
+	for k := 0; k < n; k++ {
+		ret := time.Duration(float64(minRet) * (1 + 0.8*float64(k)) * r.lognormal(0, 0.2))
+		dir := ZeroToOne
+		if r.float64() < p.PressOneToZeroFrac {
+			dir = OneToZero
+		}
+		cells = append(cells, retCell{bit: r.intn(rowBits), ret: ret, dir: dir})
+	}
+	return cells
+}
+
+// storedBit returns the bit value at offset bit in data.
+func storedBit(data []byte, bit int) byte {
+	return (data[bit>>3] >> uint(bit&7)) & 1
+}
+
+// setBit writes a bit value at offset bit in data.
+func setBit(data []byte, bit int, v byte) {
+	if v != 0 {
+		data[bit>>3] |= 1 << uint(bit&7)
+	} else {
+		data[bit>>3] &^= 1 << uint(bit&7)
+	}
+}

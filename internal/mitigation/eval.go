@@ -1,0 +1,135 @@
+package mitigation
+
+import (
+	"fmt"
+	"time"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+)
+
+// EvalResult is the outcome of hammering one victim row under a
+// mitigation configuration.
+type EvalResult struct {
+	// Flipped reports whether any bitflip survived within the budget.
+	Flipped bool
+	// FirstFlipAt is the hammering time of the first surviving flip.
+	FirstFlipAt time.Duration
+	// TotalActs is the activation count issued.
+	TotalActs int64
+	// TRRRefreshes is the number of targeted refreshes the guard fired
+	// (zero without a guard).
+	TRRRefreshes int64
+	// Refreshes is the number of regular REF commands issued.
+	Refreshes int64
+}
+
+// EvalConfig configures a mitigation evaluation run.
+type EvalConfig struct {
+	Bank   *device.Bank
+	Spec   pattern.Spec
+	Victim int
+	// Guard is optional; nil evaluates the unprotected baseline (the
+	// paper's refresh-disabled methodology).
+	Guard *Guard
+	// RefInterval issues a REF every such period of hammering time
+	// (zero disables refresh entirely, as in the paper's methodology).
+	RefInterval time.Duration
+	// Budget caps hammering time (default 60 ms).
+	Budget time.Duration
+	// Data selects the data pattern (default checkerboard).
+	Data device.DataPattern
+}
+
+// Run hammers the victim row under the configured mitigation and
+// reports whether read-disturbance bitflips survive.
+func Run(cfg EvalConfig) (EvalResult, error) {
+	if cfg.Bank == nil {
+		return EvalResult{}, ErrNilBank
+	}
+	if cfg.Budget == 0 {
+		cfg.Budget = 60 * time.Millisecond
+	}
+	if cfg.Data == 0 {
+		cfg.Data = device.Checkerboard
+	}
+	bank := cfg.Bank
+	if cfg.Victim < 1 || cfg.Victim >= bank.NumRows()-1 {
+		return EvalResult{}, fmt.Errorf("mitigation: victim %d out of range", cfg.Victim)
+	}
+
+	rowBytes := bank.RowBytes()
+	victimData := device.FillRow(rowBytes, cfg.Data.VictimByte())
+	aggData := device.FillRow(rowBytes, cfg.Data.AggressorByte())
+	for _, off := range []int{-1, 0, 1} {
+		data := victimData
+		if off != 0 {
+			data = aggData
+		}
+		if err := bank.WriteRow(cfg.Victim+off, data, 0); err != nil {
+			return EvalResult{}, err
+		}
+	}
+
+	activate := bank.Activate
+	precharge := bank.Precharge
+	refresh := bank.Refresh
+	if cfg.Guard != nil {
+		activate = cfg.Guard.Activate
+		precharge = cfg.Guard.Precharge
+		refresh = cfg.Guard.Refresh
+	}
+
+	var res EvalResult
+	acts := cfg.Spec.Acts()
+	now := time.Duration(0)
+	nextRef := cfg.RefInterval
+	maxIters := cfg.Spec.MaxIterations(cfg.Budget)
+	for iter := int64(0); iter < maxIters; iter++ {
+		for _, a := range acts {
+			if cfg.RefInterval > 0 && now >= nextRef {
+				if err := refresh(now); err != nil {
+					return EvalResult{}, err
+				}
+				res.Refreshes++
+				nextRef += cfg.RefInterval
+			}
+			if err := activate(cfg.Victim+a.RowOffset, now); err != nil {
+				return EvalResult{}, err
+			}
+			now += a.OnTime
+			if err := precharge(now); err != nil {
+				return EvalResult{}, err
+			}
+			res.TotalActs++
+			flips, err := quickFlipCheck(bank, cfg.Victim)
+			if err != nil {
+				return EvalResult{}, err
+			}
+			if flips {
+				res.Flipped = true
+				res.FirstFlipAt = now
+				if cfg.Guard != nil {
+					res.TRRRefreshes = cfg.Guard.TRRRefreshes()
+				}
+				return res, nil
+			}
+			now += cfg.Spec.Timings.TRP
+		}
+	}
+	if cfg.Guard != nil {
+		res.TRRRefreshes = cfg.Guard.TRRRefreshes()
+	}
+	return res, nil
+}
+
+// quickFlipCheck uses the weak-cell population (white-box access) to
+// detect a flip without scanning the whole row each activation.
+func quickFlipCheck(bank *device.Bank, victim int) (bool, error) {
+	for _, c := range bank.VictimCells(victim) {
+		if c.Flipped() {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,140 @@
+package mitigation
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func refreshEngine(t *testing.T) *core.AnalyticEngine {
+	t.Helper()
+	mi, err := chipdb.ByID("S1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile: mi.Profile(params),
+		Params:  params,
+		NumRows: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func refreshRows() []int {
+	rows := make([]int, 40)
+	for i := range rows {
+		rows[i] = 200 + i
+	}
+	return rows
+}
+
+func TestRequiredWindow(t *testing.T) {
+	e := refreshEngine(t)
+	spec, err := pattern.New(pattern.DoubleSided, timing.TRAS, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := RequiredWindow(e, spec, refreshRows(), core.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// S1's fastest RowHammer flips land around 1-1.6 ms: the refresh
+	// window must shrink dramatically below tREFW.
+	if w <= 0 || w >= timing.TREFW {
+		t.Errorf("required window %v out of range (0, tREFW)", w)
+	}
+	if w > 5*time.Millisecond {
+		t.Errorf("required window %v implausibly long for RowHammer", w)
+	}
+}
+
+func TestRequiredWindowValidation(t *testing.T) {
+	e := refreshEngine(t)
+	spec, err := pattern.New(pattern.DoubleSided, timing.TRAS, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RequiredWindow(nil, spec, refreshRows(), core.RunOpts{}); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := RequiredWindow(e, spec, nil, core.RunOpts{}); err == nil {
+		t.Error("empty rows accepted")
+	}
+}
+
+// TestCombinedPatternTightensRefreshRequirement quantifies the paper's
+// architectural implication: at tAggON = 636 ns the combined pattern
+// induces flips faster than double-sided RowPress, so the refresh window
+// that protects against it must be shorter.
+func TestCombinedPatternTightensRefreshRequirement(t *testing.T) {
+	e := refreshEngine(t)
+	mk := func(k pattern.Kind, aggOn time.Duration) pattern.Spec {
+		s, err := pattern.New(k, aggOn, timing.Default())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	scalings, err := CompareRefreshScaling(e, []pattern.Spec{
+		mk(pattern.Combined, 636*time.Nanosecond),
+		mk(pattern.DoubleSided, 636*time.Nanosecond),
+		mk(pattern.SingleSided, 636*time.Nanosecond),
+	}, refreshRows(), core.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	comb, dbl, sgl := scalings[0], scalings[1], scalings[2]
+	if comb.MinTimeToFlip >= dbl.MinTimeToFlip {
+		t.Errorf("combined window %v not tighter than double-sided %v", comb.MinTimeToFlip, dbl.MinTimeToFlip)
+	}
+	if dbl.MinTimeToFlip >= sgl.MinTimeToFlip {
+		t.Errorf("double-sided window %v not tighter than single-sided %v", dbl.MinTimeToFlip, sgl.MinTimeToFlip)
+	}
+	if comb.Factor <= dbl.Factor {
+		t.Errorf("combined refresh factor %.1f not above double-sided %.1f", comb.Factor, dbl.Factor)
+	}
+	for _, s := range scalings {
+		if s.Factor < 1 {
+			t.Errorf("%v: factor %.2f below 1", s.Spec.Kind, s.Factor)
+		}
+	}
+}
+
+// TestPressImmuneModuleNeedsNoExtraRefresh: a die that never flips keeps
+// the standard window.
+func TestPressImmuneModuleNeedsNoExtraRefresh(t *testing.T) {
+	mi, err := chipdb.ByID("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile: mi.Profile(params),
+		Params:  params,
+		NumRows: 8192,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := pattern.New(pattern.Combined, timing.AggOnNineTREFI, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Even with the window-length budget, M1's press path cannot flip.
+	w, err := RequiredWindow(e, spec, refreshRows(), core.RunOpts{Budget: timing.TREFW})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != timing.TREFW {
+		t.Errorf("window %v, want the standard tREFW (no flips possible)", w)
+	}
+}

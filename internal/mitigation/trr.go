@@ -1,0 +1,176 @@
+// Package mitigation models in-DRAM read-disturbance defenses — a
+// target-row-refresh (TRR) mechanism and rank-level SEC-DED ECC — and
+// provides harnesses to evaluate them against the paper's access
+// patterns. This covers the paper's future-work item 3 ("understand the
+// architectural implications by analyzing and evaluating how existing
+// mitigation mechanisms need to be changed") and documents why the
+// characterization methodology must disable periodic refresh: REF
+// triggers TRR, which would mask circuit-level bitflips.
+package mitigation
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"rowfuse/internal/device"
+)
+
+// Tracker identifies candidate aggressor rows from the activation
+// stream. Implementations mirror the counter-table mechanisms vendors
+// ship (TRRespass reverse-engineered several).
+type Tracker interface {
+	// Observe records one activation of a logical row.
+	Observe(row int)
+	// Top returns up to n candidate aggressors, hottest first.
+	Top(n int) []int
+	// Reset clears the tracker state (issued after TRR fires).
+	Reset()
+}
+
+// MisraGries is a k-counter frequent-items tracker, the standard
+// building block of counter-based TRR implementations.
+type MisraGries struct {
+	k        int
+	counters map[int]int64
+}
+
+// NewMisraGries builds a tracker with k counters.
+func NewMisraGries(k int) *MisraGries {
+	if k < 1 {
+		k = 1
+	}
+	return &MisraGries{k: k, counters: make(map[int]int64, k+1)}
+}
+
+var _ Tracker = (*MisraGries)(nil)
+
+// Observe implements Tracker.
+func (m *MisraGries) Observe(row int) {
+	if _, ok := m.counters[row]; ok {
+		m.counters[row]++
+		return
+	}
+	if len(m.counters) < m.k {
+		m.counters[row] = 1
+		return
+	}
+	// Decrement-all: evict zeroed entries.
+	for r := range m.counters {
+		m.counters[r]--
+		if m.counters[r] <= 0 {
+			delete(m.counters, r)
+		}
+	}
+}
+
+// Top implements Tracker.
+func (m *MisraGries) Top(n int) []int {
+	type entry struct {
+		row int
+		cnt int64
+	}
+	entries := make([]entry, 0, len(m.counters))
+	for r, c := range m.counters {
+		entries = append(entries, entry{r, c})
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].cnt != entries[j].cnt {
+			return entries[i].cnt > entries[j].cnt
+		}
+		return entries[i].row < entries[j].row
+	})
+	if n > len(entries) {
+		n = len(entries)
+	}
+	out := make([]int, 0, n)
+	for _, e := range entries[:n] {
+		out = append(out, e.row)
+	}
+	return out
+}
+
+// Reset implements Tracker.
+func (m *MisraGries) Reset() {
+	m.counters = make(map[int]int64, m.k+1)
+}
+
+// Guard wraps a bank with a TRR mechanism: it observes activations and,
+// when a REF arrives, additionally refreshes the physical neighbours of
+// the hottest tracked aggressors (the "target rows").
+type Guard struct {
+	bank    *device.Bank
+	tracker Tracker
+	// victimsPerRef is how many aggressors are neutralized per REF.
+	victimsPerRef int
+
+	trrRefreshes int64
+}
+
+// GuardConfig configures a TRR guard.
+type GuardConfig struct {
+	Bank    *device.Bank
+	Tracker Tracker
+	// VictimsPerRef defaults to 2 aggressors per REF.
+	VictimsPerRef int
+}
+
+// ErrNilBank reports a missing bank.
+var ErrNilBank = errors.New("mitigation: guard needs a bank")
+
+// NewGuard builds a TRR guard.
+func NewGuard(cfg GuardConfig) (*Guard, error) {
+	if cfg.Bank == nil {
+		return nil, ErrNilBank
+	}
+	if cfg.Tracker == nil {
+		cfg.Tracker = NewMisraGries(16)
+	}
+	if cfg.VictimsPerRef == 0 {
+		cfg.VictimsPerRef = 2
+	}
+	return &Guard{
+		bank:          cfg.Bank,
+		tracker:       cfg.Tracker,
+		victimsPerRef: cfg.VictimsPerRef,
+	}, nil
+}
+
+// Activate forwards to the bank and feeds the tracker.
+func (g *Guard) Activate(row int, now time.Duration) error {
+	if err := g.bank.Activate(row, now); err != nil {
+		return err
+	}
+	g.tracker.Observe(row)
+	return nil
+}
+
+// Precharge forwards to the bank.
+func (g *Guard) Precharge(now time.Duration) error {
+	return g.bank.Precharge(now)
+}
+
+// Refresh performs the regular refresh plus targeted neighbour
+// refreshes of the hottest aggressors.
+func (g *Guard) Refresh(now time.Duration) error {
+	if err := g.bank.Refresh(now); err != nil {
+		return err
+	}
+	for _, agg := range g.tracker.Top(g.victimsPerRef) {
+		for _, victim := range []int{agg - 1, agg + 1} {
+			if victim < 0 || victim >= g.bank.NumRows() {
+				continue
+			}
+			if err := g.bank.RefreshRow(victim, now); err != nil {
+				return fmt.Errorf("mitigation: TRR refresh row %d: %w", victim, err)
+			}
+			g.trrRefreshes++
+		}
+	}
+	g.tracker.Reset()
+	return nil
+}
+
+// TRRRefreshes returns how many targeted refreshes have been issued.
+func (g *Guard) TRRRefreshes() int64 { return g.trrRefreshes }

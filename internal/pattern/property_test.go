@@ -1,0 +1,82 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+// TestIterationTimeEqualsActSum: IterationTime must be the sum of each
+// activation's on-time plus one tRP per precharge, for any legal tAggON.
+func TestIterationTimeEqualsActSum(t *testing.T) {
+	ts := timing.Default()
+	f := func(aggOnRaw uint32, kindRaw uint8) bool {
+		aggOn := timing.TRAS + time.Duration(aggOnRaw%300000)*time.Nanosecond
+		kind := []Kind{SingleSided, DoubleSided, Combined}[kindRaw%3]
+		s, err := New(kind, aggOn, ts)
+		if err != nil {
+			return false
+		}
+		var want time.Duration
+		for _, a := range s.Acts() {
+			want += a.OnTime + ts.TRP
+		}
+		return s.IterationTime() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestActEndWithinIteration: every activation's precharge offset lies
+// strictly inside the iteration.
+func TestActEndWithinIteration(t *testing.T) {
+	ts := timing.Default()
+	for _, kind := range []Kind{SingleSided, DoubleSided, Combined} {
+		for _, aggOn := range []time.Duration{timing.TRAS, 636 * time.Nanosecond, timing.AggOnTREFI} {
+			s, err := New(kind, aggOn, ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			iter := s.IterationTime()
+			prev := time.Duration(-1)
+			for i := range s.Acts() {
+				end := s.ActEnd(i)
+				if end <= prev {
+					t.Errorf("%v@%v: act ends not increasing", kind, aggOn)
+				}
+				if end > iter {
+					t.Errorf("%v@%v: act %d ends at %v past iteration %v", kind, aggOn, i, end, iter)
+				}
+				prev = end
+			}
+		}
+	}
+}
+
+// TestMaxIterationsConsistent: MaxIterations(budget) iterations must fit
+// in the budget, and one more must not.
+func TestMaxIterationsConsistent(t *testing.T) {
+	ts := timing.Default()
+	f := func(budgetUsRaw uint16, kindRaw uint8) bool {
+		budget := time.Duration(1+budgetUsRaw%60000) * time.Microsecond
+		kind := []Kind{SingleSided, DoubleSided, Combined}[kindRaw%3]
+		s, err := New(kind, 636*time.Nanosecond, ts)
+		if err != nil {
+			return false
+		}
+		n := s.MaxIterations(budget)
+		if n < 0 {
+			return false
+		}
+		if time.Duration(n)*s.IterationTime() > budget {
+			return false
+		}
+		return time.Duration(n+1)*s.IterationTime() > budget
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

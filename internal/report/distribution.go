@@ -1,0 +1,68 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"rowfuse/internal/analysis"
+)
+
+// ACminDistribution renders the per-row ACmin distribution of one
+// module and pattern: summary statistics plus an ASCII histogram on a
+// log scale. Prior work (e.g. spatial-variation-aware defenses) builds
+// on exactly this row-to-row variation.
+func ACminDistribution(w io.Writer, label string, values []float64) error {
+	if len(values) == 0 {
+		_, err := fmt.Fprintf(w, "%s: no bitflips\n", label)
+		return err
+	}
+	sum, err := analysis.Summarize(values)
+	if err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"%s: n=%d mean=%.0f std=%.0f min=%.0f p05=%.0f median=%.0f p95=%.0f max=%.0f\n",
+		label, sum.N, sum.Mean, sum.Std, sum.Min, sum.P05, sum.Median, sum.P95, sum.Max); err != nil {
+		return err
+	}
+
+	// Log-scale histogram between min and max.
+	logs := make([]float64, len(values))
+	for i, v := range values {
+		logs[i] = math.Log10(v)
+	}
+	sort.Float64s(logs)
+	lo, hi := logs[0], logs[len(logs)-1]
+	if hi <= lo {
+		hi = lo + 0.1
+	}
+	const bins = 24
+	h, err := analysis.NewHistogram(lo, hi+1e-9, bins)
+	if err != nil {
+		return err
+	}
+	for _, v := range logs {
+		h.Add(v)
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	const width = 50
+	for i, c := range h.Counts {
+		binLo := math.Pow(10, lo+(hi-lo)*float64(i)/bins)
+		bar := ""
+		if maxCount > 0 {
+			bar = strings.Repeat("#", c*width/maxCount)
+		}
+		if _, err := fmt.Fprintf(w, "  %10.0f |%-*s %d\n", binLo, width, bar, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,464 @@
+// Package report renders the study results as the paper's tables and
+// figures: ASCII tables and log-scale charts for the terminal, and CSV
+// for external plotting. Every table and figure of the paper's
+// evaluation has a renderer here.
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+// mfrOrder is the panel order used by the paper.
+var mfrOrder = []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM}
+
+// FormatDuration renders a tAggON value the way the paper labels its
+// x-axes (36ns, 636ns, 7.8us, 70.2us, 300us).
+func FormatDuration(d time.Duration) string {
+	switch {
+	case d < time.Microsecond:
+		return fmt.Sprintf("%dns", d.Nanoseconds())
+	case d < time.Millisecond:
+		us := float64(d) / float64(time.Microsecond)
+		if us == float64(int64(us)) {
+			return fmt.Sprintf("%dus", int64(us))
+		}
+		return fmt.Sprintf("%.1fus", us)
+	default:
+		return fmt.Sprintf("%.1fms", float64(d)/float64(time.Millisecond))
+	}
+}
+
+// formatACmin renders an ACmin value in the paper's "45.0K" style.
+func formatACmin(v float64) string {
+	if v <= 0 {
+		return "No Bitflip"
+	}
+	if v >= 10000 {
+		return fmt.Sprintf("%.1fK", v/1000)
+	}
+	if v >= 1000 {
+		return fmt.Sprintf("%.2fK", v/1000)
+	}
+	return fmt.Sprintf("%.0f", v)
+}
+
+// formatMs renders a milliseconds value.
+func formatMs(v float64) string {
+	if v <= 0 {
+		return "No Bitflip"
+	}
+	return fmt.Sprintf("%.1f", v)
+}
+
+// Table1 renders the chip inventory (Table 1 of the paper).
+func Table1(w io.Writer, mods []chipdb.ModuleInfo) error {
+	tw := newTableWriter(w, []string{"Mfr.", "ID", "DIMM Part", "DRAM Part", "Die Rev.", "Density", "Org.", "#Chips", "Date"})
+	total := 0
+	for _, mi := range mods {
+		total += mi.NumChips
+		tw.row(
+			fmt.Sprintf("%s (%s)", mi.Mfr, mi.Mfr.Name()),
+			mi.ID, mi.DIMMPart, mi.DRAMPart, mi.DieRev,
+			fmt.Sprintf("%dGb", mi.DensityGbit), mi.Org,
+			fmt.Sprintf("%d", mi.NumChips), orNA(mi.DateCode),
+		)
+	}
+	if err := tw.flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "Total: %d modules, %d chips\n", len(mods), total)
+	return err
+}
+
+func orNA(s string) string {
+	if s == "" {
+		return "N/A"
+	}
+	return s
+}
+
+// Table2 renders the reproduction of Table 2, paper value alongside the
+// measured value for every cell.
+func Table2(w io.Writer, rows []core.Table2Row) error {
+	if _, err := fmt.Fprintln(w, "Table 2: ACmin and time to first bitflip (paper -> measured)"); err != nil {
+		return err
+	}
+	tw := newTableWriter(w, []string{
+		"ID", "Metric",
+		"RH@36ns", "RP@7.8us", "RP@70.2us", "C@7.8us", "C@70.2us",
+	})
+	for _, r := range rows {
+		p, m := r.Info.Paper, r.Measured
+		tw.row(r.Info.ID, "ACmin paper",
+			formatACmin(p.RH.Avg), formatACmin(p.RP78.Avg), formatACmin(p.RP702.Avg),
+			formatACmin(p.C78.Avg), formatACmin(p.C702.Avg))
+		tw.row("", "ACmin measured",
+			formatACmin(m.RH.Avg), formatACmin(m.RP78.Avg), formatACmin(m.RP702.Avg),
+			formatACmin(m.C78.Avg), formatACmin(m.C702.Avg))
+		tw.row("", "time(ms) paper",
+			formatMs(p.TRH.AvgMs), formatMs(p.TRP78.AvgMs), formatMs(p.TRP702.AvgMs),
+			formatMs(p.TC78.AvgMs), formatMs(p.TC702.AvgMs))
+		tw.row("", "time(ms) measured",
+			formatMs(m.TRH.AvgMs), formatMs(m.TRP78.AvgMs), formatMs(m.TRP702.AvgMs),
+			formatMs(m.TC78.AvgMs), formatMs(m.TC702.AvgMs))
+	}
+	return tw.flush()
+}
+
+// Table2CSV emits the Table 2 reproduction as CSV.
+func Table2CSV(w io.Writer, rows []core.Table2Row) error {
+	if _, err := fmt.Fprintln(w, "module,cell,paper_acmin_avg,paper_acmin_min,measured_acmin_avg,measured_acmin_min,paper_ms_avg,paper_ms_min,measured_ms_avg,measured_ms_min"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		cells := []struct {
+			name   string
+			pa, ma chipdb.PaperACmin
+			pt, mt chipdb.PaperTime
+		}{
+			{"RH@36ns", r.Info.Paper.RH, r.Measured.RH, r.Info.Paper.TRH, r.Measured.TRH},
+			{"RP@7.8us", r.Info.Paper.RP78, r.Measured.RP78, r.Info.Paper.TRP78, r.Measured.TRP78},
+			{"RP@70.2us", r.Info.Paper.RP702, r.Measured.RP702, r.Info.Paper.TRP702, r.Measured.TRP702},
+			{"C@7.8us", r.Info.Paper.C78, r.Measured.C78, r.Info.Paper.TC78, r.Measured.TC78},
+			{"C@70.2us", r.Info.Paper.C702, r.Measured.C702, r.Info.Paper.TC702, r.Measured.TC702},
+		}
+		for _, c := range cells {
+			if _, err := fmt.Fprintf(w, "%s,%s,%.0f,%.0f,%.0f,%.0f,%.2f,%.2f,%.2f,%.2f\n",
+				r.Info.ID, c.name,
+				c.pa.Avg, c.pa.Min, c.ma.Avg, c.ma.Min,
+				c.pt.AvgMs, c.pt.MinMs, c.mt.AvgMs, c.mt.MinMs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig4 renders the time-to-first-bitflip and ACmin curves (Fig. 4) as
+// per-manufacturer tables plus ASCII charts.
+func Fig4(w io.Writer, data core.Fig4Data) error {
+	for _, mfr := range mfrOrder {
+		series, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\nFig. 4 — %s\n", mfr); err != nil {
+			return err
+		}
+		tw := newTableWriter(w, []string{
+			"tAggON",
+			"time comb (ms)", "time double (ms)", "time single (ms)",
+			"ACmin comb", "ACmin double", "ACmin single",
+		})
+		n := seriesLen(series)
+		for i := 0; i < n; i++ {
+			var cols [6]string
+			for j, k := range []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided} {
+				pt := series[k][i]
+				if pt.Modules == 0 {
+					cols[j] = "No Bitflip"
+					cols[j+3] = "No Bitflip"
+				} else {
+					cols[j] = fmt.Sprintf("%.2f ±%.2f", pt.TimeMeanMs, pt.TimeStdMs)
+					cols[j+3] = formatACmin(pt.ACminMean)
+				}
+			}
+			agg := series[pattern.Combined][i].AggOn
+			tw.row(FormatDuration(agg), cols[0], cols[1], cols[2], cols[3], cols[4], cols[5])
+		}
+		if err := tw.flush(); err != nil {
+			return err
+		}
+		if err := fig4Chart(w, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func seriesLen(series map[pattern.Kind]core.Fig4Series) int {
+	n := 0
+	for _, s := range series {
+		if len(s) > n {
+			n = len(s)
+		}
+	}
+	return n
+}
+
+// fig4Chart draws a small ASCII chart of time-to-first-bitflip vs tAggON.
+func fig4Chart(w io.Writer, series map[pattern.Kind]core.Fig4Series) error {
+	const height = 12
+	var maxMs float64
+	for _, s := range series {
+		for _, pt := range s {
+			if pt.TimeMeanMs > maxMs {
+				maxMs = pt.TimeMeanMs
+			}
+		}
+	}
+	if maxMs == 0 {
+		return nil
+	}
+	n := seriesLen(series)
+	marks := map[pattern.Kind]byte{
+		pattern.Combined:    'C',
+		pattern.DoubleSided: 'D',
+		pattern.SingleSided: 'S',
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", n*3))
+	}
+	for k, s := range series {
+		for x, pt := range s {
+			if pt.Modules == 0 {
+				continue
+			}
+			y := int(pt.TimeMeanMs / maxMs * float64(height-1))
+			row := height - 1 - y
+			col := x*3 + 1
+			if grid[row][col] == ' ' {
+				grid[row][col] = marks[k]
+			} else {
+				grid[row][col] = '*'
+			}
+		}
+	}
+	if _, err := fmt.Fprintf(w, "  time to first bitflip (top = %.1f ms; C=combined D=double S=single *=overlap)\n", maxMs); err != nil {
+		return err
+	}
+	for _, line := range grid {
+		if _, err := fmt.Fprintf(w, "  |%s\n", line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "  +%s-> tAggON (log sweep)\n", strings.Repeat("-", n*3))
+	return err
+}
+
+// Fig4CSV emits Fig. 4 data as CSV.
+func Fig4CSV(w io.Writer, data core.Fig4Data) error {
+	if _, err := fmt.Fprintln(w, "mfr,pattern,taggon_ns,time_ms_mean,time_ms_std,acmin_mean,acmin_std,modules"); err != nil {
+		return err
+	}
+	for _, mfr := range mfrOrder {
+		series, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		for _, k := range []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided} {
+			for _, pt := range series[k] {
+				if _, err := fmt.Fprintf(w, "%s,%s,%d,%.4f,%.4f,%.1f,%.1f,%d\n",
+					mfr, k.Short(), pt.AggOn.Nanoseconds(),
+					pt.TimeMeanMs, pt.TimeStdMs, pt.ACminMean, pt.ACminStd, pt.Modules); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Fig5 renders the 1->0 bitflip fraction curves (Fig. 5).
+func Fig5(w io.Writer, data core.Fig5Data) error {
+	for _, mfr := range mfrOrder {
+		byDie, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\nFig. 5 — %s: fraction of 1->0 bitflips (combined pattern)\n", mfr); err != nil {
+			return err
+		}
+		labels := sortedKeys(byDie)
+		header := append([]string{"tAggON"}, labels...)
+		tw := newTableWriter(w, header)
+		if len(labels) == 0 {
+			continue
+		}
+		for i := range byDie[labels[0]] {
+			cols := make([]string, 0, len(labels)+1)
+			cols = append(cols, FormatDuration(byDie[labels[0]][i].AggOn))
+			for _, l := range labels {
+				pt := byDie[l][i]
+				if pt.Flips == 0 {
+					cols = append(cols, "-")
+				} else {
+					cols = append(cols, fmt.Sprintf("%.2f (n=%d)", pt.OneToZeroFrac, pt.Flips))
+				}
+			}
+			tw.row(cols...)
+		}
+		if err := tw.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Fig5CSV emits Fig. 5 data as CSV.
+func Fig5CSV(w io.Writer, data core.Fig5Data) error {
+	if _, err := fmt.Fprintln(w, "mfr,die,taggon_ns,one_to_zero_frac,flips"); err != nil {
+		return err
+	}
+	for _, mfr := range mfrOrder {
+		byDie, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		for _, l := range sortedKeys(byDie) {
+			for _, pt := range byDie[l] {
+				if _, err := fmt.Fprintf(w, "%s,%s,%d,%.4f,%d\n",
+					mfr, l, pt.AggOn.Nanoseconds(), pt.OneToZeroFrac, pt.Flips); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6 renders the bitflip overlap curves (Fig. 6).
+func Fig6(w io.Writer, data core.Fig6Data) error {
+	for _, mfr := range mfrOrder {
+		byDie, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		for _, which := range []string{"single-sided", "double-sided"} {
+			if _, err := fmt.Fprintf(w, "\nFig. 6 — %s: overlap of combined vs %s RP(RH)\n", mfr, which); err != nil {
+				return err
+			}
+			labels := sortedKeys(byDie)
+			tw := newTableWriter(w, append([]string{"tAggON"}, labels...))
+			if len(labels) == 0 {
+				continue
+			}
+			pts := func(l string) []core.Fig6Point {
+				if which == "single-sided" {
+					return byDie[l].VsSingle
+				}
+				return byDie[l].VsDouble
+			}
+			for i := range pts(labels[0]) {
+				cols := []string{FormatDuration(pts(labels[0])[i].AggOn)}
+				for _, l := range labels {
+					pt := pts(l)[i]
+					if pt.ConvFlips == 0 {
+						cols = append(cols, "-")
+					} else {
+						cols = append(cols, fmt.Sprintf("%.2f", pt.Overlap))
+					}
+				}
+				tw.row(cols...)
+			}
+			if err := tw.flush(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Fig6CSV emits Fig. 6 data as CSV.
+func Fig6CSV(w io.Writer, data core.Fig6Data) error {
+	if _, err := fmt.Fprintln(w, "mfr,die,versus,taggon_ns,overlap,combined_flips,conv_flips"); err != nil {
+		return err
+	}
+	for _, mfr := range mfrOrder {
+		byDie, ok := data[mfr]
+		if !ok {
+			continue
+		}
+		for _, l := range sortedKeys(byDie) {
+			for _, pt := range byDie[l].VsSingle {
+				if _, err := fmt.Fprintf(w, "%s,%s,single,%d,%.4f,%d,%d\n",
+					mfr, l, pt.AggOn.Nanoseconds(), pt.Overlap, pt.CombinedFlips, pt.ConvFlips); err != nil {
+					return err
+				}
+			}
+			for _, pt := range byDie[l].VsDouble {
+				if _, err := fmt.Fprintf(w, "%s,%s,double,%d,%.4f,%d,%d\n",
+					mfr, l, pt.AggOn.Nanoseconds(), pt.Overlap, pt.CombinedFlips, pt.ConvFlips); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// tableWriter lays out aligned ASCII tables.
+type tableWriter struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+func newTableWriter(w io.Writer, header []string) *tableWriter {
+	return &tableWriter{w: w, header: header}
+}
+
+func (t *tableWriter) row(cols ...string) {
+	t.rows = append(t.rows, cols)
+}
+
+func (t *tableWriter) flush() error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cols []string) string {
+		var b strings.Builder
+		for i, c := range cols {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(widths) {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		return strings.TrimRight(b.String(), " ")
+	}
+	if _, err := fmt.Fprintln(t.w, line(t.header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	if _, err := fmt.Fprintln(t.w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range t.rows {
+		if _, err := fmt.Fprintln(t.w, line(r)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,183 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/timing"
+)
+
+func studyForTest(t *testing.T, sweep []time.Duration) *core.Study {
+	t.Helper()
+	s0, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, err := chipdb.ByID("M1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewStudy(core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{s0, m1},
+		Sweep:         sweep,
+		RowsPerRegion: 4,
+		Dies:          1,
+		Runs:          1,
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFormatDuration(t *testing.T) {
+	tests := []struct {
+		d    time.Duration
+		want string
+	}{
+		{36 * time.Nanosecond, "36ns"},
+		{636 * time.Nanosecond, "636ns"},
+		{7800 * time.Nanosecond, "7.8us"},
+		{70200 * time.Nanosecond, "70.2us"},
+		{300 * time.Microsecond, "300us"},
+		{45 * time.Millisecond, "45.0ms"},
+	}
+	for _, tc := range tests {
+		if got := FormatDuration(tc.d); got != tc.want {
+			t.Errorf("FormatDuration(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestTable1Rendering(t *testing.T) {
+	var b strings.Builder
+	if err := Table1(&b, chipdb.Modules()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"S0", "M4", "Samsung", "84 chips", "14 modules", "K4A8G045WC-BCTD"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table 1 output missing %q", want)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	s := studyForTest(t, timing.Table2Marks())
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Table2(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "No Bitflip") {
+		t.Error("Table 2 output missing No Bitflip cells (M1)")
+	}
+	if !strings.Contains(out, "45.0K") {
+		t.Error("Table 2 output missing paper's S0 RowHammer ACmin")
+	}
+
+	var csv strings.Builder
+	if err := Table2CSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(rows)*5 {
+		t.Errorf("CSV has %d lines, want %d", len(lines), 1+len(rows)*5)
+	}
+	if !strings.HasPrefix(lines[0], "module,cell,") {
+		t.Errorf("CSV header: %q", lines[0])
+	}
+}
+
+func TestFig4Rendering(t *testing.T) {
+	s := studyForTest(t, []time.Duration{timing.TRAS, timing.AggOnTREFI})
+	data, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := Fig4(&b, data); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "Mfr. S") || !strings.Contains(out, "time comb") {
+		t.Errorf("Fig 4 output malformed:\n%s", out)
+	}
+	var csv strings.Builder
+	if err := Fig4CSV(&csv, data); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	// header + 2 mfrs x 3 patterns x 2 points
+	if len(lines) != 1+2*3*2 {
+		t.Errorf("Fig4 CSV has %d lines, want %d", len(lines), 1+12)
+	}
+}
+
+func TestFig5And6Rendering(t *testing.T) {
+	s := studyForTest(t, []time.Duration{timing.TRAS, timing.AggOnTREFI})
+	f5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b5 strings.Builder
+	if err := Fig5(&b5, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b5.String(), "8Gb C-Die") {
+		t.Error("Fig 5 missing die label")
+	}
+	var c5 strings.Builder
+	if err := Fig5CSV(&c5, f5); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(c5.String(), "mfr,die,") {
+		t.Error("Fig 5 CSV header wrong")
+	}
+
+	f6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b6 strings.Builder
+	if err := Fig6(&b6, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b6.String(), "overlap of combined vs single-sided") {
+		t.Error("Fig 6 missing header")
+	}
+	var c6 strings.Builder
+	if err := Fig6CSV(&c6, f6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(c6.String(), ",single,") || !strings.Contains(c6.String(), ",double,") {
+		t.Error("Fig 6 CSV missing versus column values")
+	}
+}
+
+func TestACminDistribution(t *testing.T) {
+	var b strings.Builder
+	values := []float64{20000, 30000, 30500, 45000, 45500, 46000, 60000}
+	if err := ACminDistribution(&b, "S0 test", values); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "n=7") || !strings.Contains(out, "#") {
+		t.Errorf("distribution output malformed:\n%s", out)
+	}
+	b.Reset()
+	if err := ACminDistribution(&b, "empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "no bitflips") {
+		t.Error("empty distribution not reported")
+	}
+}

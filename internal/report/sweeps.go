@@ -1,0 +1,82 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"rowfuse/internal/core"
+)
+
+// TempSweep renders a temperature-sensitivity sweep.
+func TempSweep(w io.Writer, moduleID string, pts []core.TempPoint) error {
+	if _, err := fmt.Fprintf(w, "Temperature sweep — module %s\n", moduleID); err != nil {
+		return err
+	}
+	tw := newTableWriter(w, []string{"temp (C)", "ACmin mean", "ACmin p05", "ACmin p95", "time mean (ms)", "rows flipped"})
+	for _, pt := range pts {
+		if pt.Flipped == 0 {
+			tw.row(fmt.Sprintf("%.0f", pt.TempC), "No Bitflip", "-", "-", "-",
+				fmt.Sprintf("0/%d", pt.Total))
+			continue
+		}
+		tw.row(
+			fmt.Sprintf("%.0f", pt.TempC),
+			fmt.Sprintf("%.0f", pt.ACmin.Mean),
+			fmt.Sprintf("%.0f", pt.ACmin.P05),
+			fmt.Sprintf("%.0f", pt.ACmin.P95),
+			fmt.Sprintf("%.2f", pt.TimeMs.Mean),
+			fmt.Sprintf("%d/%d", pt.Flipped, pt.Total),
+		)
+	}
+	return tw.flush()
+}
+
+// TempSweepCSV emits a temperature sweep as CSV.
+func TempSweepCSV(w io.Writer, moduleID string, pts []core.TempPoint) error {
+	if _, err := fmt.Fprintln(w, "module,temp_c,acmin_mean,acmin_p05,acmin_p95,time_ms_mean,flipped,total"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%.1f,%.1f,%.1f,%.1f,%.4f,%d,%d\n",
+			moduleID, pt.TempC, pt.ACmin.Mean, pt.ACmin.P05, pt.ACmin.P95,
+			pt.TimeMs.Mean, pt.Flipped, pt.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DataPatternSweep renders a data-pattern-dependence sweep.
+func DataPatternSweep(w io.Writer, moduleID string, pts []core.DataPatternPoint) error {
+	if _, err := fmt.Fprintf(w, "Data-pattern sweep — module %s\n", moduleID); err != nil {
+		return err
+	}
+	tw := newTableWriter(w, []string{"pattern", "ACmin mean", "1->0 fraction", "rows flipped"})
+	for _, pt := range pts {
+		if pt.Flipped == 0 {
+			tw.row(pt.Pattern.String(), "No Bitflip", "-", fmt.Sprintf("0/%d", pt.Total))
+			continue
+		}
+		tw.row(
+			pt.Pattern.String(),
+			fmt.Sprintf("%.0f", pt.ACmin.Mean),
+			fmt.Sprintf("%.2f", pt.OneToZeroFrac),
+			fmt.Sprintf("%d/%d", pt.Flipped, pt.Total),
+		)
+	}
+	return tw.flush()
+}
+
+// DataPatternSweepCSV emits a data-pattern sweep as CSV.
+func DataPatternSweepCSV(w io.Writer, moduleID string, pts []core.DataPatternPoint) error {
+	if _, err := fmt.Fprintln(w, "module,pattern,acmin_mean,one_to_zero_frac,flipped,total"); err != nil {
+		return err
+	}
+	for _, pt := range pts {
+		if _, err := fmt.Fprintf(w, "%s,%s,%.1f,%.4f,%d,%d\n",
+			moduleID, pt.Pattern, pt.ACmin.Mean, pt.OneToZeroFrac, pt.Flipped, pt.Total); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"rowfuse/internal/analysis"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+)
+
+func tempPoints() []core.TempPoint {
+	sum := analysis.Summary{N: 10, Mean: 20000, P05: 15000, P95: 26000}
+	tsum := analysis.Summary{N: 10, Mean: 5.5}
+	return []core.TempPoint{
+		{TempC: 50, ACmin: sum, TimeMs: tsum, Flipped: 10, Total: 10},
+		{TempC: 85, ACmin: sum, TimeMs: tsum, Flipped: 10, Total: 10},
+		{TempC: 30, Flipped: 0, Total: 10},
+	}
+}
+
+func TestTempSweepRendering(t *testing.T) {
+	var b strings.Builder
+	if err := TempSweep(&b, "S1", tempPoints()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Temperature sweep", "20000", "No Bitflip", "10/10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := TempSweepCSV(&csv, "S1", tempPoints()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 4 {
+		t.Errorf("CSV has %d lines, want 4", len(lines))
+	}
+}
+
+func TestDataPatternSweepRendering(t *testing.T) {
+	pts := []core.DataPatternPoint{
+		{Pattern: device.Checkerboard, ACmin: analysis.Summary{Mean: 28000}, OneToZeroFrac: 0.3, Flipped: 9, Total: 10},
+		{Pattern: device.AllOnes, Flipped: 0, Total: 10},
+	}
+	var b strings.Builder
+	if err := DataPatternSweep(&b, "S1", pts); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"checkerboard", "28000", "No Bitflip", "9/10"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	var csv strings.Builder
+	if err := DataPatternSweepCSV(&csv, "S1", pts); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "module,pattern,") {
+		t.Error("CSV header wrong")
+	}
+}
+
+func TestFormatACminAndMs(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "No Bitflip"},
+		{762, "762"},
+		{1300, "1.30K"},
+		{45000, "45.0K"},
+	}
+	for _, tc := range cases {
+		if got := formatACmin(tc.v); got != tc.want {
+			t.Errorf("formatACmin(%g) = %q, want %q", tc.v, got, tc.want)
+		}
+	}
+	if formatMs(0) != "No Bitflip" || formatMs(45.62) != "45.6" {
+		t.Error("formatMs wrong")
+	}
+}

@@ -1,0 +1,202 @@
+// Package resultio serializes characterization results to JSON so
+// full-scale runs can be archived, diffed against the paper's numbers,
+// and re-rendered without re-running the sweeps.
+package resultio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+// FormatVersion identifies the archive schema.
+const FormatVersion = 1
+
+// Archive is a self-describing bundle of reproduced tables and figures.
+type Archive struct {
+	Version int `json:"version"`
+	// Meta records how the results were produced.
+	Meta Meta `json:"meta"`
+	// Fig4/Fig5/Fig6/Table2 are present if the corresponding
+	// reproduction ran.
+	Fig4   []Fig4Row   `json:"fig4,omitempty"`
+	Fig5   []Fig5Row   `json:"fig5,omitempty"`
+	Fig6   []Fig6Row   `json:"fig6,omitempty"`
+	Table2 []Table2Row `json:"table2,omitempty"`
+}
+
+// Meta describes a run.
+type Meta struct {
+	Paper         string  `json:"paper"`
+	RowsPerRegion int     `json:"rowsPerRegion"`
+	Dies          int     `json:"dies"`
+	Runs          int     `json:"runs"`
+	BudgetMs      int64   `json:"budgetMs"`
+	TempC         float64 `json:"tempC"`
+}
+
+// Fig4Row is one (manufacturer, pattern, tAggON) curve point.
+type Fig4Row struct {
+	Mfr        string  `json:"mfr"`
+	Pattern    string  `json:"pattern"`
+	AggOnNs    int64   `json:"taggonNs"`
+	TimeMeanMs float64 `json:"timeMeanMs"`
+	TimeStdMs  float64 `json:"timeStdMs"`
+	ACminMean  float64 `json:"acminMean"`
+	ACminStd   float64 `json:"acminStd"`
+	Modules    int     `json:"modules"`
+}
+
+// Fig5Row is one (manufacturer, die, tAggON) directionality point.
+type Fig5Row struct {
+	Mfr           string  `json:"mfr"`
+	Die           string  `json:"die"`
+	AggOnNs       int64   `json:"taggonNs"`
+	OneToZeroFrac float64 `json:"oneToZeroFrac"`
+	Flips         int     `json:"flips"`
+}
+
+// Fig6Row is one (manufacturer, die, reference pattern, tAggON) overlap
+// point.
+type Fig6Row struct {
+	Mfr           string  `json:"mfr"`
+	Die           string  `json:"die"`
+	Versus        string  `json:"versus"`
+	AggOnNs       int64   `json:"taggonNs"`
+	Overlap       float64 `json:"overlap"`
+	CombinedFlips int     `json:"combinedFlips"`
+	ConvFlips     int     `json:"convFlips"`
+}
+
+// Table2Row is one module's paper-vs-measured Table 2 record.
+type Table2Row struct {
+	Module   string       `json:"module"`
+	Paper    Table2Values `json:"paper"`
+	Measured Table2Values `json:"measured"`
+}
+
+// Table2Values carries the five ACmin and five time cells.
+type Table2Values struct {
+	RHACmin    Cell `json:"rhAcmin"`
+	RP78ACmin  Cell `json:"rp78Acmin"`
+	RP702ACmin Cell `json:"rp702Acmin"`
+	C78ACmin   Cell `json:"c78Acmin"`
+	C702ACmin  Cell `json:"c702Acmin"`
+	RHMs       Cell `json:"rhMs"`
+	RP78Ms     Cell `json:"rp78Ms"`
+	RP702Ms    Cell `json:"rp702Ms"`
+	C78Ms      Cell `json:"c78Ms"`
+	C702Ms     Cell `json:"c702Ms"`
+}
+
+// Cell is one Avg/Min pair; zero values mean "No Bitflip".
+type Cell struct {
+	Avg float64 `json:"avg"`
+	Min float64 `json:"min"`
+}
+
+// NewArchive converts study extracts into an archive.
+func NewArchive(meta Meta, fig4 core.Fig4Data, fig5 core.Fig5Data, fig6 core.Fig6Data, table2 []core.Table2Row) *Archive {
+	a := &Archive{Version: FormatVersion, Meta: meta}
+	mfrs := []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM}
+	kinds := []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided}
+
+	for _, mfr := range mfrs {
+		series, ok := fig4[mfr]
+		if !ok {
+			continue
+		}
+		for _, k := range kinds {
+			for _, pt := range series[k] {
+				a.Fig4 = append(a.Fig4, Fig4Row{
+					Mfr: mfr.String(), Pattern: k.Short(), AggOnNs: pt.AggOn.Nanoseconds(),
+					TimeMeanMs: pt.TimeMeanMs, TimeStdMs: pt.TimeStdMs,
+					ACminMean: pt.ACminMean, ACminStd: pt.ACminStd, Modules: pt.Modules,
+				})
+			}
+		}
+	}
+	for _, mfr := range mfrs {
+		for die, pts := range fig5[mfr] {
+			for _, pt := range pts {
+				a.Fig5 = append(a.Fig5, Fig5Row{
+					Mfr: mfr.String(), Die: die, AggOnNs: pt.AggOn.Nanoseconds(),
+					OneToZeroFrac: pt.OneToZeroFrac, Flips: pt.Flips,
+				})
+			}
+		}
+	}
+	for _, mfr := range mfrs {
+		for die, curves := range fig6[mfr] {
+			emit := func(versus string, pts []core.Fig6Point) {
+				for _, pt := range pts {
+					a.Fig6 = append(a.Fig6, Fig6Row{
+						Mfr: mfr.String(), Die: die, Versus: versus,
+						AggOnNs: pt.AggOn.Nanoseconds(), Overlap: pt.Overlap,
+						CombinedFlips: pt.CombinedFlips, ConvFlips: pt.ConvFlips,
+					})
+				}
+			}
+			emit("single", curves.VsSingle)
+			emit("double", curves.VsDouble)
+		}
+	}
+	for _, row := range table2 {
+		a.Table2 = append(a.Table2, Table2Row{
+			Module:   row.Info.ID,
+			Paper:    toValues(row.Info.Paper),
+			Measured: toValues(row.Measured),
+		})
+	}
+	return a
+}
+
+func toValues(p chipdb.PaperNumbers) Table2Values {
+	c := func(a chipdb.PaperACmin) Cell { return Cell{Avg: a.Avg, Min: a.Min} }
+	ms := func(t chipdb.PaperTime) Cell { return Cell{Avg: t.AvgMs, Min: t.MinMs} }
+	return Table2Values{
+		RHACmin: c(p.RH), RP78ACmin: c(p.RP78), RP702ACmin: c(p.RP702),
+		C78ACmin: c(p.C78), C702ACmin: c(p.C702),
+		RHMs: ms(p.TRH), RP78Ms: ms(p.TRP78), RP702Ms: ms(p.TRP702),
+		C78Ms: ms(p.TC78), C702Ms: ms(p.TC702),
+	}
+}
+
+// Save writes the archive as indented JSON.
+func Save(w io.Writer, a *Archive) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(a); err != nil {
+		return fmt.Errorf("resultio: encode: %w", err)
+	}
+	return nil
+}
+
+// Load reads an archive and validates its version.
+func Load(r io.Reader) (*Archive, error) {
+	var a Archive
+	if err := json.NewDecoder(r).Decode(&a); err != nil {
+		return nil, fmt.Errorf("resultio: decode: %w", err)
+	}
+	if a.Version != FormatVersion {
+		return nil, fmt.Errorf("resultio: unsupported archive version %d (want %d)", a.Version, FormatVersion)
+	}
+	return &a, nil
+}
+
+// MetaFromStudy derives archive metadata from a study configuration.
+func MetaFromStudy(cfg core.StudyConfig) Meta {
+	return Meta{
+		Paper:         "Luo et al., Combined RowHammer and RowPress, DSN Disrupt 2024",
+		RowsPerRegion: cfg.RowsPerRegion,
+		Dies:          cfg.Dies,
+		Runs:          cfg.Runs,
+		BudgetMs:      int64(cfg.Opts.Budget / time.Millisecond),
+		TempC:         cfg.Opts.TempC,
+	}
+}

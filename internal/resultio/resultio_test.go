@@ -1,0 +1,121 @@
+package resultio
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/timing"
+)
+
+func archiveForTest(t *testing.T) *Archive {
+	t.Helper()
+	s0, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{s0},
+		Sweep:         timing.Table2Marks(),
+		RowsPerRegion: 4,
+		Dies:          1,
+		Runs:          1,
+	}
+	s := core.NewStudy(cfg)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig5, err := s.Fig5()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig6, err := s.Fig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table2, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewArchive(MetaFromStudy(s.Config()), fig4, fig5, fig6, table2)
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	a := archiveForTest(t)
+	if a.Version != FormatVersion {
+		t.Fatalf("version = %d", a.Version)
+	}
+	if len(a.Fig4) == 0 || len(a.Fig5) == 0 || len(a.Fig6) == 0 || len(a.Table2) == 0 {
+		t.Fatalf("archive incomplete: %d/%d/%d/%d", len(a.Fig4), len(a.Fig5), len(a.Fig6), len(a.Table2))
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Fig4) != len(a.Fig4) || len(got.Table2) != len(a.Table2) {
+		t.Error("round trip changed row counts")
+	}
+	if got.Table2[0].Module != "S0" {
+		t.Errorf("module = %q", got.Table2[0].Module)
+	}
+	if got.Table2[0].Paper.RHACmin.Avg != 45000 {
+		t.Errorf("paper RH avg = %g", got.Table2[0].Paper.RHACmin.Avg)
+	}
+	if got.Table2[0].Measured.RHACmin.Avg == 0 {
+		t.Error("measured RH missing")
+	}
+}
+
+func TestArchiveJSONShape(t *testing.T) {
+	a := archiveForTest(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, a); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"version": 1`, `"taggonNs": 36`, `"mfr": "Mfr. S"`, `"rhAcmin"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %q", want)
+		}
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"version": 99}`)); err == nil {
+		t.Error("bad version accepted")
+	}
+	if _, err := Load(strings.NewReader(`{garbage`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestMetaFromStudy(t *testing.T) {
+	cfg := core.StudyConfig{
+		RowsPerRegion: 1000,
+		Dies:          2,
+		Runs:          3,
+		Opts: core.RunOpts{
+			Budget: 60 * time.Millisecond,
+			TempC:  50,
+		},
+	}
+	m := MetaFromStudy(cfg)
+	if m.RowsPerRegion != 1000 || m.BudgetMs != 60 || m.TempC != 50 {
+		t.Errorf("meta = %+v", m)
+	}
+	if m.Paper == "" {
+		t.Error("paper reference missing")
+	}
+}

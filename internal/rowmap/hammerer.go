@@ -1,0 +1,120 @@
+package rowmap
+
+import (
+	"fmt"
+	"time"
+
+	"rowfuse/internal/device"
+	"rowfuse/internal/timing"
+)
+
+// DeviceHammerer backs the reverse-engineering search with a simulated
+// DRAM bank: it double-sided-hammers candidate logical row pairs and
+// reports which logical rows collected bitflips.
+type DeviceHammerer struct {
+	bank    *device.Bank
+	timings timing.Set
+	// totalActs is the total activation budget per pair; it must exceed
+	// the die's double-sided ACmin but stay below the single-sided one
+	// so only true double-sided victims flip.
+	totalActs int64
+	// window is how many rows around the pair are checked.
+	window int
+	// now is the running device clock.
+	now time.Duration
+}
+
+// DeviceHammererConfig configures a DeviceHammerer.
+type DeviceHammererConfig struct {
+	Bank    *device.Bank
+	Timings timing.Set
+	// TotalActs defaults to 1.5x the profile's HammerACmin when zero.
+	TotalActs int64
+	// HammerACmin supplies the default activation budget.
+	HammerACmin float64
+	// Window defaults to 8.
+	Window int
+}
+
+// NewDeviceHammerer builds a hammerer.
+func NewDeviceHammerer(cfg DeviceHammererConfig) (*DeviceHammerer, error) {
+	if cfg.Bank == nil {
+		return nil, fmt.Errorf("rowmap: hammerer needs a bank")
+	}
+	if cfg.Timings == (timing.Set{}) {
+		cfg.Timings = timing.Default()
+	}
+	if cfg.TotalActs == 0 {
+		if cfg.HammerACmin <= 0 {
+			return nil, fmt.Errorf("rowmap: need TotalActs or HammerACmin")
+		}
+		cfg.TotalActs = int64(1.5 * cfg.HammerACmin)
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 8
+	}
+	return &DeviceHammerer{
+		bank:      cfg.Bank,
+		timings:   cfg.Timings,
+		totalActs: cfg.TotalActs,
+		window:    cfg.Window,
+	}, nil
+}
+
+var _ Hammerer = (*DeviceHammerer)(nil)
+
+// HammerPair implements Hammerer: initialize the neighbourhood, hammer
+// the two logical rows alternately with minimal on-time (pure
+// double-sided RowHammer), and compare every non-aggressor row.
+func (h *DeviceHammerer) HammerPair(logicalA, logicalB int) ([]int, error) {
+	lo := logicalA - h.window
+	hi := logicalB + h.window
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= h.bank.NumRows() {
+		hi = h.bank.NumRows() - 1
+	}
+
+	rowBytes := h.bank.RowBytes()
+	victimData := device.FillRow(rowBytes, 0x55)
+	aggData := device.FillRow(rowBytes, 0xAA)
+	for r := lo; r <= hi; r++ {
+		data := victimData
+		if r == logicalA || r == logicalB {
+			data = aggData
+		}
+		if err := h.bank.WriteRow(r, data, h.now); err != nil {
+			return nil, fmt.Errorf("init row %d: %w", r, err)
+		}
+	}
+
+	iterations := h.totalActs / 2
+	for i := int64(0); i < iterations; i++ {
+		for _, row := range []int{logicalA, logicalB} {
+			if err := h.bank.Activate(row, h.now); err != nil {
+				return nil, err
+			}
+			h.now += h.timings.TRAS
+			if err := h.bank.Precharge(h.now); err != nil {
+				return nil, err
+			}
+			h.now += h.timings.TRP
+		}
+	}
+
+	var victims []int
+	for r := lo; r <= hi; r++ {
+		if r == logicalA || r == logicalB {
+			continue
+		}
+		flips, err := h.bank.CompareRow(r, h.now)
+		if err != nil {
+			return nil, err
+		}
+		if len(flips) > 0 {
+			victims = append(victims, r)
+		}
+	}
+	return victims, nil
+}
