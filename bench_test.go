@@ -396,6 +396,48 @@ func BenchmarkGenerateRowCells(b *testing.B) {
 	}
 }
 
+// BenchmarkBankEngineCharacterizeRow guards the per-precharge cost of
+// the ground-truth path: with the Bank's flip-generation counter the
+// engine's first-flip check is one integer compare per precharge
+// instead of a walk over the victim's weak-cell population. The
+// remaining cell-count sensitivity (compare the DenseCells variant) is
+// the bank's disturbance physics itself, which must touch every weak
+// cell of the blast radius per precharge.
+func benchBankEngineCharacterize(b *testing.B, cellsPerMech int) {
+	profile := benchProfile()
+	profile.WeakCellsPerMech = cellsPerMech
+	bank, err := device.NewBank(device.BankConfig{
+		Profile: profile,
+		Params:  device.DefaultParams(),
+		NumRows: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewBankEngine(bank)
+	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CharacterizeRow(100+i%3800, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	act, pre, _ := bank.Counters()
+	b.ReportMetric(float64(act)/float64(b.N), "acts/op")
+	b.ReportMetric(float64(pre)/float64(b.N), "pres/op")
+}
+
+func BenchmarkBankEngineCharacterizeRow(b *testing.B) {
+	benchBankEngineCharacterize(b, 24)
+}
+
+func BenchmarkBankEngineCharacterizeRowDenseCells(b *testing.B) {
+	benchBankEngineCharacterize(b, 192)
+}
+
 func BenchmarkAnalyticCharacterizeRow(b *testing.B) {
 	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
 		Profile: benchProfile(),

@@ -9,6 +9,21 @@
 //
 //	characterize -exp fig4 -rows 100 -dies 2
 //	characterize -exp table2 -rows 1000 -runs 3 -csv out/
+//
+// Paper-scale campaigns can be split across processes and machines and
+// survive crashes. Each shard runs a deterministic 1/n slice of the
+// (module x pattern x tAggON) cell grid and checkpoints its per-cell
+// aggregates; -merge fuses the shard checkpoints and renders the same
+// output an unsharded run would have produced:
+//
+//	characterize -exp all -shard 1/3 -checkpoint s1.json   # one per process
+//	characterize -exp all -shard 2/3 -checkpoint s2.json
+//	characterize -exp all -shard 3/3 -checkpoint s3.json
+//	characterize -exp all -merge s1.json,s2.json,s3.json
+//
+// A killed run resumes from its last checkpoint with -resume:
+//
+//	characterize -exp all -shard 2/3 -checkpoint s2.json -resume
 package main
 
 import (
@@ -17,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"rowfuse/internal/chipdb"
@@ -48,9 +64,42 @@ func run(args []string) error {
 		temp    = fs.Float64("temp", 50, "die temperature in Celsius (paper: 50)")
 		budget  = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+
+		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
+		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
+		resume    = fs.Bool("resume", false, "load the -checkpoint file if present and skip completed cells")
+		mergeList = fs.String("merge", "", "comma-separated shard checkpoints to fuse and render (no cells are re-run)")
+		ckptEvery = fs.Int("checkpoint-every", 16, "checkpoint after every N completed cells")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"
+	// (a script templating i/n with n=1) must behave like every other
+	// shard run — checkpoint only, render at -merge time.
+	sharded := *shardFlag != ""
+	var shard core.ShardPlan
+	if sharded {
+		var err error
+		if shard, err = core.ParseShard(*shardFlag); err != nil {
+			return err
+		}
+		if *ckptPath == "" {
+			return fmt.Errorf("-shard without -checkpoint would discard the shard's results")
+		}
+		if *mergeList != "" {
+			return fmt.Errorf("-shard and -merge are mutually exclusive")
+		}
+		if *jsonOut != "" || *csvDir != "" {
+			return fmt.Errorf("-json/-csv render the whole grid; a shard run only checkpoints (render them at -merge time)")
+		}
+	}
+	if *resume && *ckptPath == "" {
+		return fmt.Errorf("-resume needs -checkpoint to name the file to resume from")
+	}
+	if *mergeList != "" && *resume {
+		return fmt.Errorf("-merge renders existing checkpoints; -resume does not apply")
 	}
 
 	mods := chipdb.Modules()
@@ -62,6 +111,12 @@ func run(args []string) error {
 		mods = []chipdb.ModuleInfo{mi}
 	}
 
+	switch *exp {
+	case "table1", "tempsweep", "datapattern", "hcdist":
+		if *shardFlag != "" || *ckptPath != "" || *mergeList != "" {
+			return fmt.Errorf("-shard/-checkpoint/-merge apply to campaign experiments only, not -exp %s", *exp)
+		}
+	}
 	switch *exp {
 	case "table1":
 		return report.Table1(os.Stdout, mods)
@@ -95,15 +150,88 @@ func run(args []string) error {
 				fmt.Fprintf(os.Stderr, "  %d/%d cells\n", done, total)
 			}
 		},
+		Shard:           shard,
+		CheckpointEvery: *ckptEvery,
+	}
+	fingerprint := cfg.Fingerprint()
+	if *ckptPath != "" {
+		cfg.Checkpoint = func(cells map[core.CellKey]core.AggregateState) error {
+			return resultio.WriteCheckpointFile(*ckptPath, resultio.NewCheckpoint(fingerprint, shard, cells))
+		}
 	}
 	study := core.NewStudy(cfg)
-	start := time.Now()
-	fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points (%d rows/region, %d runs)...\n",
-		len(mods), 3, len(sweep), *rows, *runs)
-	if err := study.Run(context.Background()); err != nil {
-		return err
+
+	if *mergeList != "" {
+		var cps []*resultio.Checkpoint
+		for _, path := range strings.Split(*mergeList, ",") {
+			cp, err := resultio.ReadCheckpointFile(strings.TrimSpace(path), fingerprint)
+			if err != nil {
+				return err
+			}
+			cps = append(cps, cp)
+		}
+		merged, err := resultio.MergeCheckpoints(cps...)
+		if err != nil {
+			return err
+		}
+		cells, err := merged.CellMap()
+		if err != nil {
+			return err
+		}
+		if err := study.Seed(cells); err != nil {
+			return err
+		}
+		if grid := len(study.Cells()); len(cells) < grid {
+			return fmt.Errorf("merged checkpoints cover %d of %d cells; a shard file is missing from -merge", len(cells), grid)
+		}
+		if *ckptPath != "" {
+			if err := resultio.WriteCheckpointFile(*ckptPath, merged); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "merged checkpoint written to %s\n", *ckptPath)
+		}
+		fmt.Fprintf(os.Stderr, "merged %d checkpoints: %d cells restored, nothing re-run\n", len(cps), len(cells))
+	} else {
+		if *resume {
+			cp, err := resultio.ReadCheckpointFile(*ckptPath, fingerprint)
+			switch {
+			case os.IsNotExist(err):
+				fmt.Fprintf(os.Stderr, "no checkpoint at %s yet, starting fresh\n", *ckptPath)
+			case err != nil:
+				return err
+			case cp.Shard != shard.String():
+				// The fingerprint deliberately excludes the shard, so a
+				// cross-shard resume would silently pollute the file and
+				// double-count cells at -merge time.
+				return fmt.Errorf("%s was written by shard %q, not %q; resume the matching file",
+					*ckptPath, cp.Shard, shard.String())
+			default:
+				cells, err := cp.CellMap()
+				if err != nil {
+					return err
+				}
+				if err := study.Seed(cells); err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "resumed %d completed cells from %s\n", len(cells), *ckptPath)
+			}
+		}
+		start := time.Now()
+		fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points (%d rows/region, %d runs)...\n",
+			len(mods), 3, len(sweep), *rows, *runs)
+		if err := study.Run(context.Background()); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "study done in %v\n", time.Since(start).Round(time.Millisecond))
 	}
-	fmt.Fprintf(os.Stderr, "study done in %v\n", time.Since(start).Round(time.Millisecond))
+
+	if sharded {
+		// A shard covers only 1/n of the cell grid; rendering waits for
+		// -merge over all shard checkpoints.
+		fmt.Fprintf(os.Stderr, "shard %s done: %d cells checkpointed to %s (render with -merge)\n",
+			*shardFlag, len(study.Snapshot()), *ckptPath)
+		return nil
+	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	var csv func(name string, emit func(f *os.File) error) error

@@ -102,6 +102,131 @@ func TestRunJSONRequiresAll(t *testing.T) {
 	}
 }
 
+func TestRunShardMergeMatchesUnsharded(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1"}
+	var paths []string
+	for i := 1; i <= 3; i++ {
+		path := filepath.Join(dir, "s"+string(rune('0'+i))+".json")
+		paths = append(paths, path)
+		capture(t, func() error {
+			return run(append(append([]string{}, base...),
+				"-shard", string(rune('0'+i))+"/3", "-checkpoint", path))
+		})
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("shard %d wrote no checkpoint: %v", i, err)
+		}
+	}
+	merged := capture(t, func() error {
+		return run(append(append([]string{}, base...), "-merge", strings.Join(paths, ",")))
+	})
+	single := capture(t, func() error { return run(base) })
+	if merged != single {
+		t.Errorf("merged rendering differs from unsharded run:\n--- merged ---\n%s\n--- single ---\n%s", merged, single)
+	}
+}
+
+func TestRunResumeFromCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	args := []string{"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1", "-checkpoint", path}
+	first := capture(t, func() error { return run(args) })
+	// Resuming over the complete checkpoint recomputes nothing and
+	// renders identically.
+	resumed := capture(t, func() error { return run(append(append([]string{}, args...), "-resume")) })
+	if first != resumed {
+		t.Errorf("resumed rendering differs:\n%s\nvs\n%s", resumed, first)
+	}
+	// Resume under a different config must refuse the checkpoint.
+	bad := []string{"-exp", "all", "-module", "M4", "-rows", "4", "-runs", "1", "-checkpoint", path, "-resume"}
+	if err := run(bad); err == nil {
+		t.Error("config-mismatched resume accepted")
+	}
+}
+
+func TestRunShardOneOfOneBehavesLikeAShard(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s1.json")
+	base := []string{"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1"}
+	// A degenerate 1/1 shard (scripts templating i/n with n=1) still
+	// only checkpoints; tables appear at -merge time.
+	out := capture(t, func() error {
+		return run(append(append([]string{}, base...), "-shard", "1/1", "-checkpoint", path))
+	})
+	if out != "" {
+		t.Errorf("-shard 1/1 rendered to stdout:\n%s", out)
+	}
+	merged := capture(t, func() error {
+		return run(append(append([]string{}, base...), "-merge", path))
+	})
+	single := capture(t, func() error { return run(base) })
+	if merged != single {
+		t.Error("merge of the 1/1 shard differs from the unsharded run")
+	}
+}
+
+func TestRunResumeRejectsWrongShardFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s1.json")
+	base := []string{"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1"}
+	capture(t, func() error {
+		return run(append(append([]string{}, base...), "-shard", "1/3", "-checkpoint", path))
+	})
+	// Resuming shard 2/3 from shard 1/3's file must refuse (it would
+	// pollute the file and double-count cells at merge time).
+	if err := run(append(append([]string{}, base...), "-shard", "2/3", "-checkpoint", path, "-resume")); err == nil {
+		t.Error("cross-shard resume accepted")
+	}
+	// Unsharded resume from a shard file must refuse too.
+	if err := run(append(append([]string{}, base...), "-checkpoint", path, "-resume")); err == nil {
+		t.Error("unsharded resume from a shard checkpoint accepted")
+	}
+}
+
+func TestRunMergeRejectsIncompleteGrid(t *testing.T) {
+	dir := t.TempDir()
+	base := []string{"-exp", "all", "-module", "M4", "-rows", "3", "-runs", "1"}
+	var paths []string
+	for i := 1; i <= 2; i++ {
+		path := filepath.Join(dir, "s"+string(rune('0'+i))+".json")
+		paths = append(paths, path)
+		capture(t, func() error {
+			return run(append(append([]string{}, base...),
+				"-shard", string(rune('0'+i))+"/3", "-checkpoint", path))
+		})
+	}
+	// Only 2 of 3 shards: rendering would fail deep in an extractor, so
+	// the merge must refuse up front.
+	err := run(append(append([]string{}, base...), "-merge", strings.Join(paths, ",")))
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("incomplete merge err = %v, want a missing-shard complaint", err)
+	}
+	// The same shard listed twice would double-count its cells.
+	dup := strings.Join([]string{paths[0], paths[0], paths[1]}, ",")
+	err = run(append(append([]string{}, base...), "-merge", dup))
+	if err == nil || !strings.Contains(err.Error(), "several checkpoints") {
+		t.Errorf("duplicate-shard merge err = %v, want an overlap complaint", err)
+	}
+}
+
+func TestRunShardFlagValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"shard without checkpoint": {"-exp", "all", "-module", "M4", "-shard", "1/2"},
+		"shard with merge":         {"-exp", "all", "-module", "M4", "-shard", "1/2", "-checkpoint", "x.json", "-merge", "a.json"},
+		"bad shard spec":           {"-exp", "all", "-module", "M4", "-shard", "5/2", "-checkpoint", "x.json"},
+		"resume without file flag": {"-exp", "all", "-module", "M4", "-resume"},
+		"merge with resume":        {"-exp", "all", "-module", "M4", "-merge", "a.json", "-resume"},
+		"shard on tempsweep":       {"-exp", "tempsweep", "-module", "M4", "-shard", "1/2", "-checkpoint", "x.json"},
+		"merge missing file":       {"-exp", "all", "-module", "M4", "-merge", "/does/not/exist.json"},
+		"shard with json":          {"-exp", "all", "-module", "M4", "-shard", "1/2", "-checkpoint", "x.json", "-json", "out.json"},
+		"shard with csv":           {"-exp", "all", "-module", "M4", "-shard", "1/2", "-checkpoint", "x.json", "-csv", "out"},
+	} {
+		if err := run(args); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
 func TestRunHCDist(t *testing.T) {
 	out := capture(t, func() error {
 		return run([]string{"-exp", "hcdist", "-module", "S2", "-rows", "4"})

@@ -26,10 +26,33 @@
 //     study orchestration behind every figure and table;
 //   - internal/mitigation — TRR and rank-ECC models (the paper's
 //     future-work item on mitigations);
-//   - internal/report — table/figure renderers and CSV emitters.
+//   - internal/report — table/figure renderers and CSV emitters;
+//   - internal/resultio — JSON result archives and campaign
+//     checkpoints.
 //
-// See README.md for a quickstart, DESIGN.md for the model derivation and
-// calibration, and EXPERIMENTS.md for paper-vs-measured numbers. The
+// # Campaigns, shards and checkpoints
+//
+// A characterization campaign (core.Study) evaluates a cell grid of
+// (module, pattern, tAggON) combinations. Three pieces make campaigns
+// scale past one process and survive crashes:
+//
+//   - core.ShardPlan deterministically partitions the cell grid into
+//     i/n slices; independent processes each run one shard, and because
+//     every cell is computed wholly inside one shard, fusing shards is
+//     bit-identical to a monolithic run.
+//   - core.AggregateState is the serializable, mergeable per-cell
+//     aggregate (Welford moments, minima, flip sets). Study.Snapshot
+//     exports it, Study.Seed restores it, and a seeded cell is skipped
+//     on the next Run — which is all "resume" is.
+//   - resultio checkpoints persist snapshots with a config fingerprint
+//     and an atomically-replaced file format; SaveCheckpoint,
+//     LoadCheckpoint and MergeCheckpoints (with the sentinel errors
+//     ErrBadCheckpoint and ErrConfigMismatch) round out the cycle.
+//
+// cmd/characterize wires these together behind -shard, -checkpoint,
+// -resume and -merge.
+//
+// See README.md for a quickstart and shard/resume examples. The
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation.
 package rowfuse

@@ -1,0 +1,3 @@
+module rowfuse
+
+go 1.24

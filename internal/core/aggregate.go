@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"rowfuse/internal/device"
 )
@@ -24,6 +25,27 @@ func (w *welford) add(v float64) {
 	d := v - w.mean
 	w.mean += d / float64(w.n)
 	w.m2 += d * (v - w.mean)
+}
+
+// merge folds another accumulator into w (Chan et al.'s parallel
+// update). Merging with an empty accumulator is exact; merging two
+// non-empty halves matches the sequential fold up to float rounding.
+func (w *welford) merge(o welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	if o.min < w.min {
+		w.min = o.min
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.mean += d * float64(o.n) / float64(n)
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.n = n
 }
 
 func (w *welford) stats(total int) Stats {
@@ -52,6 +74,91 @@ type cellAggregate struct {
 
 func newCellAggregate() *cellAggregate {
 	return &cellAggregate{flipKeys: make(map[uint64]struct{})}
+}
+
+// WelfordState is the serializable state of an online mean/variance/min
+// accumulator. Round-tripping through JSON is exact: Go encodes float64
+// with the shortest representation that parses back bit-identically.
+type WelfordState struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+}
+
+// AggregateState is the complete, serializable state of one cell's
+// aggregate. It is what checkpoints persist: restoring it and resuming
+// observation is indistinguishable from never having stopped.
+type AggregateState struct {
+	Total     int          `json:"total"`
+	ACmin     WelfordState `json:"acmin"`
+	TimeSec   WelfordState `json:"timeSec"`
+	Flips     int          `json:"flips"`
+	OneToZero int          `json:"oneToZero"`
+	// FlipKeys is the sorted unique (die, row, bit) flip set.
+	FlipKeys []uint64 `json:"flipKeys,omitempty"`
+}
+
+// State exports the aggregate for persistence. FlipKeys are sorted so
+// the export is deterministic.
+func (a *cellAggregate) State() AggregateState {
+	st := AggregateState{
+		Total:     a.total,
+		ACmin:     WelfordState{N: a.acmin.n, Mean: a.acmin.mean, M2: a.acmin.m2, Min: a.acmin.min},
+		TimeSec:   WelfordState{N: a.timeSec.n, Mean: a.timeSec.mean, M2: a.timeSec.m2, Min: a.timeSec.min},
+		Flips:     a.flips,
+		OneToZero: a.oneToZero,
+	}
+	if len(a.flipKeys) > 0 {
+		st.FlipKeys = make([]uint64, 0, len(a.flipKeys))
+		for k := range a.flipKeys {
+			st.FlipKeys = append(st.FlipKeys, k)
+		}
+		sort.Slice(st.FlipKeys, func(i, j int) bool { return st.FlipKeys[i] < st.FlipKeys[j] })
+	}
+	return st
+}
+
+// aggregateFromState reconstructs an aggregate from persisted state.
+func aggregateFromState(st AggregateState) *cellAggregate {
+	a := &cellAggregate{
+		total:     st.Total,
+		acmin:     welford{n: st.ACmin.N, mean: st.ACmin.Mean, m2: st.ACmin.M2, min: st.ACmin.Min},
+		timeSec:   welford{n: st.TimeSec.N, mean: st.TimeSec.Mean, m2: st.TimeSec.M2, min: st.TimeSec.Min},
+		flips:     st.Flips,
+		oneToZero: st.OneToZero,
+		flipKeys:  make(map[uint64]struct{}, len(st.FlipKeys)),
+	}
+	for _, k := range st.FlipKeys {
+		a.flipKeys[k] = struct{}{}
+	}
+	return a
+}
+
+// MergeAggregates fuses two cell aggregates, as when two shards (or a
+// checkpoint and a live run) both contributed observations to the same
+// cell. Merging with an empty aggregate returns the other side
+// bit-identically; merging two non-empty halves of one observation
+// stream matches the sequential fold up to float rounding. ShardPlan
+// partitions at cell granularity precisely so that campaign merges only
+// ever hit the exact path.
+func MergeAggregates(a, b AggregateState) AggregateState {
+	if a.Total == 0 {
+		return b
+	}
+	if b.Total == 0 {
+		return a
+	}
+	ma, mb := aggregateFromState(a), aggregateFromState(b)
+	ma.total += mb.total
+	ma.acmin.merge(mb.acmin)
+	ma.timeSec.merge(mb.timeSec)
+	ma.flips += mb.flips
+	ma.oneToZero += mb.oneToZero
+	for k := range mb.flipKeys {
+		ma.flipKeys[k] = struct{}{}
+	}
+	return ma.State()
 }
 
 // observe folds one row measurement into the aggregate.

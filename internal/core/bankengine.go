@@ -62,6 +62,7 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 
 	now := time.Duration(0)
 	totalActs := int64(0)
+	gen := e.bank.FlipGeneration()
 	for iter := int64(1); iter <= maxIters; iter++ {
 		for ai, a := range acts {
 			row := victim + a.RowOffset
@@ -76,8 +77,16 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 			preAt := now
 			now += spec.Timings.TRP
 
-			// First-flip check after every precharge (damage is
-			// applied at precharge time).
+			// First-flip check after every precharge (damage is applied
+			// at precharge time). The flip-generation counter makes the
+			// common no-flip case one integer compare; the cell
+			// population is only walked after a generation change (which
+			// may also come from a flip in a non-victim row — the walk
+			// then finds nothing and the hammering continues).
+			if e.bank.FlipGeneration() == gen {
+				continue
+			}
+			gen = e.bank.FlipGeneration()
 			newFlip := false
 			for _, c := range cells {
 				if c.Flipped() && !flippedBefore[c.Bit] {

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"rowfuse/internal/pattern"
+)
+
+// CellKey identifies one (module, pattern, tAggON) cell of a campaign's
+// cell grid. It is the unit of sharding and checkpointing: each cell is
+// computed wholly within one shard, so merging shard checkpoints is
+// bit-identical to a single monolithic run.
+type CellKey struct {
+	Module string
+	Kind   pattern.Kind
+	AggOn  time.Duration
+}
+
+// String renders the key as "module/pattern/tAggON".
+func (k CellKey) String() string {
+	return fmt.Sprintf("%s/%s/%v", k.Module, k.Kind.Short(), k.AggOn)
+}
+
+// ShardPlan deterministically partitions a campaign's cell grid into
+// Count disjoint shards so independent processes (or machines) can each
+// run one. The zero value means "the whole grid".
+type ShardPlan struct {
+	// Index is the shard to run, 0-based, in [0, Count).
+	Index int
+	// Count is the total number of shards (<= 1 means unsharded).
+	Count int
+}
+
+// ParseShard parses the CLI form "i/n" with 1-based i (e.g. "2/3" is
+// the second of three shards).
+func ParseShard(s string) (ShardPlan, error) {
+	lhs, rhs, ok := strings.Cut(s, "/")
+	if !ok {
+		return ShardPlan{}, fmt.Errorf("core: shard %q not of the form i/n", s)
+	}
+	i, err := strconv.Atoi(strings.TrimSpace(lhs))
+	if err != nil {
+		return ShardPlan{}, fmt.Errorf("core: shard index %q: %w", lhs, err)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rhs))
+	if err != nil {
+		return ShardPlan{}, fmt.Errorf("core: shard count %q: %w", rhs, err)
+	}
+	if n < 1 || i < 1 || i > n {
+		return ShardPlan{}, fmt.Errorf("core: shard %q out of range (want 1 <= i <= n)", s)
+	}
+	return ShardPlan{Index: i - 1, Count: n}, nil
+}
+
+// Validate checks Index against Count.
+func (p ShardPlan) Validate() error {
+	if p.Count < 0 || p.Index < 0 || (p.Count <= 1 && p.Index != 0) || (p.Count > 1 && p.Index >= p.Count) {
+		return fmt.Errorf("core: shard %d/%d out of range", p.Index+1, p.Count)
+	}
+	return nil
+}
+
+// IsSharded reports whether the plan selects a strict subset of cells.
+func (p ShardPlan) IsSharded() bool { return p.Count > 1 }
+
+// Contains reports whether cell index i of the grid belongs to this
+// shard (round-robin assignment, which balances the per-pattern and
+// per-tAggON cost variation across shards).
+func (p ShardPlan) Contains(i int) bool {
+	if !p.IsSharded() {
+		return true
+	}
+	return i%p.Count == p.Index
+}
+
+// String renders the 1-based CLI form "i/n" ("" when unsharded).
+func (p ShardPlan) String() string {
+	if !p.IsSharded() {
+		return ""
+	}
+	return fmt.Sprintf("%d/%d", p.Index+1, p.Count)
+}
+
+// Cells enumerates the study's full cell grid in the deterministic
+// order sharding indexes it: modules x patterns x sweep, as configured.
+// Every shard of every process sees the same order.
+func (s *Study) Cells() []CellKey {
+	var cells []CellKey
+	for _, mi := range s.cfg.Modules {
+		for _, k := range s.cfg.Patterns {
+			for _, t := range s.cfg.Sweep {
+				cells = append(cells, CellKey{Module: mi.ID, Kind: k, AggOn: t})
+			}
+		}
+	}
+	return cells
+}
+
+// Fingerprint hashes every result-determining field of the
+// configuration: the module inventory (including the paper ground truth
+// each profile is calibrated against), the disturbance parameters,
+// timings, sweep, patterns, sampling depth and run options. Execution
+// details (shard, concurrency, checkpoint cadence, progress callbacks)
+// are deliberately excluded — two shards of one campaign share a
+// fingerprint, and a checkpoint may only be resumed or merged under the
+// fingerprint it was written with.
+func (c StudyConfig) Fingerprint() string {
+	c = c.withDefaults()
+	h := sha256.New()
+	for _, mi := range c.Modules {
+		fmt.Fprintf(h, "module %+v\n", mi)
+	}
+	fmt.Fprintf(h, "params %+v\n", c.Params)
+	fmt.Fprintf(h, "timings %+v\n", c.Timings)
+	for _, t := range c.Sweep {
+		fmt.Fprintf(h, "sweep %d\n", int64(t))
+	}
+	for _, k := range c.Patterns {
+		fmt.Fprintf(h, "pattern %d\n", int(k))
+	}
+	fmt.Fprintf(h, "rows %d dies %d runs %d bank %d\n", c.RowsPerRegion, c.Dies, c.Runs, c.Bank)
+	fmt.Fprintf(h, "opts %+v\n", c.Opts)
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -45,12 +45,24 @@ type StudyConfig struct {
 	Concurrency int
 	// KeepObservations retains every raw RowObservation on the
 	// ModuleResult (memory-heavy at paper scale; the figure and table
-	// extractors only need the incremental aggregates).
+	// extractors only need the incremental aggregates). Raw
+	// observations are not part of the checkpointable aggregate state:
+	// cells restored via Seed have empty Rows (see Snapshot).
 	KeepObservations bool
 	// Progress, when set, is invoked after each completed cell with the
 	// done and total cell counts (called from worker goroutines; must be
 	// safe for concurrent use).
 	Progress func(done, total int)
+	// Shard restricts Run to a deterministic subset of the cell grid so
+	// independent processes can split one campaign (zero = all cells).
+	Shard ShardPlan
+	// Checkpoint, when set, receives a consistent snapshot of every
+	// completed cell after each CheckpointEvery completions and once
+	// more when Run finishes. Returning an error aborts the run.
+	Checkpoint func(cells map[CellKey]AggregateState) error
+	// CheckpointEvery is the checkpoint cadence in completed cells
+	// (default 16; only meaningful with Checkpoint set).
+	CheckpointEvery int
 }
 
 func (c StudyConfig) withDefaults() StudyConfig {
@@ -77,6 +89,9 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	}
 	if c.Concurrency == 0 {
 		c.Concurrency = runtime.GOMAXPROCS(0)
+	}
+	if c.CheckpointEvery == 0 {
+		c.CheckpointEvery = 16
 	}
 	c.Opts = c.Opts.withDefaults()
 	return c
@@ -173,47 +188,65 @@ func (r *ModuleResult) FlipKeys() map[uint64]struct{} {
 	return r.agg.flipKeys
 }
 
-type studyKey struct {
-	moduleID string
-	kind     pattern.Kind
-	aggOn    time.Duration
-}
-
 // Study runs and caches a characterization campaign.
 type Study struct {
 	cfg StudyConfig
 
 	mu      sync.Mutex
-	results map[studyKey]*ModuleResult
+	results map[CellKey]*ModuleResult
 }
 
 // NewStudy builds a study with defaults applied.
 func NewStudy(cfg StudyConfig) *Study {
 	return &Study{
 		cfg:     cfg.withDefaults(),
-		results: make(map[studyKey]*ModuleResult),
+		results: make(map[CellKey]*ModuleResult),
 	}
 }
 
 // Config returns the effective (defaulted) configuration.
 func (s *Study) Config() StudyConfig { return s.cfg }
 
-// Run executes every (module, pattern, tAggON) cell on a bounded worker
-// pool. It is safe to call once; results are cached for the figure and
-// table extractors.
+// Run executes every (module, pattern, tAggON) cell of this study's
+// shard on a bounded worker pool, skipping cells already present (for
+// example after Seed restored them from a checkpoint). It is safe to
+// call once; results are cached for the figure and table extractors.
 func (s *Study) Run(ctx context.Context) error {
+	if err := s.cfg.Shard.Validate(); err != nil {
+		return err
+	}
 	type task struct {
 		mi    chipdb.ModuleInfo
 		kind  pattern.Kind
 		aggOn time.Duration
 	}
-	var tasks []task
+	byID := make(map[string]chipdb.ModuleInfo, len(s.cfg.Modules))
 	for _, mi := range s.cfg.Modules {
-		for _, k := range s.cfg.Patterns {
-			for _, t := range s.cfg.Sweep {
-				tasks = append(tasks, task{mi: mi, kind: k, aggOn: t})
-			}
+		byID[mi.ID] = mi
+	}
+	// Cells() is the one source of truth for the grid order shard
+	// indices refer to; every process of a campaign must agree on it.
+	var tasks []task
+	for idx, key := range s.Cells() {
+		if !s.cfg.Shard.Contains(idx) {
+			continue
 		}
+		if _, ok := s.Result(key.Module, key.Kind, key.AggOn); ok {
+			continue // restored from a checkpoint
+		}
+		tasks = append(tasks, task{mi: byID[key.Module], kind: key.Kind, aggOn: key.AggOn})
+	}
+
+	// checkpoint snapshots completed cells; serialized so overlapping
+	// triggers from the worker pool cannot interleave writes.
+	var ckptMu sync.Mutex
+	checkpoint := func() error {
+		if s.cfg.Checkpoint == nil {
+			return nil
+		}
+		ckptMu.Lock()
+		defer ckptMu.Unlock()
+		return s.cfg.Checkpoint(s.Snapshot())
 	}
 
 	taskCh := make(chan task)
@@ -235,10 +268,20 @@ func (s *Study) Run(ctx context.Context) error {
 					return
 				}
 				s.mu.Lock()
-				s.results[studyKey{t.mi.ID, t.kind, t.aggOn}] = res
+				s.results[CellKey{t.mi.ID, t.kind, t.aggOn}] = res
 				s.mu.Unlock()
+				n := int(done.Add(1))
 				if s.cfg.Progress != nil {
-					s.cfg.Progress(int(done.Add(1)), total)
+					s.cfg.Progress(n, total)
+				}
+				if s.cfg.Checkpoint != nil && n%s.cfg.CheckpointEvery == 0 && n < total {
+					if err := checkpoint(); err != nil {
+						select {
+						case errCh <- err:
+						default:
+						}
+						return
+					}
 				}
 			}
 		}()
@@ -263,7 +306,69 @@ feed:
 		return err
 	default:
 	}
-	return ctx.Err()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Final checkpoint: the shard's complete state in one file.
+	return checkpoint()
+}
+
+// Snapshot exports the aggregate state of every completed cell. The
+// snapshot is consistent (taken under the results lock) and safe to
+// serialize concurrently with an ongoing Run. Only the mergeable
+// aggregates are exported: raw observations kept under
+// KeepObservations do not survive a Snapshot/Seed round trip (restored
+// cells report Observations() > 0 with empty Rows).
+func (s *Study) Snapshot() map[CellKey]AggregateState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[CellKey]AggregateState, len(s.results))
+	for k, r := range s.results {
+		out[k] = r.agg.State()
+	}
+	return out
+}
+
+// Seed restores cells from persisted aggregate state, as when resuming
+// from a checkpoint or fusing shard checkpoints. Every key must lie on
+// this study's cell grid (callers are expected to have verified the
+// config fingerprint first). Seeding a cell that already has results
+// merges the two aggregates. Restored cells carry aggregates only —
+// raw rows kept under KeepObservations are not persisted, so their
+// Rows slice stays empty.
+func (s *Study) Seed(cells map[CellKey]AggregateState) error {
+	byID := make(map[string]chipdb.ModuleInfo, len(s.cfg.Modules))
+	for _, mi := range s.cfg.Modules {
+		byID[mi.ID] = mi
+	}
+	inSweep := make(map[time.Duration]bool, len(s.cfg.Sweep))
+	for _, t := range s.cfg.Sweep {
+		inSweep[t] = true
+	}
+	inPatterns := make(map[pattern.Kind]bool, len(s.cfg.Patterns))
+	for _, k := range s.cfg.Patterns {
+		inPatterns[k] = true
+	}
+	for key, st := range cells {
+		mi, ok := byID[key.Module]
+		if !ok {
+			return fmt.Errorf("core: seed cell %v: module not in study config", key)
+		}
+		if !inPatterns[key.Kind] || !inSweep[key.AggOn] {
+			return fmt.Errorf("core: seed cell %v: not on the study's cell grid", key)
+		}
+		spec, err := pattern.New(key.Kind, key.AggOn, s.cfg.Timings)
+		if err != nil {
+			return fmt.Errorf("core: seed cell %v: %w", key, err)
+		}
+		s.mu.Lock()
+		if prev, ok := s.results[key]; ok {
+			st = MergeAggregates(prev.agg.State(), st)
+		}
+		s.results[key] = &ModuleResult{Info: mi, Spec: spec, agg: aggregateFromState(st)}
+		s.mu.Unlock()
+	}
+	return nil
 }
 
 // runCell characterizes one (module, pattern, tAggON) combination across
@@ -316,7 +421,7 @@ func (s *Study) runCell(mi chipdb.ModuleInfo, kind pattern.Kind, aggOn time.Dura
 func (s *Study) Result(moduleID string, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.results[studyKey{moduleID, kind, aggOn}]
+	r, ok := s.results[CellKey{moduleID, kind, aggOn}]
 	return r, ok
 }
 

@@ -53,6 +53,11 @@ type Bank struct {
 
 	refCursor int // next row batch for round-robin REF
 
+	// flipGen increments every time a weak cell materializes a flip,
+	// letting engines detect "no new flips" by comparing one integer
+	// instead of rescanning cell populations after every precharge.
+	flipGen int64
+
 	// Counters (diagnostics / benchmarks).
 	actCount int64
 	preCount int64
@@ -303,7 +308,13 @@ func (b *Bank) tryFlip(st *rowState, c *WeakCell) {
 	}
 	setBit(st.data, c.Bit, c.Dir.To())
 	c.flipped = true
+	b.flipGen++
 }
+
+// FlipGeneration returns a counter that is monotonically bumped each
+// time a weak cell anywhere in the bank materializes a flip. If two
+// reads return the same value, no flip occurred between them.
+func (b *Bank) FlipGeneration() int64 { return b.flipGen }
 
 // Read returns n bytes starting at byte offset col of the open row,
 // applying any pending retention failures first.

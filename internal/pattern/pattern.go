@@ -56,6 +56,21 @@ func (k Kind) Short() string {
 	}
 }
 
+// ParseShort is the inverse of Short, used when deserializing persisted
+// results.
+func ParseShort(s string) (Kind, error) {
+	switch s {
+	case "single":
+		return SingleSided, nil
+	case "double":
+		return DoubleSided, nil
+	case "combined":
+		return Combined, nil
+	default:
+		return 0, fmt.Errorf("pattern: unknown pattern %q", s)
+	}
+}
+
 // Act is one aggressor activation within a pattern iteration.
 type Act struct {
 	// RowOffset is the aggressor row relative to the victim (-1 = the

@@ -1,0 +1,211 @@
+package resultio
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+// CheckpointVersion identifies the checkpoint schema.
+const CheckpointVersion = 1
+
+// Sentinel errors for checkpoint validation; callers branch with
+// errors.Is.
+var (
+	// ErrBadCheckpoint reports a file that is not a readable checkpoint
+	// (truncated, not JSON, or an unsupported schema version).
+	ErrBadCheckpoint = errors.New("resultio: bad checkpoint")
+	// ErrConfigMismatch reports a checkpoint written under a different
+	// study configuration: its per-cell aggregates are not comparable
+	// and must not be resumed or merged.
+	ErrConfigMismatch = errors.New("resultio: checkpoint config mismatch")
+)
+
+// Checkpoint persists the per-cell aggregates of one campaign shard (or
+// of a whole campaign). Unlike Archive, which stores the rendered
+// tables and figures, a checkpoint stores the mergeable state they are
+// derived from, so partial runs can be resumed and shards fused.
+type Checkpoint struct {
+	Version int `json:"version"`
+	// Fingerprint is core.StudyConfig.Fingerprint() of the producing
+	// study; resume and merge require an exact match.
+	Fingerprint string `json:"fingerprint"`
+	// Shard is the producing shard in "i/n" form ("" = whole grid).
+	Shard string `json:"shard,omitempty"`
+	// Cells are the completed cells, sorted by (module, pattern,
+	// tAggON) so equal states serialize to equal bytes.
+	Cells []CellRecord `json:"cells"`
+}
+
+// CellRecord is one persisted cell.
+type CellRecord struct {
+	Module  string              `json:"module"`
+	Pattern string              `json:"pattern"`
+	AggOnNs int64               `json:"taggonNs"`
+	Agg     core.AggregateState `json:"agg"`
+}
+
+// NewCheckpoint packs a study snapshot into a checkpoint, deterministically
+// ordered.
+func NewCheckpoint(fingerprint string, shard core.ShardPlan, cells map[core.CellKey]core.AggregateState) *Checkpoint {
+	cp := &Checkpoint{
+		Version:     CheckpointVersion,
+		Fingerprint: fingerprint,
+		Shard:       shard.String(),
+		Cells:       make([]CellRecord, 0, len(cells)),
+	}
+	for key, st := range cells {
+		cp.Cells = append(cp.Cells, CellRecord{
+			Module:  key.Module,
+			Pattern: key.Kind.Short(),
+			AggOnNs: key.AggOn.Nanoseconds(),
+			Agg:     st,
+		})
+	}
+	sortCells(cp.Cells)
+	return cp
+}
+
+func sortCells(cells []CellRecord) {
+	sort.Slice(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Pattern != b.Pattern {
+			return a.Pattern < b.Pattern
+		}
+		return a.AggOnNs < b.AggOnNs
+	})
+}
+
+// CellMap converts the checkpoint back into the form core.Study.Seed
+// accepts. A well-formed checkpoint never repeats a cell (NewCheckpoint
+// builds from a map), so duplicates mark a corrupted or hand-edited
+// file and fail with ErrBadCheckpoint rather than silently merging.
+func (cp *Checkpoint) CellMap() (map[core.CellKey]core.AggregateState, error) {
+	out := make(map[core.CellKey]core.AggregateState, len(cp.Cells))
+	for _, rec := range cp.Cells {
+		kind, err := pattern.ParseShort(rec.Pattern)
+		if err != nil {
+			return nil, fmt.Errorf("%w: cell %s: %v", ErrBadCheckpoint, rec.Module, err)
+		}
+		key := core.CellKey{Module: rec.Module, Kind: kind, AggOn: time.Duration(rec.AggOnNs)}
+		if _, ok := out[key]; ok {
+			return nil, fmt.Errorf("%w: duplicate cell %v", ErrBadCheckpoint, key)
+		}
+		out[key] = rec.Agg
+	}
+	return out, nil
+}
+
+// SaveCheckpoint writes the checkpoint as indented JSON.
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(cp); err != nil {
+		return fmt.Errorf("resultio: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint and validates its schema version.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadCheckpoint, cp.Version, CheckpointVersion)
+	}
+	if cp.Fingerprint == "" {
+		return nil, fmt.Errorf("%w: missing config fingerprint", ErrBadCheckpoint)
+	}
+	return &cp, nil
+}
+
+// WriteCheckpointFile atomically replaces path with the checkpoint
+// (write to a temp file in the same directory, fsync, rename), so a
+// crash mid-checkpoint can never destroy the previous good state.
+func WriteCheckpointFile(path string, cp *Checkpoint) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resultio: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := SaveCheckpoint(tmp, cp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultio: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultio: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resultio: commit checkpoint: %w", err)
+	}
+	return nil
+}
+
+// ReadCheckpointFile loads a checkpoint from disk and, when wantFingerprint
+// is non-empty, verifies it was produced under that configuration.
+func ReadCheckpointFile(path string, wantFingerprint string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cp, err := LoadCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if wantFingerprint != "" && cp.Fingerprint != wantFingerprint {
+		return nil, fmt.Errorf("%s: %w: checkpoint %s vs study %s", path, ErrConfigMismatch, cp.Fingerprint, wantFingerprint)
+	}
+	return cp, nil
+}
+
+// MergeCheckpoints fuses shard checkpoints into one whole-campaign
+// checkpoint. All inputs must share a fingerprint (ErrConfigMismatch
+// otherwise). Because ShardPlan partitions at cell granularity, shard
+// checkpoints of one campaign are disjoint by construction; a cell
+// appearing in two inputs means an operator error (the same shard file
+// listed twice, or an old and new checkpoint of the same shard), and
+// merging it would silently double-count observations — it is rejected
+// with ErrConfigMismatch instead.
+func MergeCheckpoints(cps ...*Checkpoint) (*Checkpoint, error) {
+	if len(cps) == 0 {
+		return nil, fmt.Errorf("%w: nothing to merge", ErrBadCheckpoint)
+	}
+	fp := cps[0].Fingerprint
+	merged := make(map[core.CellKey]core.AggregateState)
+	for i, cp := range cps {
+		if cp.Fingerprint != fp {
+			return nil, fmt.Errorf("%w: %s vs %s", ErrConfigMismatch, cp.Fingerprint, fp)
+		}
+		cells, err := cp.CellMap()
+		if err != nil {
+			return nil, err
+		}
+		for key, st := range cells {
+			if _, ok := merged[key]; ok {
+				return nil, fmt.Errorf("%w: cell %v appears in several checkpoints (input %d, shard %q); same shard listed twice?",
+					ErrConfigMismatch, key, i+1, cp.Shard)
+			}
+			merged[key] = st
+		}
+	}
+	return NewCheckpoint(fp, core.ShardPlan{}, merged), nil
+}

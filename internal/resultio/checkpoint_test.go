@@ -1,0 +1,213 @@
+package resultio
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func ckptStudyConfig(t *testing.T) core.StudyConfig {
+	t.Helper()
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{mi},
+		Sweep:         []time.Duration{timing.TRAS, timing.AggOnTREFI},
+		RowsPerRegion: 4,
+		Dies:          1,
+		Runs:          1,
+	}
+}
+
+func ranSnapshot(t *testing.T, cfg core.StudyConfig) map[core.CellKey]core.AggregateState {
+	t.Helper()
+	s := core.NewStudy(cfg)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return s.Snapshot()
+}
+
+func TestCheckpointRoundTripIsExact(t *testing.T) {
+	cfg := ckptStudyConfig(t)
+	cells := ranSnapshot(t, cfg)
+	cp := NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, cells)
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCheckpoint(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Fingerprint != cp.Fingerprint || back.Shard != cp.Shard {
+		t.Errorf("header changed: %+v vs %+v", back, cp)
+	}
+	got, err := back.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bit-exact: float64 survives Go's JSON encoding unchanged.
+	if !reflect.DeepEqual(got, cells) {
+		t.Fatal("cells changed across the JSON round trip")
+	}
+}
+
+func TestCheckpointSerializationDeterministic(t *testing.T) {
+	cfg := ckptStudyConfig(t)
+	cells := ranSnapshot(t, cfg)
+	var a, b bytes.Buffer
+	if err := SaveCheckpoint(&a, NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, cells)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(&b, NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, cells)); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same snapshot serialized to different bytes")
+	}
+}
+
+func TestLoadCheckpointRejectsGarbage(t *testing.T) {
+	for name, in := range map[string]string{
+		"empty":       "",
+		"not json":    "not json at all",
+		"wrong shape": `[1,2,3]`,
+	} {
+		if _, err := LoadCheckpoint(strings.NewReader(in)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Errorf("%s: err = %v, want ErrBadCheckpoint", name, err)
+		}
+	}
+}
+
+func TestLoadCheckpointRejectsBadVersion(t *testing.T) {
+	in := `{"version": 99, "fingerprint": "abc", "cells": []}`
+	if _, err := LoadCheckpoint(strings.NewReader(in)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("version 99: err = %v, want ErrBadCheckpoint", err)
+	}
+	in = `{"version": 1, "cells": []}`
+	if _, err := LoadCheckpoint(strings.NewReader(in)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("missing fingerprint: err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestCellMapRejectsUnknownPattern(t *testing.T) {
+	cp := &Checkpoint{
+		Version:     CheckpointVersion,
+		Fingerprint: "abc",
+		Cells:       []CellRecord{{Module: "S0", Pattern: "sideways", AggOnNs: 36}},
+	}
+	if _, err := cp.CellMap(); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestMergeCheckpointsFingerprintMismatch(t *testing.T) {
+	a := NewCheckpoint("aaaa", core.ShardPlan{}, nil)
+	b := NewCheckpoint("bbbb", core.ShardPlan{}, nil)
+	if _, err := MergeCheckpoints(a, b); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("err = %v, want ErrConfigMismatch", err)
+	}
+	if _, err := MergeCheckpoints(); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("empty merge err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestMergeCheckpointsFusesDisjointShards(t *testing.T) {
+	cfg := ckptStudyConfig(t)
+	whole := ranSnapshot(t, cfg)
+
+	var cps []*Checkpoint
+	const n = 3
+	for i := 0; i < n; i++ {
+		shCfg := ckptStudyConfig(t)
+		shCfg.Shard = core.ShardPlan{Index: i, Count: n}
+		plan := shCfg.Shard
+		cps = append(cps, NewCheckpoint(cfg.Fingerprint(), plan, ranSnapshot(t, shCfg)))
+	}
+	merged, err := MergeCheckpoints(cps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Shard != "" {
+		t.Errorf("merged checkpoint kept shard %q", merged.Shard)
+	}
+	got, err := merged.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, whole) {
+		t.Fatal("merged shard checkpoints differ from the unsharded snapshot")
+	}
+}
+
+// TestMergeCheckpointsRejectsOverlappingCells: shards partition at cell
+// granularity, so the same cell in two inputs is always an operator
+// error (same shard listed twice) and merging it would double-count.
+func TestMergeCheckpointsRejectsOverlappingCells(t *testing.T) {
+	key := core.CellKey{Module: "S0", Kind: pattern.Combined, AggOn: timing.TRAS}
+	mk := func(total int, keys ...uint64) *Checkpoint {
+		return NewCheckpoint("fp", core.ShardPlan{}, map[core.CellKey]core.AggregateState{
+			key: {Total: total, Flips: len(keys), FlipKeys: keys},
+		})
+	}
+	if _, err := MergeCheckpoints(mk(5, 1, 2), mk(7, 2, 3)); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("overlap err = %v, want ErrConfigMismatch", err)
+	}
+	// A single input (no overlap) still merges fine.
+	if _, err := MergeCheckpoints(mk(5, 1, 2)); err != nil {
+		t.Errorf("single-input merge: %v", err)
+	}
+}
+
+func TestCellMapRejectsDuplicateCells(t *testing.T) {
+	rec := CellRecord{Module: "S0", Pattern: "combined", AggOnNs: 36, Agg: core.AggregateState{Total: 1}}
+	cp := &Checkpoint{Version: CheckpointVersion, Fingerprint: "fp", Cells: []CellRecord{rec, rec}}
+	if _, err := cp.CellMap(); !errors.Is(err, ErrBadCheckpoint) {
+		t.Errorf("duplicate cell err = %v, want ErrBadCheckpoint", err)
+	}
+}
+
+func TestWriteCheckpointFileAtomicReplace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ckpt.json")
+	if err := WriteCheckpointFile(path, NewCheckpoint("one", core.ShardPlan{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteCheckpointFile(path, NewCheckpoint("two", core.ShardPlan{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := ReadCheckpointFile(path, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cp.Fingerprint != "two" {
+		t.Errorf("fingerprint %q, want two", cp.Fingerprint)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want 1", len(entries))
+	}
+	// Fingerprint verification on read.
+	if _, err := ReadCheckpointFile(path, "other"); !errors.Is(err, ErrConfigMismatch) {
+		t.Errorf("err = %v, want ErrConfigMismatch", err)
+	}
+}

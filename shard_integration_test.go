@@ -1,0 +1,201 @@
+package rowfuse_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/report"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
+)
+
+// campaignConfig is a reduced, multi-manufacturer campaign whose grid
+// (3 modules x 3 patterns x 3 tAggON points = 27 cells) is big enough
+// to shard meaningfully but quick enough for CI.
+func campaignConfig(t *testing.T) core.StudyConfig {
+	t.Helper()
+	var mods []chipdb.ModuleInfo
+	for _, id := range []string{"S0", "H1", "M4"} {
+		mi, err := chipdb.ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mods = append(mods, mi)
+	}
+	return core.StudyConfig{
+		Modules:       mods,
+		Sweep:         []time.Duration{timing.TRAS, 7800 * time.Nanosecond, timing.AggOnNineTREFI},
+		RowsPerRegion: 4,
+		Dies:          1,
+		Runs:          1,
+	}
+}
+
+// renderCampaign renders the Table 2 and Fig 4 reproductions to bytes.
+func renderCampaign(t *testing.T, s *core.Study) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	rows, err := s.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Table2(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	fig4, err := s.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := report.Fig4(&buf, fig4); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedCampaignReproducesUnshardedOutputs runs the acceptance
+// path of the sharded campaign runner: n independent shard processes
+// (modelled as separate Study values), each writing a checkpoint file,
+// whose merge renders byte-identical Table 2 and Fig 4 output to a
+// single monolithic run.
+func TestShardedCampaignReproducesUnshardedOutputs(t *testing.T) {
+	single := core.NewStudy(campaignConfig(t))
+	if err := single.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := renderCampaign(t, single)
+
+	dir := t.TempDir()
+	fingerprint := campaignConfig(t).Fingerprint()
+	const n = 3
+	var paths []string
+	for i := 0; i < n; i++ {
+		cfg := campaignConfig(t)
+		cfg.Shard = core.ShardPlan{Index: i, Count: n}
+		path := filepath.Join(dir, cfg.Shard.String()[:1]+".json")
+		plan := cfg.Shard
+		cfg.Checkpoint = func(cells map[core.CellKey]core.AggregateState) error {
+			return resultio.WriteCheckpointFile(path, resultio.NewCheckpoint(fingerprint, plan, cells))
+		}
+		if err := core.NewStudy(cfg).Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+
+	var cps []*resultio.Checkpoint
+	for _, path := range paths {
+		cp, err := resultio.ReadCheckpointFile(path, fingerprint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps = append(cps, cp)
+	}
+	merged, err := resultio.MergeCheckpoints(cps...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := merged.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused := core.NewStudy(campaignConfig(t))
+	if err := fused.Seed(cells); err != nil {
+		t.Fatal(err)
+	}
+	got := renderCampaign(t, fused)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sharded+merged rendering differs from the unsharded run:\n--- merged ---\n%s\n--- single ---\n%s", got, want)
+	}
+}
+
+// TestCampaignResumeAfterKill kills a campaign mid-run (the checkpoint
+// callback errors out after its second write, as a crash between
+// checkpoints would), then resumes from the surviving file and verifies
+// the finished campaign is bit-identical to an uninterrupted one.
+func TestCampaignResumeAfterKill(t *testing.T) {
+	clean := core.NewStudy(campaignConfig(t))
+	if err := clean.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := clean.Snapshot()
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.json")
+	fingerprint := campaignConfig(t).Fingerprint()
+	errKilled := errors.New("simulated crash")
+
+	cfg := campaignConfig(t)
+	cfg.Concurrency = 1
+	cfg.CheckpointEvery = 5
+	writes := 0
+	cfg.Checkpoint = func(cells map[core.CellKey]core.AggregateState) error {
+		if err := resultio.WriteCheckpointFile(path, resultio.NewCheckpoint(fingerprint, core.ShardPlan{}, cells)); err != nil {
+			return err
+		}
+		writes++
+		if writes == 2 {
+			return errKilled
+		}
+		return nil
+	}
+	if err := core.NewStudy(cfg).Run(context.Background()); !errors.Is(err, errKilled) {
+		t.Fatalf("interrupted run returned %v, want the simulated crash", err)
+	}
+
+	cp, err := resultio.ReadCheckpointFile(path, fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := cp.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 || len(cells) >= len(want) {
+		t.Fatalf("checkpoint has %d cells; the kill should land mid-campaign (total %d)", len(cells), len(want))
+	}
+
+	resumeCfg := campaignConfig(t)
+	resumeCfg.Checkpoint = func(cells map[core.CellKey]core.AggregateState) error {
+		return resultio.WriteCheckpointFile(path, resultio.NewCheckpoint(fingerprint, core.ShardPlan{}, cells))
+	}
+	resumed := core.NewStudy(resumeCfg)
+	if err := resumed.Seed(cells); err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := resumed.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Fatal("resumed campaign differs from the uninterrupted run")
+	}
+
+	// The final checkpoint on disk holds the complete campaign and can
+	// re-render without any study run at all.
+	final, err := resultio.ReadCheckpointFile(path, fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	finalCells, err := final.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(finalCells) != len(want) {
+		t.Fatalf("final checkpoint has %d cells, want %d", len(finalCells), len(want))
+	}
+	rerender := core.NewStudy(campaignConfig(t))
+	if err := rerender.Seed(finalCells); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(renderCampaign(t, rerender), renderCampaign(t, clean)) {
+		t.Fatal("re-rendered checkpoint differs from the live run")
+	}
+	_ = os.Remove(path)
+}
