@@ -14,6 +14,7 @@ import (
 	"testing"
 	"time"
 
+	"rowfuse/internal/benchscen"
 	"rowfuse/internal/bender"
 	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
@@ -39,6 +40,16 @@ func benchStudy(b *testing.B, sweep []time.Duration, patterns []pattern.Kind) *c
 		b.Fatal(err)
 	}
 	return s
+}
+
+// BenchmarkStudyCampaign is the headline end-to-end number: a reduced
+// (module x pattern x tAggON) grid of the paper's campaign, with
+// multiple dies and repeats so the per-die work units and the cached
+// row populations both matter. The scenario lives in
+// internal/benchscen; cmd/benchjson records the same workload in the
+// BENCH_*.json perf trajectory.
+func BenchmarkStudyCampaign(b *testing.B) {
+	benchscen.StudyCampaign(b)
 }
 
 // --- Table and figure regeneration ---------------------------------------
@@ -73,14 +84,9 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
-// fig4Sweep is a reduced tAggON sweep that still covers the paper's
-// highlighted marks.
+// fig4Sweep is the shared reduced tAggON sweep (see internal/benchscen).
 func fig4Sweep() []time.Duration {
-	return []time.Duration{
-		timing.TRAS, 256 * time.Nanosecond, 636 * time.Nanosecond,
-		2400 * time.Nanosecond, timing.AggOnTREFI, timing.AggOnNineTREFI,
-		timing.AggOnMax,
-	}
+	return benchscen.Fig4Sweep()
 }
 
 func fig4Point(b *testing.B, data core.Fig4Data, mfr chipdb.Manufacturer, k pattern.Kind, aggOn time.Duration) core.Fig4Point {
@@ -349,19 +355,7 @@ func BenchmarkAblationInterleavePenalty(b *testing.B) {
 // --- Substrate micro-benchmarks ------------------------------------------
 
 func benchProfile() device.Profile {
-	return device.Profile{
-		Serial:              "BENCH",
-		HammerACmin:         45000,
-		PressTau:            44 * time.Millisecond,
-		HammerPressSens:     1.888,
-		RowSigmaHammer:      0.2,
-		RowSigmaPress:       0.25,
-		HammerOneToZeroFrac: 0.3,
-		PressOneToZeroFrac:  0.97,
-		WeakCellsPerMech:    24,
-		CellSpacing:         0.04,
-		RetentionMin:        70 * time.Millisecond,
-	}
+	return benchscen.Profile()
 }
 
 func BenchmarkDeviceActPre(b *testing.B) {
@@ -388,12 +382,7 @@ func BenchmarkDeviceActPre(b *testing.B) {
 }
 
 func BenchmarkGenerateRowCells(b *testing.B) {
-	p := benchProfile()
-	d := device.DefaultParams()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		device.GenerateRowCells(p, d, 0, i%65536, 8192, 0)
-	}
+	benchscen.GenerateRowCells(b)
 }
 
 // BenchmarkBankEngineCharacterizeRow guards the per-precharge cost of
@@ -403,59 +392,25 @@ func BenchmarkGenerateRowCells(b *testing.B) {
 // remaining cell-count sensitivity (compare the DenseCells variant) is
 // the bank's disturbance physics itself, which must touch every weak
 // cell of the blast radius per precharge.
-func benchBankEngineCharacterize(b *testing.B, cellsPerMech int) {
-	profile := benchProfile()
-	profile.WeakCellsPerMech = cellsPerMech
-	bank, err := device.NewBank(device.BankConfig{
-		Profile: profile,
-		Params:  device.DefaultParams(),
-		NumRows: 4096,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	eng := core.NewBankEngine(bank)
-	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := eng.CharacterizeRow(100+i%3800, spec, core.RunOpts{}); err != nil {
-			b.Fatal(err)
-		}
-	}
-	act, pre, _ := bank.Counters()
-	b.ReportMetric(float64(act)/float64(b.N), "acts/op")
-	b.ReportMetric(float64(pre)/float64(b.N), "pres/op")
-}
-
 func BenchmarkBankEngineCharacterizeRow(b *testing.B) {
-	benchBankEngineCharacterize(b, 24)
+	benchscen.BankEngineCharacterizeRow(b, 24)
 }
 
 func BenchmarkBankEngineCharacterizeRowDenseCells(b *testing.B) {
-	benchBankEngineCharacterize(b, 192)
+	benchscen.BankEngineCharacterizeRow(b, 192)
 }
 
 func BenchmarkAnalyticCharacterizeRow(b *testing.B) {
-	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
-		Profile: benchProfile(),
-		Params:  device.DefaultParams(),
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
-	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
-	if err != nil {
-		b.Fatal(err)
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := e.CharacterizeRow(1+i%60000, spec, core.RunOpts{}); err != nil {
-			b.Fatal(err)
-		}
-	}
+	benchscen.AnalyticCharacterizeRow(b)
+}
+
+// BenchmarkAnalyticCharacterizeRowCachedRuns measures the campaign's
+// actual access shape: the same row revisited across run-noise repeats,
+// where the cached base population and reused result buffer make the
+// steady state allocation-free (guarded by
+// TestCharacterizeRowSteadyStateAllocs).
+func BenchmarkAnalyticCharacterizeRowCachedRuns(b *testing.B) {
+	benchscen.AnalyticCharacterizeRowCachedRuns(b)
 }
 
 func BenchmarkBenderInterpreter(b *testing.B) {

@@ -1,0 +1,171 @@
+// Command benchjson runs the repository's headline benchmarks in
+// process and appends a machine-readable snapshot to the BENCH_*.json
+// perf trajectory, so speedups (and regressions) across PRs are
+// measured, not asserted.
+//
+// Usage:
+//
+//	benchjson                     # writes BENCH_<n>.json (next free n)
+//	benchjson -out BENCH_7.json   # explicit file
+//	benchjson -bench Campaign     # subset by regexp
+//
+// Each snapshot records ns/op, allocs/op and B/op per benchmark plus
+// the host shape; compare two files with any JSON diff tool.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/benchscen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// benchResult is one benchmark's snapshot.
+type benchResult struct {
+	Name        string  `json:"name"`
+	N           int     `json:"n"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// snapshot is the BENCH_<n>.json schema.
+type snapshot struct {
+	Schema     string        `json:"schema"`
+	Generated  string        `json:"generated"`
+	GoVersion  string        `json:"go"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	CPUs       int           `json:"cpus"`
+	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	out := fs.String("out", "", "output file (default: BENCH_<n>.json with the next free n)")
+	benchRe := fs.String("bench", "", "only run benchmarks matching this regexp")
+	list := fs.Bool("list", false, "list benchmark names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	benches := headlineBenchmarks()
+	if *list {
+		for _, b := range benches {
+			fmt.Println(b.name)
+		}
+		return nil
+	}
+	if *benchRe != "" {
+		re, err := regexp.Compile(*benchRe)
+		if err != nil {
+			return fmt.Errorf("-bench: %w", err)
+		}
+		filtered := benches[:0]
+		for _, b := range benches {
+			if re.MatchString(b.name) {
+				filtered = append(filtered, b)
+			}
+		}
+		benches = filtered
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmarks match")
+	}
+
+	snap := snapshot{
+		Schema:    "rowfuse-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+	for _, b := range benches {
+		fmt.Fprintf(os.Stderr, "running %s...\n", b.name)
+		r := testing.Benchmark(b.fn)
+		snap.Benchmarks = append(snap.Benchmarks, benchResult{
+			Name:        b.name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+	}
+
+	path := *out
+	if path == "" {
+		var err error
+		if path, err = nextBenchFile("."); err != nil {
+			return err
+		}
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	return nil
+}
+
+// nextBenchFile picks BENCH_<n>.json with n one past the largest
+// existing index in dir.
+func nextBenchFile(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	max := 0
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json")); err == nil && n > max {
+			max = n
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", max+1)), nil
+}
+
+// namedBench pairs a stable snapshot name with its body.
+type namedBench struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// headlineBenchmarks runs exactly the scenarios internal/benchscen
+// defines (the same bodies the root bench_test.go headliners wrap),
+// kept small on purpose: the trajectory tracks trends, not the whole
+// suite.
+func headlineBenchmarks() []namedBench {
+	benches := []namedBench{
+		{"StudyCampaign", benchscen.StudyCampaign},
+		{"AnalyticCharacterizeRow", benchscen.AnalyticCharacterizeRow},
+		{"AnalyticCharacterizeRowCachedRuns", benchscen.AnalyticCharacterizeRowCachedRuns},
+		{"GenerateRowCells", benchscen.GenerateRowCells},
+		{"BankEngineCharacterizeRow", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 24) }},
+	}
+	sort.Slice(benches, func(i, j int) bool { return benches[i].name < benches[j].name })
+	return benches
+}

@@ -1,0 +1,67 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestNextBenchFile(t *testing.T) {
+	dir := t.TempDir()
+	path, err := nextBenchFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_1.json" {
+		t.Errorf("empty dir: got %s, want BENCH_1.json", path)
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_7.json", "BENCH_x.json", "OTHER_9.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err = nextBenchFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_8.json" {
+		t.Errorf("got %s, want BENCH_8.json", path)
+	}
+}
+
+// TestRunWritesSnapshot runs the cheapest headline benchmark and checks
+// the snapshot schema.
+func TestRunWritesSnapshot(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := run([]string{"-bench", "^GenerateRowCells$", "-out", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Schema != "rowfuse-bench/v1" {
+		t.Errorf("schema = %q", snap.Schema)
+	}
+	if len(snap.Benchmarks) != 1 || snap.Benchmarks[0].Name != "GenerateRowCells" {
+		t.Fatalf("unexpected benchmarks: %+v", snap.Benchmarks)
+	}
+	b := snap.Benchmarks[0]
+	if b.N <= 0 || b.NsPerOp <= 0 || b.AllocsPerOp <= 0 {
+		t.Errorf("degenerate result: %+v", b)
+	}
+}
+
+func TestRunRejectsBadRegexp(t *testing.T) {
+	if err := run([]string{"-bench", "("}); err == nil {
+		t.Error("accepted invalid regexp")
+	}
+}

@@ -24,6 +24,10 @@
 // A killed run resumes from its last checkpoint with -resume:
 //
 //	characterize -exp all -shard 2/3 -checkpoint s2.json -resume
+//
+// Full-scale campaign profiles can be captured without a rebuild:
+//
+//	characterize -exp table2 -rows 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
 package main
 
 import (
@@ -32,6 +36,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -65,6 +71,9 @@ func run(args []string) error {
 		budget  = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 
+		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+
 		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
 		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
 		resume    = fs.Bool("resume", false, "load the -checkpoint file if present and skip completed cells")
@@ -73,6 +82,35 @@ func run(args []string) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	// Profiling hooks, so full-scale campaign profiles can be captured
+	// without a rebuild: -cpuprofile covers the whole run; -memprofile
+	// snapshots the heap after everything (including rendering) is done.
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "characterize: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "characterize: -memprofile:", err)
+			}
+		}()
 	}
 
 	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"

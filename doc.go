@@ -52,6 +52,28 @@
 // cmd/characterize wires these together behind -shard, -checkpoint,
 // -resume and -merge.
 //
+// # Performance
+//
+// The campaign hot path is allocation-free in steady state.
+// device.RowPopulation splits cell generation into a deterministic base
+// population (cached per row, shared across every cell of one die via
+// device.PopulationCache) and a per-run noise application that appends
+// value-typed cells into a reused buffer — byte-identical to
+// regenerating from scratch. core.AnalyticEngine memoizes per-spec
+// damage terms, hoists the first-flip solver's scratch, and offers
+// CharacterizeRowInto for buffer-recycling callers. Study.Run schedules
+// per-die work units so fat 8/16-die modules spread across the worker
+// pool while the per-cell aggregates still fold in a sequential run's
+// exact observation order (checkpoints stay byte-identical).
+//
+// Benchmarks guard all of this: run
+//
+//	go test -run '^$' -bench . -benchmem .
+//
+// and record snapshots on the BENCH_*.json perf trajectory with
+// cmd/benchjson. cmd/characterize takes -cpuprofile/-memprofile to
+// profile full-scale campaigns.
+//
 // See README.md for a quickstart and shard/resume examples. The
 // benchmarks in bench_test.go regenerate every table and figure of the
 // paper's evaluation.

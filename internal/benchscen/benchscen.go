@@ -1,0 +1,162 @@
+// Package benchscen defines the benchmark scenarios shared by the root
+// bench_test.go suite and cmd/benchjson, so the BENCH_*.json perf
+// trajectory and the CI bench-smoke step always measure the same
+// workloads: tune a scenario here and both pick it up. The headline
+// loop bodies live here in full (not just their configs) for the same
+// reason.
+package benchscen
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// Profile is the synthetic module used by the substrate
+// micro-benchmarks (cell generation, bank driving, row solves).
+func Profile() device.Profile {
+	return device.Profile{
+		Serial:              "BENCH",
+		HammerACmin:         45000,
+		PressTau:            44 * time.Millisecond,
+		HammerPressSens:     1.888,
+		RowSigmaHammer:      0.2,
+		RowSigmaPress:       0.25,
+		HammerOneToZeroFrac: 0.3,
+		PressOneToZeroFrac:  0.97,
+		WeakCellsPerMech:    24,
+		CellSpacing:         0.04,
+		RetentionMin:        70 * time.Millisecond,
+	}
+}
+
+// Fig4Sweep is a reduced tAggON sweep that still covers the paper's
+// highlighted marks.
+func Fig4Sweep() []time.Duration {
+	return []time.Duration{
+		timing.TRAS, 256 * time.Nanosecond, 636 * time.Nanosecond,
+		2400 * time.Nanosecond, timing.AggOnTREFI, timing.AggOnNineTREFI,
+		timing.AggOnMax,
+	}
+}
+
+// StudyCampaignConfig is the headline end-to-end scenario: a reduced
+// (module x pattern x tAggON) grid with multiple dies and repeats, so
+// both the per-die work units and the cached row populations matter.
+func StudyCampaignConfig() core.StudyConfig {
+	return core.StudyConfig{
+		Modules:       chipdb.Modules()[:4],
+		Sweep:         Fig4Sweep(),
+		RowsPerRegion: 16,
+		Dies:          2,
+		Runs:          3,
+	}
+}
+
+func combinedSpec(b *testing.B) pattern.Spec {
+	b.Helper()
+	s, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// StudyCampaign runs the headline end-to-end campaign benchmark.
+func StudyCampaign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(StudyCampaignConfig())
+		if err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AnalyticCharacterizeRow measures the analytic engine with a fresh row
+// per call (the population cache misses every time).
+func AnalyticCharacterizeRow(b *testing.B) {
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile: Profile(),
+		Params:  device.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := combinedSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.CharacterizeRow(1+i%60000, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// AnalyticCharacterizeRowCachedRuns measures the campaign's actual
+// access shape: the same row revisited across run-noise repeats, where
+// the cached base population and reused result buffer make the steady
+// state allocation-free.
+func AnalyticCharacterizeRowCachedRuns(b *testing.B) {
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile: Profile(),
+		Params:  device.DefaultParams(),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := combinedSpec(b)
+	var res core.RowResult
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := 1 + (i/3)%60000
+		if err := e.CharacterizeRowInto(victim, spec, core.RunOpts{Run: int64(i % 3)}, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// GenerateRowCells measures full from-scratch cell generation.
+func GenerateRowCells(b *testing.B) {
+	p := Profile()
+	d := device.DefaultParams()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		device.GenerateRowCells(p, d, 0, i%65536, 8192, 0)
+	}
+}
+
+// BankEngineCharacterizeRow measures the ground-truth bank-driving
+// path at the given weak-cell density, reporting acts/op and pres/op.
+func BankEngineCharacterizeRow(b *testing.B, cellsPerMech int) {
+	profile := Profile()
+	profile.WeakCellsPerMech = cellsPerMech
+	bank, err := device.NewBank(device.BankConfig{
+		Profile: profile,
+		Params:  device.DefaultParams(),
+		NumRows: 4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := core.NewBankEngine(bank)
+	spec := combinedSpec(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CharacterizeRow(100+i%3800, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	act, pre, _ := bank.Counters()
+	b.ReportMetric(float64(act)/float64(b.N), "acts/op")
+	b.ReportMetric(float64(pre)/float64(b.N), "pres/op")
+}

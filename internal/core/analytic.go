@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -13,6 +14,13 @@ import (
 // BankEngine exactly (see the cross-validation test) while being orders
 // of magnitude faster, which makes the paper's full sweep (14 modules x
 // 3K rows x 14 tAggON points x 3 patterns x 3 repeats) tractable.
+//
+// The engine memoizes per-spec damage terms and per-row base cell
+// populations and reuses all hot-path scratch buffers, so steady-state
+// characterization (revisiting a row across run repeats, or any row
+// served by a warm shared PopCache) performs no allocations. The caches
+// make an engine NOT safe for concurrent use; give each goroutine its
+// own engine (they can share one PopCache, which is concurrency-safe).
 type AnalyticEngine struct {
 	profile  device.Profile
 	params   device.DisturbParams
@@ -20,6 +28,19 @@ type AnalyticEngine struct {
 	bank     int
 	numRows  int
 	rowBits  int
+
+	// shared is the optional cross-engine base-population cache.
+	shared *device.PopulationCache
+
+	// Hot-path memoization and scratch state.
+	termsSpec pattern.Spec
+	termsOK   bool
+	terms     []actTerms
+	popRow    int
+	pop       *device.RowPopulation
+	cells     []device.WeakCell
+	scratch   flipScratch
+	bestIdx   []int
 }
 
 var _ Engine = (*AnalyticEngine)(nil)
@@ -33,6 +54,11 @@ type AnalyticConfig struct {
 	// NumRows defaults to 65536, RowBytes to 1024.
 	NumRows  int
 	RowBytes int
+	// PopCache optionally shares base cell populations across engines
+	// that characterize the same die (it must match Profile, Params,
+	// Bank and RowBytes). Without it the engine keeps a private
+	// single-row cache, which is enough for run-repeat loops.
+	PopCache *device.PopulationCache
 }
 
 // NewAnalyticEngine validates the configuration and builds the engine.
@@ -49,6 +75,9 @@ func NewAnalyticEngine(cfg AnalyticConfig) (*AnalyticEngine, error) {
 	if cfg.RowBytes == 0 {
 		cfg.RowBytes = 1024
 	}
+	if cfg.PopCache != nil && !cfg.PopCache.Matches(cfg.Profile, cfg.Params, cfg.Bank, cfg.RowBytes*8) {
+		return nil, fmt.Errorf("core: PopCache was built for a different die than this engine")
+	}
 	return &AnalyticEngine{
 		profile:  cfg.Profile,
 		params:   cfg.Params,
@@ -56,6 +85,8 @@ func NewAnalyticEngine(cfg AnalyticConfig) (*AnalyticEngine, error) {
 		bank:     cfg.Bank,
 		numRows:  cfg.NumRows,
 		rowBits:  cfg.RowBytes * 8,
+		shared:   cfg.PopCache,
+		popRow:   -1,
 	}, nil
 }
 
@@ -79,21 +110,36 @@ type actTerms struct {
 	end time.Duration
 }
 
-// decompose precomputes the per-activation damage terms of a pattern.
-// The steady/first split mirrors BankEngine's state rules exactly: the
-// very first activation of the strong aggressor sees no synergy (the
+// flipScratch holds firstFlip's per-act damage buffers, hoisted out of
+// the per-cell loop so the solver does not allocate per call.
+type flipScratch struct {
+	steady []float64
+	first  []float64
+}
+
+func (s *flipScratch) resize(n int) {
+	if cap(s.steady) < n {
+		s.steady = make([]float64, n)
+		s.first = make([]float64, n)
+	}
+	s.steady = s.steady[:n]
+	s.first = s.first[:n]
+}
+
+// decompose computes the per-activation damage terms of a pattern into
+// dst. The steady/first split mirrors BankEngine's state rules exactly:
+// the very first activation of the strong aggressor sees no synergy (the
 // other side has not activated yet) and no interleave penalty.
-func (e *AnalyticEngine) decompose(spec pattern.Spec) []actTerms {
+func (e *AnalyticEngine) decompose(dst []actTerms, spec pattern.Spec) []actTerms {
 	acts := spec.Acts()
 	multi := len(acts) > 1
-	terms := make([]actTerms, len(acts))
 	for i, a := range acts {
 		side := device.SideStrong
 		if a.RowOffset > 0 {
 			side = device.SideWeak
 		}
 		first := i > 0 // only act 0 of iteration 1 lacks synergy/interleave
-		terms[i] = actTerms{
+		dst = append(dst, actTerms{
 			boost:          e.params.HammerBoost(a.OnTime),
 			side:           side,
 			steadyExposure: e.params.PressExposure(a.OnTime, multi),
@@ -101,9 +147,38 @@ func (e *AnalyticEngine) decompose(spec pattern.Spec) []actTerms {
 			steadySynergy:  multi,
 			firstSynergy:   multi && first,
 			end:            spec.ActEnd(i),
-		}
+		})
 	}
-	return terms
+	return dst
+}
+
+// termsFor returns the memoized damage decomposition of spec. Specs are
+// fixed across a whole (module, pattern, tAggON) cell, so in campaign
+// loops this is computed once per cell instead of once per row.
+func (e *AnalyticEngine) termsFor(spec pattern.Spec) []actTerms {
+	if e.termsOK && spec == e.termsSpec {
+		return e.terms
+	}
+	e.terms = e.decompose(e.terms[:0], spec)
+	e.termsSpec = spec
+	e.termsOK = true
+	return e.terms
+}
+
+// cellsFor materializes the victim row's cell population for one run,
+// reusing the cached base population (engine-private for the last row,
+// or the shared PopCache) and the engine's cells buffer.
+func (e *AnalyticEngine) cellsFor(victim int, runSeed int64) []device.WeakCell {
+	if e.popRow != victim {
+		if e.shared != nil {
+			e.pop = e.shared.Get(victim)
+		} else {
+			e.pop = device.NewRowPopulation(e.profile, e.params, e.bank, victim, e.rowBits)
+		}
+		e.popRow = victim
+	}
+	e.cells = e.pop.AppendCells(e.cells[:0], runSeed)
+	return e.cells
 }
 
 // cellFlip is a first-flip point for one cell.
@@ -113,16 +188,20 @@ type cellFlip struct {
 }
 
 // firstFlip solves for the first (iteration, act) at which the cell's
-// accumulated damage reaches 1, or ok=false if it never does.
-func firstFlip(c *device.WeakCell, terms []actTerms, weakSide, tf float64, maxIters int64) (cellFlip, bool) {
+// accumulated damage reaches 1, or ok=false if it never does. scr
+// provides the per-act damage buffers (callers hoist it out of their
+// cell loops).
+func firstFlip(c *device.WeakCell, terms []actTerms, weakSide, tf float64, maxIters int64, scr *flipScratch) (cellFlip, bool) {
 	if maxIters <= 0 {
 		return cellFlip{}, false
 	}
 	// Per-act steady and first-iteration damages.
 	var steadyTotal float64
-	steady := make([]float64, len(terms))
-	first := make([]float64, len(terms))
-	for i, t := range terms {
+	scr.resize(len(terms))
+	steady := scr.steady
+	first := scr.first
+	for i := range terms {
+		t := &terms[i]
 		hs := t.boost
 		hf := t.boost
 		if t.steadySynergy {
@@ -180,51 +259,65 @@ func firstFlip(c *device.WeakCell, terms []actTerms, weakSide, tf float64, maxIt
 
 // CharacterizeRow implements Engine.
 func (e *AnalyticEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts) (RowResult, error) {
+	var res RowResult
+	err := e.CharacterizeRowInto(victim, spec, opts, &res)
+	return res, err
+}
+
+// CharacterizeRowInto is CharacterizeRow writing into a caller-owned
+// result, reusing res.Flips' backing storage. Campaign loops recycle one
+// RowResult so the whole steady-state hot path is allocation-free; the
+// flips are only valid until the next call with the same res.
+func (e *AnalyticEngine) CharacterizeRowInto(victim int, spec pattern.Spec, opts RunOpts, res *RowResult) error {
 	opts = opts.withDefaults()
 	if err := checkVictim(victim, e.numRows); err != nil {
-		return RowResult{}, err
+		*res = RowResult{}
+		return err
 	}
-	res := RowResult{Victim: victim, Spec: spec, NoBitflip: true}
+	*res = RowResult{Victim: victim, Spec: spec, NoBitflip: true, Flips: res.Flips[:0]}
 
-	terms := e.decompose(spec)
+	terms := e.termsFor(spec)
 	tf := e.params.TempFactor(opts.TempC)
 	maxIters := spec.MaxIterations(opts.Budget)
-	cells := device.GenerateRowCells(e.profile, e.params, e.bank, victim, e.rowBits, opts.Run)
+	cells := e.cellsFor(victim, opts.Run)
 
 	bestIter := int64(math.MaxInt64)
 	bestAct := 0
-	var bestCells []*device.WeakCell
-	for _, c := range cells {
+	bestIdx := e.bestIdx[:0]
+	for i := range cells {
+		c := &cells[i]
 		// A cell only produces an observable flip if the victim data
 		// pattern stores the value its mechanism attacks.
 		if opts.Data.VictimBitAt(c.Bit) != c.Dir.From() {
 			continue
 		}
-		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters)
+		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters, &e.scratch)
 		if !ok {
 			continue
 		}
 		switch {
 		case fp.iter < bestIter || (fp.iter == bestIter && fp.act < bestAct):
 			bestIter, bestAct = fp.iter, fp.act
-			bestCells = bestCells[:0]
-			bestCells = append(bestCells, c)
+			bestIdx = append(bestIdx[:0], i)
 		case fp.iter == bestIter && fp.act == bestAct:
-			bestCells = append(bestCells, c)
+			bestIdx = append(bestIdx, i)
 		}
 	}
-	if len(bestCells) == 0 {
-		return res, nil
+	e.bestIdx = bestIdx
+	if len(bestIdx) == 0 {
+		return nil
 	}
 
+	timeToFirst := time.Duration(bestIter-1)*spec.IterationTime() + terms[bestAct].end
+	if timeToFirst > opts.Budget {
+		return nil
+	}
 	res.NoBitflip = false
 	res.Iterations = bestIter
 	res.ACmin = (bestIter-1)*int64(spec.ActsPerIteration()) + int64(bestAct) + 1
-	res.TimeToFirst = time.Duration(bestIter-1)*spec.IterationTime() + terms[bestAct].end
-	if res.TimeToFirst > opts.Budget {
-		return RowResult{Victim: victim, Spec: spec, NoBitflip: true}, nil
-	}
-	for _, c := range bestCells {
+	res.TimeToFirst = timeToFirst
+	for _, i := range bestIdx {
+		c := &cells[i]
 		res.Flips = append(res.Flips, device.Bitflip{
 			Row:  victim,
 			Bit:  c.Bit,
@@ -232,7 +325,7 @@ func (e *AnalyticEngine) CharacterizeRow(victim int, spec pattern.Spec, opts Run
 			Mech: c.Mech,
 		})
 	}
-	return res, nil
+	return nil
 }
 
 // NumRows returns the engine's bank row count.

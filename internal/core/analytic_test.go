@@ -226,6 +226,122 @@ func TestPaperRows(t *testing.T) {
 	}
 }
 
+// TestCharacterizeRowSteadyStateAllocs is the hot-path allocation
+// guard: once the engine's caches are warm (terms memoized, base
+// population cached, scratch and result buffers grown), characterizing
+// a row must not allocate — across repeats of one row, across run-noise
+// seeds, and across rows served by a warm shared PopCache.
+func TestCharacterizeRowSteadyStateAllocs(t *testing.T) {
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	cache := device.NewPopulationCache(profile, params, 0, 1024*8)
+	e, err := NewAnalyticEngine(AnalyticConfig{
+		Profile:  profile,
+		Params:   params,
+		NumRows:  8192,
+		PopCache: cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := testSpec(t, pattern.Combined, 636*time.Nanosecond)
+	victims := []int{1000, 1001, 1002, 1003}
+	var res RowResult
+	warm := func() {
+		for _, v := range victims {
+			for run := int64(0); run < 3; run++ {
+				if err := e.CharacterizeRowInto(v, spec, RunOpts{Run: run}, &res); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	warm() // populate every cache
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("steady-state CharacterizeRowInto allocates %v times per sweep, want 0", allocs)
+	}
+	if !res.NoBitflip && len(res.Flips) == 0 {
+		t.Error("warm path lost the flip records")
+	}
+}
+
+// TestCharacterizeRowIntoMatchesCharacterizeRow pins the reuse API to
+// the allocating one, including across cache-state transitions.
+func TestCharacterizeRowIntoMatchesCharacterizeRow(t *testing.T) {
+	e := testEngine(t, "S0")
+	fresh := testEngine(t, "S0")
+	var res RowResult
+	for _, kind := range []pattern.Kind{pattern.DoubleSided, pattern.Combined} {
+		spec := testSpec(t, kind, 636*time.Nanosecond)
+		for victim := 990; victim < 1010; victim++ {
+			for run := int64(0); run < 2; run++ {
+				if err := e.CharacterizeRowInto(victim, spec, RunOpts{Run: run}, &res); err != nil {
+					t.Fatal(err)
+				}
+				want, err := fresh.CharacterizeRow(victim, spec, RunOpts{Run: run})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.NoBitflip != want.NoBitflip || res.ACmin != want.ACmin ||
+					res.TimeToFirst != want.TimeToFirst || res.Iterations != want.Iterations ||
+					len(res.Flips) != len(want.Flips) {
+					t.Fatalf("victim %d run %d: Into %+v != CharacterizeRow %+v", victim, run, res, want)
+				}
+				for i := range want.Flips {
+					if res.Flips[i] != want.Flips[i] {
+						t.Fatalf("victim %d run %d flip %d differs", victim, run, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSharedPopCacheMatchesPrivate verifies that engines sharing a
+// PopulationCache measure exactly what an engine with private
+// generation measures.
+func TestSharedPopCacheMatchesPrivate(t *testing.T) {
+	mi, err := chipdb.ByID("H0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	cache := device.NewPopulationCache(profile, params, 0, 1024*8)
+	shared, err := NewAnalyticEngine(AnalyticConfig{Profile: profile, Params: params, NumRows: 8192, PopCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	private := testEngine(t, "H0")
+	spec := testSpec(t, pattern.SingleSided, timing.AggOnTREFI)
+	for victim := 500; victim < 520; victim++ {
+		a, err := shared.CharacterizeRow(victim, spec, RunOpts{Run: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := private.CharacterizeRow(victim, spec, RunOpts{Run: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.NoBitflip != b.NoBitflip || a.ACmin != b.ACmin || a.TimeToFirst != b.TimeToFirst {
+			t.Fatalf("victim %d: shared-cache result %+v != private %+v", victim, a, b)
+		}
+	}
+	if cache.Len() == 0 {
+		t.Error("shared cache was never populated")
+	}
+	// A cache built for a different die must be rejected.
+	if _, err := NewAnalyticEngine(AnalyticConfig{
+		Profile: device.DieProfile(profile, 1), Params: params, NumRows: 8192, PopCache: cache,
+	}); err == nil {
+		t.Error("engine accepted a PopCache built for a different die")
+	}
+}
+
 func TestACminParityWithinIteration(t *testing.T) {
 	// For two-activation patterns, ACmin can be odd when the flip lands
 	// on the first activation of the final iteration; the relation

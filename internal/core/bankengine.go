@@ -14,9 +14,18 @@ import (
 // path; AnalyticEngine must (and is tested to) agree with it.
 //
 // The engine uses the bank's construction-time run seed for cell
-// populations; RunOpts.Run is ignored here.
+// populations; RunOpts.Run is ignored here. Like the bank it drives, a
+// BankEngine is not safe for concurrent use: its row-fill buffers and
+// flip bookkeeping are reused across CharacterizeRow calls.
 type BankEngine struct {
 	bank *device.Bank
+
+	// Per-row scratch, hoisted so repeated characterizations do not
+	// allocate: the victim/aggressor fill buffers and the set of bits
+	// already flipped before the experiment starts.
+	victimBuf     []byte
+	aggBuf        []byte
+	flippedBefore device.Bitset
 }
 
 var _ Engine = (*BankEngine)(nil)
@@ -39,13 +48,13 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 
 	e.bank.SetTemperature(opts.TempC)
 	rowBytes := e.bank.RowBytes()
-	victimData := device.FillRow(rowBytes, opts.Data.VictimByte())
-	aggData := device.FillRow(rowBytes, opts.Data.AggressorByte())
-	if err := e.bank.WriteRow(victim, victimData, 0); err != nil {
+	e.victimBuf = device.FillRowInto(e.victimBuf, rowBytes, opts.Data.VictimByte())
+	e.aggBuf = device.FillRowInto(e.aggBuf, rowBytes, opts.Data.AggressorByte())
+	if err := e.bank.WriteRow(victim, e.victimBuf, 0); err != nil {
 		return RowResult{}, fmt.Errorf("init victim: %w", err)
 	}
 	for _, off := range []int{-1, +1} {
-		if err := e.bank.WriteRow(victim+off, aggData, 0); err != nil {
+		if err := e.bank.WriteRow(victim+off, e.aggBuf, 0); err != nil {
 			return RowResult{}, fmt.Errorf("init aggressor: %w", err)
 		}
 	}
@@ -53,10 +62,10 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 	acts := spec.Acts()
 	maxIters := spec.MaxIterations(opts.Budget)
 	cells := e.bank.VictimCells(victim)
-	flippedBefore := make(map[int]bool, len(cells))
-	for _, c := range cells {
-		if c.Flipped() {
-			flippedBefore[c.Bit] = true
+	e.flippedBefore.Reset(rowBytes * 8)
+	for i := range cells {
+		if cells[i].Flipped() {
+			e.flippedBefore.Set(cells[i].Bit)
 		}
 	}
 
@@ -88,8 +97,8 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 			}
 			gen = e.bank.FlipGeneration()
 			newFlip := false
-			for _, c := range cells {
-				if c.Flipped() && !flippedBefore[c.Bit] {
+			for i := range cells {
+				if cells[i].Flipped() && !e.flippedBefore.Has(cells[i].Bit) {
 					newFlip = true
 					break
 				}

@@ -29,17 +29,18 @@ func (e *AnalyticEngine) CellFlipPoints(victim int, spec pattern.Spec, opts RunO
 	if err := checkVictim(victim, e.numRows); err != nil {
 		return nil, err
 	}
-	terms := e.decompose(spec)
+	terms := e.termsFor(spec)
 	tf := e.params.TempFactor(opts.TempC)
 	maxIters := spec.MaxIterations(opts.Budget)
-	cells := device.GenerateRowCells(e.profile, e.params, e.bank, victim, e.rowBits, opts.Run)
+	cells := e.cellsFor(victim, opts.Run)
 
 	var points []CellFlipPoint
-	for _, c := range cells {
+	for i := range cells {
+		c := &cells[i]
 		if opts.Data.VictimBitAt(c.Bit) != c.Dir.From() {
 			continue
 		}
-		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters)
+		fp, ok := firstFlip(c, terms, e.weakSide, tf, maxIters, &e.scratch)
 		if !ok {
 			continue
 		}

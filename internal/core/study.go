@@ -207,18 +207,88 @@ func NewStudy(cfg StudyConfig) *Study {
 // Config returns the effective (defaulted) configuration.
 func (s *Study) Config() StudyConfig { return s.cfg }
 
+// cellJob is one (module, pattern, tAggON) cell of a run, split into
+// per-die work units so fat cells (8/16-die modules) spread across the
+// worker pool instead of serializing behind one worker.
+type cellJob struct {
+	key      CellKey
+	mi       chipdb.ModuleInfo
+	spec     pattern.Spec
+	profile  device.Profile // module-level; DieProfile is applied per die
+	rows     []int
+	numRows  int
+	rowBytes int
+	dies     int
+
+	// pending counts die units still running; the worker that drops it
+	// to zero folds dieObs into the cell's aggregate.
+	pending atomic.Int32
+	// dieObs holds each die's observations in (run, row) order, so the
+	// final fold (die, run, row) replays the exact observation order of
+	// a sequential run and the aggregate state stays byte-identical.
+	dieObs [][]RowObservation
+}
+
+// dieTask is one schedulable work unit: one die of one cell.
+type dieTask struct {
+	job *cellJob
+	die int
+}
+
+// popCacheKey scopes a shared base-population cache to one (module, die).
+type popCacheKey struct {
+	module string
+	die    int
+}
+
+// popCaches hands the per-die engines of one (module, die) a shared
+// device.PopulationCache and drops it as soon as the last cell
+// referencing it completes, so campaign memory stays bounded by the
+// number of module-dies in flight rather than the whole inventory.
+type popCaches struct {
+	mu      sync.Mutex
+	entries map[popCacheKey]*popCacheEntry
+}
+
+type popCacheEntry struct {
+	cache *device.PopulationCache
+	refs  int
+}
+
+// acquire returns the (module, die) cache, creating it with refs
+// references on first touch.
+func (p *popCaches) acquire(key popCacheKey, refs int, mk func() *device.PopulationCache) *device.PopulationCache {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e, ok := p.entries[key]
+	if !ok {
+		e = &popCacheEntry{cache: mk(), refs: refs}
+		p.entries[key] = e
+	}
+	return e.cache
+}
+
+// release drops one reference, freeing the cache at zero.
+func (p *popCaches) release(key popCacheKey) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if e, ok := p.entries[key]; ok {
+		if e.refs--; e.refs <= 0 {
+			delete(p.entries, key)
+		}
+	}
+}
+
 // Run executes every (module, pattern, tAggON) cell of this study's
 // shard on a bounded worker pool, skipping cells already present (for
-// example after Seed restored them from a checkpoint). It is safe to
-// call once; results are cached for the figure and table extractors.
+// example after Seed restored them from a checkpoint). Each cell is
+// split into per-die work units; a cell completes (for progress and
+// checkpoint purposes) when all of its dies have been folded in. It is
+// safe to call once; results are cached for the figure and table
+// extractors.
 func (s *Study) Run(ctx context.Context) error {
 	if err := s.cfg.Shard.Validate(); err != nil {
 		return err
-	}
-	type task struct {
-		mi    chipdb.ModuleInfo
-		kind  pattern.Kind
-		aggOn time.Duration
 	}
 	byID := make(map[string]chipdb.ModuleInfo, len(s.cfg.Modules))
 	for _, mi := range s.cfg.Modules {
@@ -226,7 +296,8 @@ func (s *Study) Run(ctx context.Context) error {
 	}
 	// Cells() is the one source of truth for the grid order shard
 	// indices refer to; every process of a campaign must agree on it.
-	var tasks []task
+	var jobs []*cellJob
+	cellsPerModule := make(map[string]int)
 	for idx, key := range s.Cells() {
 		if !s.cfg.Shard.Contains(idx) {
 			continue
@@ -234,8 +305,38 @@ func (s *Study) Run(ctx context.Context) error {
 		if _, ok := s.Result(key.Module, key.Kind, key.AggOn); ok {
 			continue // restored from a checkpoint
 		}
-		tasks = append(tasks, task{mi: byID[key.Module], kind: key.Kind, aggOn: key.AggOn})
+		mi := byID[key.Module]
+		spec, err := pattern.New(key.Kind, key.AggOn, s.cfg.Timings)
+		if err != nil {
+			return fmt.Errorf("module %s: %w", mi.ID, err)
+		}
+		numRows, rowBytes := mi.Geometry()
+		dies := mi.NumChips
+		if s.cfg.Dies > 0 && s.cfg.Dies < dies {
+			dies = s.cfg.Dies
+		}
+		job := &cellJob{
+			key:      key,
+			mi:       mi,
+			spec:     spec,
+			profile:  mi.Profile(s.cfg.Params),
+			rows:     PaperRows(numRows, s.cfg.RowsPerRegion),
+			numRows:  numRows,
+			rowBytes: rowBytes,
+			dies:     dies,
+			dieObs:   make([][]RowObservation, dies),
+		}
+		job.pending.Store(int32(dies))
+		jobs = append(jobs, job)
+		cellsPerModule[key.Module]++
 	}
+	var tasks []dieTask
+	for _, job := range jobs {
+		for die := 0; die < job.dies; die++ {
+			tasks = append(tasks, dieTask{job: job, die: die})
+		}
+	}
+	pops := &popCaches{entries: make(map[popCacheKey]*popCacheEntry)}
 
 	// checkpoint snapshots completed cells; serialized so overlapping
 	// triggers from the worker pool cannot interleave writes.
@@ -249,26 +350,41 @@ func (s *Study) Run(ctx context.Context) error {
 		return s.cfg.Checkpoint(s.Snapshot())
 	}
 
-	taskCh := make(chan task)
+	taskCh := make(chan dieTask)
 	errCh := make(chan error, 1)
 	var done atomic.Int64
-	total := len(tasks)
+	total := len(jobs)
+	fail := func(err error) {
+		select {
+		case errCh <- err:
+		default:
+		}
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < s.cfg.Concurrency; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for t := range taskCh {
-				res, err := s.runCell(t.mi, t.kind, t.aggOn)
+				job := t.job
+				cacheKey := popCacheKey{module: job.mi.ID, die: t.die}
+				cache := pops.acquire(cacheKey, cellsPerModule[job.mi.ID], func() *device.PopulationCache {
+					return device.NewPopulationCache(
+						device.DieProfile(job.profile, t.die), s.cfg.Params, s.cfg.Bank, job.rowBytes*8)
+				})
+				obs, err := s.runCellDie(job, t.die, cache)
+				pops.release(cacheKey)
 				if err != nil {
-					select {
-					case errCh <- err:
-					default:
-					}
+					fail(err)
 					return
 				}
+				job.dieObs[t.die] = obs
+				if job.pending.Add(-1) != 0 {
+					continue
+				}
+				res := s.finishCell(job)
 				s.mu.Lock()
-				s.results[CellKey{t.mi.ID, t.kind, t.aggOn}] = res
+				s.results[job.key] = res
 				s.mu.Unlock()
 				n := int(done.Add(1))
 				if s.cfg.Progress != nil {
@@ -276,10 +392,7 @@ func (s *Study) Run(ctx context.Context) error {
 				}
 				if s.cfg.Checkpoint != nil && n%s.cfg.CheckpointEvery == 0 && n < total {
 					if err := checkpoint(); err != nil {
-						select {
-						case errCh <- err:
-						default:
-						}
+						fail(err)
 						return
 					}
 				}
@@ -371,50 +484,72 @@ func (s *Study) Seed(cells map[CellKey]AggregateState) error {
 	return nil
 }
 
-// runCell characterizes one (module, pattern, tAggON) combination across
-// dies, rows and repeats.
-func (s *Study) runCell(mi chipdb.ModuleInfo, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, error) {
-	spec, err := pattern.New(kind, aggOn, s.cfg.Timings)
+// runCellDie characterizes one die of one (module, pattern, tAggON)
+// cell across rows and repeats. It iterates row-major so each row's
+// cached base population (shared through cache across every cell of the
+// same die) serves all repeats, but stores observations in (run, row)
+// order so the final fold replays a sequential run's order exactly.
+func (s *Study) runCellDie(job *cellJob, die int, cache *device.PopulationCache) ([]RowObservation, error) {
+	eng, err := NewAnalyticEngine(AnalyticConfig{
+		Profile:  device.DieProfile(job.profile, die),
+		Params:   s.cfg.Params,
+		Bank:     s.cfg.Bank,
+		NumRows:  job.numRows,
+		RowBytes: job.rowBytes,
+		PopCache: cache,
+	})
 	if err != nil {
-		return nil, fmt.Errorf("module %s: %w", mi.ID, err)
+		return nil, fmt.Errorf("module %s die %d: %w", job.mi.ID, die, err)
 	}
-	numRows, rowBytes := mi.Geometry()
-	rows := PaperRows(numRows, s.cfg.RowsPerRegion)
-	profile := mi.Profile(s.cfg.Params)
-
-	dies := mi.NumChips
-	if s.cfg.Dies > 0 && s.cfg.Dies < dies {
-		dies = s.cfg.Dies
-	}
-
-	res := &ModuleResult{Info: mi, Spec: spec, agg: newCellAggregate()}
-	for die := 0; die < dies; die++ {
-		eng, err := NewAnalyticEngine(AnalyticConfig{
-			Profile:  device.DieProfile(profile, die),
-			Params:   s.cfg.Params,
-			Bank:     s.cfg.Bank,
-			NumRows:  numRows,
-			RowBytes: rowBytes,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("module %s die %d: %w", mi.ID, die, err)
-		}
-		for run := 0; run < s.cfg.Runs; run++ {
-			opts := s.cfg.Opts
+	runs := s.cfg.Runs
+	obs := make([]RowObservation, runs*len(job.rows))
+	opts := s.cfg.Opts
+	var res RowResult
+	// arena backs the retained flip slices: CharacterizeRowInto reuses
+	// res.Flips, so each observation's flips are copied out once, into
+	// one amortized allocation instead of one per flipped row.
+	var arena []device.Bitflip
+	for ri, victim := range job.rows {
+		for run := 0; run < runs; run++ {
 			opts.Run = int64(run)
-			for _, victim := range rows {
-				rr, err := eng.CharacterizeRow(victim, spec, opts)
-				if err != nil {
-					return nil, fmt.Errorf("module %s die %d row %d: %w", mi.ID, die, victim, err)
-				}
-				res.agg.observe(die, rr)
-				if s.cfg.KeepObservations {
-					res.Rows = append(res.Rows, RowObservation{Die: die, Run: run, RowResult: rr})
-				}
+			if err := eng.CharacterizeRowInto(victim, job.spec, opts, &res); err != nil {
+				return nil, fmt.Errorf("module %s die %d row %d: %w", job.mi.ID, die, victim, err)
+			}
+			o := &obs[run*len(job.rows)+ri]
+			o.Die = die
+			o.Run = run
+			o.RowResult = res
+			o.Flips = nil
+			if n := len(res.Flips); n > 0 {
+				start := len(arena)
+				arena = append(arena, res.Flips...)
+				o.Flips = arena[start : start+n : start+n]
 			}
 		}
 	}
-	return res, nil
+	return obs, nil
+}
+
+// finishCell folds the per-die observations of a completed cell into
+// its aggregate, in the (die, run, row) order a sequential run would
+// have used, so checkpointed aggregate state is byte-identical to the
+// pre-split scheduler's.
+func (s *Study) finishCell(job *cellJob) *ModuleResult {
+	res := &ModuleResult{Info: job.mi, Spec: job.spec, agg: newCellAggregate()}
+	for _, dieObs := range job.dieObs {
+		for i := range dieObs {
+			o := &dieObs[i]
+			res.agg.observe(o.Die, o.RowResult)
+			if s.cfg.KeepObservations {
+				res.Rows = append(res.Rows, *o)
+			}
+		}
+	}
+	// The job (and the run's task list holding it) outlives the cell;
+	// drop the folded observations so campaign memory stays bounded by
+	// cells in flight, not cells completed.
+	job.dieObs = nil
+	return res
 }
 
 // Result returns the cached cell for (moduleID, kind, aggOn).

@@ -203,9 +203,9 @@ func (b *Bank) Activate(row int, now time.Duration) error {
 		st.lastRefresh = now
 		st.sideSeen = [2]bool{}
 		st.hasLast = [2]bool{}
-		for _, c := range st.weak {
-			if !c.flipped {
-				c.acc = 0
+		for i := range st.weak {
+			if !st.weak[i].flipped {
+				st.weak[i].acc = 0
 			}
 		}
 	}
@@ -275,7 +275,8 @@ func (b *Bank) disturb(victim, distance int, side Side, onTime time.Duration, ac
 	tf := b.params.TempFactor(b.tempC)
 	blastH, blastP := b.params.BlastFactors(distance)
 
-	for _, c := range st.weak {
+	for i := range st.weak {
+		c := &st.weak[i]
 		if c.flipped {
 			continue
 		}
@@ -346,8 +347,8 @@ func (b *Bank) Write(col int, data []byte, now time.Duration) error {
 	copy(st.data[col:], data)
 	copy(st.golden[col:], data)
 	lo, hi := col*8, (col+len(data))*8
-	for _, c := range st.weak {
-		if c.Bit >= lo && c.Bit < hi {
+	for i := range st.weak {
+		if c := &st.weak[i]; c.Bit >= lo && c.Bit < hi {
 			c.acc = 0
 			c.flipped = false
 		}
@@ -393,9 +394,9 @@ func (b *Bank) WriteRow(row int, data []byte, now time.Duration) error {
 	st.lastRefresh = now
 	st.sideSeen = [2]bool{}
 	st.hasLast = [2]bool{}
-	for _, c := range st.weak {
-		c.acc = 0
-		c.flipped = false
+	for i := range st.weak {
+		st.weak[i].acc = 0
+		st.weak[i].flipped = false
 	}
 	for i := range st.ret {
 		st.ret[i].flipped = false
@@ -454,9 +455,9 @@ func (b *Bank) CompareRow(row int, now time.Duration) ([]Bitflip, error) {
 
 // mechAt looks up which mechanism owns a flipped bit (diagnostic).
 func (b *Bank) mechAt(st *rowState, bit int) Mechanism {
-	for _, c := range st.weak {
-		if c.Bit == bit {
-			return c.Mech
+	for i := range st.weak {
+		if st.weak[i].Bit == bit {
+			return st.weak[i].Mech
 		}
 	}
 	for i := range st.ret {
@@ -486,9 +487,9 @@ func (b *Bank) RefreshRow(row int, now time.Duration) error {
 	st.lastRefresh = now
 	st.sideSeen = [2]bool{}
 	st.hasLast = [2]bool{}
-	for _, c := range st.weak {
-		if !c.flipped {
-			c.acc = 0
+	for i := range st.weak {
+		if !st.weak[i].flipped {
+			st.weak[i].acc = 0
 		}
 	}
 	return nil
@@ -516,10 +517,10 @@ func (b *Bank) Refresh(now time.Duration) error {
 	return nil
 }
 
-// VictimCells returns the live weak-cell population of a row (shared
-// state; callers must not mutate). Exposed for the analytic experiment
-// engine and white-box tests.
-func (b *Bank) VictimCells(row int) []*WeakCell {
+// VictimCells returns the live weak-cell population of a row (the
+// bank's own value-typed storage; callers must not mutate). Exposed for
+// the analytic experiment engine and white-box tests.
+func (b *Bank) VictimCells(row int) []WeakCell {
 	p, err := b.phys(row)
 	if err != nil {
 		return nil

@@ -1,0 +1,31 @@
+package device
+
+// Bitset is a reusable fixed-capacity bit set. Hot paths use it in place
+// of map[int]bool membership sets: Reset reuses the backing storage, so
+// a set that lives across iterations stops allocating after warm-up.
+type Bitset struct {
+	words []uint64
+}
+
+// Reset clears the set and ensures capacity for n bits.
+func (s *Bitset) Reset(n int) {
+	w := (n + 63) / 64
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+		return
+	}
+	s.words = s.words[:w]
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Set marks bit i as present. i must be within the Reset capacity.
+func (s *Bitset) Set(i int) {
+	s.words[i>>6] |= 1 << uint(i&63)
+}
+
+// Has reports whether bit i is present.
+func (s *Bitset) Has(i int) bool {
+	return s.words[i>>6]&(1<<uint(i&63)) != 0
+}

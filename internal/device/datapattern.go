@@ -71,11 +71,20 @@ func (p DataPattern) VictimByte() byte {
 
 // FillRow returns a length-n buffer filled with b.
 func FillRow(n int, b byte) []byte {
-	buf := make([]byte, n)
-	for i := range buf {
-		buf[i] = b
+	return FillRowInto(nil, n, b)
+}
+
+// FillRowInto fills a length-n buffer with b, reusing dst's backing
+// storage when it is large enough (per-row hot loops hoist the buffer).
+func FillRowInto(dst []byte, n int, b byte) []byte {
+	if cap(dst) < n {
+		dst = make([]byte, n)
 	}
-	return buf
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = b
+	}
+	return dst
 }
 
 // VictimBitAt returns the bit stored at offset bit of a victim row filled

@@ -1,0 +1,65 @@
+package device
+
+import "sync"
+
+// PopulationCache memoizes the deterministic base populations
+// (RowPopulation) of one bank's rows, so every (pattern, tAggON, run)
+// combination that characterizes the same die shares one generation per
+// row instead of regenerating per measurement. Populations are immutable
+// once built, so the cache is safe for concurrent use.
+//
+// A full-bank cache for a paper-scale row sample (3K rows) holds a few
+// megabytes; campaign schedulers should scope one cache per (module,
+// die) and drop it when that die's cells are done.
+type PopulationCache struct {
+	profile Profile
+	params  DisturbParams
+	bank    int
+	rowBits int
+
+	mu   sync.RWMutex
+	pops map[int]*RowPopulation
+}
+
+// NewPopulationCache builds an empty cache for one bank's geometry.
+func NewPopulationCache(p Profile, d DisturbParams, bank, rowBits int) *PopulationCache {
+	return &PopulationCache{
+		profile: p,
+		params:  d,
+		bank:    bank,
+		rowBits: rowBits,
+		pops:    make(map[int]*RowPopulation),
+	}
+}
+
+// Matches reports whether the cache was built for exactly this bank
+// identity; consumers must not share caches across different dies.
+func (c *PopulationCache) Matches(p Profile, d DisturbParams, bank, rowBits int) bool {
+	return c.profile == p && c.params == d && c.bank == bank && c.rowBits == rowBits
+}
+
+// Get returns the row's base population, generating and caching it on
+// first touch.
+func (c *PopulationCache) Get(row int) *RowPopulation {
+	c.mu.RLock()
+	rp, ok := c.pops[row]
+	c.mu.RUnlock()
+	if ok {
+		return rp
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rp, ok := c.pops[row]; ok {
+		return rp
+	}
+	rp = NewRowPopulation(c.profile, c.params, c.bank, row, c.rowBits)
+	c.pops[row] = rp
+	return rp
+}
+
+// Len returns the number of cached rows.
+func (c *PopulationCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.pops)
+}

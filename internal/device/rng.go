@@ -17,12 +17,20 @@ type rng struct {
 
 // newRNG builds a generator from any number of seed words.
 func newRNG(words ...uint64) *rng {
+	r := &rng{}
+	r.seed(words...)
+	return r
+}
+
+// seed (re)initializes the generator in place, so hot paths can keep an
+// rng value on the stack instead of heap-allocating one per reseed.
+func (r *rng) seed(words ...uint64) {
 	var s uint64 = 0x9e3779b97f4a7c15
 	for _, w := range words {
 		s ^= w + 0x9e3779b97f4a7c15 + (s << 6) + (s >> 2)
 		s = mix64(s)
 	}
-	return &rng{state: s}
+	*r = rng{state: s}
 }
 
 // hashString folds a string into a 64-bit seed word.

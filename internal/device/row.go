@@ -26,7 +26,7 @@ type retCell struct {
 type rowState struct {
 	data   []byte
 	golden []byte
-	weak   []*WeakCell
+	weak   []WeakCell
 	ret    []retCell
 
 	lastRefresh time.Duration
@@ -51,12 +51,51 @@ func otherSide(s Side) Side {
 	return SideStrong
 }
 
-// GenerateRowCells deterministically builds the weak-cell population of a
-// victim row. The population is a fixed physical property of the
-// simulated chip: the same (profile, bank, row, runSeed) always yields the
-// same cells. runSeed models run-to-run measurement noise (the paper
-// repeats each measurement three times); runSeed 0 is the noise-free
-// calibration point.
+// popCell is one cell of a row's deterministic base population: every
+// quantity that does not depend on the run-to-run noise realization.
+type popCell struct {
+	bit      int
+	dir      Polarity
+	mech     Mechanism
+	syn      float64
+	weakSide float64
+	// base is the cell's pre-noise scale: the noise-free double-sided
+	// ACmin share for hammer cells, the noise-free press tau in seconds
+	// for press cells. Run noise multiplies it.
+	base float64
+	// th is the noise-independent hammer threshold of press cells
+	// (hammer cells derive theirs from base at noise-application time).
+	th float64
+}
+
+// RowPopulation is the cached deterministic base weak-cell population of
+// one victim row. The population is a fixed physical property of the
+// simulated chip — the same (profile, bank, row) always yields the same
+// base cells — while run-to-run measurement noise (the paper repeats
+// each measurement three times) is a separate multiplicative stream.
+// Splitting the two lets campaign hot loops generate the base once per
+// (die, row) and reapply per-run noise with AppendCells, byte-identical
+// to regenerating from scratch every time.
+//
+// A RowPopulation is immutable after construction and safe for
+// concurrent use by multiple readers.
+type RowPopulation struct {
+	cells []popCell
+
+	runSigma float64
+	// synergy and pressSensDenom reconstruct a hammer cell's press
+	// threshold: Tp = base*noise * synergy / pressSensDenom.
+	synergy        float64
+	pressSensDenom float64
+	hasPressSens   bool
+
+	// Noise-stream seed words.
+	serialHash uint64
+	rowWord    uint64
+}
+
+// NewRowPopulation deterministically builds the base weak-cell
+// population of a victim row.
 //
 // Calibration anchors (see DESIGN.md section 6):
 //   - the weakest hammer cell's double-sided-RowHammer ACmin equals the
@@ -66,18 +105,16 @@ func otherSide(s Side) Side {
 //   - both anchor cells are placed on a bit whose checkerboard (0x55)
 //     value matches their flip direction, since the paper's numbers are
 //     measured under that data pattern.
-func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, runSeed int64) []*WeakCell {
-	r := newRNG(hashString(p.Serial), uint64(bank)<<32|uint64(uint32(row)), 0xce11)
-	noise := func() float64 { return 1.0 }
-	if runSeed != 0 && p.RunSigma > 0 {
-		nr := newRNG(hashString(p.Serial), uint64(bank)<<32|uint64(uint32(row)), uint64(runSeed), 0x4015e)
-		noise = func() float64 { return nr.meanOneLognormal(p.RunSigma) }
-	}
+func NewRowPopulation(p Profile, d DisturbParams, bank, row int, rowBits int) *RowPopulation {
+	serialHash := hashString(p.Serial)
+	rowWord := uint64(bank)<<32 | uint64(uint32(row))
+	r := newRNG(serialHash, rowWord, 0xce11)
 
 	rowACmin := p.HammerACmin * r.meanOneLognormal(p.RowSigmaHammer)
 	rowPressTau := p.effectivePressTau().Seconds() * r.meanOneLognormal(p.RowSigmaPress)
 
-	used := make(map[int]bool, 2*p.WeakCellsPerMech)
+	var used Bitset
+	used.Reset(rowBits)
 	pickBit := func(dir Polarity, anchored bool) int {
 		for {
 			b := r.intn(rowBits)
@@ -88,8 +125,8 @@ func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, ru
 					continue
 				}
 			}
-			if !used[b] {
-				used[b] = true
+			if !used.Has(b) {
+				used.Set(b)
 				return b
 			}
 		}
@@ -117,12 +154,22 @@ func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, ru
 		return v
 	}
 
-	cells := make([]*WeakCell, 0, 2*p.WeakCellsPerMech)
+	rp := &RowPopulation{
+		cells:      make([]popCell, 0, 2*p.WeakCellsPerMech),
+		runSigma:   p.RunSigma,
+		synergy:    d.Synergy,
+		serialHash: serialHash,
+		rowWord:    rowWord,
+	}
 
 	// Row-level press coupling of the hammer population. The spread is
 	// per row (not per cell) so that the strong calibration guarantees
 	// ("No Bitflip" cells of Table 2) survive the tails.
 	rowPressSens := p.HammerPressSens * r.meanOneLognormal(0.25)
+	if rowPressSens > 0 {
+		rp.hasPressSens = true
+		rp.pressSensDenom = rowPressSens * 1e6
+	}
 
 	// Hammer-weak population.
 	for k := 0; k < p.WeakCellsPerMech; k++ {
@@ -130,24 +177,15 @@ func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, ru
 		if syn < 1 {
 			syn = 1
 		}
-		doubleACmin := rowACmin * spacing(k) * noise()
-		th := doubleACmin * syn
-		tp := math.Inf(1)
-		if rowPressSens > 0 {
-			// The press threshold scales with the cell's hammer
-			// vulnerability (not the synergy-inflated Th), in
-			// 1/us units: Tp [s] = ACmin * Synergy / (sens * 1e6).
-			tp = doubleACmin * d.Synergy / (rowPressSens * 1e6)
-		}
+		base := rowACmin * spacing(k)
 		dir := dirFor(p.HammerOneToZeroFrac)
-		cells = append(cells, &WeakCell{
-			Bit:      pickBit(dir, k == 0),
-			Th:       th,
-			Tp:       tp,
-			Syn:      syn,
-			WeakSide: weakSideVar(),
-			Dir:      dir,
-			Mech:     MechHammer,
+		rp.cells = append(rp.cells, popCell{
+			bit:      pickBit(dir, k == 0),
+			dir:      dir,
+			mech:     MechHammer,
+			syn:      syn,
+			weakSide: weakSideVar(),
+			base:     base,
 		})
 	}
 
@@ -157,24 +195,84 @@ func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, ru
 		if syn < 1 {
 			syn = 1
 		}
-		tp := rowPressTau * spacing(k) * noise()
+		base := rowPressTau * spacing(k)
 		// Press cells are an order of magnitude harder to hammer-flip.
 		th := rowACmin * syn * 12 * r.lognormal(0, 0.3)
 		dir := dirFor(p.PressOneToZeroFrac)
 		// Press cells carry no weak-side variance: Table 2's boundary
 		// cells (S4's double-sided No Bitflip at 70.2 us) require the
 		// press population's side coupling to be tight.
-		cells = append(cells, &WeakCell{
-			Bit:      pickBit(dir, k == 0),
-			Th:       th,
-			Tp:       tp,
-			Syn:      syn,
-			WeakSide: 1.0,
-			Dir:      dir,
-			Mech:     MechPress,
+		rp.cells = append(rp.cells, popCell{
+			bit:      pickBit(dir, k == 0),
+			dir:      dir,
+			mech:     MechPress,
+			syn:      syn,
+			weakSide: 1.0,
+			base:     base,
+			th:       th,
 		})
 	}
-	return cells
+	return rp
+}
+
+// Len returns the number of cells in the population.
+func (rp *RowPopulation) Len() int { return len(rp.cells) }
+
+// AppendCells applies one run's measurement noise to the base population
+// and appends the resulting live cells to dst, which is returned (pass
+// dst[:0] to reuse its backing storage across runs — the append-style
+// contract keeps the campaign hot path allocation-free after warm-up).
+// runSeed selects the noise realization; runSeed 0 is the noise-free
+// calibration point. The output is byte-identical to what
+// GenerateRowCells produces for the same arguments.
+func (rp *RowPopulation) AppendCells(dst []WeakCell, runSeed int64) []WeakCell {
+	var nr rng
+	noisy := runSeed != 0 && rp.runSigma > 0
+	if noisy {
+		nr.seed(rp.serialHash, rp.rowWord, uint64(runSeed), 0x4015e)
+	}
+	for i := range rp.cells {
+		c := &rp.cells[i]
+		f := 1.0
+		if noisy {
+			f = nr.meanOneLognormal(rp.runSigma)
+		}
+		var th, tp float64
+		switch c.mech {
+		case MechHammer:
+			doubleACmin := c.base * f
+			th = doubleACmin * c.syn
+			tp = math.Inf(1)
+			if rp.hasPressSens {
+				// The press threshold scales with the cell's hammer
+				// vulnerability (not the synergy-inflated Th), in
+				// 1/us units: Tp [s] = ACmin * Synergy / (sens * 1e6).
+				tp = doubleACmin * rp.synergy / rp.pressSensDenom
+			}
+		default: // MechPress
+			th = c.th
+			tp = c.base * f
+		}
+		dst = append(dst, WeakCell{
+			Bit:      c.bit,
+			Th:       th,
+			Tp:       tp,
+			Syn:      c.syn,
+			WeakSide: c.weakSide,
+			Dir:      c.dir,
+			Mech:     c.mech,
+		})
+	}
+	return dst
+}
+
+// GenerateRowCells deterministically builds the weak-cell population of a
+// victim row: the fixed base population (NewRowPopulation) with one
+// run's noise applied. The same (profile, bank, row, runSeed) always
+// yields the same cells. Hot loops that revisit a row should cache the
+// RowPopulation and call AppendCells instead.
+func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, runSeed int64) []WeakCell {
+	return NewRowPopulation(p, d, bank, row, rowBits).AppendCells(nil, runSeed)
 }
 
 // generateRetentionCells builds the retention-weak tail of a row.

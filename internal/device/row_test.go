@@ -17,9 +17,81 @@ func TestGenerateRowCellsDeterministic(t *testing.T) {
 		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
 	}
 	for i := range a {
-		if *a[i] != *b[i] {
+		if a[i] != b[i] {
 			t.Fatalf("cell %d differs between identical generations", i)
 		}
+	}
+}
+
+// TestAppendCellsMatchesGenerate pins the base/noise split: caching a
+// RowPopulation and reapplying per-run noise must be byte-identical to
+// regenerating the row from scratch, for the noise-free run and for
+// every noisy run seed.
+func TestAppendCellsMatchesGenerate(t *testing.T) {
+	p := validProfile()
+	d := DefaultParams()
+	for _, row := range []int{1, 7, 100, 4095} {
+		pop := NewRowPopulation(p, d, 0, row, testRowBits)
+		var buf []WeakCell
+		for runSeed := int64(0); runSeed < 4; runSeed++ {
+			want := GenerateRowCells(p, d, 0, row, testRowBits, runSeed)
+			buf = pop.AppendCells(buf[:0], runSeed)
+			if len(buf) != len(want) {
+				t.Fatalf("row %d run %d: %d cells, want %d", row, runSeed, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("row %d run %d cell %d: AppendCells %+v != GenerateRowCells %+v",
+						row, runSeed, i, buf[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAppendCellsReusesBacking verifies the allocation contract: passing
+// dst[:0] with sufficient capacity must not grow a new slice.
+func TestAppendCellsReusesBacking(t *testing.T) {
+	p := validProfile()
+	d := DefaultParams()
+	pop := NewRowPopulation(p, d, 0, 42, testRowBits)
+	buf := pop.AppendCells(nil, 0)
+	first := &buf[0]
+	buf = pop.AppendCells(buf[:0], 3)
+	if &buf[0] != first {
+		t.Error("AppendCells reallocated despite sufficient capacity")
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = pop.AppendCells(buf[:0], 3)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendCells allocates %v times per run on a warm buffer, want 0", allocs)
+	}
+}
+
+func TestPopulationCache(t *testing.T) {
+	p := validProfile()
+	d := DefaultParams()
+	c := NewPopulationCache(p, d, 0, testRowBits)
+	a := c.Get(9)
+	if b := c.Get(9); b != a {
+		t.Error("cache regenerated an already-cached row")
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d rows, want 1", c.Len())
+	}
+	got := a.AppendCells(nil, 0)
+	want := GenerateRowCells(p, d, 0, 9, testRowBits, 0)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cached population cell %d differs from direct generation", i)
+		}
+	}
+	if !c.Matches(p, d, 0, testRowBits) {
+		t.Error("Matches rejected the cache's own identity")
+	}
+	if c.Matches(p, d, 1, testRowBits) {
+		t.Error("Matches accepted a different bank")
 	}
 }
 
