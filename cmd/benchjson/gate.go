@@ -1,0 +1,148 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// The bench-regression gate: compare a fresh snapshot against the
+// newest committed BENCH_<n>.json and fail CI on real regressions
+// while tolerating runner noise.
+//
+// Two rules, matching how the trajectory is used:
+//
+//   - ns_per_op is gated only on the campaign headliner
+//     (StudyCampaign) and only beyond a generous tolerance — absolute
+//     times vary across runner hardware, but a >30% slide of the
+//     end-to-end campaign is a real regression on any machine.
+//   - allocs_per_op is exact and machine-independent, so every
+//     benchmark whose baseline is at or below the alloc guard (the
+//     tightly-controlled hot-path benchmarks) must not allocate more
+//     than its baseline at all. The campaign-level benchmark sits far
+//     above the guard and is exempt: its count wobbles with worker
+//     scheduling.
+
+// timeCritical names the benchmarks whose ns_per_op regression fails
+// the gate.
+var timeCritical = map[string]bool{"StudyCampaign": true}
+
+// newestBaseline returns the BENCH_<n>.json in dir with the largest
+// n, skipping exclude — the snapshot the gate itself just wrote must
+// never be its own baseline (the comparison would trivially pass).
+func newestBaseline(dir, exclude string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	excludeAbs, _ := filepath.Abs(exclude)
+	best, bestN := "", -1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, "BENCH_") || !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		if abs, err := filepath.Abs(filepath.Join(dir, name)); err == nil && exclude != "" && abs == excludeAbs {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimSuffix(strings.TrimPrefix(name, "BENCH_"), ".json"))
+		if err != nil || n <= bestN {
+			continue
+		}
+		best, bestN = filepath.Join(dir, name), n
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_<n>.json baseline in %s", dir)
+	}
+	return best, nil
+}
+
+// loadSnapshot reads a BENCH_*.json file.
+func loadSnapshot(path string) (snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return snapshot{}, err
+	}
+	var snap snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return snapshot{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// nsComparable reports whether two snapshots were taken on similar
+// enough hardware for absolute ns/op comparison to mean "regression"
+// rather than "different machine". allocs/op needs no such guard — it
+// is exact and machine-independent.
+func nsComparable(a, b snapshot) bool {
+	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.CPUs == b.CPUs
+}
+
+// compareSnapshots applies the gate rules and returns one line per
+// violation (empty = pass). tolerance is the fractional ns_per_op
+// slack on time-critical benchmarks (0.30 = fail beyond +30%),
+// enforced only when the two snapshots share a host shape; allocGuard
+// is the baseline allocs_per_op at or under which a benchmark's
+// allocation count is frozen.
+func compareSnapshots(baseline, fresh snapshot, tolerance float64, allocGuard int64) []string {
+	freshBy := make(map[string]benchResult, len(fresh.Benchmarks))
+	for _, b := range fresh.Benchmarks {
+		freshBy[b.Name] = b
+	}
+	gateNs := nsComparable(baseline, fresh)
+	var violations []string
+	for _, base := range baseline.Benchmarks {
+		f, ok := freshBy[base.Name]
+		if !ok {
+			// A guarded benchmark that silently disappears is how a
+			// perf trajectory rots; flag it rather than skipping.
+			violations = append(violations,
+				fmt.Sprintf("%s: present in baseline but missing from the fresh run", base.Name))
+			continue
+		}
+		if gateNs && timeCritical[base.Name] && f.NsPerOp > base.NsPerOp*(1+tolerance) {
+			violations = append(violations,
+				fmt.Sprintf("%s: ns/op regressed %.0f -> %.0f (+%.1f%%, tolerance %.0f%%)",
+					base.Name, base.NsPerOp, f.NsPerOp,
+					100*(f.NsPerOp/base.NsPerOp-1), 100*tolerance))
+		}
+		if base.AllocsPerOp <= allocGuard && f.AllocsPerOp > base.AllocsPerOp {
+			violations = append(violations,
+				fmt.Sprintf("%s: allocs/op increased %d -> %d (alloc-guarded benchmark: any increase fails)",
+					base.Name, base.AllocsPerOp, f.AllocsPerOp))
+		}
+	}
+	return violations
+}
+
+// gate compares the fresh snapshot (just written to freshPath) against
+// baselinePath (or the newest committed baseline in dir when empty,
+// never freshPath itself) and returns an error listing every
+// violation.
+func gate(fresh snapshot, freshPath, baselinePath, dir string, tolerance float64, allocGuard int64) error {
+	if baselinePath == "" {
+		var err error
+		if baselinePath, err = newestBaseline(dir, freshPath); err != nil {
+			return err
+		}
+	}
+	baseline, err := loadSnapshot(baselinePath)
+	if err != nil {
+		return err
+	}
+	if !nsComparable(baseline, fresh) {
+		fmt.Fprintf(os.Stderr,
+			"bench gate: host shape differs from %s (%s/%s %d cpus vs %s/%s %d cpus); ns/op rule skipped, allocs/op still enforced\n",
+			baselinePath, baseline.GOOS, baseline.GOARCH, baseline.CPUs, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	}
+	violations := compareSnapshots(baseline, fresh, tolerance, allocGuard)
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "bench gate: no regression vs %s (%d benchmarks compared)\n",
+			baselinePath, len(baseline.Benchmarks))
+		return nil
+	}
+	return fmt.Errorf("bench gate vs %s failed:\n  %s", baselinePath, strings.Join(violations, "\n  "))
+}

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func gateBaseline() snapshot {
+	return snapshot{
+		Schema: "rowfuse-bench/v1",
+		Benchmarks: []benchResult{
+			{Name: "AnalyticCharacterizeRow", NsPerOp: 9000, AllocsPerOp: 4},
+			{Name: "GenerateRowCells", NsPerOp: 9400, AllocsPerOp: 10},
+			{Name: "StudyCampaign", NsPerOp: 57_000_000, AllocsPerOp: 7847},
+		},
+	}
+}
+
+func TestCompareSnapshotsPasses(t *testing.T) {
+	fresh := gateBaseline()
+	// Mild wobble everywhere: slower row benchmark (not time-critical),
+	// campaign within tolerance, campaign allocs above baseline (not
+	// alloc-guarded).
+	fresh.Benchmarks[0].NsPerOp = 20000
+	fresh.Benchmarks[2].NsPerOp = 57_000_000 * 1.25
+	fresh.Benchmarks[2].AllocsPerOp = 9000
+	if v := compareSnapshots(gateBaseline(), fresh, 0.30, 100); len(v) != 0 {
+		t.Fatalf("unexpected violations: %v", v)
+	}
+}
+
+func TestCompareSnapshotsCatchesCampaignTimeRegression(t *testing.T) {
+	fresh := gateBaseline()
+	fresh.Benchmarks[2].NsPerOp = 57_000_000 * 1.5
+	v := compareSnapshots(gateBaseline(), fresh, 0.30, 100)
+	if len(v) != 1 || !strings.Contains(v[0], "StudyCampaign") || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestCompareSnapshotsCatchesAllocIncrease(t *testing.T) {
+	fresh := gateBaseline()
+	fresh.Benchmarks[0].AllocsPerOp = 5 // guarded: baseline 4 <= 100
+	v := compareSnapshots(gateBaseline(), fresh, 0.30, 100)
+	if len(v) != 1 || !strings.Contains(v[0], "AnalyticCharacterizeRow") || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations: %v", v)
+	}
+	// Fewer allocations is progress, not a violation.
+	fresh = gateBaseline()
+	fresh.Benchmarks[1].AllocsPerOp = 2
+	if v := compareSnapshots(gateBaseline(), fresh, 0.30, 100); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}
+
+func TestCompareSnapshotsCatchesMissingBenchmark(t *testing.T) {
+	fresh := gateBaseline()
+	fresh.Benchmarks = fresh.Benchmarks[:2] // StudyCampaign vanished
+	v := compareSnapshots(gateBaseline(), fresh, 0.30, 100)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+func TestNewestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := newestBaseline(dir, ""); err == nil {
+		t.Fatal("empty dir should have no baseline")
+	}
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_ci.json", "bench-fresh.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	path, err := newestBaseline(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_10.json" {
+		t.Fatalf("newest = %s, want BENCH_10.json", path)
+	}
+	// The file the gate itself just wrote is never its own baseline.
+	path, err = newestBaseline(dir, filepath.Join(dir, "BENCH_10.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(path) != "BENCH_2.json" {
+		t.Fatalf("with exclusion: %s, want BENCH_2.json", path)
+	}
+}
+
+func TestCompareSnapshotsSkipsNsOnForeignHost(t *testing.T) {
+	fresh := gateBaseline()
+	fresh.CPUs = 64 // a different machine shape
+	fresh.Benchmarks[2].NsPerOp *= 10
+	fresh.Benchmarks[0].AllocsPerOp = 5
+	v := compareSnapshots(gateBaseline(), fresh, 0.30, 100)
+	// The ns/op rule is meaningless across hardware and is skipped;
+	// the exact allocs/op rule still fires.
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations: %v", v)
+	}
+}
+
+// TestGateEndToEnd exercises the gate() plumbing against files on disk.
+func TestGateEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	data, err := json.Marshal(gateBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := gate(gateBaseline(), "", "", dir, 0.30, 100); err != nil {
+		t.Fatalf("clean gate failed: %v", err)
+	}
+	bad := gateBaseline()
+	bad.Benchmarks[2].NsPerOp *= 2
+	if err := gate(bad, "", "", dir, 0.30, 100); err == nil || !strings.Contains(err.Error(), "BENCH_3.json") {
+		t.Fatalf("regressed gate: %v", err)
+	}
+	// When the only BENCH_<n>.json around is the snapshot this very
+	// run wrote, the gate must refuse rather than pass against itself.
+	if err := gate(bad, filepath.Join(dir, "BENCH_3.json"), "", dir, 0.30, 100); err == nil ||
+		!strings.Contains(err.Error(), "no BENCH_") {
+		t.Fatalf("self-comparison gate: %v", err)
+	}
+}

@@ -11,6 +11,15 @@
 //
 // Each snapshot records ns/op, allocs/op and B/op per benchmark plus
 // the host shape; compare two files with any JSON diff tool.
+//
+// -gate turns benchjson into the CI bench-regression gate: after
+// writing the fresh snapshot it compares against the newest committed
+// BENCH_<n>.json (or -baseline) and exits nonzero if StudyCampaign's
+// ns/op regressed beyond -tolerance or any alloc-guarded benchmark
+// (baseline allocs/op <= -alloc-guard) allocates more than its
+// baseline:
+//
+//	benchjson -out bench-fresh.json -gate
 package main
 
 import (
@@ -62,6 +71,10 @@ func run(args []string) error {
 	out := fs.String("out", "", "output file (default: BENCH_<n>.json with the next free n)")
 	benchRe := fs.String("bench", "", "only run benchmarks matching this regexp")
 	list := fs.Bool("list", false, "list benchmark names and exit")
+	doGate := fs.Bool("gate", false, "after writing, compare against the newest committed BENCH_<n>.json and fail on regression")
+	baseline := fs.String("baseline", "", "explicit baseline file for -gate (default: newest BENCH_<n>.json)")
+	tolerance := fs.Float64("tolerance", 0.30, "fractional ns/op regression allowed on time-critical benchmarks")
+	allocGuard := fs.Int64("alloc-guard", 100, "baseline allocs/op at or below which a benchmark's allocation count must not increase")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -125,6 +138,9 @@ func run(args []string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
+	if *doGate {
+		return gate(snap, path, *baseline, ".", *tolerance, *allocGuard)
+	}
 	return nil
 }
 

@@ -1,0 +1,263 @@
+// Command campaignd coordinates a distributed characterization
+// campaign: it partitions the (module x pattern x tAggON) cell grid
+// into leased work units, hands them to characterize -worker
+// processes, steals work back from dead workers (expired leases are
+// re-granted), folds submitted shard checkpoints into a rolling merged
+// state, and renders live coverage-annotated partial Table 2 / Fig 4
+// reports while the campaign converges.
+//
+// Two coordination modes share one campaign description:
+//
+// Filesystem mode needs no server at all — any directory every worker
+// can reach (NFS, a shared volume) is the queue:
+//
+//	campaignd -dir shared/ -init -exp all -rows 1000 -runs 3 -units 12 -ttl 2m
+//	characterize -worker shared/                  # on each machine
+//	campaignd -dir shared/ -watch 10s -out merged.json
+//
+// Server mode runs an HTTP coordinator with an in-memory queue:
+//
+//	campaignd -listen :8473 -exp all -rows 1000 -runs 3 -units 12 -ttl 2m -out merged.json
+//	characterize -worker http://coordinator:8473  # on each machine
+//
+// In both modes the campaign configuration is embedded in the manifest
+// — workers reconstruct it (and its fingerprint) from there, so config
+// drift between machines is structurally impossible. When every unit
+// is submitted, campaignd writes the fused whole-campaign checkpoint
+// to -out; render it with
+//
+//	characterize -exp all <same config flags> -merge merged.json
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/dispatch"
+	"rowfuse/internal/resultio"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "campaignd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
+	var (
+		dir    = fs.String("dir", "", "filesystem-queue mode: coordinate through this shared directory")
+		doInit = fs.Bool("init", false, "with -dir: write the campaign manifest and exit")
+		listen = fs.String("listen", "", "server mode: serve the coordinator HTTP API on this address")
+		watch  = fs.Duration("watch", 0, "print a live partial Table 2 / Fig 4 report at this interval (0 = only on completion)")
+		outCp  = fs.String("out", "", "write the fused campaign checkpoint to this file (rolling in -watch loops, final on completion)")
+		units  = fs.Int("units", 8, "work units to split the cell grid into (clamped to the grid size)")
+		ttl    = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
+		linger = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
+
+		exp    = fs.String("exp", "all", "campaign grid: all (paper sweep) or table2 (the three Table 2 marks)")
+		rows   = fs.Int("rows", 200, "victim rows per bank region (paper: 1000)")
+		dies   = fs.Int("dies", 1, "dies per module to characterize (0 = all, as in the paper)")
+		runs   = fs.Int("runs", 3, "repeats per measurement (paper: 3)")
+		module = fs.String("module", "", "restrict to one module ID (e.g. S0)")
+		temp   = fs.Float64("temp", 50, "die temperature in Celsius (paper: 50)")
+		budget = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if (*dir == "") == (*listen == "") {
+		return errors.New("exactly one of -dir (filesystem mode) or -listen (server mode) is required")
+	}
+	if *doInit && *dir == "" {
+		return errors.New("-init requires -dir")
+	}
+
+	if *listen != "" {
+		cfg, err := studyConfig(*exp, *rows, *dies, *runs, *module, *temp, *budget)
+		if err != nil {
+			return err
+		}
+		m := dispatch.NewManifest(cfg, *units, *ttl)
+		q, err := dispatch.NewMemQueue(m)
+		if err != nil {
+			return err
+		}
+		return serve(*listen, q, *watch, *linger, *outCp, out)
+	}
+
+	if *doInit {
+		cfg, err := studyConfig(*exp, *rows, *dies, *runs, *module, *temp, *budget)
+		if err != nil {
+			return err
+		}
+		m := dispatch.NewManifest(cfg, *units, *ttl)
+		if err := dispatch.InitDir(*dir, m); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "campaign initialized in %s: %d units, lease TTL %v, fingerprint %s\n",
+			*dir, m.Units, m.LeaseTTL(), m.Fingerprint)
+		fmt.Fprintf(out, "start workers with: characterize -worker %s\n", *dir)
+		return nil
+	}
+
+	// Watch mode on an existing campaign directory. The directory's
+	// manifest, not this process's flags, defines the campaign — an
+	// explicitly set config flag here would be silently ignored, so
+	// reject it the same way characterize -worker does.
+	allowed := map[string]bool{"dir": true, "watch": true, "out": true}
+	var rejected []string
+	fs.Visit(func(f *flag.Flag) {
+		if !allowed[f.Name] {
+			rejected = append(rejected, "-"+f.Name)
+		}
+	})
+	if len(rejected) > 0 {
+		return fmt.Errorf("watch mode reads the campaign from %s/manifest.json; %s would be silently ignored (campaign flags belong with -init)",
+			*dir, strings.Join(rejected, " "))
+	}
+	q, err := dispatch.OpenDir(*dir)
+	if err != nil {
+		return err
+	}
+	return watchLoop(q, *watch, *outCp, out)
+}
+
+// studyConfig assembles the campaign configuration through the same
+// core.CampaignGrid/CampaignConfig helpers cmd/characterize uses, so a
+// finished distributed run renders with characterize -merge under the
+// identical fingerprint.
+func studyConfig(exp string, rows, dies, runs int, module string, temp float64, budget time.Duration) (core.StudyConfig, error) {
+	switch exp {
+	case "all", "table2":
+	default:
+		return core.StudyConfig{}, fmt.Errorf("-exp %q: campaign grids are all or table2", exp)
+	}
+	mods, sweep, err := core.CampaignGrid(module, exp)
+	if err != nil {
+		return core.StudyConfig{}, err
+	}
+	return core.CampaignConfig(mods, sweep, rows, dies, runs, temp, budget), nil
+}
+
+// serve runs the HTTP coordinator until the campaign drains, then
+// writes the fused checkpoint, renders the final report, and keeps
+// answering (with ErrDrained) for linger before shutting down, so
+// workers mid-poll exit cleanly rather than hitting a dead socket.
+func serve(addr string, q dispatch.Queue, watch, linger time.Duration, outCp string, out *os.File) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: dispatch.NewHandler(q)}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(out, "coordinator listening on %s\n", ln.Addr())
+	m, err := q.Manifest()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "campaign: %d units, lease TTL %v, fingerprint %s\n", m.Units, m.LeaseTTL(), m.Fingerprint)
+	fmt.Fprintf(out, "start workers with: characterize -worker http://%s\n", ln.Addr())
+
+	poll := time.Second
+	if watch > 0 && watch < poll {
+		poll = watch
+	}
+	lastReport := time.Now()
+	for {
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(poll):
+		}
+		st, err := q.Status()
+		if err != nil {
+			return err
+		}
+		// On the tick where the campaign drains, the final report
+		// below covers it — don't print the same report twice.
+		if watch > 0 && !st.Drained() && time.Since(lastReport) >= watch {
+			lastReport = time.Now()
+			if err := report(q, m, st, outCp, out); err != nil {
+				return err
+			}
+		}
+		if st.Drained() {
+			if err := report(q, m, st, outCp, out); err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "campaign complete")
+			select {
+			case err := <-errCh:
+				return err
+			case <-time.After(linger):
+			}
+			return srv.Shutdown(context.Background())
+		}
+	}
+}
+
+// watchLoop polls a directory campaign, printing partial reports and
+// folding the rolling merged checkpoint until the campaign drains.
+func watchLoop(q dispatch.Queue, watch time.Duration, outCp string, out *os.File) error {
+	if watch <= 0 {
+		watch = 10 * time.Second
+	}
+	m, err := q.Manifest()
+	if err != nil {
+		return err
+	}
+	for {
+		st, err := q.Status()
+		if err != nil {
+			return err
+		}
+		if err := report(q, m, st, outCp, out); err != nil {
+			return err
+		}
+		if st.Drained() {
+			fmt.Fprintln(out, "campaign complete")
+			return nil
+		}
+		time.Sleep(watch)
+	}
+}
+
+// report prints the unit ledger and the partial-grid renderings, and
+// (when -out is set) persists the rolling merged checkpoint.
+func report(q dispatch.Queue, m dispatch.Manifest, st dispatch.Status, outCp string, out *os.File) error {
+	cp, err := q.Merged()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n=== %s — units: %d done, %d leased, %d pending of %d ===\n",
+		time.Now().Format(time.TimeOnly), st.Done, st.Leased, st.Pending, st.Units)
+	for _, u := range st.PerUnit {
+		if u.State == dispatch.UnitLeased {
+			fmt.Fprintf(out, "  unit %d leased by %s (expires in %dms)\n", u.Unit, u.Worker, u.ExpiresInMs)
+		}
+	}
+	if err := dispatch.RenderPartial(out, m, cp); err != nil {
+		return err
+	}
+	if outCp != "" {
+		if err := resultio.WriteCheckpointFile(outCp, cp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

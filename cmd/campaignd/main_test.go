@@ -1,0 +1,165 @@
+package main
+
+import (
+	"bufio"
+	"context"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/dispatch"
+	"rowfuse/internal/resultio"
+)
+
+// tinyArgs is a one-module Table 2 campaign (9 cells) that drains in
+// well under a second.
+func tinyArgs(extra ...string) []string {
+	args := []string{"-exp", "table2", "-module", "S0", "-rows", "2", "-runs", "1", "-units", "2", "-ttl", "30s"}
+	return append(args, extra...)
+}
+
+func TestRunFlagValidation(t *testing.T) {
+	if err := run([]string{}, os.Stdout); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("no mode: %v", err)
+	}
+	if err := run([]string{"-dir", "x", "-listen", ":0"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "exactly one") {
+		t.Fatalf("both modes: %v", err)
+	}
+	if err := run(tinyArgs("-dir", t.TempDir(), "-init", "-exp", "nope"), os.Stdout); err == nil || !strings.Contains(err.Error(), "-exp") {
+		t.Fatalf("bad exp: %v", err)
+	}
+	// Watch mode takes the campaign from the directory's manifest;
+	// explicitly set config flags must be rejected, not ignored.
+	if err := run([]string{"-dir", t.TempDir(), "-watch", "1s", "-rows", "500"}, os.Stdout); err == nil || !strings.Contains(err.Error(), "-rows") {
+		t.Fatalf("watch-mode config flag: %v", err)
+	}
+}
+
+// TestDirCampaignInitWorkWatch drives the full filesystem-mode
+// lifecycle: init a campaign directory, drain it with an in-process
+// worker, then watch until completion and check the fused checkpoint
+// lands on disk.
+func TestDirCampaignInitWorkWatch(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "campaign")
+	out, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer out.Close()
+
+	if err := run(tinyArgs("-dir", dir, "-init"), out); err != nil {
+		t.Fatal(err)
+	}
+	// Init refuses to clobber an existing campaign.
+	if err := run(tinyArgs("-dir", dir, "-init"), out); err == nil {
+		t.Fatal("second -init should fail")
+	}
+
+	q, err := dispatch.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dispatch.Work(context.Background(), q, dispatch.WorkerOptions{Name: "t"}); err != nil {
+		t.Fatal(err)
+	}
+
+	merged := filepath.Join(t.TempDir(), "merged.json")
+	if err := run([]string{"-dir", dir, "-watch", "10ms", "-out", merged}, out); err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := q.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := resultio.ReadCheckpointFile(merged, m.Fingerprint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := cp.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 9 {
+		t.Fatalf("fused checkpoint has %d cells, want 9", len(cells))
+	}
+
+	if _, err := out.Seek(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(data)
+	for _, want := range []string{"campaign initialized", "campaign complete", "complete: 9 of 9 cells"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("watch output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestServeModeDrainsAndExits boots the HTTP coordinator on an
+// ephemeral port, drains it with a real worker over the wire, and
+// expects the server to write the fused checkpoint and exit cleanly.
+func TestServeModeDrainsAndExits(t *testing.T) {
+	outR, outW, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer outR.Close()
+	merged := filepath.Join(t.TempDir(), "merged.json")
+
+	runErr := make(chan error, 1)
+	go func() {
+		defer outW.Close()
+		runErr <- run(tinyArgs("-listen", "127.0.0.1:0", "-linger", "50ms", "-out", merged), outW)
+	}()
+
+	// Scrape the chosen address from the server's banner.
+	var addr string
+	sc := bufio.NewScanner(outR)
+	lines := make(chan string, 64)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(30 * time.Second)
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("server exited before listening: %v", <-runErr)
+			}
+			if rest, found := strings.CutPrefix(line, "coordinator listening on "); found {
+				addr = rest
+			}
+		case <-deadline:
+			t.Fatal("no listening banner within 30s")
+		}
+	}
+
+	c, err := dispatch.Dial("http://"+addr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dispatch.Work(context.Background(), c, dispatch.WorkerOptions{Name: "wire"}); err != nil {
+		t.Fatal(err)
+	}
+
+	select {
+	case err := <-runErr:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("server did not exit after the campaign drained")
+	}
+	if _, err := resultio.ReadCheckpointFile(merged, ""); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -25,6 +25,15 @@
 //
 //	characterize -exp all -shard 2/3 -checkpoint s2.json -resume
 //
+// Under a campaignd coordinator no shard arithmetic is needed at all:
+// -worker points at a campaign (a shared directory or a campaignd URL),
+// leases work units, heartbeats them while the shard runs, and submits
+// checkpoints until the campaign is drained. The campaign configuration
+// comes from the coordinator's manifest, so no config flags are given:
+//
+//	characterize -worker shared/                  # filesystem campaign
+//	characterize -worker http://coordinator:8473  # served campaign
+//
 // Full-scale campaign profiles can be captured without a rebuild:
 //
 //	characterize -exp table2 -rows 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -44,6 +53,7 @@ import (
 	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
 	"rowfuse/internal/device"
+	"rowfuse/internal/dispatch"
 	"rowfuse/internal/pattern"
 	"rowfuse/internal/report"
 	"rowfuse/internal/resultio"
@@ -73,6 +83,9 @@ func run(args []string) error {
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
+
+		workerFor  = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
+		workerName = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
 
 		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
 		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
@@ -113,6 +126,28 @@ func run(args []string) error {
 		}()
 	}
 
+	if *workerFor != "" {
+		// Worker mode: the campaign manifest is the single source of
+		// config truth, so every explicitly set config or render flag
+		// is a mistake worth flagging rather than silently ignoring.
+		// Only worker identity, pool size and profiling are local.
+		allowed := map[string]bool{
+			"worker": true, "worker-name": true, "workers": true,
+			"cpuprofile": true, "memprofile": true,
+		}
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			return fmt.Errorf("-worker gets its campaign from the coordinator's manifest; %s would be silently ignored (drop them, or change the campaign at -init time)",
+				strings.Join(rejected, " "))
+		}
+		return runWorker(*workerFor, *workerName, *workers)
+	}
+
 	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"
 	// (a script templating i/n with n=1) must behave like every other
 	// shard run — checkpoint only, render at -merge time.
@@ -140,13 +175,12 @@ func run(args []string) error {
 		return fmt.Errorf("-merge renders existing checkpoints; -resume does not apply")
 	}
 
-	mods := chipdb.Modules()
-	if *module != "" {
-		mi, err := chipdb.ByID(*module)
-		if err != nil {
-			return err
-		}
-		mods = []chipdb.ModuleInfo{mi}
+	// Module set and sweep come from the same helper campaignd uses to
+	// mint manifests, so the fingerprints of a distributed campaign
+	// and this command's -merge rendering can never drift.
+	mods, sweep, err := core.CampaignGrid(*module, *exp)
+	if err != nil {
+		return err
 	}
 
 	switch *exp {
@@ -166,31 +200,15 @@ func run(args []string) error {
 		return runHCDist(mods[0], *rows, *budget)
 	}
 
-	sweep := timing.PaperSweep()
-	if *exp == "table2" {
-		sweep = timing.Table2Marks()
+	cfg := core.CampaignConfig(mods, sweep, *rows, *dies, *runs, *temp, *budget)
+	cfg.Concurrency = *workers
+	cfg.Progress = func(done, total int) {
+		if done%25 == 0 || done == total {
+			fmt.Fprintf(os.Stderr, "  %d/%d cells\n", done, total)
+		}
 	}
-
-	cfg := core.StudyConfig{
-		Modules:       mods,
-		Sweep:         sweep,
-		RowsPerRegion: *rows,
-		Dies:          *dies,
-		Runs:          *runs,
-		Concurrency:   *workers,
-		Opts: core.RunOpts{
-			Budget: *budget,
-			TempC:  *temp,
-			Data:   device.Checkerboard,
-		},
-		Progress: func(done, total int) {
-			if done%25 == 0 || done == total {
-				fmt.Fprintf(os.Stderr, "  %d/%d cells\n", done, total)
-			}
-		},
-		Shard:           shard,
-		CheckpointEvery: *ckptEvery,
-	}
+	cfg.Shard = shard
+	cfg.CheckpointEvery = *ckptEvery
 	fingerprint := cfg.Fingerprint()
 	if *ckptPath != "" {
 		cfg.Checkpoint = func(cells map[core.CellKey]core.AggregateState) error {
@@ -200,15 +218,14 @@ func run(args []string) error {
 	study := core.NewStudy(cfg)
 
 	if *mergeList != "" {
-		var cps []*resultio.Checkpoint
+		var paths []string
 		for _, path := range strings.Split(*mergeList, ",") {
-			cp, err := resultio.ReadCheckpointFile(strings.TrimSpace(path), fingerprint)
-			if err != nil {
-				return err
-			}
-			cps = append(cps, cp)
+			paths = append(paths, strings.TrimSpace(path))
 		}
-		merged, err := resultio.MergeCheckpoints(cps...)
+		// MergeCheckpointFiles attributes any failure — unreadable
+		// file, foreign fingerprint, overlapping cells — to the shard
+		// file that caused it.
+		merged, err := resultio.MergeCheckpointFiles(fingerprint, paths...)
 		if err != nil {
 			return err
 		}
@@ -228,7 +245,7 @@ func run(args []string) error {
 			}
 			fmt.Fprintf(os.Stderr, "merged checkpoint written to %s\n", *ckptPath)
 		}
-		fmt.Fprintf(os.Stderr, "merged %d checkpoints: %d cells restored, nothing re-run\n", len(cps), len(cells))
+		fmt.Fprintf(os.Stderr, "merged %d checkpoints: %d cells restored, nothing re-run\n", len(paths), len(cells))
 	} else {
 		if *resume {
 			cp, err := resultio.ReadCheckpointFile(*ckptPath, fingerprint)
@@ -353,6 +370,36 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "result archive written to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// runWorker drains a distributed campaign: lease shard work units from
+// the coordinator (a shared directory or a campaignd URL), run each
+// with the checkpointed Study.Run, heartbeat while running, submit the
+// shard checkpoint, repeat until the campaign is drained.
+func runWorker(endpoint, name string, workers int) error {
+	var (
+		q   dispatch.Queue
+		err error
+	)
+	if strings.HasPrefix(endpoint, "http://") || strings.HasPrefix(endpoint, "https://") {
+		q, err = dispatch.Dial(endpoint, nil)
+	} else {
+		q, err = dispatch.OpenDir(endpoint)
+	}
+	if err != nil {
+		return err
+	}
+	done, err := dispatch.Work(context.Background(), q, dispatch.WorkerOptions{
+		Name:        name,
+		Concurrency: workers,
+		Log: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return fmt.Errorf("after %d submitted units: %w", done, err)
 	}
 	return nil
 }

@@ -6,6 +6,13 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/dispatch"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
 )
 
 // capture redirects stdout around fn and returns what it printed.
@@ -201,11 +208,15 @@ func TestRunMergeRejectsIncompleteGrid(t *testing.T) {
 	if err == nil || !strings.Contains(err.Error(), "missing") {
 		t.Errorf("incomplete merge err = %v, want a missing-shard complaint", err)
 	}
-	// The same shard listed twice would double-count its cells.
+	// The same shard listed twice would double-count its cells; the
+	// overlap error must name the offending file.
 	dup := strings.Join([]string{paths[0], paths[0], paths[1]}, ",")
 	err = run(append(append([]string{}, base...), "-merge", dup))
-	if err == nil || !strings.Contains(err.Error(), "several checkpoints") {
+	if err == nil || !strings.Contains(err.Error(), "listed twice") {
 		t.Errorf("duplicate-shard merge err = %v, want an overlap complaint", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), paths[0]) {
+		t.Errorf("duplicate-shard merge err = %v, want it to name %s", err, paths[0])
 	}
 }
 
@@ -234,4 +245,82 @@ func TestRunHCDist(t *testing.T) {
 	if !strings.Contains(out, "RowHammer") || !strings.Contains(out, "mean=") {
 		t.Errorf("hcdist output malformed:\n%s", out)
 	}
+}
+
+func TestRunWorkerFlagValidation(t *testing.T) {
+	for _, extra := range [][]string{
+		{"-shard", "1/2"},
+		{"-checkpoint", "x.json"},
+		{"-merge", "a.json"},
+		{"-resume"},
+		{"-json", "out.json"},
+		{"-csv", "out"},
+		// Config flags would be silently overridden by the manifest;
+		// explicitly setting one must be rejected, not ignored.
+		{"-rows", "1000"},
+		{"-temp", "85"},
+		{"-exp", "table2"},
+		{"-runs", "5"},
+	} {
+		args := append([]string{"-worker", t.TempDir()}, extra...)
+		if err := run(args); err == nil || !strings.Contains(err.Error(), extra[0]) {
+			t.Errorf("%v: want a conflict error naming %s, got %v", extra, extra[0], err)
+		}
+	}
+}
+
+// TestRunWorkerDrainsDirCampaign points characterize -worker at a
+// filesystem campaign and expects it to submit every unit; the fused
+// result must then render through -merge with the matching flags,
+// byte-identical to a plain run.
+func TestRunWorkerDrainsDirCampaign(t *testing.T) {
+	cfgFlags := []string{"-exp", "table2", "-module", "M4", "-rows", "3", "-runs", "1"}
+	dir := filepath.Join(t.TempDir(), "campaign")
+	cfg, err := studyConfigForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch.InitDir(dir, dispatch.NewManifest(cfg, 3, 30*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	capture(t, func() error { return run([]string{"-worker", dir, "-worker-name", "tw"}) })
+
+	q, err := dispatch.OpenDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := q.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() {
+		t.Fatalf("worker left the campaign undrained: %+v", st)
+	}
+	cp, err := q.Merged()
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged := filepath.Join(t.TempDir(), "merged.json")
+	if err := resultio.WriteCheckpointFile(merged, cp); err != nil {
+		t.Fatal(err)
+	}
+	viaMerge := capture(t, func() error {
+		return run(append(append([]string{}, cfgFlags...), "-merge", merged))
+	})
+	plain := capture(t, func() error { return run(cfgFlags) })
+	if viaMerge != plain {
+		t.Errorf("worker campaign rendering differs from a plain run:\n--- merge ---\n%s\n--- plain ---\n%s", viaMerge, plain)
+	}
+}
+
+// studyConfigForTest mirrors the campaign config run() builds for
+// "-exp table2 -module M4 -rows 3 -runs 1", so tests can mint a
+// manifest with the fingerprint a -merge under those flags expects.
+// It goes through the same core.CampaignConfig assembly run() uses.
+func studyConfigForTest() (core.StudyConfig, error) {
+	mi, err := chipdb.ByID("M4")
+	if err != nil {
+		return core.StudyConfig{}, err
+	}
+	return core.CampaignConfig([]chipdb.ModuleInfo{mi}, timing.Table2Marks(), 3, 1, 1, 50, core.DefaultBudget), nil
 }

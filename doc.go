@@ -52,6 +52,41 @@
 // cmd/characterize wires these together behind -shard, -checkpoint,
 // -resume and -merge.
 //
+// # Distributed dispatch
+//
+// internal/dispatch scales the sharded campaign past hand-assigned
+// -shard flags: a coordinator turns the StudyConfig into a queue of
+// leased work units (one core.ShardPlan slice each) that any number of
+// workers drain. The pieces:
+//
+//   - dispatch.Manifest embeds the full serializable campaign
+//     configuration; workers reconstruct the StudyConfig (and its
+//     fingerprint) from the manifest, so configuration drift between
+//     machines is structurally impossible.
+//   - Leases are time-bounded and heartbeat-extended. A worker that
+//     stops heartbeating — crashed, partitioned, wedged — loses its
+//     lease after the TTL and the unit is re-granted to the next
+//     Acquire: work stealing from dead workers. Because shard runs are
+//     deterministic, a unit raced to completion by two workers folds
+//     to the same bytes; execution is at-least-once, folding is
+//     exactly-once (submissions are validated against the fingerprint
+//     and the unit's shard plan, and fused through the
+//     overlap-checked merge).
+//   - dispatch.DirQueue coordinates through a shared directory with
+//     no server (exclusively-linked lease and done files);
+//     dispatch.MemQueue + dispatch.NewHandler/Client run the same
+//     protocol over HTTP behind cmd/campaignd.
+//   - The coordinator's rolling merged state renders live partial
+//     figures: core.PartialTable2 and core.PartialFig4 extract
+//     Table 2 / Fig 4 from an incomplete cell map, and
+//     report.Table2Partial / report.Fig4Partial annotate coverage
+//     ("N of M cells") and print unmeasured cells as "pending", so a
+//     converging campaign can be watched without partial data ever
+//     posing as complete.
+//
+// cmd/campaignd (-init/-watch for directory campaigns, -listen for
+// the HTTP coordinator) and characterize -worker wire these together.
+//
 // # Performance
 //
 // The campaign hot path is allocation-free in steady state.

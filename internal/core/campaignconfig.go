@@ -1,0 +1,54 @@
+package core
+
+import (
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/timing"
+)
+
+// CampaignGrid resolves the module and experiment flags shared by
+// cmd/characterize and cmd/campaignd into the campaign's module set
+// and tAggON sweep: the whole Table 1 inventory (or one module), and
+// the paper sweep ("table2" narrows to the three Table 2 marks). Both
+// commands must agree exactly — the grid feeds the config fingerprint
+// — which is why the mapping lives here and not in either main.
+func CampaignGrid(moduleID, exp string) ([]chipdb.ModuleInfo, []time.Duration, error) {
+	mods := chipdb.Modules()
+	if moduleID != "" {
+		mi, err := chipdb.ByID(moduleID)
+		if err != nil {
+			return nil, nil, err
+		}
+		mods = []chipdb.ModuleInfo{mi}
+	}
+	sweep := timing.PaperSweep()
+	if exp == "table2" {
+		sweep = timing.Table2Marks()
+	}
+	return mods, sweep, nil
+}
+
+// CampaignConfig is the canonical flag-to-config assembly shared by
+// cmd/characterize and cmd/campaignd. Both commands must build the
+// result-determining fields identically — the config fingerprint is
+// what lets a campaignd-coordinated campaign be rendered later with
+// `characterize -merge` under the same flags — so that assembly lives
+// in exactly one place. Execution details (concurrency, progress,
+// shard, checkpoint cadence) are set by each caller; they are excluded
+// from the fingerprint.
+func CampaignConfig(mods []chipdb.ModuleInfo, sweep []time.Duration, rows, dies, runs int, temp float64, budget time.Duration) StudyConfig {
+	return StudyConfig{
+		Modules:       mods,
+		Sweep:         sweep,
+		RowsPerRegion: rows,
+		Dies:          dies,
+		Runs:          runs,
+		Opts: RunOpts{
+			Budget: budget,
+			TempC:  temp,
+			Data:   device.Checkerboard,
+		},
+	}
+}

@@ -31,47 +31,31 @@ type Fig4Series []Fig4Point
 // of Fig. 4 (both rows of plots).
 type Fig4Data map[chipdb.Manufacturer]map[pattern.Kind]Fig4Series
 
-// Fig4 extracts Fig. 4 from the study results.
+// Fig4 extracts Fig. 4 from the study results. Every cell of the grid
+// must have results; use PartialFig4 to render a live (incomplete)
+// campaign.
 func (s *Study) Fig4() (Fig4Data, error) {
-	out := make(Fig4Data)
+	p := s.PartialFig4()
 	sweep := s.SweepSorted()
 	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
-		mods := modulesOf(s.cfg.Modules, mfr)
-		if len(mods) == 0 {
+		pend, ok := p.Pending[mfr]
+		if !ok {
 			continue
 		}
-		perPattern := make(map[pattern.Kind]Fig4Series, len(s.cfg.Patterns))
 		for _, k := range s.cfg.Patterns {
-			series := make(Fig4Series, 0, len(sweep))
-			for _, aggOn := range sweep {
-				var times, acmins []float64
-				for _, mi := range mods {
-					r, err := s.mustResult(mi.ID, k, aggOn)
-					if err != nil {
+			for i, aggOn := range sweep {
+				if pend[k][i] == 0 {
+					continue
+				}
+				for _, mi := range modulesOf(s.cfg.Modules, mfr) {
+					if _, err := s.mustResult(mi.ID, k, aggOn); err != nil {
 						return nil, err
 					}
-					ts := r.TimeStats()
-					as := r.ACminStats()
-					if !ts.Flipped() {
-						continue
-					}
-					times = append(times, ts.Mean*1000)
-					acmins = append(acmins, as.Mean)
 				}
-				pt := Fig4Point{AggOn: aggOn, Modules: len(times)}
-				if len(times) > 0 {
-					tst := summarize(times, len(times))
-					ast := summarize(acmins, len(acmins))
-					pt.TimeMeanMs, pt.TimeStdMs = tst.Mean, tst.Std
-					pt.ACminMean, pt.ACminStd = ast.Mean, ast.Std
-				}
-				series = append(series, pt)
 			}
-			perPattern[k] = series
 		}
-		out[mfr] = perPattern
 	}
-	return out, nil
+	return p.Data, nil
 }
 
 // Fig5Point is one x-position of one die-type curve of Fig. 5.
@@ -223,36 +207,21 @@ type Table2Row struct {
 
 // Table2 regenerates Table 2 of the paper. The study's sweep must
 // include the three tAggON marks and the double-sided and combined
-// patterns.
+// patterns, and every mark cell must have results; use PartialTable2
+// to render a live (incomplete) campaign.
 func (s *Study) Table2() ([]Table2Row, error) {
-	rows := make([]Table2Row, 0, len(s.cfg.Modules))
-	for _, mi := range s.cfg.Modules {
-		var m chipdb.PaperNumbers
-		cells := []struct {
-			kind  pattern.Kind
-			aggOn time.Duration
-			ac    *chipdb.PaperACmin
-			tm    *chipdb.PaperTime
-		}{
-			{pattern.DoubleSided, 36 * time.Nanosecond, &m.RH, &m.TRH},
-			{pattern.DoubleSided, 7800 * time.Nanosecond, &m.RP78, &m.TRP78},
-			{pattern.DoubleSided, 70200 * time.Nanosecond, &m.RP702, &m.TRP702},
-			{pattern.Combined, 7800 * time.Nanosecond, &m.C78, &m.TC78},
-			{pattern.Combined, 70200 * time.Nanosecond, &m.C702, &m.TC702},
-		}
-		for _, c := range cells {
-			r, err := s.mustResult(mi.ID, c.kind, c.aggOn)
-			if err != nil {
-				return nil, err
-			}
-			ac := r.ACminStats()
-			ts := r.TimeStats()
-			if ac.Flipped() {
-				*c.ac = chipdb.PaperACmin{Avg: ac.Mean, Min: ac.Min}
-				*c.tm = chipdb.PaperTime{AvgMs: ts.Mean * 1000, MinMs: ts.Min * 1000}
+	prows, _ := s.PartialTable2()
+	rows := make([]Table2Row, 0, len(prows))
+	for _, pr := range prows {
+		for j, pending := range pr.Pending {
+			if pending {
+				c := table2MarkCells[j]
+				if _, err := s.mustResult(pr.Info.ID, c.Kind, c.AggOn); err != nil {
+					return nil, err
+				}
 			}
 		}
-		rows = append(rows, Table2Row{Info: mi, Measured: m})
+		rows = append(rows, pr.Table2Row)
 	}
 	return rows, nil
 }

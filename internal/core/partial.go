@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/pattern"
+)
+
+// GridCoverage reports how much of a study's cell grid has results —
+// the "N of M cells" annotation every partial extractor carries so a
+// live campaign's figures can be watched converging without partial
+// data ever masquerading as complete.
+type GridCoverage struct {
+	// Done is the number of grid cells with results (run or seeded).
+	Done int
+	// Total is the size of the full cell grid.
+	Total int
+}
+
+// Complete reports whether every cell of the grid has results.
+func (c GridCoverage) Complete() bool { return c.Done >= c.Total }
+
+// String renders the paper-margin form "12 of 27 cells (44.4%)".
+func (c GridCoverage) String() string {
+	pct := 0.0
+	if c.Total > 0 {
+		pct = 100 * float64(c.Done) / float64(c.Total)
+	}
+	return fmt.Sprintf("%d of %d cells (%.1f%%)", c.Done, c.Total, pct)
+}
+
+// Coverage reports the study's current grid coverage. Safe to call
+// concurrently with an ongoing Run (it reads under the results lock).
+func (s *Study) Coverage() GridCoverage {
+	s.mu.Lock()
+	done := len(s.results)
+	s.mu.Unlock()
+	return GridCoverage{Done: done, Total: len(s.Cells())}
+}
+
+// Table2Marks labels the five measured columns of Table 2, in column
+// order. Index j of a Table2PartialRow's Pending mask refers to
+// Table2Marks[j].
+var Table2Marks = [5]string{"RH@36ns", "RP@7.8us", "RP@70.2us", "C@7.8us", "C@70.2us"}
+
+// table2MarkCells are the (pattern, tAggON) grid cells behind the five
+// Table 2 columns, in Table2Marks order.
+var table2MarkCells = [5]struct {
+	Kind  pattern.Kind
+	AggOn time.Duration
+}{
+	{pattern.DoubleSided, 36 * time.Nanosecond},
+	{pattern.DoubleSided, 7800 * time.Nanosecond},
+	{pattern.DoubleSided, 70200 * time.Nanosecond},
+	{pattern.Combined, 7800 * time.Nanosecond},
+	{pattern.Combined, 70200 * time.Nanosecond},
+}
+
+// Table2PartialRow is one module's Table 2 row extracted from a
+// possibly incomplete grid. Pending distinguishes "cell not measured
+// yet" from the zero Measured values that render as "No Bitflip".
+type Table2PartialRow struct {
+	Table2Row
+	// Pending flags the Table2Marks columns whose cell has no results.
+	Pending [5]bool
+}
+
+// PartialTable2 extracts Table 2 from whatever cells the study has,
+// marking missing cells pending instead of failing. The returned
+// coverage counts the whole study grid, so renderers can annotate how
+// much of the campaign backs the table.
+func (s *Study) PartialTable2() ([]Table2PartialRow, GridCoverage) {
+	rows := make([]Table2PartialRow, 0, len(s.cfg.Modules))
+	for _, mi := range s.cfg.Modules {
+		pr := Table2PartialRow{Table2Row: Table2Row{Info: mi}}
+		m := &pr.Measured
+		dst := [5]struct {
+			ac *chipdb.PaperACmin
+			tm *chipdb.PaperTime
+		}{
+			{&m.RH, &m.TRH},
+			{&m.RP78, &m.TRP78},
+			{&m.RP702, &m.TRP702},
+			{&m.C78, &m.TC78},
+			{&m.C702, &m.TC702},
+		}
+		for j, c := range table2MarkCells {
+			r, ok := s.Result(mi.ID, c.Kind, c.AggOn)
+			if !ok {
+				pr.Pending[j] = true
+				continue
+			}
+			ac := r.ACminStats()
+			ts := r.TimeStats()
+			if ac.Flipped() {
+				*dst[j].ac = chipdb.PaperACmin{Avg: ac.Mean, Min: ac.Min}
+				*dst[j].tm = chipdb.PaperTime{AvgMs: ts.Mean * 1000, MinMs: ts.Min * 1000}
+			}
+		}
+		rows = append(rows, pr)
+	}
+	return rows, s.Coverage()
+}
+
+// Fig4Partial is Fig. 4 extracted from a possibly incomplete grid:
+// the curves over whatever cells exist, plus enough bookkeeping to
+// annotate what is still missing.
+type Fig4Partial struct {
+	Data Fig4Data
+	// Pending[mfr][kind][i] counts the manufacturer's modules whose
+	// cell at SweepSorted()[i] has no results yet (0 = the point is
+	// final).
+	Pending map[chipdb.Manufacturer]map[pattern.Kind][]int
+	// Coverage is the whole-grid coverage backing the figure.
+	Coverage GridCoverage
+}
+
+// PartialFig4 extracts Fig. 4 from whatever cells the study has.
+// Missing cells are skipped (their modules simply don't contribute to
+// the point) and counted in Pending, so a live campaign's curves can
+// be rendered mid-flight without presenting partial means as final.
+func (s *Study) PartialFig4() Fig4Partial {
+	p := Fig4Partial{
+		Data:     make(Fig4Data),
+		Pending:  make(map[chipdb.Manufacturer]map[pattern.Kind][]int),
+		Coverage: s.Coverage(),
+	}
+	sweep := s.SweepSorted()
+	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
+		mods := modulesOf(s.cfg.Modules, mfr)
+		if len(mods) == 0 {
+			continue
+		}
+		perPattern := make(map[pattern.Kind]Fig4Series, len(s.cfg.Patterns))
+		pendPattern := make(map[pattern.Kind][]int, len(s.cfg.Patterns))
+		for _, k := range s.cfg.Patterns {
+			series := make(Fig4Series, 0, len(sweep))
+			pend := make([]int, len(sweep))
+			for i, aggOn := range sweep {
+				var times, acmins []float64
+				for _, mi := range mods {
+					r, ok := s.Result(mi.ID, k, aggOn)
+					if !ok {
+						pend[i]++
+						continue
+					}
+					ts := r.TimeStats()
+					as := r.ACminStats()
+					if !ts.Flipped() {
+						continue
+					}
+					times = append(times, ts.Mean*1000)
+					acmins = append(acmins, as.Mean)
+				}
+				pt := Fig4Point{AggOn: aggOn, Modules: len(times)}
+				if len(times) > 0 {
+					tst := summarize(times, len(times))
+					ast := summarize(acmins, len(acmins))
+					pt.TimeMeanMs, pt.TimeStdMs = tst.Mean, tst.Std
+					pt.ACminMean, pt.ACminStd = ast.Mean, ast.Std
+				}
+				series = append(series, pt)
+			}
+			perPattern[k] = series
+			pendPattern[k] = pend
+		}
+		p.Data[mfr] = perPattern
+		p.Pending[mfr] = pendPattern
+	}
+	return p
+}

@@ -1,0 +1,180 @@
+package core_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// partialTestConfig is a one-module grid: 1 x 3 patterns x 3 tAggON
+// points = 9 cells.
+func partialTestConfig(t *testing.T) core.StudyConfig {
+	t.Helper()
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{mi},
+		Sweep:         []time.Duration{timing.TRAS, 7800 * time.Nanosecond, timing.AggOnNineTREFI},
+		RowsPerRegion: 2,
+		Dies:          1,
+		Runs:          1,
+	}
+}
+
+// halfSeededStudy runs the full grid once, then seeds only shard 1/2
+// of the cells into a fresh study — the state a live distributed
+// campaign is in mid-flight.
+func halfSeededStudy(t *testing.T) (full, half *core.Study) {
+	t.Helper()
+	full = core.NewStudy(partialTestConfig(t))
+	if err := full.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cells := full.Snapshot()
+	shard := core.ShardPlan{Index: 0, Count: 2}
+	kept := make(map[core.CellKey]core.AggregateState)
+	for idx, key := range full.Cells() {
+		if shard.Contains(idx) {
+			kept[key] = cells[key]
+		}
+	}
+	half = core.NewStudy(partialTestConfig(t))
+	if err := half.Seed(kept); err != nil {
+		t.Fatal(err)
+	}
+	return full, half
+}
+
+func TestCoverage(t *testing.T) {
+	full, half := halfSeededStudy(t)
+	if cov := full.Coverage(); !cov.Complete() || cov.Done != 9 || cov.Total != 9 {
+		t.Fatalf("full coverage: %+v", cov)
+	}
+	cov := half.Coverage()
+	if cov.Complete() || cov.Done != 5 || cov.Total != 9 {
+		t.Fatalf("half coverage: %+v", cov)
+	}
+	if got := cov.String(); !strings.Contains(got, "5 of 9 cells") {
+		t.Fatalf("coverage string: %q", got)
+	}
+}
+
+func TestPartialTable2MarksMissingCellsPending(t *testing.T) {
+	full, half := halfSeededStudy(t)
+
+	// On a complete grid the partial extractor agrees with the strict
+	// one exactly, and nothing is pending.
+	strict, err := full.Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prows, cov := full.PartialTable2()
+	if !cov.Complete() {
+		t.Fatalf("complete study reported %v", cov)
+	}
+	for i, pr := range prows {
+		if pr.Pending != [5]bool{} {
+			t.Fatalf("complete study has pending marks: %+v", pr.Pending)
+		}
+		if !reflect.DeepEqual(pr.Table2Row, strict[i]) {
+			t.Fatalf("partial row %d differs from strict extraction", i)
+		}
+	}
+
+	// The half grid: strict errors, partial marks the holes.
+	if _, err := half.Table2(); err == nil {
+		t.Fatal("strict Table2 on a partial grid should fail")
+	}
+	prows, cov = half.PartialTable2()
+	if cov.Complete() {
+		t.Fatal("half study reported complete coverage")
+	}
+	anyPending, anyMeasured := false, false
+	for _, pr := range prows {
+		for j, p := range pr.Pending {
+			if p {
+				anyPending = true
+				// A pending mark must correspond to a truly absent cell.
+				if _, ok := half.Result(pr.Info.ID, markKind(j), markAggOn(j)); ok {
+					t.Fatalf("mark %d flagged pending but has a result", j)
+				}
+			} else {
+				anyMeasured = true
+			}
+		}
+	}
+	if !anyPending || !anyMeasured {
+		t.Fatalf("half grid should have both pending and measured marks (pending=%v measured=%v)", anyPending, anyMeasured)
+	}
+}
+
+// markKind/markAggOn mirror core's Table 2 mark order (documented by
+// core.Table2Marks).
+func markKind(j int) pattern.Kind {
+	if j >= 3 {
+		return pattern.Combined
+	}
+	return pattern.DoubleSided
+}
+
+func markAggOn(j int) time.Duration {
+	switch j {
+	case 0:
+		return 36 * time.Nanosecond
+	case 1, 3:
+		return 7800 * time.Nanosecond
+	default:
+		return 70200 * time.Nanosecond
+	}
+}
+
+func TestPartialFig4CountsPendingModules(t *testing.T) {
+	full, half := halfSeededStudy(t)
+
+	strict, err := full.Fig4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := full.PartialFig4()
+	if !p.Coverage.Complete() {
+		t.Fatalf("complete study reported %v", p.Coverage)
+	}
+	if !reflect.DeepEqual(p.Data, strict) {
+		t.Fatal("partial Fig4 on a complete grid differs from strict Fig4")
+	}
+	for _, perPattern := range p.Pending {
+		for _, pend := range perPattern {
+			for i, n := range pend {
+				if n != 0 {
+					t.Fatalf("complete grid has %d pending modules at sweep point %d", n, i)
+				}
+			}
+		}
+	}
+
+	if _, err := half.Fig4(); err == nil {
+		t.Fatal("strict Fig4 on a partial grid should fail")
+	}
+	p = half.PartialFig4()
+	totalPending := 0
+	for _, perPattern := range p.Pending {
+		for _, pend := range perPattern {
+			for _, n := range pend {
+				totalPending += n
+			}
+		}
+	}
+	// The half study is missing 4 of 9 cells, each one module wide.
+	if totalPending != 4 {
+		t.Fatalf("pending module-cells = %d, want 4", totalPending)
+	}
+}

@@ -1,0 +1,313 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/resultio"
+)
+
+// DirQueue coordinates a campaign through a shared directory — NFS, a
+// bind-mounted volume, anything every worker can reach — with no
+// server process at all. The directory is the queue:
+//
+//	manifest.json    the campaign description (written once by InitDir)
+//	lease_0007.json  unit 7 is leased (exclusively-created, atomically
+//	                 rewritten by heartbeats)
+//	done_0007.json   unit 7's accepted checkpoint (exclusively linked
+//	                 into place; immutable once it exists)
+//
+// Exclusivity rides on os.Link's EEXIST semantics (atomic on POSIX
+// filesystems including NFS), so two workers racing for one unit — or
+// racing to steal one expired lease — resolve to exactly one owner.
+// Stealing is delete-then-claim: any worker that finds an expired
+// lease removes it and retries the exclusive claim. A heartbeat
+// rewrites the lease via rename; the narrow race where a slow worker's
+// heartbeat lands over a thief's fresh lease costs at most one
+// redundant (deterministic, byte-identical) unit computation — the
+// done-file link still admits exactly one submission per unit.
+type DirQueue struct {
+	dir      string
+	manifest Manifest
+	grid     map[core.CellKey]int
+	now      func() time.Time
+}
+
+const manifestFile = "manifest.json"
+
+func leaseFile(unit int) string { return fmt.Sprintf("lease_%04d.json", unit) }
+func doneFile(unit int) string  { return fmt.Sprintf("done_%04d.json", unit) }
+
+// InitDir creates (if needed) dir and writes the campaign manifest
+// into it. A directory already holding a manifest is refused: one
+// directory is one campaign.
+func InitDir(dir string, m Manifest) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("dispatch: init %s: %w", dir, err)
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("dispatch: encode manifest: %w", err)
+	}
+	if err := linkExclusive(dir, manifestFile, append(data, '\n')); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("dispatch: %s already holds a campaign manifest", dir)
+		}
+		return err
+	}
+	return nil
+}
+
+// OpenDir opens an initialized campaign directory.
+func OpenDir(dir string) (*DirQueue, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: open campaign dir: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("dispatch: %s: %w", filepath.Join(dir, manifestFile), err)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", filepath.Join(dir, manifestFile), err)
+	}
+	grid, err := m.grid()
+	if err != nil {
+		return nil, err
+	}
+	return &DirQueue{dir: dir, manifest: m, grid: grid, now: time.Now}, nil
+}
+
+// SetClock substitutes the queue's time source (tests drive lease
+// expiry without sleeping).
+func (q *DirQueue) SetClock(now func() time.Time) { q.now = now }
+
+// linkExclusive atomically creates name in dir with content, failing
+// with os.ErrExist if name already exists: write a private temp file,
+// hard-link it into place, remove the temp name.
+func linkExclusive(dir, name string, content []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dispatch: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dispatch: write %s: %w", name, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dispatch: sync %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dispatch: close %s: %w", name, err)
+	}
+	if err := os.Link(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return os.ErrExist
+		}
+		return fmt.Errorf("dispatch: link %s: %w", name, err)
+	}
+	return nil
+}
+
+// replaceAtomic atomically replaces name in dir with content (temp
+// file + rename), for heartbeat's lease extension.
+func replaceAtomic(dir, name string, content []byte) error {
+	tmp, err := os.CreateTemp(dir, name+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dispatch: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		return fmt.Errorf("dispatch: write %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("dispatch: close %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("dispatch: replace %s: %w", name, err)
+	}
+	return nil
+}
+
+// Manifest implements Queue.
+func (q *DirQueue) Manifest() (Manifest, error) { return q.manifest, nil }
+
+// readLease loads a unit's lease file. A missing file returns
+// (Lease{}, false, nil); a torn or corrupt file is treated the same as
+// expired (the caller may steal it), since lease files are only ever
+// written atomically.
+func (q *DirQueue) readLease(unit int) (Lease, bool, error) {
+	data, err := os.ReadFile(filepath.Join(q.dir, leaseFile(unit)))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return Lease{}, false, nil
+		}
+		return Lease{}, false, fmt.Errorf("dispatch: read lease %d: %w", unit, err)
+	}
+	var l Lease
+	if err := json.Unmarshal(data, &l); err != nil {
+		// Corrupt lease: expire it immediately so the unit is stealable.
+		return Lease{Unit: unit}, true, nil
+	}
+	return l, true, nil
+}
+
+func (q *DirQueue) isDone(unit int) bool {
+	_, err := os.Stat(filepath.Join(q.dir, doneFile(unit)))
+	return err == nil
+}
+
+// Acquire implements Queue: scan units in order, skip done ones, claim
+// the first unleased (or expired-leased) unit via exclusive link.
+func (q *DirQueue) Acquire(worker string) (Lease, error) {
+	now := q.now()
+	leased := false
+	for unit := 0; unit < q.manifest.Units; unit++ {
+		if q.isDone(unit) {
+			continue
+		}
+		l := Lease{Unit: unit, Worker: worker, Token: newToken(), Expires: now.Add(q.manifest.LeaseTTL())}
+		data, err := json.Marshal(l)
+		if err != nil {
+			return Lease{}, fmt.Errorf("dispatch: encode lease: %w", err)
+		}
+		err = linkExclusive(q.dir, leaseFile(unit), data)
+		if err == nil {
+			return l, nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return Lease{}, err
+		}
+		// Unit is leased; steal it if the lease has expired.
+		cur, ok, err := q.readLease(unit)
+		if err != nil {
+			return Lease{}, err
+		}
+		if ok && now.After(cur.Expires) {
+			// Delete-then-claim. The re-read just before Remove keeps
+			// a racing thief from deleting the winner's *fresh* lease:
+			// only a lease still carrying the expired token observed
+			// above is removed. The read/remove window is microseconds
+			// (vs. the whole scan before it); if two thieves do slip
+			// through it, exactly one exclusive link wins, the loser's
+			// victim notices at its next heartbeat and abandons — one
+			// redundant deterministic unit in the worst case, never a
+			// double-counted one (the done-file link is authoritative).
+			if cur2, ok2, err := q.readLease(unit); err != nil {
+				return Lease{}, err
+			} else if ok2 && cur2.Token == cur.Token && now.After(cur2.Expires) {
+				if err := os.Remove(filepath.Join(q.dir, leaseFile(unit))); err != nil && !errors.Is(err, os.ErrNotExist) {
+					return Lease{}, fmt.Errorf("dispatch: steal lease %d: %w", unit, err)
+				}
+				if err := linkExclusive(q.dir, leaseFile(unit), data); err == nil {
+					return l, nil
+				} else if !errors.Is(err, os.ErrExist) {
+					return Lease{}, err
+				}
+			}
+		}
+		leased = true
+	}
+	if leased {
+		return Lease{}, ErrNoWork
+	}
+	return Lease{}, ErrDrained
+}
+
+// Heartbeat implements Queue: verify the lease file still carries our
+// token, then atomically rewrite it with a fresh expiry.
+func (q *DirQueue) Heartbeat(l Lease) error {
+	cur, ok, err := q.readLease(l.Unit)
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	l.Expires = q.now().Add(q.manifest.LeaseTTL())
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("dispatch: encode lease: %w", err)
+	}
+	return replaceAtomic(q.dir, leaseFile(l.Unit), data)
+}
+
+// Submit implements Queue: validate, then exclusively link the
+// checkpoint into place as the unit's done file. The link admits
+// exactly one submission per unit no matter how many workers raced the
+// unit to completion.
+func (q *DirQueue) Submit(l Lease, cp *resultio.Checkpoint) error {
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, cp); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := resultio.SaveCheckpoint(&buf, cp); err != nil {
+		return err
+	}
+	if err := linkExclusive(q.dir, doneFile(l.Unit), buf.Bytes()); err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("unit %d: %w", l.Unit, ErrDuplicateSubmit)
+		}
+		return err
+	}
+	// Best-effort lease cleanup; only remove a lease we still own.
+	if cur, ok, err := q.readLease(l.Unit); err == nil && ok && cur.Token == l.Token {
+		_ = os.Remove(filepath.Join(q.dir, leaseFile(l.Unit)))
+	}
+	return nil
+}
+
+// Status implements Queue.
+func (q *DirQueue) Status() (Status, error) {
+	now := q.now()
+	st := Status{Units: q.manifest.Units, PerUnit: make([]UnitStatus, q.manifest.Units)}
+	for unit := 0; unit < q.manifest.Units; unit++ {
+		us := UnitStatus{Unit: unit, State: UnitPending}
+		if q.isDone(unit) {
+			us.State = UnitDone
+			st.Done++
+		} else if l, ok, err := q.readLease(unit); err != nil {
+			return Status{}, err
+		} else if ok && !now.After(l.Expires) {
+			us.State = UnitLeased
+			us.Worker = l.Worker
+			us.ExpiresInMs = l.Expires.Sub(now).Milliseconds()
+			st.Leased++
+		} else {
+			// No lease, or an expired one awaiting a steal.
+			st.Pending++
+		}
+		st.PerUnit[unit] = us
+	}
+	return st, nil
+}
+
+// Merged implements Queue: fold every done file through the
+// path-attributing, overlap-checked merge.
+func (q *DirQueue) Merged() (*resultio.Checkpoint, error) {
+	var paths []string
+	for unit := 0; unit < q.manifest.Units; unit++ {
+		p := filepath.Join(q.dir, doneFile(unit))
+		if _, err := os.Stat(p); err == nil {
+			paths = append(paths, p)
+		}
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return resultio.NewCheckpoint(q.manifest.Fingerprint, core.ShardPlan{}, nil), nil
+	}
+	return resultio.MergeCheckpointFiles(q.manifest.Fingerprint, paths...)
+}

@@ -1,0 +1,348 @@
+// Package dispatch turns a core.StudyConfig into a queue of leased
+// shard work units so a fleet of workers can drain one campaign
+// without a human handing out -shard i/n assignments or babysitting
+// crashed processes.
+//
+// A campaign is described by a Manifest: the serializable campaign
+// configuration (the coordinator is the single source of config truth
+// — workers reconstruct core.StudyConfig from the manifest, so the
+// config fingerprint cannot drift between machines), the number of
+// work units the cell grid is partitioned into via core.ShardPlan, and
+// the lease TTL. Workers acquire time-bounded leases on units, extend
+// them with heartbeats while the shard runs, and submit the shard's
+// checkpoint when done. A lease whose worker stops heartbeating (a
+// crashed or partitioned machine) expires and the unit is re-granted
+// to the next worker that asks — work stealing from dead workers.
+// Shard runs are deterministic, so a unit computed twice (the original
+// worker was slow, not dead) folds to the same bytes either way;
+// execution is at-least-once, folding is exactly-once.
+//
+// Two queue implementations share the Queue interface:
+//
+//   - DirQueue coordinates through a shared directory (NFS or any
+//     common filesystem) with no server at all: leases are
+//     exclusively-created files, heartbeats atomically rewrite them,
+//     and submissions are atomically linked checkpoint files.
+//   - MemQueue is an in-memory queue served over HTTP by
+//     cmd/campaignd; Client speaks the same protocol from the worker
+//     side.
+//
+// Submitted checkpoints are validated against the manifest fingerprint
+// and the unit's shard plan before they are accepted, and the rolling
+// merged state is folded with resultio's overlap-checked merge, so a
+// duplicate or foreign checkpoint can never silently double-count
+// observations.
+package dispatch
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
+)
+
+// ManifestVersion identifies the manifest schema.
+const ManifestVersion = 1
+
+// Sentinel errors; callers branch with errors.Is. Submit additionally
+// returns resultio.ErrConfigMismatch for checkpoints written under a
+// foreign configuration.
+var (
+	// ErrNoWork reports that every pending unit is currently leased;
+	// the caller should poll again after a lease TTL's worth of
+	// patience (an expired lease is re-granted on the next Acquire).
+	ErrNoWork = errors.New("dispatch: no unit available (all leased)")
+	// ErrDrained reports that every unit of the campaign has been
+	// submitted; workers can exit.
+	ErrDrained = errors.New("dispatch: campaign drained (all units submitted)")
+	// ErrLeaseLost reports a heartbeat or submit under a lease that
+	// expired and was re-granted to another worker.
+	ErrLeaseLost = errors.New("dispatch: lease lost (expired and re-granted)")
+	// ErrDuplicateSubmit reports a submit for a unit that already has
+	// an accepted checkpoint.
+	ErrDuplicateSubmit = errors.New("dispatch: unit already submitted")
+)
+
+// CampaignSpec is the serializable subset of core.StudyConfig — every
+// result-determining field, none of the execution callbacks. The
+// coordinator embeds it in the manifest so workers rebuild the exact
+// configuration (and therefore the exact fingerprint) from the wire.
+type CampaignSpec struct {
+	Modules       []chipdb.ModuleInfo  `json:"modules"`
+	Params        device.DisturbParams `json:"params"`
+	Timings       timing.Set           `json:"timings"`
+	SweepNs       []int64              `json:"sweepNs"`
+	Patterns      []string             `json:"patterns"`
+	RowsPerRegion int                  `json:"rowsPerRegion"`
+	Dies          int                  `json:"dies"`
+	Runs          int                  `json:"runs"`
+	Bank          int                  `json:"bank"`
+	BudgetNs      int64                `json:"budgetNs"`
+	Data          int                  `json:"data"`
+	TempC         float64              `json:"tempC"`
+	NoiseRun      int64                `json:"noiseRun"`
+}
+
+// NewCampaignSpec captures cfg (with defaults applied) as a spec.
+func NewCampaignSpec(cfg core.StudyConfig) CampaignSpec {
+	cfg = core.NewStudy(cfg).Config() // apply defaults once, canonically
+	sp := CampaignSpec{
+		Modules:       cfg.Modules,
+		Params:        cfg.Params,
+		Timings:       cfg.Timings,
+		RowsPerRegion: cfg.RowsPerRegion,
+		Dies:          cfg.Dies,
+		Runs:          cfg.Runs,
+		Bank:          cfg.Bank,
+		BudgetNs:      cfg.Opts.Budget.Nanoseconds(),
+		Data:          int(cfg.Opts.Data),
+		TempC:         cfg.Opts.TempC,
+		NoiseRun:      cfg.Opts.Run,
+	}
+	for _, t := range cfg.Sweep {
+		sp.SweepNs = append(sp.SweepNs, t.Nanoseconds())
+	}
+	for _, k := range cfg.Patterns {
+		sp.Patterns = append(sp.Patterns, k.Short())
+	}
+	return sp
+}
+
+// StudyConfig reconstructs the core.StudyConfig the spec was built
+// from. The round trip is exact: the reconstructed config's
+// fingerprint equals the original's.
+func (sp CampaignSpec) StudyConfig() (core.StudyConfig, error) {
+	cfg := core.StudyConfig{
+		Modules:       sp.Modules,
+		Params:        sp.Params,
+		Timings:       sp.Timings,
+		RowsPerRegion: sp.RowsPerRegion,
+		Dies:          sp.Dies,
+		Runs:          sp.Runs,
+		Bank:          sp.Bank,
+		Opts: core.RunOpts{
+			Budget: time.Duration(sp.BudgetNs),
+			Data:   device.DataPattern(sp.Data),
+			TempC:  sp.TempC,
+			Run:    sp.NoiseRun,
+		},
+	}
+	for _, ns := range sp.SweepNs {
+		cfg.Sweep = append(cfg.Sweep, time.Duration(ns))
+	}
+	for _, s := range sp.Patterns {
+		k, err := pattern.ParseShort(s)
+		if err != nil {
+			return core.StudyConfig{}, fmt.Errorf("dispatch: campaign spec: %w", err)
+		}
+		cfg.Patterns = append(cfg.Patterns, k)
+	}
+	return cfg, nil
+}
+
+// Manifest fully describes one distributed campaign: what to compute
+// (the embedded campaign spec and its fingerprint) and how the cell
+// grid is partitioned into leased work units.
+type Manifest struct {
+	Version int `json:"version"`
+	// Fingerprint is core.StudyConfig.Fingerprint() of the campaign;
+	// every submitted checkpoint must carry it.
+	Fingerprint string `json:"fingerprint"`
+	// Units is the number of work units the grid is split into; unit i
+	// is core.ShardPlan{Index: i, Count: Units}.
+	Units int `json:"units"`
+	// LeaseTTLMs bounds how long a unit may go without a heartbeat
+	// before its lease expires and the unit is re-granted.
+	LeaseTTLMs int64 `json:"leaseTtlMs"`
+	// Campaign is the serializable study configuration.
+	Campaign CampaignSpec `json:"campaign"`
+}
+
+// NewManifest builds a manifest for cfg split into units leased for
+// ttl. Units is clamped to [1, number of grid cells] so no unit is
+// structurally empty.
+func NewManifest(cfg core.StudyConfig, units int, ttl time.Duration) Manifest {
+	spec := NewCampaignSpec(cfg)
+	if cells := len(spec.Modules) * len(spec.Patterns) * len(spec.SweepNs); units > cells {
+		units = cells
+	}
+	if units < 1 {
+		units = 1
+	}
+	return Manifest{
+		Version:     ManifestVersion,
+		Fingerprint: cfg.Fingerprint(),
+		Units:       units,
+		LeaseTTLMs:  ttl.Milliseconds(),
+		Campaign:    spec,
+	}
+}
+
+// LeaseTTL returns the lease duration.
+func (m Manifest) LeaseTTL() time.Duration { return time.Duration(m.LeaseTTLMs) * time.Millisecond }
+
+// Plan maps a unit index to its shard of the cell grid.
+func (m Manifest) Plan(unit int) core.ShardPlan {
+	return core.ShardPlan{Index: unit, Count: m.Units}
+}
+
+// Validate checks the manifest's invariants, including that the
+// embedded campaign spec reproduces the advertised fingerprint (a
+// mismatch means the manifest was hand-edited or the schema drifted).
+func (m Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("dispatch: manifest version %d (want %d)", m.Version, ManifestVersion)
+	}
+	if m.Units < 1 {
+		return fmt.Errorf("dispatch: manifest has %d units (want >= 1)", m.Units)
+	}
+	if m.LeaseTTLMs <= 0 {
+		return fmt.Errorf("dispatch: manifest lease TTL %dms (want > 0)", m.LeaseTTLMs)
+	}
+	cfg, err := m.Campaign.StudyConfig()
+	if err != nil {
+		return err
+	}
+	if fp := cfg.Fingerprint(); fp != m.Fingerprint {
+		return fmt.Errorf("dispatch: manifest fingerprint %s does not match its campaign spec (%s)", m.Fingerprint, fp)
+	}
+	return nil
+}
+
+// grid maps every cell of the manifest's campaign to its index in the
+// canonical core.Study.Cells() order, the order shard plans partition.
+func (m Manifest) grid() (map[core.CellKey]int, error) {
+	cfg, err := m.Campaign.StudyConfig()
+	if err != nil {
+		return nil, err
+	}
+	cells := core.NewStudy(cfg).Cells()
+	out := make(map[core.CellKey]int, len(cells))
+	for i, key := range cells {
+		out[key] = i
+	}
+	return out, nil
+}
+
+// validateUnitCheckpoint enforces the submit-side contract: the
+// checkpoint carries the campaign fingerprint and exactly the cells of
+// the unit's shard — no foreign cells, and no missing ones either. The
+// completeness half matters as much as the subset half: accepting a
+// partial (or empty) checkpoint would mark the unit done, its missing
+// cells would never be re-granted, and the "drained" campaign would be
+// silently unrenderable. grid is Manifest.grid().
+func validateUnitCheckpoint(m Manifest, grid map[core.CellKey]int, unit int, cp *resultio.Checkpoint) error {
+	if cp == nil {
+		return fmt.Errorf("%w: unit %d: nil checkpoint", resultio.ErrBadCheckpoint, unit)
+	}
+	if cp.Fingerprint != m.Fingerprint {
+		return fmt.Errorf("unit %d: %w: checkpoint %s vs campaign %s",
+			unit, resultio.ErrConfigMismatch, cp.Fingerprint, m.Fingerprint)
+	}
+	cells, err := cp.CellMap()
+	if err != nil {
+		return fmt.Errorf("unit %d: %w", unit, err)
+	}
+	plan := m.Plan(unit)
+	want := 0
+	for _, idx := range grid {
+		if plan.Contains(idx) {
+			want++
+		}
+	}
+	for key := range cells {
+		idx, ok := grid[key]
+		if !ok {
+			return fmt.Errorf("unit %d: %w: cell %v not on the campaign grid", unit, resultio.ErrConfigMismatch, key)
+		}
+		if !plan.Contains(idx) {
+			return fmt.Errorf("unit %d: %w: cell %v belongs to another shard", unit, resultio.ErrConfigMismatch, key)
+		}
+	}
+	if len(cells) != want {
+		return fmt.Errorf("unit %d: %w: checkpoint covers %d of the unit's %d cells (incomplete shard run?)",
+			unit, resultio.ErrBadCheckpoint, len(cells), want)
+	}
+	return nil
+}
+
+// Lease is a time-bounded grant of one work unit to one worker. The
+// token authenticates heartbeats and submits: after expiry the unit
+// may be re-granted under a fresh token, at which point the old
+// holder's calls fail with ErrLeaseLost.
+type Lease struct {
+	Unit    int       `json:"unit"`
+	Worker  string    `json:"worker"`
+	Token   string    `json:"token"`
+	Expires time.Time `json:"expires"`
+}
+
+// newToken mints an unguessable lease token.
+func newToken() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(err) // crypto/rand never fails on supported platforms
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Unit lifecycle states as reported by Status.
+const (
+	UnitPending = "pending"
+	UnitLeased  = "leased"
+	UnitDone    = "done"
+)
+
+// UnitStatus is one unit's place in the lifecycle.
+type UnitStatus struct {
+	Unit   int    `json:"unit"`
+	State  string `json:"state"`
+	Worker string `json:"worker,omitempty"`
+	// ExpiresInMs is the lease's remaining TTL (leased units only).
+	ExpiresInMs int64 `json:"expiresInMs,omitempty"`
+}
+
+// Status summarizes a campaign's progress.
+type Status struct {
+	Units   int          `json:"units"`
+	Pending int          `json:"pending"`
+	Leased  int          `json:"leased"`
+	Done    int          `json:"done"`
+	PerUnit []UnitStatus `json:"perUnit"`
+}
+
+// Drained reports whether every unit has an accepted checkpoint.
+func (s Status) Drained() bool { return s.Done == s.Units }
+
+// Queue is the worker-facing coordination surface, implemented by
+// MemQueue (in-process / behind cmd/campaignd), DirQueue (shared
+// directory, no server) and Client (HTTP).
+type Queue interface {
+	// Manifest returns the campaign description.
+	Manifest() (Manifest, error)
+	// Acquire leases the lowest-numbered available unit, re-granting
+	// expired leases first. ErrNoWork means try again later;
+	// ErrDrained means the campaign is complete.
+	Acquire(worker string) (Lease, error)
+	// Heartbeat extends the lease by a full TTL. ErrLeaseLost means
+	// the unit was re-granted: abandon it.
+	Heartbeat(l Lease) error
+	// Submit delivers the unit's checkpoint. The checkpoint is
+	// validated against the campaign fingerprint and the unit's shard
+	// plan. ErrDuplicateSubmit and ErrLeaseLost mean another worker's
+	// result was accepted instead — not a failure of the campaign.
+	Submit(l Lease, cp *resultio.Checkpoint) error
+	// Status reports per-unit progress.
+	Status() (Status, error)
+	// Merged folds every accepted checkpoint into one (possibly
+	// partial) campaign checkpoint.
+	Merged() (*resultio.Checkpoint, error)
+}

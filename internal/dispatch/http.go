@@ -1,0 +1,303 @@
+package dispatch
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"rowfuse/internal/resultio"
+)
+
+// The HTTP protocol cmd/campaignd serves and Client speaks. Sentinel
+// conditions ride on a response header so the client can map them back
+// to the exact errors the in-process queues return.
+const (
+	errHeader = "Rowfuse-Dispatch-Error"
+
+	errValNoWork         = "no-work"
+	errValDrained        = "drained"
+	errValLeaseLost      = "lease-lost"
+	errValDuplicate      = "duplicate-submit"
+	errValConfigMismatch = "config-mismatch"
+	errValBadCheckpoint  = "bad-checkpoint"
+)
+
+// leaseRequest is the POST /v1/lease body.
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// submitRequest is the POST /v1/submit body.
+type submitRequest struct {
+	Lease      Lease                `json:"lease"`
+	Checkpoint *resultio.Checkpoint `json:"checkpoint"`
+}
+
+// NewHandler exposes q over HTTP:
+//
+//	GET  /v1/manifest    the campaign manifest
+//	POST /v1/lease       {"worker": name} -> Lease
+//	POST /v1/heartbeat   Lease -> 204
+//	POST /v1/submit      {"lease": ..., "checkpoint": ...} -> 204
+//	GET  /v1/status      Status
+//	GET  /v1/checkpoint  the rolling merged (possibly partial) checkpoint
+//	GET  /v1/report      text: coverage-annotated partial Table 2 / Fig 4
+func NewHandler(q Queue) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/manifest", func(w http.ResponseWriter, r *http.Request) {
+		m, err := q.Manifest()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, m)
+	})
+	mux.HandleFunc("POST /v1/lease", func(w http.ResponseWriter, r *http.Request) {
+		var req leaseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Worker == "" {
+			http.Error(w, "body must be {\"worker\": name}", http.StatusBadRequest)
+			return
+		}
+		l, err := q.Acquire(req.Worker)
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, l)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var l Lease
+		if err := json.NewDecoder(r.Body).Decode(&l); err != nil {
+			http.Error(w, "body must be a lease", http.StatusBadRequest)
+			return
+		}
+		if err := q.Heartbeat(l); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/submit", func(w http.ResponseWriter, r *http.Request) {
+		var req submitRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "body must be {\"lease\": ..., \"checkpoint\": ...}", http.StatusBadRequest)
+			return
+		}
+		if err := q.Submit(req.Lease, req.Checkpoint); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		st, err := q.Status()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		writeJSON(w, st)
+	})
+	mux.HandleFunc("GET /v1/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		cp, err := q.Merged()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = resultio.SaveCheckpoint(w, cp)
+	})
+	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
+		m, err := q.Manifest()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		cp, err := q.Merged()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		var buf bytes.Buffer
+		if err := RenderPartial(&buf, m, cp); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(buf.Bytes())
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps queue sentinels onto status codes + the error header.
+func writeErr(w http.ResponseWriter, err error) {
+	code, val := http.StatusInternalServerError, ""
+	switch {
+	case errors.Is(err, ErrNoWork):
+		code, val = http.StatusConflict, errValNoWork
+	case errors.Is(err, ErrDrained):
+		code, val = http.StatusGone, errValDrained
+	case errors.Is(err, ErrLeaseLost):
+		code, val = http.StatusConflict, errValLeaseLost
+	case errors.Is(err, ErrDuplicateSubmit):
+		code, val = http.StatusConflict, errValDuplicate
+	case errors.Is(err, resultio.ErrConfigMismatch):
+		code, val = http.StatusPreconditionFailed, errValConfigMismatch
+	case errors.Is(err, resultio.ErrBadCheckpoint):
+		code, val = http.StatusBadRequest, errValBadCheckpoint
+	}
+	if val != "" {
+		w.Header().Set(errHeader, val)
+	}
+	http.Error(w, err.Error(), code)
+}
+
+// Client is the worker-side Queue over HTTP.
+type Client struct {
+	base string
+	hc   *http.Client
+
+	manifest Manifest
+}
+
+// Dial fetches and validates the campaign manifest from a campaignd
+// base URL (e.g. "http://coordinator:8473"). A nil hc gets a client
+// with a request timeout: a coordinator that blackholes (partitioned
+// network, frozen host) must surface as an error the worker loop can
+// retry — not a forever-blocked POST that outlives the very lease TTL
+// this design exists to enforce.
+func Dial(base string, hc *http.Client) (*Client, error) {
+	if hc == nil {
+		hc = &http.Client{Timeout: time.Minute}
+	}
+	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
+	if err := c.get("/v1/manifest", &c.manifest); err != nil {
+		return nil, err
+	}
+	if err := c.manifest.Validate(); err != nil {
+		return nil, fmt.Errorf("%s: %w", base, err)
+	}
+	return c, nil
+}
+
+// Manifest implements Queue.
+func (c *Client) Manifest() (Manifest, error) { return c.manifest, nil }
+
+// Acquire implements Queue.
+func (c *Client) Acquire(worker string) (Lease, error) {
+	var l Lease
+	if err := c.post("/v1/lease", leaseRequest{Worker: worker}, &l); err != nil {
+		return Lease{}, err
+	}
+	return l, nil
+}
+
+// Heartbeat implements Queue.
+func (c *Client) Heartbeat(l Lease) error {
+	return c.post("/v1/heartbeat", l, nil)
+}
+
+// Submit implements Queue.
+func (c *Client) Submit(l Lease, cp *resultio.Checkpoint) error {
+	return c.post("/v1/submit", submitRequest{Lease: l, Checkpoint: cp}, nil)
+}
+
+// Status implements Queue.
+func (c *Client) Status() (Status, error) {
+	var st Status
+	if err := c.get("/v1/status", &st); err != nil {
+		return Status{}, err
+	}
+	return st, nil
+}
+
+// Merged implements Queue.
+func (c *Client) Merged() (*resultio.Checkpoint, error) {
+	resp, err := c.hc.Get(c.base + "/v1/checkpoint")
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: GET /v1/checkpoint: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := responseErr(resp); err != nil {
+		return nil, err
+	}
+	return resultio.LoadCheckpoint(resp.Body)
+}
+
+// Report fetches the coordinator's live partial-grid rendering.
+func (c *Client) Report() (string, error) {
+	resp, err := c.hc.Get(c.base + "/v1/report")
+	if err != nil {
+		return "", fmt.Errorf("dispatch: GET /v1/report: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := responseErr(resp); err != nil {
+		return "", err
+	}
+	b, err := io.ReadAll(resp.Body)
+	return string(b), err
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.hc.Get(c.base + path)
+	if err != nil {
+		return fmt.Errorf("dispatch: GET %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if err := responseErr(resp); err != nil {
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *Client) post(path string, body any, out any) error {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return fmt.Errorf("dispatch: encode %s body: %w", path, err)
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		return fmt.Errorf("dispatch: POST %s: %w", path, err)
+	}
+	defer resp.Body.Close()
+	if err := responseErr(resp); err != nil {
+		return err
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// responseErr maps an error response back to the queue sentinels.
+func responseErr(resp *http.Response) error {
+	if resp.StatusCode >= 200 && resp.StatusCode < 300 {
+		return nil
+	}
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+	detail := strings.TrimSpace(string(msg))
+	switch resp.Header.Get(errHeader) {
+	case errValNoWork:
+		return ErrNoWork
+	case errValDrained:
+		return ErrDrained
+	case errValLeaseLost:
+		return fmt.Errorf("%w (%s)", ErrLeaseLost, detail)
+	case errValDuplicate:
+		return fmt.Errorf("%w (%s)", ErrDuplicateSubmit, detail)
+	case errValConfigMismatch:
+		return fmt.Errorf("%w (%s)", resultio.ErrConfigMismatch, detail)
+	case errValBadCheckpoint:
+		return fmt.Errorf("%w (%s)", resultio.ErrBadCheckpoint, detail)
+	}
+	return fmt.Errorf("dispatch: coordinator returned %s: %s", resp.Status, detail)
+}

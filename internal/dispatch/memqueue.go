@@ -1,0 +1,196 @@
+package dispatch
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/resultio"
+)
+
+// MemQueue is the in-memory Queue behind cmd/campaignd's HTTP server
+// (and the natural choice for in-process tests). All methods are safe
+// for concurrent use; lease expiry is evaluated lazily against the
+// queue's clock on every call, so no background sweeper goroutine is
+// needed.
+type MemQueue struct {
+	manifest Manifest
+	grid     map[core.CellKey]int
+	now      func() time.Time
+
+	mu    sync.Mutex
+	units []memUnit
+}
+
+type memUnit struct {
+	state   string
+	worker  string
+	token   string
+	expires time.Time
+	cp      *resultio.Checkpoint
+}
+
+// MemQueueOption customizes a MemQueue.
+type MemQueueOption func(*MemQueue)
+
+// WithClock substitutes the queue's time source (tests drive lease
+// expiry without sleeping).
+func WithClock(now func() time.Time) MemQueueOption {
+	return func(q *MemQueue) { q.now = now }
+}
+
+// NewMemQueue builds a queue for the manifest's units.
+func NewMemQueue(m Manifest, opts ...MemQueueOption) (*MemQueue, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	grid, err := m.grid()
+	if err != nil {
+		return nil, err
+	}
+	q := &MemQueue{manifest: m, grid: grid, now: time.Now, units: make([]memUnit, m.Units)}
+	for i := range q.units {
+		q.units[i].state = UnitPending
+	}
+	for _, o := range opts {
+		o(q)
+	}
+	return q, nil
+}
+
+// Manifest implements Queue.
+func (q *MemQueue) Manifest() (Manifest, error) { return q.manifest, nil }
+
+// sweep re-queues expired leases; callers hold q.mu. The worker and
+// token are kept: until the unit is actually re-granted (Acquire mints
+// a fresh token), the late holder may still revive its lease with a
+// heartbeat or land its submit — matching DirQueue, where the lease
+// file stays in place until a thief replaces it.
+func (q *MemQueue) sweep(now time.Time) {
+	for i := range q.units {
+		u := &q.units[i]
+		if u.state == UnitLeased && now.After(u.expires) {
+			u.state = UnitPending
+		}
+	}
+}
+
+// Acquire implements Queue.
+func (q *MemQueue) Acquire(worker string) (Lease, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.sweep(now)
+	done := 0
+	for i := range q.units {
+		u := &q.units[i]
+		switch u.state {
+		case UnitDone:
+			done++
+		case UnitPending:
+			u.state = UnitLeased
+			u.worker = worker
+			u.token = newToken() // invalidates any expired holder's lease
+			u.expires = now.Add(q.manifest.LeaseTTL())
+			return Lease{Unit: i, Worker: worker, Token: u.token, Expires: u.expires}, nil
+		}
+	}
+	if done == len(q.units) {
+		return Lease{}, ErrDrained
+	}
+	return Lease{}, ErrNoWork
+}
+
+// Heartbeat implements Queue. A heartbeat under an expired lease whose
+// unit was not yet re-granted revives it (state back to leased, fresh
+// TTL): the worker was slow, not dead, and aborting its nearly-done
+// run to recompute the identical bytes helps no one. ErrLeaseLost is
+// reserved for what its name says — the unit went to someone else.
+func (q *MemQueue) Heartbeat(l Lease) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l.Unit < 0 || l.Unit >= len(q.units) {
+		return fmt.Errorf("dispatch: heartbeat for unit %d of %d", l.Unit, len(q.units))
+	}
+	now := q.now()
+	q.sweep(now)
+	u := &q.units[l.Unit]
+	if u.state == UnitDone || u.token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	u.state = UnitLeased
+	u.expires = now.Add(q.manifest.LeaseTTL())
+	return nil
+}
+
+// Submit implements Queue. A submit under a lease that expired but was
+// not yet re-granted is accepted: the work is deterministic and valid,
+// and accepting it avoids a pointless re-run.
+func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint) error {
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, cp); err != nil {
+		return err
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if l.Unit < 0 || l.Unit >= len(q.units) {
+		return fmt.Errorf("dispatch: submit for unit %d of %d", l.Unit, len(q.units))
+	}
+	q.sweep(q.now())
+	u := &q.units[l.Unit]
+	switch u.state {
+	case UnitDone:
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrDuplicateSubmit)
+	case UnitLeased:
+		if u.token != l.Token {
+			return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+		}
+	}
+	u.state = UnitDone
+	u.worker = l.Worker
+	u.token = ""
+	u.cp = cp
+	return nil
+}
+
+// Status implements Queue.
+func (q *MemQueue) Status() (Status, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.sweep(now)
+	st := Status{Units: len(q.units), PerUnit: make([]UnitStatus, len(q.units))}
+	for i := range q.units {
+		u := &q.units[i]
+		us := UnitStatus{Unit: i, State: u.state, Worker: u.worker}
+		switch u.state {
+		case UnitPending:
+			st.Pending++
+		case UnitLeased:
+			st.Leased++
+			us.ExpiresInMs = u.expires.Sub(now).Milliseconds()
+		case UnitDone:
+			st.Done++
+		}
+		st.PerUnit[i] = us
+	}
+	return st, nil
+}
+
+// Merged implements Queue. Unit checkpoints are disjoint by the
+// submit-side shard validation, and the fold still goes through
+// resultio's overlap-checked merge as defense in depth.
+func (q *MemQueue) Merged() (*resultio.Checkpoint, error) {
+	q.mu.Lock()
+	var cps []*resultio.Checkpoint
+	for i := range q.units {
+		if q.units[i].state == UnitDone {
+			cps = append(cps, q.units[i].cp)
+		}
+	}
+	q.mu.Unlock()
+	if len(cps) == 0 {
+		return resultio.NewCheckpoint(q.manifest.Fingerprint, core.ShardPlan{}, nil), nil
+	}
+	return resultio.MergeCheckpoints(cps...)
+}

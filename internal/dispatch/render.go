@@ -1,0 +1,40 @@
+package dispatch
+
+import (
+	"fmt"
+	"io"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/report"
+	"rowfuse/internal/resultio"
+)
+
+// RenderPartial renders the coverage-annotated partial Table 2 and
+// Fig 4 reproductions from a campaign's rolling merged checkpoint —
+// what cmd/campaignd prints while a distributed campaign converges and
+// what GET /v1/report serves. cp may be nil (nothing submitted yet).
+func RenderPartial(w io.Writer, m Manifest, cp *resultio.Checkpoint) error {
+	cfg, err := m.Campaign.StudyConfig()
+	if err != nil {
+		return err
+	}
+	study := core.NewStudy(cfg)
+	if cp != nil {
+		cells, err := cp.CellMap()
+		if err != nil {
+			return err
+		}
+		if err := study.Seed(cells); err != nil {
+			return err
+		}
+	}
+	rows, cov := study.PartialTable2()
+	if err := report.Table2Partial(w, rows, cov); err != nil {
+		return err
+	}
+	if err := report.Fig4Partial(w, study.PartialFig4()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\ncampaign coverage: %s\n", cov)
+	return err
+}

@@ -1,0 +1,216 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/resultio"
+)
+
+// WorkerOptions customizes a worker loop.
+type WorkerOptions struct {
+	// Name identifies the worker in leases and status output
+	// (default: hostname-pid).
+	Name string
+	// Poll is how long to wait after ErrNoWork before asking again
+	// (default: half the lease TTL, clamped to [50ms, 5s] — an expired
+	// lease becomes stealable within one TTL, so polling much slower
+	// than the TTL would leave dead workers' units idle).
+	Poll time.Duration
+	// Concurrency bounds this worker's study pool (0 = GOMAXPROCS).
+	// A per-machine execution detail: it does not touch the campaign
+	// fingerprint.
+	Concurrency int
+	// RunShard computes one unit. Nil means RunStudyShard (the real
+	// campaign); tests substitute crashing or instrumented runners.
+	RunShard func(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error)
+	// Log receives progress lines (nil discards them).
+	Log func(format string, args ...any)
+}
+
+func (o WorkerOptions) withDefaults(ttl time.Duration) WorkerOptions {
+	if o.Name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		o.Name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if o.Poll == 0 {
+		o.Poll = ttl / 2
+		if o.Poll < 50*time.Millisecond {
+			o.Poll = 50 * time.Millisecond
+		}
+		if o.Poll > 5*time.Second {
+			o.Poll = 5 * time.Second
+		}
+	}
+	if o.RunShard == nil {
+		conc := o.Concurrency
+		o.RunShard = func(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error) {
+			return runStudyShard(ctx, m, plan, conc)
+		}
+	}
+	if o.Log == nil {
+		o.Log = func(string, ...any) {}
+	}
+	return o
+}
+
+// RunStudyShard runs one unit's shard of the manifest's campaign with
+// the existing checkpointed Study.Run and packs the resulting
+// aggregates as the unit's checkpoint.
+func RunStudyShard(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error) {
+	return runStudyShard(ctx, m, plan, 0)
+}
+
+func runStudyShard(ctx context.Context, m Manifest, plan core.ShardPlan, concurrency int) (*resultio.Checkpoint, error) {
+	cfg, err := m.Campaign.StudyConfig()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Shard = plan
+	cfg.Concurrency = concurrency
+	study := core.NewStudy(cfg)
+	if err := study.Run(ctx); err != nil {
+		return nil, err
+	}
+	return resultio.NewCheckpoint(m.Fingerprint, plan, study.Snapshot()), nil
+}
+
+// Work drains the queue: acquire a lease, heartbeat it on a TTL/3
+// ticker while the shard runs, submit the checkpoint, repeat until the
+// campaign is drained (nil error) or ctx is canceled. A lost lease
+// (this worker was presumed dead and its unit re-granted) abandons the
+// unit and continues — the thief's deterministic result is
+// byte-identical, so nothing is lost. Returns the number of units this
+// worker submitted.
+func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
+	m, err := q.Manifest()
+	if err != nil {
+		return 0, err
+	}
+	opt = opt.withDefaults(m.LeaseTTL())
+	beat := m.LeaseTTL() / 3
+	if beat < 10*time.Millisecond {
+		beat = 10 * time.Millisecond
+	}
+	// A worker exists to outlive coordinator restarts and network
+	// blips — the same transient faults heartbeats already tolerate.
+	// Only persistent failure (several TTLs of consecutive errors) or
+	// a deterministic rejection of our own checkpoint is fatal.
+	maxStrikes := 5
+	strikes := 0
+	transient := func(op string, err error) error {
+		if errors.Is(err, resultio.ErrConfigMismatch) || errors.Is(err, resultio.ErrBadCheckpoint) {
+			return err // deterministic: retrying cannot help
+		}
+		if strikes++; strikes > maxStrikes {
+			return fmt.Errorf("dispatch: %s failed %d times in a row: %w", op, strikes, err)
+		}
+		opt.Log("worker %s: %s: %v (retry %d/%d)", opt.Name, op, err, strikes, maxStrikes)
+		return nil
+	}
+	done := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return done, err
+		}
+		lease, err := q.Acquire(opt.Name)
+		switch {
+		case errors.Is(err, ErrDrained):
+			opt.Log("worker %s: campaign drained after %d units", opt.Name, done)
+			return done, nil
+		case errors.Is(err, ErrNoWork):
+			strikes = 0
+			select {
+			case <-ctx.Done():
+				return done, ctx.Err()
+			case <-time.After(opt.Poll):
+			}
+			continue
+		case err != nil:
+			if ferr := transient("acquire", err); ferr != nil {
+				return done, ferr
+			}
+			select {
+			case <-ctx.Done():
+				return done, ctx.Err()
+			case <-time.After(opt.Poll):
+			}
+			continue
+		}
+		strikes = 0
+		plan := m.Plan(lease.Unit)
+		opt.Log("worker %s: leased unit %d (shard %s)", opt.Name, lease.Unit, plan)
+
+		unitCtx, cancel := context.WithCancel(ctx)
+		var lost atomic.Bool
+		hbDone := make(chan struct{})
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(beat)
+			defer t.Stop()
+			for {
+				select {
+				case <-unitCtx.Done():
+					return
+				case <-t.C:
+					if err := q.Heartbeat(lease); err != nil {
+						if errors.Is(err, ErrLeaseLost) {
+							lost.Store(true)
+							cancel()
+							return
+						}
+						// Transient (e.g. a network blip to the
+						// coordinator): keep ticking; the lease
+						// survives until the TTL runs out.
+						opt.Log("worker %s: heartbeat unit %d: %v", opt.Name, lease.Unit, err)
+					}
+				}
+			}
+		}()
+		cp, runErr := opt.RunShard(unitCtx, m, plan)
+		cancel()
+		<-hbDone
+		if runErr != nil {
+			if lost.Load() {
+				opt.Log("worker %s: unit %d lease lost mid-run; abandoning", opt.Name, lease.Unit)
+				continue
+			}
+			return done, fmt.Errorf("dispatch: unit %d: %w", lease.Unit, runErr)
+		}
+		submitted := false
+		for {
+			err := q.Submit(lease, cp)
+			if err == nil {
+				submitted = true
+				strikes = 0
+				break
+			}
+			if errors.Is(err, ErrDuplicateSubmit) || errors.Is(err, ErrLeaseLost) {
+				// Another worker's (byte-identical) result won the race.
+				opt.Log("worker %s: unit %d already submitted elsewhere", opt.Name, lease.Unit)
+				break
+			}
+			if ferr := transient("submit", err); ferr != nil {
+				return done, ferr
+			}
+			select {
+			case <-ctx.Done():
+				return done, ctx.Err()
+			case <-time.After(opt.Poll):
+			}
+		}
+		if !submitted {
+			continue
+		}
+		done++
+		opt.Log("worker %s: submitted unit %d", opt.Name, lease.Unit)
+	}
+}

@@ -1,0 +1,116 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+// Partial renderers: the same Table 2 / Fig 4 layouts, extracted from
+// an incomplete cell grid (a live distributed campaign's rolling
+// merged checkpoint). Every header carries the grid coverage and every
+// unmeasured cell renders as "pending", so partial output can never be
+// mistaken for a finished reproduction.
+
+// coverageTag renders the header annotation for a partial table or
+// figure.
+func coverageTag(cov core.GridCoverage) string {
+	if cov.Complete() {
+		return fmt.Sprintf("complete: %s", cov)
+	}
+	return fmt.Sprintf("partial: %s", cov)
+}
+
+// Table2Partial renders a coverage-annotated Table 2 from a possibly
+// incomplete grid. Cells still pending render "pending" (distinct from
+// "No Bitflip", which is a measured result).
+func Table2Partial(w io.Writer, rows []core.Table2PartialRow, cov core.GridCoverage) error {
+	if _, err := fmt.Fprintf(w, "Table 2 (%s): ACmin and time to first bitflip (paper -> measured)\n", coverageTag(cov)); err != nil {
+		return err
+	}
+	// The column headers are core.Table2Marks by definition: index j of
+	// a row's Pending mask refers to the same mark as column j.
+	tw := newTableWriter(w, append([]string{"ID", "Metric"}, core.Table2Marks[:]...))
+	for _, r := range rows {
+		p, m := r.Info.Paper, r.Measured
+		pendOr := func(j int, s string) string {
+			if r.Pending[j] {
+				return "pending"
+			}
+			return s
+		}
+		tw.row(r.Info.ID, "ACmin paper",
+			formatACmin(p.RH.Avg), formatACmin(p.RP78.Avg), formatACmin(p.RP702.Avg),
+			formatACmin(p.C78.Avg), formatACmin(p.C702.Avg))
+		tw.row("", "ACmin measured",
+			pendOr(0, formatACmin(m.RH.Avg)), pendOr(1, formatACmin(m.RP78.Avg)), pendOr(2, formatACmin(m.RP702.Avg)),
+			pendOr(3, formatACmin(m.C78.Avg)), pendOr(4, formatACmin(m.C702.Avg)))
+		tw.row("", "time(ms) paper",
+			formatMs(p.TRH.AvgMs), formatMs(p.TRP78.AvgMs), formatMs(p.TRP702.AvgMs),
+			formatMs(p.TC78.AvgMs), formatMs(p.TC702.AvgMs))
+		tw.row("", "time(ms) measured",
+			pendOr(0, formatMs(m.TRH.AvgMs)), pendOr(1, formatMs(m.TRP78.AvgMs)), pendOr(2, formatMs(m.TRP702.AvgMs)),
+			pendOr(3, formatMs(m.TC78.AvgMs)), pendOr(4, formatMs(m.TC702.AvgMs)))
+	}
+	return tw.flush()
+}
+
+// Fig4Partial renders coverage-annotated Fig. 4 tables (plus the ASCII
+// chart over whatever data exists) from a possibly incomplete grid. A
+// point whose modules are all pending renders "pending"; a point with
+// some modules in and some pending keeps its provisional value and is
+// annotated with how many module cells are still outstanding.
+func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
+	for _, mfr := range mfrOrder {
+		series, ok := p.Data[mfr]
+		if !ok {
+			continue
+		}
+		pending := p.Pending[mfr]
+		if _, err := fmt.Fprintf(w, "\nFig. 4 — %s (%s)\n", mfr, coverageTag(p.Coverage)); err != nil {
+			return err
+		}
+		tw := newTableWriter(w, []string{
+			"tAggON",
+			"time comb (ms)", "time double (ms)", "time single (ms)",
+			"ACmin comb", "ACmin double", "ACmin single",
+		})
+		n := seriesLen(series)
+		for i := 0; i < n; i++ {
+			var cols [6]string
+			for j, k := range []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided} {
+				pt := series[k][i]
+				pend := 0
+				if pending != nil && i < len(pending[k]) {
+					pend = pending[k][i]
+				}
+				switch {
+				case pt.Modules == 0 && pend > 0:
+					cols[j] = "pending"
+					cols[j+3] = "pending"
+				case pt.Modules == 0:
+					cols[j] = "No Bitflip"
+					cols[j+3] = "No Bitflip"
+				default:
+					cols[j] = fmt.Sprintf("%.2f ±%.2f", pt.TimeMeanMs, pt.TimeStdMs)
+					cols[j+3] = formatACmin(pt.ACminMean)
+					if pend > 0 {
+						cols[j] += fmt.Sprintf(" (%d pending)", pend)
+						cols[j+3] += fmt.Sprintf(" (%d pending)", pend)
+					}
+				}
+			}
+			agg := series[pattern.Combined][i].AggOn
+			tw.row(FormatDuration(agg), cols[0], cols[1], cols[2], cols[3], cols[4], cols[5])
+		}
+		if err := tw.flush(); err != nil {
+			return err
+		}
+		if err := fig4Chart(w, series); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,104 @@
+package report_test
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/report"
+	"rowfuse/internal/timing"
+)
+
+func partialStudies(t *testing.T) (full, half *core.Study) {
+	t.Helper()
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{mi},
+		Sweep:         []time.Duration{timing.TRAS, 7800 * time.Nanosecond, timing.AggOnNineTREFI},
+		RowsPerRegion: 2,
+		Dies:          1,
+		Runs:          1,
+	}
+	full = core.NewStudy(cfg)
+	if err := full.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cells := full.Snapshot()
+	shard := core.ShardPlan{Index: 0, Count: 2}
+	kept := make(map[core.CellKey]core.AggregateState)
+	for idx, key := range full.Cells() {
+		if shard.Contains(idx) {
+			kept[key] = cells[key]
+		}
+	}
+	half = core.NewStudy(cfg)
+	if err := half.Seed(kept); err != nil {
+		t.Fatal(err)
+	}
+	return full, half
+}
+
+func TestTable2PartialRendering(t *testing.T) {
+	full, half := partialStudies(t)
+
+	var buf bytes.Buffer
+	rows, cov := half.PartialTable2()
+	if err := report.Table2Partial(&buf, rows, cov); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "partial: 5 of 9 cells") {
+		t.Fatalf("partial Table 2 header lacks coverage:\n%s", out)
+	}
+	if !strings.Contains(out, "pending") {
+		t.Fatalf("partial Table 2 does not mark missing cells pending:\n%s", out)
+	}
+
+	buf.Reset()
+	rows, cov = full.PartialTable2()
+	if err := report.Table2Partial(&buf, rows, cov); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "complete: 9 of 9 cells") {
+		t.Fatalf("complete Table 2 header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "pending") {
+		t.Fatalf("complete Table 2 still marks cells pending:\n%s", out)
+	}
+}
+
+func TestFig4PartialRendering(t *testing.T) {
+	full, half := partialStudies(t)
+
+	var buf bytes.Buffer
+	if err := report.Fig4Partial(&buf, half.PartialFig4()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "partial: 5 of 9 cells") {
+		t.Fatalf("partial Fig 4 header lacks coverage:\n%s", out)
+	}
+	if !strings.Contains(out, "pending") {
+		t.Fatalf("partial Fig 4 does not mark missing points pending:\n%s", out)
+	}
+
+	buf.Reset()
+	if err := report.Fig4Partial(&buf, full.PartialFig4()); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "complete: 9 of 9 cells") {
+		t.Fatalf("complete Fig 4 header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "pending") {
+		t.Fatalf("complete Fig 4 still marks points pending:\n%s", out)
+	}
+}

@@ -91,10 +91,7 @@ func Table2(w io.Writer, rows []core.Table2Row) error {
 	if _, err := fmt.Fprintln(w, "Table 2: ACmin and time to first bitflip (paper -> measured)"); err != nil {
 		return err
 	}
-	tw := newTableWriter(w, []string{
-		"ID", "Metric",
-		"RH@36ns", "RP@7.8us", "RP@70.2us", "C@7.8us", "C@70.2us",
-	})
+	tw := newTableWriter(w, append([]string{"ID", "Metric"}, core.Table2Marks[:]...))
 	for _, r := range rows {
 		p, m := r.Info.Paper, r.Measured
 		tw.row(r.Info.ID, "ACmin paper",

@@ -177,6 +177,44 @@ func ReadCheckpointFile(path string, wantFingerprint string) (*Checkpoint, error
 	return cp, nil
 }
 
+// MergeCheckpointFiles reads and fuses shard checkpoint files,
+// validating each against wantFingerprint (empty = take the first
+// file's), and attributes every failure — unreadable file, fingerprint
+// mismatch, or a cell appearing twice — to the path (or pair of paths)
+// that caused it. This is the operator-facing variant of
+// MergeCheckpoints: when a 12-shard merge fails, the error names the
+// offending file instead of an input index.
+func MergeCheckpointFiles(wantFingerprint string, paths ...string) (*Checkpoint, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("%w: nothing to merge", ErrBadCheckpoint)
+	}
+	merged := make(map[core.CellKey]core.AggregateState)
+	source := make(map[core.CellKey]string)
+	fp := wantFingerprint
+	for _, path := range paths {
+		cp, err := ReadCheckpointFile(path, fp)
+		if err != nil {
+			return nil, err
+		}
+		if fp == "" {
+			fp = cp.Fingerprint
+		}
+		cells, err := cp.CellMap()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for key, st := range cells {
+			if prev, ok := source[key]; ok {
+				return nil, fmt.Errorf("%s: %w: cell %v already present in %s; same shard listed twice?",
+					path, ErrConfigMismatch, key, prev)
+			}
+			source[key] = path
+			merged[key] = st
+		}
+	}
+	return NewCheckpoint(fp, core.ShardPlan{}, merged), nil
+}
+
 // MergeCheckpoints fuses shard checkpoints into one whole-campaign
 // checkpoint. All inputs must share a fingerprint (ErrConfigMismatch
 // otherwise). Because ShardPlan partitions at cell granularity, shard

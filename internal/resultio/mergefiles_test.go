@@ -1,0 +1,130 @@
+package resultio
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"rowfuse/internal/core"
+)
+
+// writeShardFiles runs the test campaign, splits the snapshot into n
+// shard checkpoint files, and returns their paths plus the full cell
+// map.
+func writeShardFiles(t *testing.T, n int) (string, []string, map[core.CellKey]core.AggregateState, string) {
+	t.Helper()
+	cfg := ckptStudyConfig(t)
+	fp := cfg.Fingerprint()
+	cells := ranSnapshot(t, cfg)
+	grid := core.NewStudy(cfg).Cells()
+	dir := t.TempDir()
+	var paths []string
+	for i := 0; i < n; i++ {
+		plan := core.ShardPlan{Index: i, Count: n}
+		part := make(map[core.CellKey]core.AggregateState)
+		for idx, key := range grid {
+			if plan.Contains(idx) {
+				part[key] = cells[key]
+			}
+		}
+		path := filepath.Join(dir, plan.String()[:1]+".json")
+		if err := WriteCheckpointFile(path, NewCheckpoint(fp, plan, part)); err != nil {
+			t.Fatal(err)
+		}
+		paths = append(paths, path)
+	}
+	return dir, paths, cells, fp
+}
+
+func TestMergeCheckpointFilesFusesShards(t *testing.T) {
+	_, paths, cells, fp := writeShardFiles(t, 2)
+	merged, err := MergeCheckpointFiles(fp, paths...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := merged.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, cells) {
+		t.Fatal("merged cells differ from the original snapshot")
+	}
+}
+
+// TestMergeCheckpointFilesNamesMismatchedFile is the bugfix
+// acceptance: a merge over shard files where one was produced under a
+// different configuration must name that file, and the sentinel must
+// survive the wrapping.
+func TestMergeCheckpointFilesNamesMismatchedFile(t *testing.T) {
+	dir, paths, _, fp := writeShardFiles(t, 2)
+
+	// A checkpoint with a foreign fingerprint amidst the good ones.
+	alien := filepath.Join(dir, "alien.json")
+	if err := WriteCheckpointFile(alien, NewCheckpoint("feedface", core.ShardPlan{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MergeCheckpointFiles(fp, paths[0], alien, paths[1])
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("want ErrConfigMismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "alien.json") {
+		t.Fatalf("error does not name the offending file: %v", err)
+	}
+	if strings.Contains(err.Error(), filepath.Base(paths[0])) {
+		t.Fatalf("error blames an innocent file: %v", err)
+	}
+}
+
+func TestMergeCheckpointFilesNamesDuplicatedShard(t *testing.T) {
+	_, paths, _, fp := writeShardFiles(t, 2)
+	// The same shard listed twice: the overlap check must name both
+	// the repeated path and the original holder of the cell.
+	_, err := MergeCheckpointFiles(fp, paths[0], paths[1], paths[0])
+	if !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("want ErrConfigMismatch, got %v", err)
+	}
+	if !strings.Contains(err.Error(), filepath.Base(paths[0])) {
+		t.Fatalf("error does not name the duplicated file: %v", err)
+	}
+}
+
+func TestMergeCheckpointFilesNamesUnreadableFile(t *testing.T) {
+	dir, paths, _, fp := writeShardFiles(t, 2)
+	garbage := filepath.Join(dir, "torn.json")
+	if err := os.WriteFile(garbage, []byte("{\"version\":"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := MergeCheckpointFiles(fp, paths[0], garbage)
+	if !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("want ErrBadCheckpoint, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "torn.json") {
+		t.Fatalf("error does not name the unreadable file: %v", err)
+	}
+}
+
+// TestReadCheckpointFilePathInErrorChain pins the satellite bugfix
+// contract on ReadCheckpointFile itself: both failure modes carry the
+// path and the sentinel through the chain.
+func TestReadCheckpointFilePathInErrorChain(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cp.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCheckpointFile(path, "")
+	if !errors.Is(err, ErrBadCheckpoint) || !strings.Contains(err.Error(), path) {
+		t.Fatalf("bad checkpoint error lacks path or sentinel: %v", err)
+	}
+
+	if err := WriteCheckpointFile(path, NewCheckpoint("feedface", core.ShardPlan{}, nil)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = ReadCheckpointFile(path, "0123")
+	if !errors.Is(err, ErrConfigMismatch) || !strings.Contains(err.Error(), path) {
+		t.Fatalf("mismatch error lacks path or sentinel: %v", err)
+	}
+}
