@@ -404,6 +404,13 @@ func BenchmarkAnalyticCharacterizeRow(b *testing.B) {
 	benchscen.AnalyticCharacterizeRow(b)
 }
 
+// BenchmarkSolveBatch measures the batched first-flip kernel over warm
+// solver views — the campaign's per-cell steady state. Guarded at 0
+// allocs/op by the bench-regression gate.
+func BenchmarkSolveBatch(b *testing.B) {
+	benchscen.SolveBatch(b)
+}
+
 // BenchmarkAnalyticCharacterizeRowCachedRuns measures the campaign's
 // actual access shape: the same row revisited across run-noise repeats,
 // where the cached base population and reused result buffer make the

@@ -177,6 +177,7 @@ type namedBench struct {
 func headlineBenchmarks() []namedBench {
 	benches := []namedBench{
 		{"StudyCampaign", benchscen.StudyCampaign},
+		{"SolveBatch", benchscen.SolveBatch},
 		{"AnalyticCharacterizeRow", benchscen.AnalyticCharacterizeRow},
 		{"AnalyticCharacterizeRowCachedRuns", benchscen.AnalyticCharacterizeRowCachedRuns},
 		{"GenerateRowCells", benchscen.GenerateRowCells},

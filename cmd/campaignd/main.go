@@ -106,6 +106,9 @@ func run(args []string, out *os.File) error {
 		}
 		fmt.Fprintf(out, "campaign initialized in %s: %d units, lease TTL %v, fingerprint %s\n",
 			*dir, m.Units, m.LeaseTTL(), m.Fingerprint)
+		if dispatch.DirUsesLockFiles(*dir) {
+			fmt.Fprintf(out, "note: %s has no hard-link support; the queue will coordinate through O_EXCL lock files\n", *dir)
+		}
 		fmt.Fprintf(out, "start workers with: characterize -worker %s\n", *dir)
 		return nil
 	}
@@ -127,6 +130,9 @@ func run(args []string, out *os.File) error {
 	}
 	q, err := dispatch.OpenDir(*dir)
 	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%s holds no campaign manifest yet; initialize it first with: campaignd -dir %s -init [campaign flags]", *dir, *dir)
+		}
 		return err
 	}
 	return watchLoop(q, *watch, *outCp, out)
@@ -247,9 +253,17 @@ func report(q dispatch.Queue, m dispatch.Manifest, st dispatch.Status, outCp str
 	fmt.Fprintf(out, "\n=== %s — units: %d done, %d leased, %d pending of %d ===\n",
 		time.Now().Format(time.TimeOnly), st.Done, st.Leased, st.Pending, st.Units)
 	for _, u := range st.PerUnit {
-		if u.State == dispatch.UnitLeased {
-			fmt.Fprintf(out, "  unit %d leased by %s (expires in %dms)\n", u.Unit, u.Worker, u.ExpiresInMs)
+		if u.State != dispatch.UnitLeased {
+			continue
 		}
+		line := fmt.Sprintf("  unit %d leased by %s (expires in %dms, %d cells", u.Unit, u.Worker, u.ExpiresInMs, u.CellCount)
+		if u.EstCostMs > 0 {
+			line += fmt.Sprintf(", ~%dms expected", u.EstCostMs)
+		}
+		if u.HasPartial {
+			line += ", intra-unit checkpoint on record"
+		}
+		fmt.Fprintln(out, line+")")
 	}
 	if err := dispatch.RenderPartial(out, m, cp); err != nil {
 		return err

@@ -84,8 +84,9 @@ func run(args []string) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 
-		workerFor  = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
-		workerName = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
+		workerFor    = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
+		workerName   = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
+		partialEvery = fs.Int("partial-every", 1, "worker mode: write an intra-unit checkpoint to the coordinator after every N completed cells (resume granularity after a worker death)")
 
 		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
 		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
@@ -133,7 +134,7 @@ func run(args []string) error {
 		// Only worker identity, pool size and profiling are local.
 		allowed := map[string]bool{
 			"worker": true, "worker-name": true, "workers": true,
-			"cpuprofile": true, "memprofile": true,
+			"partial-every": true, "cpuprofile": true, "memprofile": true,
 		}
 		var rejected []string
 		fs.Visit(func(f *flag.Flag) {
@@ -145,7 +146,7 @@ func run(args []string) error {
 			return fmt.Errorf("-worker gets its campaign from the coordinator's manifest; %s would be silently ignored (drop them, or change the campaign at -init time)",
 				strings.Join(rejected, " "))
 		}
-		return runWorker(*workerFor, *workerName, *workers)
+		return runWorker(*workerFor, *workerName, *workers, *partialEvery)
 	}
 
 	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"
@@ -376,9 +377,11 @@ func run(args []string) error {
 
 // runWorker drains a distributed campaign: lease shard work units from
 // the coordinator (a shared directory or a campaignd URL), run each
-// with the checkpointed Study.Run, heartbeat while running, submit the
-// shard checkpoint, repeat until the campaign is drained.
-func runWorker(endpoint, name string, workers int) error {
+// with the checkpointed Study.Run (resuming from any intra-unit
+// checkpoint a dead predecessor left behind and writing fresh ones as
+// cells complete), heartbeat while running, submit the measured
+// checkpoint, repeat until the campaign is drained.
+func runWorker(endpoint, name string, workers, partialEvery int) error {
 	var (
 		q   dispatch.Queue
 		err error
@@ -392,8 +395,9 @@ func runWorker(endpoint, name string, workers int) error {
 		return err
 	}
 	done, err := dispatch.Work(context.Background(), q, dispatch.WorkerOptions{
-		Name:        name,
-		Concurrency: workers,
+		Name:         name,
+		Concurrency:  workers,
+		PartialEvery: partialEvery,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},

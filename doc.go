@@ -73,9 +73,28 @@
 //     and the unit's shard plan, and fused through the
 //     overlap-checked merge).
 //   - dispatch.DirQueue coordinates through a shared directory with
-//     no server (exclusively-linked lease and done files);
+//     no server (exclusively-linked lease and done files; filesystems
+//     without hard-link support are detected at init time, the mode is
+//     persisted campaign-wide, and the queue falls back to
+//     O_CREATE|O_EXCL lock files);
 //     dispatch.MemQueue + dispatch.NewHandler/Client run the same
 //     protocol over HTTP behind cmd/campaignd.
+//   - Dispatch is cost-aware: submissions report the worker's wall
+//     time, and a per-cell cost model (die-count priors refined by
+//     per-(die count, pattern) observations) drives adaptive unit
+//     sizing. The HTTP coordinator re-plans pending, unleased units so
+//     expected unit costs equalize (fat cells split finer, cheap cells
+//     coalesce; the lease's explicit cell set — not the static i/n
+//     plan — is what the worker runs); the serverless directory queue
+//     keeps static units and grants the most expensive remaining unit
+//     first (LPT), since no process owns the plan there.
+//   - Workers write intra-unit checkpoints (Queue.SavePartial) every
+//     N completed cells, and a re-granted lease resumes from the dead
+//     worker's last partial (Queue.LoadPartial + Study.Seed) instead
+//     of recomputing the unit. Partials hold whole-cell deterministic
+//     aggregates only, so the failure semantics are unchanged:
+//     execution at-least-once, folding exactly-once, and a resumed
+//     unit's checkpoint is byte-identical to a from-scratch run.
 //   - The coordinator's rolling merged state renders live partial
 //     figures: core.PartialTable2 and core.PartialFig4 extract
 //     Table 2 / Fig 4 from an incomplete cell map, and
@@ -89,17 +108,24 @@
 //
 // # Performance
 //
-// The campaign hot path is allocation-free in steady state.
+// The campaign hot path is a batched, allocation-free solve.
 // device.RowPopulation splits cell generation into a deterministic base
 // population (cached per row, shared across every cell of one die via
-// device.PopulationCache) and a per-run noise application that appends
-// value-typed cells into a reused buffer — byte-identical to
-// regenerating from scratch. core.AnalyticEngine memoizes per-spec
-// damage terms, hoists the first-flip solver's scratch, and offers
-// CharacterizeRowInto for buffer-recycling callers. Study.Run schedules
-// per-die work units so fat 8/16-die modules spread across the worker
-// pool while the per-cell aggregates still fold in a sequential run's
-// exact observation order (checkpoints stay byte-identical).
+// device.PopulationCache) and per-realization projections: a
+// device.SolveView is the struct-of-arrays form of one (row, run-noise
+// seed, data pattern) — contiguous threshold/dose slices holding only
+// the observable cells — cached on the population so every pattern and
+// tAggON cell revisiting the row shares one noise application.
+// core.AnalyticEngine solves the whole view at once (solveBatch: a
+// branch-light, auto-vectorizable damage phase plus a per-cell locate
+// phase replaying the scalar solver's float operations in order, so
+// results are bit-identical — cross-checked by
+// TestSolveBatchMatchesScalar and the rendering goldens), memoizes
+// per-spec damage terms, and offers CharacterizeRowInto for
+// buffer-recycling callers. Study.Run schedules per-die work units so
+// fat 8/16-die modules spread across the worker pool while the
+// per-cell aggregates still fold in a sequential run's exact
+// observation order (checkpoints stay byte-identical).
 //
 // Benchmarks guard all of this: run
 //

@@ -123,6 +123,43 @@ func AnalyticCharacterizeRowCachedRuns(b *testing.B) {
 	}
 }
 
+// SolveBatch measures the batched first-flip kernel in its campaign
+// steady state: rows revisited across run repeats with a shared
+// population cache, so every call hits a cached solver view and the
+// per-op work is exactly the struct-of-arrays solve (0 allocs/op,
+// pinned by the bench-regression gate's alloc guard).
+func SolveBatch(b *testing.B) {
+	p := Profile()
+	d := device.DefaultParams()
+	cache := device.NewPopulationCache(p, d, 0, 8192)
+	e, err := core.NewAnalyticEngine(core.AnalyticConfig{
+		Profile:  p,
+		Params:   d,
+		PopCache: cache,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := combinedSpec(b)
+	const rows, runs = 64, 3
+	var res core.RowResult
+	for v := 0; v < rows; v++ {
+		for run := int64(0); run < runs; run++ {
+			if err := e.CharacterizeRowInto(1+v, spec, core.RunOpts{Run: run}, &res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		victim := 1 + (i/runs)%rows
+		if err := e.CharacterizeRowInto(victim, spec, core.RunOpts{Run: int64(i % runs)}, &res); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // GenerateRowCells measures full from-scratch cell generation.
 func GenerateRowCells(b *testing.B) {
 	p := Profile()

@@ -40,6 +40,8 @@ type AnalyticEngine struct {
 	pop       *device.RowPopulation
 	cells     []device.WeakCell
 	scratch   flipScratch
+	batch     solveBatch
+	view      device.SolveView
 	bestIdx   []int
 }
 
@@ -257,6 +259,166 @@ func firstFlip(c *device.WeakCell, terms []actTerms, weakSide, tf float64, maxIt
 	}
 }
 
+// solveBatch evaluates firstFlip over a whole row's eligible cells at
+// once, in struct-of-arrays form: per-cell thresholds come in as a
+// device.SolveView, per-(act, cell) dose terms and the per-cell
+// iteration results live in contiguous slices laid out act-major. The
+// damage phase is a branch-light rectangular loop nest the compiler can
+// vectorize; the locate phase replays the scalar solver's control flow
+// per cell, so every float operation happens in the same order as the
+// scalar path and the results are bit-identical (pinned by the
+// scalar-vs-batched cross-check test and the rendering goldens).
+type solveBatch struct {
+	// steady and first are the per-act damages, act-major:
+	// steady[a*n+c] is act a's steady-state damage to cell c.
+	steady []float64
+	first  []float64
+	// steadyTotal[c] is the damage one steady-state iteration deals to
+	// cell c (the sum over acts, accumulated in act order).
+	steadyTotal []float64
+	// iter[c] is the 1-based flip iteration of cell c (0 = no flip
+	// within maxIters); act[c] the 0-based act index within it.
+	iter []int64
+	act  []int32
+}
+
+func (b *solveBatch) resize(acts, n int) {
+	if cap(b.steadyTotal) < n {
+		b.steadyTotal = make([]float64, n)
+		b.iter = make([]int64, n)
+		b.act = make([]int32, n)
+	}
+	b.steadyTotal = b.steadyTotal[:n]
+	b.iter = b.iter[:n]
+	b.act = b.act[:n]
+	if cap(b.steady) < acts*n {
+		b.steady = make([]float64, acts*n)
+		b.first = make([]float64, acts*n)
+	}
+	b.steady = b.steady[:acts*n]
+	b.first = b.first[:acts*n]
+}
+
+// solve fills b.iter/b.act for every cell of the view. The arithmetic
+// per cell is exactly firstFlip's, loop-interchanged: damages are
+// computed act-major (the per-term synergy/side selects are uniform
+// across cells, so the inner loops carry no data-dependent branches),
+// then the flip point is located per cell.
+func (b *solveBatch) solve(v *device.SolveView, terms []actTerms, weakSide, tf float64, maxIters int64) {
+	n := v.Len()
+	acts := len(terms)
+	b.resize(acts, n)
+	if n == 0 {
+		return
+	}
+	if maxIters <= 0 {
+		for c := range b.iter {
+			b.iter[c] = 0
+		}
+		return
+	}
+	for c := range b.steadyTotal {
+		b.steadyTotal[c] = 0
+	}
+	for i := range terms {
+		t := &terms[i]
+		st := b.steady[i*n : (i+1)*n]
+		fi := b.first[i*n : (i+1)*n]
+		steadySyn, firstSyn := t.steadySynergy, t.firstSynergy
+		weak := t.side == device.SideWeak
+		boost, se, fe := t.boost, t.steadyExposure, t.firstExposure
+		for c := 0; c < n; c++ {
+			hs, hf := boost, boost
+			if steadySyn {
+				hs *= v.Syn[c]
+			}
+			if firstSyn {
+				hf *= v.Syn[c]
+			}
+			sideFactor := 1.0
+			if weak {
+				sideFactor = weakSide * v.WeakSide[c]
+			}
+			st[c] = tf * (hs/v.Th[c] + se*sideFactor/v.Tp[c])
+			fi[c] = tf * (hf/v.Th[c] + fe*sideFactor/v.Tp[c])
+			b.steadyTotal[c] += st[c]
+		}
+	}
+
+	for c := 0; c < n; c++ {
+		b.iter[c] = 0
+		// Iteration 1.
+		acc := 0.0
+		flipped := false
+		for i := 0; i < acts; i++ {
+			acc += b.first[i*n+c]
+			if acc >= 1 {
+				b.iter[c], b.act[c] = 1, int32(i)
+				flipped = true
+				break
+			}
+		}
+		if flipped {
+			continue
+		}
+		total := b.steadyTotal[c]
+		if total <= 0 {
+			continue
+		}
+		// Steady iterations 2..N, with the same rounding-robust locate
+		// loop as the scalar solver.
+		remaining := 1 - acc
+		k := int64(math.Ceil(remaining / total))
+		if k < 1 {
+			k = 1
+		}
+		iter := 1 + k
+		if iter > maxIters {
+			continue
+		}
+		base := acc + float64(k-1)*total
+		for b.iter[c] == 0 {
+			a := base
+			for i := 0; i < acts; i++ {
+				a += b.steady[i*n+c]
+				if a >= 1 {
+					b.iter[c], b.act[c] = iter, int32(i)
+					break
+				}
+			}
+			base = a
+			iter++
+			if b.iter[c] == 0 && iter > maxIters {
+				break
+			}
+		}
+	}
+}
+
+// viewFor returns the victim row's solver view for one (run, data
+// pattern) realization. With a shared PopCache the view is cached on
+// the row population, so every (pattern, tAggON) cell of a campaign
+// that revisits the same (row, run) shares one noise application; a
+// private engine rebuilds into its own scratch view instead (caching
+// per-realization views for every row it ever visits would trade
+// unbounded memory for nothing — private engines re-generate the
+// population on row change anyway).
+func (e *AnalyticEngine) viewFor(victim int, runSeed int64, data device.DataPattern) *device.SolveView {
+	if e.popRow != victim {
+		if e.shared != nil {
+			e.pop = e.shared.Get(victim)
+		} else {
+			e.pop = device.NewRowPopulation(e.profile, e.params, e.bank, victim, e.rowBits)
+		}
+		e.popRow = victim
+	}
+	if e.shared != nil {
+		return e.pop.SolveView(runSeed, data)
+	}
+	e.pop.FillSolveView(&e.view, runSeed, data)
+	return &e.view
+}
+
 // CharacterizeRow implements Engine.
 func (e *AnalyticEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts) (RowResult, error) {
 	var res RowResult
@@ -268,7 +430,72 @@ func (e *AnalyticEngine) CharacterizeRow(victim int, spec pattern.Spec, opts Run
 // result, reusing res.Flips' backing storage. Campaign loops recycle one
 // RowResult so the whole steady-state hot path is allocation-free; the
 // flips are only valid until the next call with the same res.
+//
+// It is a thin wrapper over the batched solver: the row's eligible
+// cells are solved in one solveBatch pass and the winner (earliest
+// (iteration, act), ties in cell order) is extracted afterwards — the
+// output is bit-identical to solving cell by cell with firstFlip.
 func (e *AnalyticEngine) CharacterizeRowInto(victim int, spec pattern.Spec, opts RunOpts, res *RowResult) error {
+	opts = opts.withDefaults()
+	if err := checkVictim(victim, e.numRows); err != nil {
+		*res = RowResult{}
+		return err
+	}
+	*res = RowResult{Victim: victim, Spec: spec, NoBitflip: true, Flips: res.Flips[:0]}
+
+	terms := e.termsFor(spec)
+	tf := e.params.TempFactor(opts.TempC)
+	maxIters := spec.MaxIterations(opts.Budget)
+	view := e.viewFor(victim, opts.Run, opts.Data)
+
+	e.batch.solve(view, terms, e.weakSide, tf, maxIters)
+
+	bestIter := int64(math.MaxInt64)
+	bestAct := 0
+	bestIdx := e.bestIdx[:0]
+	for i, iter := range e.batch.iter {
+		if iter == 0 {
+			continue
+		}
+		act := int(e.batch.act[i])
+		switch {
+		case iter < bestIter || (iter == bestIter && act < bestAct):
+			bestIter, bestAct = iter, act
+			bestIdx = append(bestIdx[:0], i)
+		case iter == bestIter && act == bestAct:
+			bestIdx = append(bestIdx, i)
+		}
+	}
+	e.bestIdx = bestIdx
+	if len(bestIdx) == 0 {
+		return nil
+	}
+
+	timeToFirst := time.Duration(bestIter-1)*spec.IterationTime() + terms[bestAct].end
+	if timeToFirst > opts.Budget {
+		return nil
+	}
+	res.NoBitflip = false
+	res.Iterations = bestIter
+	res.ACmin = (bestIter-1)*int64(spec.ActsPerIteration()) + int64(bestAct) + 1
+	res.TimeToFirst = timeToFirst
+	for _, i := range bestIdx {
+		res.Flips = append(res.Flips, device.Bitflip{
+			Row:  victim,
+			Bit:  int(view.Bit[i]),
+			Dir:  view.Dir[i],
+			Mech: view.Mech[i],
+		})
+	}
+	return nil
+}
+
+// characterizeRowIntoScalar is the pre-batching reference
+// implementation: cell-by-cell firstFlip over the materialized
+// []WeakCell population. It is retained as the oracle for the
+// scalar-vs-batched cross-check test, which pins the batched kernel to
+// it bit for bit.
+func (e *AnalyticEngine) characterizeRowIntoScalar(victim int, spec pattern.Spec, opts RunOpts, res *RowResult) error {
 	opts = opts.withDefaults()
 	if err := checkVictim(victim, e.numRows); err != nil {
 		*res = RowResult{}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// table2GridSpecs enumerates every (pattern, tAggON) cell behind the
+// Table 2 columns — the grid the batched kernel must reproduce exactly.
+func table2GridSpecs(t *testing.T) []pattern.Spec {
+	t.Helper()
+	var specs []pattern.Spec
+	for _, c := range []struct {
+		kind  pattern.Kind
+		aggOn time.Duration
+	}{
+		{pattern.DoubleSided, timing.TRAS},
+		{pattern.DoubleSided, 7800 * time.Nanosecond},
+		{pattern.DoubleSided, timing.AggOnNineTREFI},
+		{pattern.Combined, 7800 * time.Nanosecond},
+		{pattern.Combined, timing.AggOnNineTREFI},
+		// The third family rides along so every pattern kind is pinned.
+		{pattern.SingleSided, timing.TRAS},
+		{pattern.SingleSided, timing.AggOnNineTREFI},
+	} {
+		specs = append(specs, testSpec(t, c.kind, c.aggOn))
+	}
+	return specs
+}
+
+// TestSolveBatchMatchesScalar is the scalar-vs-batched cross-check: for
+// every pattern spec of the Table 2 grid, across several modules, rows
+// and noise seeds, the batched CharacterizeRowInto must agree with the
+// retained cell-by-cell scalar reference bit for bit — NoBitflip,
+// ACmin, iteration, time to first flip, and the exact flip set.
+func TestSolveBatchMatchesScalar(t *testing.T) {
+	for _, moduleID := range []string{"S0", "H1", "M1"} {
+		batched := testEngine(t, moduleID)
+		scalar := testEngine(t, moduleID)
+		var got, want RowResult
+		for _, spec := range table2GridSpecs(t) {
+			for victim := 1200; victim < 1230; victim++ {
+				for run := int64(0); run < 4; run++ { // seeds 0 (noise-free) .. 3
+					opts := RunOpts{Run: run}
+					if err := batched.CharacterizeRowInto(victim, spec, opts, &got); err != nil {
+						t.Fatal(err)
+					}
+					if err := scalar.characterizeRowIntoScalar(victim, spec, opts, &want); err != nil {
+						t.Fatal(err)
+					}
+					if got.NoBitflip != want.NoBitflip || got.ACmin != want.ACmin ||
+						got.Iterations != want.Iterations || got.TimeToFirst != want.TimeToFirst ||
+						len(got.Flips) != len(want.Flips) {
+						t.Fatalf("%s %s@%v victim %d run %d: batched %+v != scalar %+v",
+							moduleID, spec.Kind.Short(), spec.AggOn, victim, run, got, want)
+					}
+					for i := range want.Flips {
+						if got.Flips[i] != want.Flips[i] {
+							t.Fatalf("%s %s victim %d run %d: flip %d: batched %v != scalar %v",
+								moduleID, spec.Kind.Short(), victim, run, i, got.Flips[i], want.Flips[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchMatchesScalarSharedCache repeats the cross-check with a
+// shared PopulationCache, where the batched path serves cached
+// per-(run, data) solver views instead of rebuilding scratch.
+func TestSolveBatchMatchesScalarSharedCache(t *testing.T) {
+	mi, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	profile := mi.Profile(params)
+	cache := device.NewPopulationCache(profile, params, 0, 1024*8)
+	batched, err := NewAnalyticEngine(AnalyticConfig{Profile: profile, Params: params, NumRows: 8192, PopCache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar := testEngine(t, "S0")
+	var got, want RowResult
+	for _, spec := range table2GridSpecs(t) {
+		for victim := 4000; victim < 4010; victim++ {
+			for run := int64(0); run < 3; run++ {
+				if err := batched.CharacterizeRowInto(victim, spec, RunOpts{Run: run}, &got); err != nil {
+					t.Fatal(err)
+				}
+				if err := scalar.characterizeRowIntoScalar(victim, spec, RunOpts{Run: run}, &want); err != nil {
+					t.Fatal(err)
+				}
+				if got.NoBitflip != want.NoBitflip || got.ACmin != want.ACmin ||
+					got.TimeToFirst != want.TimeToFirst || len(got.Flips) != len(want.Flips) {
+					t.Fatalf("victim %d run %d: cached-view batched %+v != scalar %+v", victim, run, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveBatchSteadyStateAllocs pins the batched kernel itself at 0
+// steady-state allocations on the private-engine path, where the
+// solver view is rebuilt into engine scratch every call (the shared
+// PopCache path is covered by TestCharacterizeRowSteadyStateAllocs).
+func TestSolveBatchSteadyStateAllocs(t *testing.T) {
+	e := testEngine(t, "S0")
+	spec := testSpec(t, pattern.Combined, 636*time.Nanosecond)
+	var res RowResult
+	warm := func() {
+		for run := int64(0); run < 3; run++ {
+			if err := e.CharacterizeRowInto(1000, spec, RunOpts{Run: run}, &res); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(20, warm); allocs != 0 {
+		t.Errorf("steady-state batched solve allocates %v times per sweep, want 0", allocs)
+	}
+}

@@ -56,6 +56,13 @@ type StudyConfig struct {
 	// Shard restricts Run to a deterministic subset of the cell grid so
 	// independent processes can split one campaign (zero = all cells).
 	Shard ShardPlan
+	// CellIndices, when non-nil, restricts Run to an explicit set of
+	// grid cell indices (positions in Cells() order) instead of Shard's
+	// arithmetic partition. Dynamic dispatchers use it to run
+	// cost-rebalanced work units whose cell sets no longer follow any
+	// i/n plan. Like Shard, it is an execution detail excluded from the
+	// config fingerprint.
+	CellIndices []int
 	// Checkpoint, when set, receives a consistent snapshot of every
 	// completed cell after each CheckpointEvery completions and once
 	// more when Run finishes. Returning an error aborts the run.
@@ -296,10 +303,22 @@ func (s *Study) Run(ctx context.Context) error {
 	}
 	// Cells() is the one source of truth for the grid order shard
 	// indices refer to; every process of a campaign must agree on it.
+	grid := s.Cells()
+	selected := s.cfg.Shard.Contains
+	if s.cfg.CellIndices != nil {
+		in := make(map[int]bool, len(s.cfg.CellIndices))
+		for _, idx := range s.cfg.CellIndices {
+			if idx < 0 || idx >= len(grid) {
+				return fmt.Errorf("core: cell index %d outside the %d-cell grid", idx, len(grid))
+			}
+			in[idx] = true
+		}
+		selected = func(idx int) bool { return in[idx] }
+	}
 	var jobs []*cellJob
 	cellsPerModule := make(map[string]int)
-	for idx, key := range s.Cells() {
-		if !s.cfg.Shard.Contains(idx) {
+	for idx, key := range grid {
+		if !selected(idx) {
 			continue
 		}
 		if _, ok := s.Result(key.Module, key.Kind, key.AggOn); ok {

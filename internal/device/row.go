@@ -77,8 +77,9 @@ type popCell struct {
 // (die, row) and reapply per-run noise with AppendCells, byte-identical
 // to regenerating from scratch every time.
 //
-// A RowPopulation is immutable after construction and safe for
-// concurrent use by multiple readers.
+// A RowPopulation's base cells are immutable after construction and the
+// whole structure is safe for concurrent use; the embedded solver-view
+// cache memoizes derived projections under its own lock.
 type RowPopulation struct {
 	cells []popCell
 
@@ -92,6 +93,10 @@ type RowPopulation struct {
 	// Noise-stream seed words.
 	serialHash uint64
 	rowWord    uint64
+
+	// solveViewCache memoizes batch-solver projections of the base
+	// population per (runSeed, data pattern); see SolveView.
+	solveViewCache
 }
 
 // NewRowPopulation deterministically builds the base weak-cell

@@ -1,0 +1,128 @@
+package device
+
+import (
+	"math"
+	"sync"
+)
+
+// SolveView is the batch-friendly, struct-of-arrays projection of one
+// row's weak-cell population under one (runSeed, data pattern)
+// realization: exactly the inputs the analytic first-flip solver needs,
+// in contiguous parallel slices, restricted to the cells that can
+// produce an observable flip under the data pattern (a cell only flips
+// if the victim stores the value its mechanism attacks). Solvers
+// iterate the slices with branch-light inner loops instead of walking
+// []WeakCell structs, and the view is built once per (row, run) and
+// shared by every (pattern, tAggON) cell that revisits the row.
+//
+// The slices are parallel: index i describes one eligible cell, in base
+// population order (so tie-breaking by view index matches tie-breaking
+// by cell index in the AoS path). A view is immutable once built and
+// safe for concurrent readers.
+type SolveView struct {
+	// Bit is the cell's bit offset within the row.
+	Bit []int32
+	// Th is the hammer threshold in unit-activations.
+	Th []float64
+	// Tp is the press threshold in seconds.
+	Tp []float64
+	// Syn is the double-sided hammer synergy factor.
+	Syn []float64
+	// WeakSide is the per-cell weak-side coupling variance factor.
+	WeakSide []float64
+	// Dir and Mech label the flip the cell produces.
+	Dir  []Polarity
+	Mech []Mechanism
+}
+
+// Len returns the number of eligible cells in the view.
+func (v *SolveView) Len() int { return len(v.Th) }
+
+// solveViewKey identifies one cached realization of a row population.
+type solveViewKey struct {
+	runSeed int64
+	data    DataPattern
+}
+
+// solveViewCache is the lazily-built view store embedded in a
+// RowPopulation. It has its own type so RowPopulation's documented
+// immutability story stays simple: the base cells never change; the
+// cache only memoizes derived, deterministic projections of them.
+type solveViewCache struct {
+	viewMu sync.Mutex
+	views  map[solveViewKey]*SolveView
+}
+
+// SolveView returns the row's solver view for one noise realization and
+// data pattern, building and caching it on first touch. The threshold
+// values are byte-identical to what AppendCells produces for the same
+// runSeed (the same noise stream is drawn in the same order; ineligible
+// cells still consume their draw), so solving over the view matches
+// solving over the materialized []WeakCell exactly.
+func (rp *RowPopulation) SolveView(runSeed int64, data DataPattern) *SolveView {
+	key := solveViewKey{runSeed: runSeed, data: data}
+	rp.viewMu.Lock()
+	defer rp.viewMu.Unlock()
+	if v, ok := rp.views[key]; ok {
+		return v
+	}
+	v := &SolveView{}
+	rp.FillSolveView(v, runSeed, data)
+	if rp.views == nil {
+		rp.views = make(map[solveViewKey]*SolveView)
+	}
+	rp.views[key] = v
+	return v
+}
+
+// FillSolveView rebuilds v in place for one (runSeed, data pattern)
+// realization, reusing v's backing slices — the allocation-free variant
+// of SolveView for callers that own a scratch view (an engine without a
+// shared population cache rebuilds per call instead of caching
+// per-realization views on every row it ever visits).
+func (rp *RowPopulation) FillSolveView(v *SolveView, runSeed int64, data DataPattern) {
+	v.Bit = v.Bit[:0]
+	v.Th = v.Th[:0]
+	v.Tp = v.Tp[:0]
+	v.Syn = v.Syn[:0]
+	v.WeakSide = v.WeakSide[:0]
+	v.Dir = v.Dir[:0]
+	v.Mech = v.Mech[:0]
+	var nr rng
+	noisy := runSeed != 0 && rp.runSigma > 0
+	if noisy {
+		nr.seed(rp.serialHash, rp.rowWord, uint64(runSeed), 0x4015e)
+	}
+	for i := range rp.cells {
+		c := &rp.cells[i]
+		// The noise stream advances per base cell, eligible or not, so
+		// the values match AppendCells draw for draw.
+		f := 1.0
+		if noisy {
+			f = nr.meanOneLognormal(rp.runSigma)
+		}
+		if data.VictimBitAt(c.bit) != c.dir.From() {
+			continue
+		}
+		var th, tp float64
+		switch c.mech {
+		case MechHammer:
+			doubleACmin := c.base * f
+			th = doubleACmin * c.syn
+			tp = math.Inf(1)
+			if rp.hasPressSens {
+				tp = doubleACmin * rp.synergy / rp.pressSensDenom
+			}
+		default: // MechPress
+			th = c.th
+			tp = c.base * f
+		}
+		v.Bit = append(v.Bit, int32(c.bit))
+		v.Th = append(v.Th, th)
+		v.Tp = append(v.Tp, tp)
+		v.Syn = append(v.Syn, c.syn)
+		v.WeakSide = append(v.WeakSide, c.weakSide)
+		v.Dir = append(v.Dir, c.dir)
+		v.Mech = append(v.Mech, c.mech)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 	"time"
 
 	"rowfuse/internal/core"
@@ -21,33 +22,103 @@ import (
 //	manifest.json    the campaign description (written once by InitDir)
 //	lease_0007.json  unit 7 is leased (exclusively-created, atomically
 //	                 rewritten by heartbeats)
+//	part_0007.json   unit 7's intra-unit checkpoint (atomically
+//	                 replaced as the leaseholder progresses; what a
+//	                 re-granted lease resumes from)
 //	done_0007.json   unit 7's accepted checkpoint (exclusively linked
 //	                 into place; immutable once it exists)
+//	cost_0007.json   unit 7's observed compute cost (best-effort
+//	                 sidecar feeding the acquire-order cost model)
 //
 // Exclusivity rides on os.Link's EEXIST semantics (atomic on POSIX
 // filesystems including NFS), so two workers racing for one unit — or
 // racing to steal one expired lease — resolve to exactly one owner.
+// Filesystems without hard-link support (overlayfs quirks, some CI
+// mounts) are detected by a probe at InitDir time; the decision is
+// persisted in the directory (uses-lock-files marker) so every worker
+// coordinates in the same mode, and the queue falls back to
+// O_CREATE|O_EXCL ".claim" lock files: the claim grants ownership of a
+// name, the payload then lands via atomic rename, so readers never
+// observe torn files in either mode.
 // Stealing is delete-then-claim: any worker that finds an expired
 // lease removes it and retries the exclusive claim. A heartbeat
 // rewrites the lease via rename; the narrow race where a slow worker's
 // heartbeat lands over a thief's fresh lease costs at most one
 // redundant (deterministic, byte-identical) unit computation — the
 // done-file link still admits exactly one submission per unit.
+//
+// A directory has no coordinator process, so DirQueue does not re-plan
+// unit boundaries (two workers re-partitioning the same directory
+// concurrently cannot be made atomic without a server — exactly what
+// MemQueue/campaignd is for). It still records per-submission cost
+// sidecars and grants the most expensive remaining unit first (LPT
+// scheduling), which attacks the straggler tail from the ordering
+// side; intra-unit checkpoints cover the dead-worker half.
 type DirQueue struct {
-	dir      string
-	manifest Manifest
-	grid     map[core.CellKey]int
-	now      func() time.Time
+	dir       string
+	manifest  Manifest
+	grid      map[core.CellKey]int
+	unitCells [][]int
+	now       func() time.Time
+	hardLinks bool
+
+	costMu     sync.Mutex
+	cost       *costModel
+	costLoaded map[int]bool
+	// partCov caches each unit's partial-checkpoint cost coverage keyed
+	// by the part file's (mtime, size), so idle acquire polls stat the
+	// file instead of re-parsing a checkpoint that has not changed.
+	partCov map[int]partCoverage
+}
+
+// partCoverage is one cached partial-checkpoint cost estimate.
+type partCoverage struct {
+	modTime time.Time
+	size    int64
+	covered float64
 }
 
 const manifestFile = "manifest.json"
 
+// lockModeFile marks a campaign directory as lock-file-coordinated.
+// The mode is decided once, at InitDir time, and persisted: if every
+// worker probed independently, one transient probe failure would put
+// that worker in lock-file mode among hard-link peers, and the two
+// protocols do not exclude against each other.
+const lockModeFile = "uses-lock-files"
+
 func leaseFile(unit int) string { return fmt.Sprintf("lease_%04d.json", unit) }
 func doneFile(unit int) string  { return fmt.Sprintf("done_%04d.json", unit) }
+func partFile(unit int) string  { return fmt.Sprintf("part_%04d.json", unit) }
+func costFile(unit int) string  { return fmt.Sprintf("cost_%04d.json", unit) }
+
+// SupportsHardLinks probes whether dir's filesystem honors hard links
+// (os.Link), the primitive DirQueue's exclusive claims prefer. The
+// probe is empirical — it links a scratch file — because overlayfs
+// variants and restricted mounts fail os.Link with errors that cannot
+// be enumerated portably. Any failure selects the lock-file fallback,
+// which works everywhere.
+func SupportsHardLinks(dir string) bool {
+	src, err := os.CreateTemp(dir, ".linkprobe*")
+	if err != nil {
+		return false
+	}
+	srcName := src.Name()
+	src.Close()
+	defer os.Remove(srcName)
+	dst := srcName + ".lnk"
+	if err := os.Link(srcName, dst); err != nil {
+		return false
+	}
+	os.Remove(dst)
+	return true
+}
 
 // InitDir creates (if needed) dir and writes the campaign manifest
 // into it. A directory already holding a manifest is refused: one
-// directory is one campaign.
+// directory is one campaign. Hard-link support is probed here, at init
+// time, so a campaign landing on a link-less filesystem starts in
+// lock-file mode from its first worker rather than failing mid-drain.
 func InitDir(dir string, m Manifest) error {
 	if err := m.Validate(); err != nil {
 		return err
@@ -59,13 +130,36 @@ func InitDir(dir string, m Manifest) error {
 	if err != nil {
 		return fmt.Errorf("dispatch: encode manifest: %w", err)
 	}
-	if err := linkExclusive(dir, manifestFile, append(data, '\n')); err != nil {
+	// Refuse an already-initialized directory before touching anything,
+	// so a stray re-init cannot flip an existing campaign's lock mode
+	// (the exclusiveCreate below remains the authoritative race guard).
+	if _, err := os.Stat(filepath.Join(dir, manifestFile)); err == nil {
+		return fmt.Errorf("dispatch: %s already holds a campaign manifest", dir)
+	}
+	links := SupportsHardLinks(dir)
+	if !links {
+		// Persist the decision before the manifest: a worker that sees
+		// the manifest must also see the mode.
+		if err := os.WriteFile(filepath.Join(dir, lockModeFile), []byte("1\n"), 0o644); err != nil {
+			return fmt.Errorf("dispatch: record lock mode: %w", err)
+		}
+	}
+	if err := exclusiveCreate(dir, manifestFile, append(data, '\n'), links, time.Minute); err != nil {
 		if errors.Is(err, os.ErrExist) {
 			return fmt.Errorf("dispatch: %s already holds a campaign manifest", dir)
 		}
 		return err
 	}
 	return nil
+}
+
+// DirUsesLockFiles reports whether an initialized campaign directory
+// was recorded (at InitDir time) as coordinating through O_EXCL lock
+// files rather than hard links. This reads the persisted decision —
+// the one every worker follows — not a fresh probe.
+func DirUsesLockFiles(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, lockModeFile))
+	return err == nil
 }
 
 // OpenDir opens an initialized campaign directory.
@@ -81,16 +175,125 @@ func OpenDir(dir string) (*DirQueue, error) {
 	if err := m.Validate(); err != nil {
 		return nil, fmt.Errorf("%s: %w", filepath.Join(dir, manifestFile), err)
 	}
-	grid, err := m.grid()
+	grid, cellsByIdx, err := m.grid()
 	if err != nil {
 		return nil, err
 	}
-	return &DirQueue{dir: dir, manifest: m, grid: grid, now: time.Now}, nil
+	unitCells := make([][]int, m.Units)
+	for unit := range unitCells {
+		unitCells[unit] = m.UnitCells(unit)
+	}
+	// The coordination mode is campaign state, not a per-process choice:
+	// InitDir recorded lock-file mode if (and only if) the directory's
+	// filesystem failed the hard-link probe. A hard-link campaign opened
+	// from a mount that cannot link must refuse to participate — mixing
+	// the two protocols in one directory would break exclusivity.
+	hardLinks := true
+	if _, err := os.Stat(filepath.Join(dir, lockModeFile)); err == nil {
+		hardLinks = false
+	} else if !SupportsHardLinks(dir) {
+		return nil, fmt.Errorf("dispatch: %s was initialized for hard-link coordination but this mount does not support hard links; re-init the campaign on this filesystem", dir)
+	}
+	return &DirQueue{
+		dir:        dir,
+		manifest:   m,
+		grid:       grid,
+		unitCells:  unitCells,
+		now:        time.Now,
+		hardLinks:  hardLinks,
+		cost:       newCostModel(m, cellsByIdx),
+		costLoaded: make(map[int]bool),
+		partCov:    make(map[int]partCoverage),
+	}, nil
 }
 
 // SetClock substitutes the queue's time source (tests drive lease
 // expiry without sleeping).
 func (q *DirQueue) SetClock(now func() time.Time) { q.now = now }
+
+// UsesLockFiles reports whether the queue runs in the O_EXCL lock-file
+// fallback because dir's filesystem lacks hard-link support.
+func (q *DirQueue) UsesLockFiles() bool { return !q.hardLinks }
+
+// exclusiveCreate atomically creates name in dir with content, failing
+// with os.ErrExist if name already exists (or is exclusively claimed).
+//
+// With hard links: write a private temp file, link it into place,
+// remove the temp name — one atomic primitive does both exclusivity
+// and full-content visibility.
+//
+// Without: ownership of the name is claimed via O_CREATE|O_EXCL on a
+// persistent "name.claim" lock file, then the payload lands through an
+// atomic rename, so a reader still never sees a torn file. A claim
+// whose payload never arrived (the claimant crashed in between) goes
+// stale after staleAfter and is broken by the next creator.
+func exclusiveCreate(dir, name string, content []byte, hardLinks bool, staleAfter time.Duration) error {
+	if hardLinks {
+		return linkExclusive(dir, name, content)
+	}
+	final := filepath.Join(dir, name)
+	claim := final + ".claim"
+	for attempt := 0; attempt < 2; attempt++ {
+		f, err := os.OpenFile(claim, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			f.Close()
+			// A final file that exists without a claim is either a
+			// mixed-protocol artifact or the mid-window state of
+			// removeExclusive (claim removed, final not yet): never
+			// replace it, and release the claim we just took so the
+			// name is not wedged behind a stray lock.
+			if _, serr := os.Stat(final); serr == nil {
+				os.Remove(claim)
+				return os.ErrExist
+			}
+			if err := replaceAtomic(dir, name, content); err != nil {
+				os.Remove(claim)
+				return err
+			}
+			return nil
+		}
+		if !errors.Is(err, os.ErrExist) {
+			return fmt.Errorf("dispatch: claim %s: %w", name, err)
+		}
+		if _, serr := os.Stat(final); serr == nil {
+			return os.ErrExist
+		}
+		// Claimed but no payload: a creator is mid-flight, or crashed.
+		fi, serr := os.Stat(claim)
+		if serr == nil && staleAfter > 0 && q0Now().Sub(fi.ModTime()) > staleAfter {
+			os.Remove(claim)
+			continue // stale claim broken; retry once
+		}
+		return os.ErrExist
+	}
+	return os.ErrExist
+}
+
+// q0Now exists so exclusiveCreate's stale-claim rule uses wall time
+// without threading a clock through a package-level helper; claims go
+// stale on the order of lease TTLs, where real time is the contract.
+func q0Now() time.Time { return time.Now() }
+
+// removeExclusive removes name and, in lock-file mode, its claim, so
+// the name becomes claimable again (lease stealing, submit cleanup).
+// The claim goes first: the intermediate state is then final-without-
+// claim, which exclusiveCreate refuses outright (the final-file check
+// after winning a claim), whereas claim-without-final would look like
+// a crashed creator and invite a concurrent stale-claim break mid-
+// removal — two racers could then both claim one unit. A crash between
+// the two removes leaves final-without-claim, which the steal path
+// recovers by simply running removeExclusive again.
+func removeExclusive(dir, name string, hardLinks bool) error {
+	if !hardLinks {
+		if err := os.Remove(filepath.Join(dir, name+".claim")); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	if err := os.Remove(filepath.Join(dir, name)); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	return nil
+}
 
 // linkExclusive atomically creates name in dir with content, failing
 // with os.ErrExist if name already exists: write a private temp file,
@@ -122,7 +325,8 @@ func linkExclusive(dir, name string, content []byte) error {
 }
 
 // replaceAtomic atomically replaces name in dir with content (temp
-// file + rename), for heartbeat's lease extension.
+// file + rename), for heartbeat's lease extension and partial
+// checkpoint updates.
 func replaceAtomic(dir, name string, content []byte) error {
 	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
@@ -170,21 +374,103 @@ func (q *DirQueue) isDone(unit int) bool {
 	return err == nil
 }
 
-// Acquire implements Queue: scan units in order, skip done ones, claim
-// the first unleased (or expired-leased) unit via exclusive link.
-func (q *DirQueue) Acquire(worker string) (Lease, error) {
-	now := q.now()
-	leased := false
+// costStats is the cost_NNNN.json sidecar schema.
+type costStats struct {
+	ElapsedNs int64 `json:"elapsedNs"`
+	Cells     int   `json:"cells"`
+}
+
+// refreshCosts folds not-yet-loaded cost sidecars of done units into
+// the queue's cost model, then returns per-unit expected remaining
+// cost (partial-checkpoint coverage subtracted) for acquire ordering.
+func (q *DirQueue) refreshCosts(units []int) map[int]float64 {
+	q.costMu.Lock()
+	defer q.costMu.Unlock()
 	for unit := 0; unit < q.manifest.Units; unit++ {
-		if q.isDone(unit) {
+		if q.costLoaded[unit] || !q.isDone(unit) {
 			continue
 		}
-		l := Lease{Unit: unit, Worker: worker, Token: newToken(), Expires: now.Add(q.manifest.LeaseTTL())}
+		data, err := os.ReadFile(filepath.Join(q.dir, costFile(unit)))
+		if err != nil {
+			continue // sidecars are best-effort; model just learns less
+		}
+		var cs costStats
+		if json.Unmarshal(data, &cs) != nil || cs.ElapsedNs <= 0 {
+			continue
+		}
+		q.cost.observe(q.unitCells[unit], cs.ElapsedNs)
+		q.costLoaded[unit] = true
+	}
+	out := make(map[int]float64, len(units))
+	for _, unit := range units {
+		out[unit] = q.cost.unitCost(q.unitCells[unit]) - q.partialCoverage(unit)
+	}
+	return out
+}
+
+// partialCoverage returns the expected cost already banked in a unit's
+// intra-unit checkpoint; callers hold q.costMu. The parse is cached by
+// the part file's (mtime, size): with N workers polling Acquire every
+// Poll interval, re-reading every candidate's full checkpoint per poll
+// would hammer the shared filesystem for ordering hints.
+func (q *DirQueue) partialCoverage(unit int) float64 {
+	fi, err := os.Stat(filepath.Join(q.dir, partFile(unit)))
+	if err != nil {
+		delete(q.partCov, unit)
+		return 0
+	}
+	if c, ok := q.partCov[unit]; ok && c.modTime.Equal(fi.ModTime()) && c.size == fi.Size() {
+		return c.covered
+	}
+	covered := 0.0
+	if cp, err := q.readPartial(unit); err == nil && cp != nil {
+		if cells, err := cp.CellMap(); err == nil {
+			for key := range cells {
+				if idx, ok := q.grid[key]; ok {
+					covered += q.cost.estimate(idx)
+				}
+			}
+		}
+	}
+	q.partCov[unit] = partCoverage{modTime: fi.ModTime(), size: fi.Size(), covered: covered}
+	return covered
+}
+
+// Acquire implements Queue: among not-done units, try to claim the one
+// with the highest expected remaining cost first (LPT — with no cost
+// observations the prior makes this "most cells first", which is the
+// old index order for even partitions), falling back through the rest;
+// expired leases are stolen along the way.
+func (q *DirQueue) Acquire(worker string) (Lease, error) {
+	now := q.now()
+	var candidates []int
+	for unit := 0; unit < q.manifest.Units; unit++ {
+		if !q.isDone(unit) {
+			candidates = append(candidates, unit)
+		}
+	}
+	if len(candidates) == 0 {
+		return Lease{}, ErrDrained
+	}
+	remaining := q.refreshCosts(candidates)
+	sort.SliceStable(candidates, func(a, b int) bool {
+		ca, cb := remaining[candidates[a]], remaining[candidates[b]]
+		if ca != cb {
+			return ca > cb
+		}
+		return candidates[a] < candidates[b]
+	})
+	for _, unit := range candidates {
+		l := Lease{
+			Unit: unit, Worker: worker, Token: newToken(),
+			Expires: now.Add(q.manifest.LeaseTTL()),
+			Cells:   append([]int(nil), q.unitCells[unit]...),
+		}
 		data, err := json.Marshal(l)
 		if err != nil {
 			return Lease{}, fmt.Errorf("dispatch: encode lease: %w", err)
 		}
-		err = linkExclusive(q.dir, leaseFile(unit), data)
+		err = q.createExclusive(leaseFile(unit), data)
 		if err == nil {
 			return l, nil
 		}
@@ -209,22 +495,24 @@ func (q *DirQueue) Acquire(worker string) (Lease, error) {
 			if cur2, ok2, err := q.readLease(unit); err != nil {
 				return Lease{}, err
 			} else if ok2 && cur2.Token == cur.Token && now.After(cur2.Expires) {
-				if err := os.Remove(filepath.Join(q.dir, leaseFile(unit))); err != nil && !errors.Is(err, os.ErrNotExist) {
+				if err := removeExclusive(q.dir, leaseFile(unit), q.hardLinks); err != nil {
 					return Lease{}, fmt.Errorf("dispatch: steal lease %d: %w", unit, err)
 				}
-				if err := linkExclusive(q.dir, leaseFile(unit), data); err == nil {
+				if err := q.createExclusive(leaseFile(unit), data); err == nil {
 					return l, nil
 				} else if !errors.Is(err, os.ErrExist) {
 					return Lease{}, err
 				}
 			}
 		}
-		leased = true
 	}
-	if leased {
-		return Lease{}, ErrNoWork
-	}
-	return Lease{}, ErrDrained
+	return Lease{}, ErrNoWork
+}
+
+// createExclusive is exclusiveCreate bound to the queue's directory,
+// link mode and lease TTL (the stale-claim horizon).
+func (q *DirQueue) createExclusive(name string, content []byte) error {
+	return exclusiveCreate(q.dir, name, content, q.hardLinks, q.manifest.LeaseTTL())
 }
 
 // Heartbeat implements Queue: verify the lease file still carries our
@@ -248,26 +536,99 @@ func (q *DirQueue) Heartbeat(l Lease) error {
 // Submit implements Queue: validate, then exclusively link the
 // checkpoint into place as the unit's done file. The link admits
 // exactly one submission per unit no matter how many workers raced the
-// unit to completion.
-func (q *DirQueue) Submit(l Lease, cp *resultio.Checkpoint) error {
-	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, cp); err != nil {
+// unit to completion. The cost sidecar and lease/partial cleanup after
+// it are best-effort: once the done file exists the submission is
+// accepted, whatever happens to the bookkeeping.
+func (q *DirQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
+	if l.Unit < 0 || l.Unit >= q.manifest.Units {
+		return fmt.Errorf("dispatch: submit for unit %d of %d", l.Unit, q.manifest.Units)
+	}
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, q.unitCells[l.Unit], cp, false); err != nil {
 		return err
 	}
 	var buf bytes.Buffer
 	if err := resultio.SaveCheckpoint(&buf, cp); err != nil {
 		return err
 	}
-	if err := linkExclusive(q.dir, doneFile(l.Unit), buf.Bytes()); err != nil {
+	if err := q.createExclusive(doneFile(l.Unit), buf.Bytes()); err != nil {
 		if errors.Is(err, os.ErrExist) {
 			return fmt.Errorf("unit %d: %w", l.Unit, ErrDuplicateSubmit)
 		}
 		return err
 	}
-	// Best-effort lease cleanup; only remove a lease we still own.
+	if elapsed > 0 {
+		if data, err := json.Marshal(costStats{ElapsedNs: elapsed.Nanoseconds(), Cells: len(q.unitCells[l.Unit])}); err == nil {
+			_ = replaceAtomic(q.dir, costFile(l.Unit), data)
+		}
+	}
+	// Best-effort cleanup: the partial is obsolete, and only a lease we
+	// still own is removed.
+	_ = os.Remove(filepath.Join(q.dir, partFile(l.Unit)))
 	if cur, ok, err := q.readLease(l.Unit); err == nil && ok && cur.Token == l.Token {
-		_ = os.Remove(filepath.Join(q.dir, leaseFile(l.Unit)))
+		_ = removeExclusive(q.dir, leaseFile(l.Unit), q.hardLinks)
 	}
 	return nil
+}
+
+// SavePartial implements Queue: atomically replace the unit's
+// intra-unit checkpoint, provided we still hold the lease. The
+// ownership check is advisory (a thief may take the lease between
+// check and rename); a stale partial is harmless — its cells are
+// whole-cell deterministic aggregates of this same campaign, so a
+// resumer seeded with it computes the identical bytes either way.
+func (q *DirQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
+	if l.Unit < 0 || l.Unit >= q.manifest.Units {
+		return fmt.Errorf("dispatch: save partial for unit %d of %d", l.Unit, q.manifest.Units)
+	}
+	if q.isDone(l.Unit) {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	cur, ok, err := q.readLease(l.Unit)
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, q.unitCells[l.Unit], cp, true); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := resultio.SaveCheckpoint(&buf, cp); err != nil {
+		return err
+	}
+	return replaceAtomic(q.dir, partFile(l.Unit), buf.Bytes())
+}
+
+// readPartial loads and validates a unit's partial checkpoint file,
+// returning (nil, nil) when absent and an error only for real I/O
+// trouble — a corrupt or foreign partial is discarded (resume is an
+// optimization, never a correctness dependency).
+func (q *DirQueue) readPartial(unit int) (*resultio.Checkpoint, error) {
+	f, err := os.Open(filepath.Join(q.dir, partFile(unit)))
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("dispatch: read partial %d: %w", unit, err)
+	}
+	defer f.Close()
+	cp, err := resultio.LoadCheckpoint(f)
+	if err != nil {
+		return nil, nil // torn/corrupt: recompute instead of resuming
+	}
+	if err := validateUnitCheckpoint(q.manifest, q.grid, unit, q.unitCells[unit], cp, true); err != nil {
+		return nil, nil
+	}
+	return cp, nil
+}
+
+// LoadPartial implements Queue.
+func (q *DirQueue) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
+	if l.Unit < 0 || l.Unit >= q.manifest.Units {
+		return nil, fmt.Errorf("dispatch: load partial for unit %d of %d", l.Unit, q.manifest.Units)
+	}
+	return q.readPartial(l.Unit)
 }
 
 // Status implements Queue.
@@ -275,7 +636,10 @@ func (q *DirQueue) Status() (Status, error) {
 	now := q.now()
 	st := Status{Units: q.manifest.Units, PerUnit: make([]UnitStatus, q.manifest.Units)}
 	for unit := 0; unit < q.manifest.Units; unit++ {
-		us := UnitStatus{Unit: unit, State: UnitPending}
+		us := UnitStatus{Unit: unit, State: UnitPending, CellCount: len(q.unitCells[unit])}
+		if _, err := os.Stat(filepath.Join(q.dir, partFile(unit))); err == nil {
+			us.HasPartial = true
+		}
 		if q.isDone(unit) {
 			us.State = UnitDone
 			st.Done++

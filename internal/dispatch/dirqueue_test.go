@@ -88,10 +88,10 @@ func TestDirQueueLeaseExpiryAndStealing(t *testing.T) {
 	}
 
 	// Exactly one submission per unit wins, no matter who submits.
-	if err := thief.Submit(stolen, emptyCheckpoint(m, 0)); err != nil {
+	if err := thief.Submit(stolen, emptyCheckpoint(m, 0), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(l0, emptyCheckpoint(m, 0)); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
+	if err := q.Submit(l0, emptyCheckpoint(m, 0), 0); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
 		t.Fatalf("late duplicate submit: want ErrDuplicateSubmit, got %v", err)
 	}
 
@@ -114,7 +114,7 @@ func TestDirQueueSubmitValidatesFingerprint(t *testing.T) {
 		t.Fatal(err)
 	}
 	foreign := resultio.NewCheckpoint("deadbeef", m.Plan(l.Unit), nil)
-	if err := q.Submit(l, foreign); !errors.Is(err, resultio.ErrConfigMismatch) {
+	if err := q.Submit(l, foreign, 0); !errors.Is(err, resultio.ErrConfigMismatch) {
 		t.Fatalf("foreign fingerprint: want ErrConfigMismatch, got %v", err)
 	}
 }
@@ -133,7 +133,7 @@ func TestDirQueueMergedRejectsPlantedDuplicate(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(l, cp); err != nil {
+	if err := q.Submit(l, cp, 0); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := q.Merged(); err != nil {

@@ -17,6 +17,28 @@
 // worker was slow, not dead) folds to the same bytes either way;
 // execution is at-least-once, folding is exactly-once.
 //
+// Dispatch is cost-aware. Every submission reports the wall time the
+// worker spent, and the queues fold it into a per-cell cost model
+// (costModel: die-count priors refined by per-(dies, pattern) EWMAs).
+// MemQueue — the single-coordinator mode — re-plans the still-pending,
+// unleased units after each observation so their expected costs
+// equalize: units holding fat 8/16-die cells split finer, cheap cells
+// coalesce, and the campaign drains without a straggler tail. DirQueue
+// has no coordinator process that could own such a re-plan (concurrent
+// re-partitions through a shared directory cannot be made atomic), so
+// it keeps the manifest's static units and instead grants the most
+// expensive pending unit first — LPT scheduling, which attacks the
+// same tail from the ordering side.
+//
+// Workers also write intra-unit checkpoints: the completed cells of
+// the unit in flight, stored at the queue under the lease. When a
+// lease expires and is re-granted, the new holder resumes from the
+// dead worker's last partial instead of recomputing the whole unit.
+// Execution stays at-least-once and folding exactly-once — partials
+// hold only whole-cell aggregates, which are deterministic, so a
+// resumed unit's final checkpoint is byte-identical to a from-scratch
+// run.
+//
 // Two queue implementations share the Queue interface:
 //
 //   - DirQueue coordinates through a shared directory (NFS or any
@@ -166,6 +188,26 @@ type Manifest struct {
 	Campaign CampaignSpec `json:"campaign"`
 }
 
+// GridSize returns the number of cells on the campaign grid.
+func (m Manifest) GridSize() int {
+	return len(m.Campaign.Modules) * len(m.Campaign.Patterns) * len(m.Campaign.SweepNs)
+}
+
+// UnitCells expands a unit's initial shard plan into the explicit grid
+// cell indices it covers. Queues that re-plan units hold their own
+// (possibly rebalanced) cell sets; this is the static partition every
+// campaign starts from.
+func (m Manifest) UnitCells(unit int) []int {
+	plan := m.Plan(unit)
+	var cells []int
+	for idx := 0; idx < m.GridSize(); idx++ {
+		if plan.Contains(idx) {
+			cells = append(cells, idx)
+		}
+	}
+	return cells
+}
+
 // NewManifest builds a manifest for cfg split into units leased for
 // ttl. Units is clamped to [1, number of grid cells] so no unit is
 // structurally empty.
@@ -218,28 +260,33 @@ func (m Manifest) Validate() error {
 }
 
 // grid maps every cell of the manifest's campaign to its index in the
-// canonical core.Study.Cells() order, the order shard plans partition.
-func (m Manifest) grid() (map[core.CellKey]int, error) {
+// canonical core.Study.Cells() order, the order shard plans partition,
+// and returns the inverse (index -> key) alongside.
+func (m Manifest) grid() (map[core.CellKey]int, []core.CellKey, error) {
 	cfg, err := m.Campaign.StudyConfig()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cells := core.NewStudy(cfg).Cells()
 	out := make(map[core.CellKey]int, len(cells))
 	for i, key := range cells {
 		out[key] = i
 	}
-	return out, nil
+	return out, cells, nil
 }
 
 // validateUnitCheckpoint enforces the submit-side contract: the
-// checkpoint carries the campaign fingerprint and exactly the cells of
-// the unit's shard — no foreign cells, and no missing ones either. The
-// completeness half matters as much as the subset half: accepting a
-// partial (or empty) checkpoint would mark the unit done, its missing
-// cells would never be re-granted, and the "drained" campaign would be
-// silently unrenderable. grid is Manifest.grid().
-func validateUnitCheckpoint(m Manifest, grid map[core.CellKey]int, unit int, cp *resultio.Checkpoint) error {
+// checkpoint carries the campaign fingerprint and covers cells of the
+// unit's set — no foreign cells; and unless partial is set, no missing
+// ones either. The completeness half matters as much as the subset
+// half for final submissions: accepting an incomplete (or empty)
+// checkpoint would mark the unit done, its missing cells would never
+// be re-granted, and the "drained" campaign would be silently
+// unrenderable. Intra-unit (partial) checkpoints relax only the
+// completeness rule — a resumed worker must still never be seeded with
+// foreign state. grid is Manifest.grid(); unitCells is the unit's
+// current cell-index set.
+func validateUnitCheckpoint(m Manifest, grid map[core.CellKey]int, unit int, unitCells []int, cp *resultio.Checkpoint, partial bool) error {
 	if cp == nil {
 		return fmt.Errorf("%w: unit %d: nil checkpoint", resultio.ErrBadCheckpoint, unit)
 	}
@@ -251,38 +298,42 @@ func validateUnitCheckpoint(m Manifest, grid map[core.CellKey]int, unit int, cp 
 	if err != nil {
 		return fmt.Errorf("unit %d: %w", unit, err)
 	}
-	plan := m.Plan(unit)
-	want := 0
-	for _, idx := range grid {
-		if plan.Contains(idx) {
-			want++
-		}
+	inUnit := make(map[int]bool, len(unitCells))
+	for _, idx := range unitCells {
+		inUnit[idx] = true
 	}
 	for key := range cells {
 		idx, ok := grid[key]
 		if !ok {
 			return fmt.Errorf("unit %d: %w: cell %v not on the campaign grid", unit, resultio.ErrConfigMismatch, key)
 		}
-		if !plan.Contains(idx) {
-			return fmt.Errorf("unit %d: %w: cell %v belongs to another shard", unit, resultio.ErrConfigMismatch, key)
+		if !inUnit[idx] {
+			return fmt.Errorf("unit %d: %w: cell %v belongs to another unit", unit, resultio.ErrConfigMismatch, key)
 		}
 	}
-	if len(cells) != want {
+	if !partial && len(cells) != len(unitCells) {
 		return fmt.Errorf("unit %d: %w: checkpoint covers %d of the unit's %d cells (incomplete shard run?)",
-			unit, resultio.ErrBadCheckpoint, len(cells), want)
+			unit, resultio.ErrBadCheckpoint, len(cells), len(unitCells))
 	}
 	return nil
 }
 
 // Lease is a time-bounded grant of one work unit to one worker. The
-// token authenticates heartbeats and submits: after expiry the unit
-// may be re-granted under a fresh token, at which point the old
-// holder's calls fail with ErrLeaseLost.
+// token authenticates heartbeats, partial checkpoints and submits:
+// after expiry the unit may be re-granted under a fresh token, at
+// which point the old holder's calls fail with ErrLeaseLost.
 type Lease struct {
 	Unit    int       `json:"unit"`
 	Worker  string    `json:"worker"`
 	Token   string    `json:"token"`
 	Expires time.Time `json:"expires"`
+	// Cells are the grid cell indices (positions in the canonical
+	// core.Study.Cells() order) this unit covers. Cost-aware queues
+	// re-plan unit boundaries, so the lease — not the manifest's static
+	// i/n partition — is authoritative for what to compute. Empty means
+	// the unit still follows Manifest.Plan(Unit). Advisory on the wire:
+	// submissions are validated against the queue's own record.
+	Cells []int `json:"cells,omitempty"`
 }
 
 // newToken mints an unguessable lease token.
@@ -308,6 +359,15 @@ type UnitStatus struct {
 	Worker string `json:"worker,omitempty"`
 	// ExpiresInMs is the lease's remaining TTL (leased units only).
 	ExpiresInMs int64 `json:"expiresInMs,omitempty"`
+	// CellCount is the number of grid cells the unit currently covers
+	// (re-planning queues resize units as cost observations arrive).
+	CellCount int `json:"cellCount,omitempty"`
+	// EstCostMs is the unit's expected compute cost in milliseconds, 0
+	// until the queue has observed at least one timed submission.
+	EstCostMs int64 `json:"estCostMs,omitempty"`
+	// HasPartial reports that an intra-unit checkpoint is stored for
+	// the unit, so a re-granted lease will resume rather than recompute.
+	HasPartial bool `json:"hasPartial,omitempty"`
 }
 
 // Status summarizes a campaign's progress.
@@ -328,18 +388,31 @@ func (s Status) Drained() bool { return s.Done == s.Units }
 type Queue interface {
 	// Manifest returns the campaign description.
 	Manifest() (Manifest, error)
-	// Acquire leases the lowest-numbered available unit, re-granting
-	// expired leases first. ErrNoWork means try again later;
+	// Acquire leases an available unit, re-granting expired leases
+	// first. Cost-aware queues pick by expected cost; otherwise the
+	// lowest-numbered unit wins. ErrNoWork means try again later;
 	// ErrDrained means the campaign is complete.
 	Acquire(worker string) (Lease, error)
 	// Heartbeat extends the lease by a full TTL. ErrLeaseLost means
 	// the unit was re-granted: abandon it.
 	Heartbeat(l Lease) error
-	// Submit delivers the unit's checkpoint. The checkpoint is
-	// validated against the campaign fingerprint and the unit's shard
-	// plan. ErrDuplicateSubmit and ErrLeaseLost mean another worker's
-	// result was accepted instead — not a failure of the campaign.
-	Submit(l Lease, cp *resultio.Checkpoint) error
+	// Submit delivers the unit's checkpoint, along with the wall time
+	// the worker spent computing it (0 = unmeasured; the queue's cost
+	// model simply learns nothing). The checkpoint is validated against
+	// the campaign fingerprint and the unit's cell set.
+	// ErrDuplicateSubmit and ErrLeaseLost mean another worker's result
+	// was accepted instead — not a failure of the campaign.
+	Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error
+	// SavePartial stores an intra-unit checkpoint — the aggregates of
+	// the unit's cells completed so far — under the lease, replacing
+	// any previous one. Validated like a submission but without the
+	// completeness requirement. Best-effort by contract: losing a
+	// partial costs recompute time, never correctness.
+	SavePartial(l Lease, cp *resultio.Checkpoint) error
+	// LoadPartial returns the unit's stored intra-unit checkpoint, or
+	// (nil, nil) if none — typically a dead predecessor's progress
+	// that a freshly re-granted lease resumes from.
+	LoadPartial(l Lease) (*resultio.Checkpoint, error)
 	// Status reports per-unit progress.
 	Status() (Status, error)
 	// Merged folds every accepted checkpoint into one (possibly

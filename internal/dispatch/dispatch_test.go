@@ -156,15 +156,15 @@ func TestMemQueueLeaseExpiryAndRegrant(t *testing.T) {
 	if err := q.Heartbeat(l0); !errors.Is(err, dispatch.ErrLeaseLost) {
 		t.Fatalf("stale heartbeat: want ErrLeaseLost, got %v", err)
 	}
-	if err := q.Submit(l0, emptyCheckpoint(m, 0)); !errors.Is(err, dispatch.ErrLeaseLost) {
+	if err := q.Submit(l0, emptyCheckpoint(m, 0), 0); !errors.Is(err, dispatch.ErrLeaseLost) {
 		t.Fatalf("stale submit: want ErrLeaseLost, got %v", err)
 	}
 
 	// The thief's submit is accepted exactly once.
-	if err := q.Submit(stolen, emptyCheckpoint(m, 0)); err != nil {
+	if err := q.Submit(stolen, emptyCheckpoint(m, 0), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(stolen, emptyCheckpoint(m, 0)); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
+	if err := q.Submit(stolen, emptyCheckpoint(m, 0), 0); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
 		t.Fatalf("duplicate submit: want ErrDuplicateSubmit, got %v", err)
 	}
 
@@ -205,7 +205,7 @@ func TestMemQueueHeartbeatRevivesUnstolenLease(t *testing.T) {
 	if st, _ := q.Status(); st.Leased != 1 {
 		t.Fatalf("revived lease not visible: %+v", st)
 	}
-	if err := q.Submit(l, emptyCheckpoint(m, l.Unit)); err != nil {
+	if err := q.Submit(l, emptyCheckpoint(m, l.Unit), 0); err != nil {
 		t.Fatalf("submit after revival: %v", err)
 	}
 }
@@ -223,7 +223,7 @@ func TestMemQueueSubmitValidation(t *testing.T) {
 
 	// Foreign fingerprint: rejected with resultio's sentinel.
 	foreign := resultio.NewCheckpoint("deadbeef", m.Plan(l.Unit), nil)
-	if err := q.Submit(l, foreign); !errors.Is(err, resultio.ErrConfigMismatch) {
+	if err := q.Submit(l, foreign, 0); !errors.Is(err, resultio.ErrConfigMismatch) {
 		t.Fatalf("foreign fingerprint: want ErrConfigMismatch, got %v", err)
 	}
 
@@ -239,7 +239,7 @@ func TestMemQueueSubmitValidation(t *testing.T) {
 	}
 	cp := resultio.NewCheckpoint(m.Fingerprint, m.Plan(l.Unit),
 		map[core.CellKey]core.AggregateState{foreignCell: {}})
-	if err := q.Submit(l, cp); !errors.Is(err, resultio.ErrConfigMismatch) {
+	if err := q.Submit(l, cp, 0); !errors.Is(err, resultio.ErrConfigMismatch) {
 		t.Fatalf("foreign shard cell: want ErrConfigMismatch, got %v", err)
 	}
 
@@ -247,7 +247,7 @@ func TestMemQueueSubmitValidation(t *testing.T) {
 	// be rejected too — accepting it would mark the unit done with its
 	// cells permanently missing from the campaign.
 	hollow := resultio.NewCheckpoint(m.Fingerprint, m.Plan(l.Unit), nil)
-	if err := q.Submit(l, hollow); !errors.Is(err, resultio.ErrBadCheckpoint) {
+	if err := q.Submit(l, hollow, 0); !errors.Is(err, resultio.ErrBadCheckpoint) {
 		t.Fatalf("incomplete checkpoint: want ErrBadCheckpoint, got %v", err)
 	}
 
@@ -268,7 +268,7 @@ func TestMemQueueDrain(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := q.Submit(l, emptyCheckpoint(m, l.Unit)); err != nil {
+		if err := q.Submit(l, emptyCheckpoint(m, l.Unit), 0); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -312,7 +312,7 @@ func TestMemQueueConcurrentWorkers(t *testing.T) {
 					return
 				}
 				_ = q.Heartbeat(l)
-				if err := q.Submit(l, emptyCheckpoint(m, l.Unit)); err != nil &&
+				if err := q.Submit(l, emptyCheckpoint(m, l.Unit), 0); err != nil &&
 					!errors.Is(err, dispatch.ErrDuplicateSubmit) && !errors.Is(err, dispatch.ErrLeaseLost) {
 					t.Error(err)
 					return

@@ -139,7 +139,7 @@ func TestDispatchEndToEndKillOneWorker(t *testing.T) {
 		t.Fatalf("campaign not drained: %+v", st)
 	}
 	// The dead worker's own lease is useless now.
-	if err := doomed.Submit(doomedLease, emptyCheckpoint(dispatchManifest(t, coord), 0)); err == nil {
+	if err := doomed.Submit(doomedLease, emptyCheckpoint(dispatchManifest(t, coord), 0), 0); err == nil {
 		t.Fatal("dead worker's stale submit was accepted")
 	}
 
@@ -196,7 +196,7 @@ func TestRenderPartialCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(l, cp); err != nil {
+	if err := q.Submit(l, cp, 0); err != nil {
 		t.Fatal(err)
 	}
 	out = render()
@@ -216,7 +216,7 @@ func TestRenderPartialCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := q.Submit(l, cp); err != nil {
+	if err := q.Submit(l, cp, 0); err != nil {
 		t.Fatal(err)
 	}
 	out = render()

@@ -1,0 +1,6 @@
+package dispatch
+
+// ForceLockFiles switches an open DirQueue into the O_EXCL lock-file
+// fallback regardless of what the filesystem probe found, so tests
+// exercise the no-hard-links path on filesystems that do support them.
+func ForceLockFiles(q *DirQueue) { q.hardLinks = false }

@@ -32,9 +32,25 @@ type leaseRequest struct {
 	Worker string `json:"worker"`
 }
 
-// submitRequest is the POST /v1/submit body.
+// submitRequest is the POST /v1/submit body. ElapsedNs is the wall
+// time the worker spent computing the unit (0 = unmeasured), feeding
+// the coordinator's cost model.
 type submitRequest struct {
 	Lease      Lease                `json:"lease"`
+	Checkpoint *resultio.Checkpoint `json:"checkpoint"`
+	ElapsedNs  int64                `json:"elapsedNs,omitempty"`
+}
+
+// partialRequest is the POST /v1/partial body; a nil Checkpoint with
+// Load set fetches the unit's stored intra-unit checkpoint instead.
+type partialRequest struct {
+	Lease      Lease                `json:"lease"`
+	Checkpoint *resultio.Checkpoint `json:"checkpoint,omitempty"`
+	Load       bool                 `json:"load,omitempty"`
+}
+
+// partialResponse is the POST /v1/partial load-mode response.
+type partialResponse struct {
 	Checkpoint *resultio.Checkpoint `json:"checkpoint"`
 }
 
@@ -43,7 +59,9 @@ type submitRequest struct {
 //	GET  /v1/manifest    the campaign manifest
 //	POST /v1/lease       {"worker": name} -> Lease
 //	POST /v1/heartbeat   Lease -> 204
-//	POST /v1/submit      {"lease": ..., "checkpoint": ...} -> 204
+//	POST /v1/submit      {"lease": ..., "checkpoint": ..., "elapsedNs": n} -> 204
+//	POST /v1/partial     {"lease": ..., "checkpoint": ...} -> 204 (save)
+//	                     {"lease": ..., "load": true} -> {"checkpoint": ...|null}
 //	GET  /v1/status      Status
 //	GET  /v1/checkpoint  the rolling merged (possibly partial) checkpoint
 //	GET  /v1/report      text: coverage-annotated partial Table 2 / Fig 4
@@ -88,7 +106,28 @@ func NewHandler(q Queue) http.Handler {
 			http.Error(w, "body must be {\"lease\": ..., \"checkpoint\": ...}", http.StatusBadRequest)
 			return
 		}
-		if err := q.Submit(req.Lease, req.Checkpoint); err != nil {
+		if err := q.Submit(req.Lease, req.Checkpoint, time.Duration(req.ElapsedNs)); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/partial", func(w http.ResponseWriter, r *http.Request) {
+		var req partialRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "body must be {\"lease\": ..., \"checkpoint\": ...} or {\"lease\": ..., \"load\": true}", http.StatusBadRequest)
+			return
+		}
+		if req.Load {
+			cp, err := q.LoadPartial(req.Lease)
+			if err != nil {
+				writeErr(w, err)
+				return
+			}
+			writeJSON(w, partialResponse{Checkpoint: cp})
+			return
+		}
+		if err := q.SavePartial(req.Lease, req.Checkpoint); err != nil {
 			writeErr(w, err)
 			return
 		}
@@ -207,8 +246,22 @@ func (c *Client) Heartbeat(l Lease) error {
 }
 
 // Submit implements Queue.
-func (c *Client) Submit(l Lease, cp *resultio.Checkpoint) error {
-	return c.post("/v1/submit", submitRequest{Lease: l, Checkpoint: cp}, nil)
+func (c *Client) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
+	return c.post("/v1/submit", submitRequest{Lease: l, Checkpoint: cp, ElapsedNs: elapsed.Nanoseconds()}, nil)
+}
+
+// SavePartial implements Queue.
+func (c *Client) SavePartial(l Lease, cp *resultio.Checkpoint) error {
+	return c.post("/v1/partial", partialRequest{Lease: l, Checkpoint: cp}, nil)
+}
+
+// LoadPartial implements Queue.
+func (c *Client) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
+	var resp partialResponse
+	if err := c.post("/v1/partial", partialRequest{Lease: l, Load: true}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Checkpoint, nil
 }
 
 // Status implements Queue.

@@ -59,13 +59,13 @@ func TestHTTPSentinelRoundTrip(t *testing.T) {
 	if err := c.Heartbeat(stale); !errors.Is(err, dispatch.ErrLeaseLost) {
 		t.Fatalf("want ErrLeaseLost over HTTP, got %v", err)
 	}
-	if err := c.Submit(l, resultio.NewCheckpoint("deadbeef", m.Plan(0), nil)); !errors.Is(err, resultio.ErrConfigMismatch) {
+	if err := c.Submit(l, resultio.NewCheckpoint("deadbeef", m.Plan(0), nil), 0); !errors.Is(err, resultio.ErrConfigMismatch) {
 		t.Fatalf("want ErrConfigMismatch over HTTP, got %v", err)
 	}
-	if err := c.Submit(l, emptyCheckpoint(m, 0)); err != nil {
+	if err := c.Submit(l, emptyCheckpoint(m, 0), 0); err != nil {
 		t.Fatal(err)
 	}
-	if err := c.Submit(l, emptyCheckpoint(m, 0)); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
+	if err := c.Submit(l, emptyCheckpoint(m, 0), 0); !errors.Is(err, dispatch.ErrDuplicateSubmit) {
 		t.Fatalf("want ErrDuplicateSubmit over HTTP, got %v", err)
 	}
 	if _, err := c.Acquire("w1"); !errors.Is(err, dispatch.ErrDrained) {

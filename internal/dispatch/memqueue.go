@@ -2,6 +2,8 @@ package dispatch
 
 import (
 	"fmt"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
@@ -14,22 +16,42 @@ import (
 // for concurrent use; lease expiry is evaluated lazily against the
 // queue's clock on every call, so no background sweeper goroutine is
 // needed.
+//
+// MemQueue is the coordinator-ful mode, so it owns the campaign's unit
+// table outright and re-plans it as cost observations arrive: after a
+// submission reports its elapsed time, the still-pending units without
+// intra-unit progress are re-partitioned so their expected costs
+// equalize (see replan). Unit identity is a slot index; re-planning
+// rewrites pending slots' cell sets, retires slots it empties, and
+// appends new slots when splitting calls for more units than exist.
 type MemQueue struct {
-	manifest Manifest
-	grid     map[core.CellKey]int
-	now      func() time.Time
+	manifest   Manifest
+	grid       map[core.CellKey]int
+	cellsByIdx []core.CellKey
+	now        func() time.Time
+	adapt      bool
 
 	mu    sync.Mutex
 	units []memUnit
+	cost  *costModel
+	// replanDirty marks that the cost model changed since the last
+	// re-plan attempt.
+	replanDirty bool
 }
 
 type memUnit struct {
 	state   string
+	cells   []int // grid indices, canonical order
 	worker  string
 	token   string
 	expires time.Time
 	cp      *resultio.Checkpoint
+	partial *resultio.Checkpoint
 }
+
+// UnitRetired marks a slot emptied by re-planning (its cells moved to
+// other units); retired slots never appear in Status.
+const UnitRetired = "retired"
 
 // MemQueueOption customizes a MemQueue.
 type MemQueueOption func(*MemQueue)
@@ -40,18 +62,34 @@ func WithClock(now func() time.Time) MemQueueOption {
 	return func(q *MemQueue) { q.now = now }
 }
 
+// WithoutReplanning freezes the manifest's static unit partition (the
+// cost model still learns, for Status estimates). Mostly for tests
+// that pin the static ShardPlan layout.
+func WithoutReplanning() MemQueueOption {
+	return func(q *MemQueue) { q.adapt = false }
+}
+
 // NewMemQueue builds a queue for the manifest's units.
 func NewMemQueue(m Manifest, opts ...MemQueueOption) (*MemQueue, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
-	grid, err := m.grid()
+	grid, cellsByIdx, err := m.grid()
 	if err != nil {
 		return nil, err
 	}
-	q := &MemQueue{manifest: m, grid: grid, now: time.Now, units: make([]memUnit, m.Units)}
+	q := &MemQueue{
+		manifest:   m,
+		grid:       grid,
+		cellsByIdx: cellsByIdx,
+		now:        time.Now,
+		adapt:      true,
+		units:      make([]memUnit, m.Units),
+		cost:       newCostModel(m, cellsByIdx),
+	}
 	for i := range q.units {
 		q.units[i].state = UnitPending
+		q.units[i].cells = m.UnitCells(i)
 	}
 	for _, o := range opts {
 		o(q)
@@ -76,30 +114,150 @@ func (q *MemQueue) sweep(now time.Time) {
 	}
 }
 
-// Acquire implements Queue.
+// replan re-partitions the pending units so their expected costs
+// equalize; callers hold q.mu. Only units that are pending and carry
+// no intra-unit checkpoint participate — leased units belong to their
+// workers, done units are history, and a unit with a partial must keep
+// its cell set or the stored progress becomes unusable. The pooled
+// cells are re-binned by LPT (longest processing time first), so units
+// holding fat cells split finer and cheap cells coalesce; re-binning
+// at cell granularity means a single monster cell simply becomes its
+// own unit. The bin size targets the campaign-wide expected cost
+// divided by the manifest's unit count — a fixed point of the
+// re-planning itself (targeting observed unit durations would chase
+// the units it just resized into ever-smaller pieces).
+func (q *MemQueue) replan() {
+	if !q.adapt || !q.replanDirty || !q.cost.observed() {
+		return
+	}
+	q.replanDirty = false
+	var pool []int  // slot indices participating
+	var cells []int // their pooled grid cells
+	for i := range q.units {
+		u := &q.units[i]
+		// token != "" marks an expired-but-never-re-granted lease:
+		// sweep deliberately keeps it so the slow (not dead) holder can
+		// revive via heartbeat or land a late submit. Re-planning such
+		// a unit would wipe that token and throw the holder's
+		// nearly-done work away, so only never-leased pending units
+		// without intra-unit progress are pooled.
+		if u.state == UnitPending && u.partial == nil && u.token == "" {
+			pool = append(pool, i)
+			cells = append(cells, u.cells...)
+		}
+	}
+	if len(pool) < 1 || len(cells) < 2 {
+		return
+	}
+	total := q.cost.unitCost(cells)
+	var campaign float64
+	for idx := range q.cellsByIdx {
+		campaign += q.cost.estimate(idx)
+	}
+	target := campaign / float64(q.manifest.Units)
+	bins := len(pool)
+	if target > 0 {
+		bins = int(math.Round(total / target))
+	}
+	if bins < 1 {
+		bins = 1
+	}
+	if bins > len(cells) {
+		bins = len(cells)
+	}
+	// LPT: place cells, costliest first, into the currently-lightest
+	// bin. Ties and final ordering stay deterministic: cells are sorted
+	// by (cost desc, index asc) and each bin keeps canonical order.
+	sort.Slice(cells, func(a, b int) bool {
+		ca, cb := q.cost.estimate(cells[a]), q.cost.estimate(cells[b])
+		if ca != cb {
+			return ca > cb
+		}
+		return cells[a] < cells[b]
+	})
+	binCells := make([][]int, bins)
+	binCost := make([]float64, bins)
+	for _, c := range cells {
+		best := 0
+		for b := 1; b < bins; b++ {
+			if binCost[b] < binCost[best] {
+				best = b
+			}
+		}
+		binCells[best] = append(binCells[best], c)
+		binCost[best] += q.cost.estimate(c)
+	}
+	for b := range binCells {
+		sort.Ints(binCells[b])
+	}
+	// Write the bins back into the pooled slots; retire leftovers or
+	// append fresh slots as the bin count dictates.
+	for i, slot := range pool {
+		if i < len(binCells) {
+			q.units[slot] = memUnit{state: UnitPending, cells: binCells[i]}
+		} else {
+			q.units[slot] = memUnit{state: UnitRetired}
+		}
+	}
+	for i := len(pool); i < len(binCells); i++ {
+		q.units = append(q.units, memUnit{state: UnitPending, cells: binCells[i]})
+	}
+}
+
+// Acquire implements Queue. Among pending units the most expensive one
+// is granted first (LPT ordering — with the equalized re-plan this
+// mostly degenerates to "any", but after lease expiries it again
+// prefers the biggest remaining chunk).
 func (q *MemQueue) Acquire(worker string) (Lease, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
 	q.sweep(now)
-	done := 0
+	q.replan()
+	best, done, live := -1, 0, 0
+	var bestCost float64
 	for i := range q.units {
 		u := &q.units[i]
 		switch u.state {
+		case UnitRetired:
+			continue
 		case UnitDone:
 			done++
 		case UnitPending:
-			u.state = UnitLeased
-			u.worker = worker
-			u.token = newToken() // invalidates any expired holder's lease
-			u.expires = now.Add(q.manifest.LeaseTTL())
-			return Lease{Unit: i, Worker: worker, Token: u.token, Expires: u.expires}, nil
+			c := q.cost.unitCost(u.cells)
+			if best < 0 || c > bestCost {
+				best, bestCost = i, c
+			}
 		}
+		live++
 	}
-	if done == len(q.units) {
+	if best >= 0 {
+		u := &q.units[best]
+		u.state = UnitLeased
+		u.worker = worker
+		u.token = newToken() // invalidates any expired holder's lease
+		u.expires = now.Add(q.manifest.LeaseTTL())
+		return Lease{
+			Unit: best, Worker: worker, Token: u.token, Expires: u.expires,
+			Cells: append([]int(nil), u.cells...),
+		}, nil
+	}
+	if done == live {
 		return Lease{}, ErrDrained
 	}
 	return Lease{}, ErrNoWork
+}
+
+// unitFor bounds-checks a lease's slot; callers hold q.mu.
+func (q *MemQueue) unitFor(l Lease, op string) (*memUnit, error) {
+	if l.Unit < 0 || l.Unit >= len(q.units) {
+		return nil, fmt.Errorf("dispatch: %s for unit %d of %d", op, l.Unit, len(q.units))
+	}
+	u := &q.units[l.Unit]
+	if u.state == UnitRetired {
+		return nil, fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	return u, nil
 }
 
 // Heartbeat implements Queue. A heartbeat under an expired lease whose
@@ -110,12 +268,12 @@ func (q *MemQueue) Acquire(worker string) (Lease, error) {
 func (q *MemQueue) Heartbeat(l Lease) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if l.Unit < 0 || l.Unit >= len(q.units) {
-		return fmt.Errorf("dispatch: heartbeat for unit %d of %d", l.Unit, len(q.units))
-	}
 	now := q.now()
 	q.sweep(now)
-	u := &q.units[l.Unit]
+	u, err := q.unitFor(l, "heartbeat")
+	if err != nil {
+		return err
+	}
 	if u.state == UnitDone || u.token != l.Token {
 		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
 	}
@@ -127,17 +285,14 @@ func (q *MemQueue) Heartbeat(l Lease) error {
 // Submit implements Queue. A submit under a lease that expired but was
 // not yet re-granted is accepted: the work is deterministic and valid,
 // and accepting it avoids a pointless re-run.
-func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint) error {
-	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, cp); err != nil {
-		return err
-	}
+func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	if l.Unit < 0 || l.Unit >= len(q.units) {
-		return fmt.Errorf("dispatch: submit for unit %d of %d", l.Unit, len(q.units))
-	}
 	q.sweep(q.now())
-	u := &q.units[l.Unit]
+	u, err := q.unitFor(l, "submit")
+	if err != nil {
+		return err
+	}
 	switch u.state {
 	case UnitDone:
 		return fmt.Errorf("unit %d: %w", l.Unit, ErrDuplicateSubmit)
@@ -146,23 +301,78 @@ func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint) error {
 			return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
 		}
 	}
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, u.cells, cp, false); err != nil {
+		return err
+	}
 	u.state = UnitDone
 	u.worker = l.Worker
 	u.token = ""
 	u.cp = cp
+	u.partial = nil
+	q.cost.observe(u.cells, elapsed.Nanoseconds())
+	if elapsed > 0 {
+		q.replanDirty = true
+	}
 	return nil
 }
 
-// Status implements Queue.
+// SavePartial implements Queue: store the unit's intra-unit checkpoint
+// under a live lease.
+func (q *MemQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.sweep(q.now())
+	u, err := q.unitFor(l, "save partial")
+	if err != nil {
+		return err
+	}
+	if u.state == UnitDone || u.token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, u.cells, cp, true); err != nil {
+		return err
+	}
+	u.partial = cp
+	return nil
+}
+
+// LoadPartial implements Queue: return the unit's stored intra-unit
+// checkpoint (typically a dead predecessor's progress), or nil.
+func (q *MemQueue) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	u, err := q.unitFor(l, "load partial")
+	if err != nil {
+		return nil, err
+	}
+	if u.token != l.Token {
+		return nil, fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	return u.partial, nil
+}
+
+// Status implements Queue. Retired slots (emptied by re-planning) are
+// invisible: Units counts live units only.
 func (q *MemQueue) Status() (Status, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	now := q.now()
 	q.sweep(now)
-	st := Status{Units: len(q.units), PerUnit: make([]UnitStatus, len(q.units))}
+	st := Status{}
 	for i := range q.units {
 		u := &q.units[i]
-		us := UnitStatus{Unit: i, State: u.state, Worker: u.worker}
+		if u.state == UnitRetired {
+			continue
+		}
+		st.Units++
+		us := UnitStatus{
+			Unit: i, State: u.state, Worker: u.worker,
+			CellCount:  len(u.cells),
+			HasPartial: u.partial != nil,
+		}
+		if q.cost.observed() {
+			us.EstCostMs = int64(q.cost.unitCost(u.cells) / 1e6)
+		}
 		switch u.state {
 		case UnitPending:
 			st.Pending++
@@ -172,13 +382,13 @@ func (q *MemQueue) Status() (Status, error) {
 		case UnitDone:
 			st.Done++
 		}
-		st.PerUnit[i] = us
+		st.PerUnit = append(st.PerUnit, us)
 	}
 	return st, nil
 }
 
 // Merged implements Queue. Unit checkpoints are disjoint by the
-// submit-side shard validation, and the fold still goes through
+// submit-side cell-set validation, and the fold still goes through
 // resultio's overlap-checked merge as defense in depth.
 func (q *MemQueue) Merged() (*resultio.Checkpoint, error) {
 	q.mu.Lock()

@@ -12,6 +12,38 @@ import (
 	"rowfuse/internal/resultio"
 )
 
+// UnitWork describes one leased unit to a shard runner: which cells to
+// compute, and what a dead predecessor already finished.
+type UnitWork struct {
+	// Unit is the unit's id (for logging; the lease carries the truth).
+	Unit int
+	// Cells are the grid cell indices the unit covers. Empty means the
+	// unit follows the manifest's static plan for Unit.
+	Cells []int
+	// Resume, when non-nil, is the unit's intra-unit checkpoint: cells
+	// already computed under a previous lease, to be seeded instead of
+	// recomputed.
+	Resume *resultio.Checkpoint
+	// SavePartial, when non-nil, receives intra-unit checkpoints as
+	// cells complete. Errors are the runner's to tolerate: partials are
+	// an optimization, the unit result must not depend on them.
+	SavePartial func(*resultio.Checkpoint) error
+	// PartialEvery is the intra-unit checkpoint cadence in completed
+	// cells (<= 0: after every cell).
+	PartialEvery int
+}
+
+// UnitRunStats reports how much of a unit was actually computed — the
+// observability hook the resume path is tested through.
+type UnitRunStats struct {
+	// TotalCells is the number of cells the unit covers.
+	TotalCells int
+	// ResumedCells were seeded from the intra-unit checkpoint.
+	ResumedCells int
+	// ComputedCells = TotalCells - ResumedCells.
+	ComputedCells int
+}
+
 // WorkerOptions customizes a worker loop.
 type WorkerOptions struct {
 	// Name identifies the worker in leases and status output
@@ -26,9 +58,16 @@ type WorkerOptions struct {
 	// A per-machine execution detail: it does not touch the campaign
 	// fingerprint.
 	Concurrency int
-	// RunShard computes one unit. Nil means RunStudyShard (the real
+	// PartialEvery is the intra-unit checkpoint cadence in completed
+	// cells (default 1: every completed cell is durable immediately;
+	// raise it if checkpoint I/O to the coordinator is expensive
+	// relative to a cell's compute time).
+	PartialEvery int
+	// RunShard computes one unit, reporting how much of it was really
+	// computed vs resumed (the stats scale the elapsed time submitted
+	// to the queue's cost model). Nil means RunUnitWork (the real
 	// campaign); tests substitute crashing or instrumented runners.
-	RunShard func(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error)
+	RunShard func(ctx context.Context, m Manifest, u UnitWork) (*resultio.Checkpoint, UnitRunStats, error)
 	// Log receives progress lines (nil discards them).
 	Log func(format string, args ...any)
 }
@@ -50,10 +89,13 @@ func (o WorkerOptions) withDefaults(ttl time.Duration) WorkerOptions {
 			o.Poll = 5 * time.Second
 		}
 	}
+	if o.PartialEvery == 0 {
+		o.PartialEvery = 1
+	}
 	if o.RunShard == nil {
 		conc := o.Concurrency
-		o.RunShard = func(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error) {
-			return runStudyShard(ctx, m, plan, conc)
+		o.RunShard = func(ctx context.Context, m Manifest, u UnitWork) (*resultio.Checkpoint, UnitRunStats, error) {
+			return RunUnitWork(ctx, m, u, conc)
 		}
 	}
 	if o.Log == nil {
@@ -62,32 +104,84 @@ func (o WorkerOptions) withDefaults(ttl time.Duration) WorkerOptions {
 	return o
 }
 
-// RunStudyShard runs one unit's shard of the manifest's campaign with
-// the existing checkpointed Study.Run and packs the resulting
-// aggregates as the unit's checkpoint.
+// RunStudyShard runs one shard of the manifest's campaign with the
+// checkpointed Study.Run and packs the resulting aggregates as the
+// shard's checkpoint. The plan is honored as given — Index of Count,
+// whatever Count is — so the entry point keeps its historical
+// semantics even when Count differs from the manifest's unit count;
+// the worker loop itself runs RunUnitWork with the lease's explicit
+// cell set instead.
 func RunStudyShard(ctx context.Context, m Manifest, plan core.ShardPlan) (*resultio.Checkpoint, error) {
-	return runStudyShard(ctx, m, plan, 0)
+	var cells []int
+	for idx := 0; idx < m.GridSize(); idx++ {
+		if plan.Contains(idx) {
+			cells = append(cells, idx)
+		}
+	}
+	cp, _, err := RunUnitWork(ctx, m, UnitWork{Unit: plan.Index, Cells: cells}, 0)
+	return cp, err
 }
 
-func runStudyShard(ctx context.Context, m Manifest, plan core.ShardPlan, concurrency int) (*resultio.Checkpoint, error) {
+// RunUnitWork computes one unit: reconstruct the campaign config from
+// the manifest, restrict it to the unit's cells, seed the intra-unit
+// resume checkpoint (completed cells are skipped, not recomputed),
+// stream new intra-unit checkpoints through u.SavePartial, and pack
+// the unit's complete aggregate state.
+func RunUnitWork(ctx context.Context, m Manifest, u UnitWork, concurrency int) (*resultio.Checkpoint, UnitRunStats, error) {
+	var stats UnitRunStats
 	cfg, err := m.Campaign.StudyConfig()
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
-	cfg.Shard = plan
+	cells := u.Cells
+	if cells == nil {
+		cells = m.UnitCells(u.Unit)
+	}
+	cfg.CellIndices = cells
 	cfg.Concurrency = concurrency
-	study := core.NewStudy(cfg)
-	if err := study.Run(ctx); err != nil {
-		return nil, err
+	cfg.CheckpointEvery = u.PartialEvery
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1
 	}
-	return resultio.NewCheckpoint(m.Fingerprint, plan, study.Snapshot()), nil
+	stats.TotalCells = len(cells)
+	if u.SavePartial != nil {
+		save := u.SavePartial
+		total := len(cells)
+		cfg.Checkpoint = func(done map[core.CellKey]core.AggregateState) error {
+			// Partials are best-effort by contract; the runner's own
+			// result does not depend on them landing. The final
+			// checkpoint Study.Run fires covers the complete unit —
+			// Submit is about to deliver those exact bytes, so
+			// forwarding it as a partial would be a redundant full
+			// round trip.
+			if len(done) < total {
+				_ = save(resultio.NewCheckpoint(m.Fingerprint, core.ShardPlan{}, done))
+			}
+			return nil
+		}
+	}
+	study := core.NewStudy(cfg)
+	if u.Resume != nil {
+		seeded, err := u.Resume.CellMap()
+		if err == nil {
+			if err := study.Seed(seeded); err == nil {
+				stats.ResumedCells = len(seeded)
+			}
+		}
+	}
+	stats.ComputedCells = stats.TotalCells - stats.ResumedCells
+	if err := study.Run(ctx); err != nil {
+		return nil, stats, err
+	}
+	return resultio.NewCheckpoint(m.Fingerprint, core.ShardPlan{}, study.Snapshot()), stats, nil
 }
 
 // Work drains the queue: acquire a lease, heartbeat it on a TTL/3
-// ticker while the shard runs, submit the checkpoint, repeat until the
-// campaign is drained (nil error) or ctx is canceled. A lost lease
-// (this worker was presumed dead and its unit re-granted) abandons the
-// unit and continues — the thief's deterministic result is
+// ticker while the shard runs AND while its submission is retried,
+// submit the checkpoint, repeat until the campaign is drained (nil
+// error) or ctx is canceled. A lost lease (this worker was presumed
+// dead and its unit re-granted) abandons the unit and continues — the
+// thief resumes from our last intra-unit checkpoint and its result is
 // byte-identical, so nothing is lost. Returns the number of units this
 // worker submitted.
 func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
@@ -102,9 +196,11 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 	}
 	// A worker exists to outlive coordinator restarts and network
 	// blips — the same transient faults heartbeats already tolerate.
-	// Only persistent failure (several TTLs of consecutive errors) or
-	// a deterministic rejection of our own checkpoint is fatal.
-	maxStrikes := 5
+	// Only persistent failure (a couple of TTLs' worth of consecutive
+	// errors; with the backoff capped at TTL/3, eight strikes span
+	// roughly 2.5 lease TTLs) or a deterministic rejection of our own
+	// checkpoint is fatal.
+	maxStrikes := 8
 	strikes := 0
 	transient := func(op string, err error) error {
 		if errors.Is(err, resultio.ErrConfigMismatch) || errors.Is(err, resultio.ErrBadCheckpoint) {
@@ -115,6 +211,22 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 		}
 		opt.Log("worker %s: %s: %v (retry %d/%d)", opt.Name, op, err, strikes, maxStrikes)
 		return nil
+	}
+	// Submit retries back off exponentially but stay well inside the
+	// heartbeat cadence's reach: the lease must outlive the whole retry
+	// budget, or a finished unit's result is thrown away with it.
+	backoff := func(attempt int) time.Duration {
+		d := opt.Poll / 4
+		if d < 10*time.Millisecond {
+			d = 10 * time.Millisecond
+		}
+		for i := 0; i < attempt && d < m.LeaseTTL()/3; i++ {
+			d *= 2
+		}
+		if max := m.LeaseTTL() / 3; d > max {
+			d = max
+		}
+		return d
 	}
 	done := 0
 	for {
@@ -146,9 +258,12 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			continue
 		}
 		strikes = 0
-		plan := m.Plan(lease.Unit)
-		opt.Log("worker %s: leased unit %d (shard %s)", opt.Name, lease.Unit, plan)
+		opt.Log("worker %s: leased unit %d (%d cells)", opt.Name, lease.Unit, len(lease.Cells))
 
+		// The heartbeat goroutine spans the unit's whole lifetime on
+		// this worker — compute and submission retries alike. A
+		// finished unit whose first submit hits a transient queue error
+		// must not lose its lease while the retry loop sleeps.
 		unitCtx, cancel := context.WithCancel(ctx)
 		var lost atomic.Bool
 		hbDone := make(chan struct{})
@@ -175,10 +290,47 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 				}
 			}
 		}()
-		cp, runErr := opt.RunShard(unitCtx, m, plan)
-		cancel()
-		<-hbDone
+
+		// A dead predecessor's intra-unit checkpoint turns a re-granted
+		// lease into a resume instead of a recompute. Failure to load
+		// it is strictly a lost optimization.
+		resume, perr := q.LoadPartial(lease)
+		if perr != nil {
+			opt.Log("worker %s: unit %d: loading intra-unit checkpoint: %v (computing from scratch)", opt.Name, lease.Unit, perr)
+			resume = nil
+		}
+		if resume != nil {
+			opt.Log("worker %s: unit %d: resuming from intra-unit checkpoint (%d of %d cells done)",
+				opt.Name, lease.Unit, len(resume.Cells), len(lease.Cells))
+		}
+		work := UnitWork{
+			Unit:         lease.Unit,
+			Cells:        lease.Cells,
+			Resume:       resume,
+			PartialEvery: opt.PartialEvery,
+			SavePartial: func(cp *resultio.Checkpoint) error {
+				if err := q.SavePartial(lease, cp); err != nil && !errors.Is(err, ErrLeaseLost) {
+					opt.Log("worker %s: unit %d: intra-unit checkpoint: %v", opt.Name, lease.Unit, err)
+				}
+				return nil
+			},
+		}
+		start := time.Now()
+		cp, stats, runErr := opt.RunShard(unitCtx, m, work)
+		elapsed := time.Since(start)
+		// A resumed unit's wall time covers only the cells actually
+		// computed; scale it to the full-unit equivalent so the queue's
+		// cost model is not fed a 99%-resumed unit as "cheap". A run
+		// that computed nothing measured nothing.
+		switch {
+		case stats.ComputedCells <= 0:
+			elapsed = 0
+		case stats.ComputedCells < stats.TotalCells:
+			elapsed = time.Duration(float64(elapsed) * float64(stats.TotalCells) / float64(stats.ComputedCells))
+		}
 		if runErr != nil {
+			cancel()
+			<-hbDone
 			if lost.Load() {
 				opt.Log("worker %s: unit %d lease lost mid-run; abandoning", opt.Name, lease.Unit)
 				continue
@@ -186,8 +338,8 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			return done, fmt.Errorf("dispatch: unit %d: %w", lease.Unit, runErr)
 		}
 		submitted := false
-		for {
-			err := q.Submit(lease, cp)
+		for attempt := 0; ; attempt++ {
+			err := q.Submit(lease, cp, elapsed)
 			if err == nil {
 				submitted = true
 				strikes = 0
@@ -199,14 +351,24 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 				break
 			}
 			if ferr := transient("submit", err); ferr != nil {
+				cancel()
+				<-hbDone
 				return done, ferr
+			}
+			if lost.Load() {
+				opt.Log("worker %s: unit %d lease lost during submit retries; abandoning", opt.Name, lease.Unit)
+				break
 			}
 			select {
 			case <-ctx.Done():
+				cancel()
+				<-hbDone
 				return done, ctx.Err()
-			case <-time.After(opt.Poll):
+			case <-time.After(backoff(attempt)):
 			}
 		}
+		cancel()
+		<-hbDone
 		if !submitted {
 			continue
 		}

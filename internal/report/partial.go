@@ -3,6 +3,7 @@ package report
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"rowfuse/internal/core"
 	"rowfuse/internal/pattern"
@@ -15,8 +16,13 @@ import (
 // mistaken for a finished reproduction.
 
 // coverageTag renders the header annotation for a partial table or
-// figure.
+// figure. A zero-cell grid (an empty campaign spec — e.g. a manifest
+// whose module list is explicitly empty) is labeled as such rather
+// than claiming a vacuous "complete", and never divides by the total.
 func coverageTag(cov core.GridCoverage) string {
+	if cov.Total == 0 {
+		return "empty grid: no cells configured"
+	}
 	if cov.Complete() {
 		return fmt.Sprintf("complete: %s", cov)
 	}
@@ -80,8 +86,23 @@ func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 		n := seriesLen(series)
 		for i := 0; i < n; i++ {
 			var cols [6]string
+			// A campaign restricted to a subset of the pattern families
+			// (a single-pattern manifest, say) simply has no series for
+			// the others — render those columns as not configured
+			// instead of indexing a nil series.
+			var agg time.Duration
+			haveAgg := false
 			for j, k := range []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided} {
-				pt := series[k][i]
+				s, ok := series[k]
+				if !ok || i >= len(s) {
+					cols[j] = "-"
+					cols[j+3] = "-"
+					continue
+				}
+				pt := s[i]
+				if !haveAgg {
+					agg, haveAgg = pt.AggOn, true
+				}
 				pend := 0
 				if pending != nil && i < len(pending[k]) {
 					pend = pending[k][i]
@@ -102,7 +123,6 @@ func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 					}
 				}
 			}
-			agg := series[pattern.Combined][i].AggOn
 			tw.row(FormatDuration(agg), cols[0], cols[1], cols[2], cols[3], cols[4], cols[5])
 		}
 		if err := tw.flush(); err != nil {
