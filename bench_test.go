@@ -385,13 +385,14 @@ func BenchmarkGenerateRowCells(b *testing.B) {
 	benchscen.GenerateRowCells(b)
 }
 
-// BenchmarkBankEngineCharacterizeRow guards the per-precharge cost of
-// the ground-truth path: with the Bank's flip-generation counter the
-// engine's first-flip check is one integer compare per precharge
-// instead of a walk over the victim's weak-cell population. The
-// remaining cell-count sensitivity (compare the DenseCells variant) is
-// the bank's disturbance physics itself, which must touch every weak
-// cell of the blast radius per precharge.
+// BenchmarkBankEngineCharacterizeRow guards the ground-truth path in
+// its default event-horizon fast-forward mode: the engine captures a
+// damage profile, solves each cell's bit-exact flip iteration in closed
+// form, seeks the bank there and replays only a small guard window act
+// by act (BENCH_4 -> BENCH_5 took this from ~19 ms/op to ~79 us/op on
+// one core). The remaining cell-count sensitivity (compare the
+// DenseCells variant) is the per-cell profile capture and horizon
+// solve, both linear in the population.
 func BenchmarkBankEngineCharacterizeRow(b *testing.B) {
 	benchscen.BankEngineCharacterizeRow(b, 24)
 }

@@ -121,8 +121,10 @@ func compareSnapshots(baseline, fresh snapshot, tolerance float64, allocGuard in
 // gate compares the fresh snapshot (just written to freshPath) against
 // baselinePath (or the newest committed baseline in dir when empty,
 // never freshPath itself) and returns an error listing every
-// violation.
-func gate(fresh snapshot, freshPath, baselinePath, dir string, tolerance float64, allocGuard int64) error {
+// violation. With summaryPath set, a markdown old-vs-new diff table is
+// appended there (pass or fail) so CI job summaries show per-benchmark
+// ns/op and allocs/op without downloading the artifact.
+func gate(fresh snapshot, freshPath, baselinePath, dir string, tolerance float64, allocGuard int64, summaryPath string) error {
 	if baselinePath == "" {
 		var err error
 		if baselinePath, err = newestBaseline(dir, freshPath); err != nil {
@@ -139,10 +141,110 @@ func gate(fresh snapshot, freshPath, baselinePath, dir string, tolerance float64
 			baselinePath, baseline.GOOS, baseline.GOARCH, baseline.CPUs, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
 	}
 	violations := compareSnapshots(baseline, fresh, tolerance, allocGuard)
+	if summaryPath != "" {
+		md := renderSummary(baselinePath, baseline, fresh, allocGuard, violations)
+		if werr := appendFile(summaryPath, md); werr != nil {
+			fmt.Fprintf(os.Stderr, "bench gate: writing summary to %s: %v\n", summaryPath, werr)
+		}
+	}
 	if len(violations) == 0 {
 		fmt.Fprintf(os.Stderr, "bench gate: no regression vs %s (%d benchmarks compared)\n",
 			baselinePath, len(baseline.Benchmarks))
 		return nil
 	}
 	return fmt.Errorf("bench gate vs %s failed:\n  %s", baselinePath, strings.Join(violations, "\n  "))
+}
+
+// renderSummary builds the markdown job-summary section for one gate
+// run: the verdict, the host-shape comparability note, a per-benchmark
+// old-vs-new table (ns/op with relative delta, allocs/op with a mark on
+// the alloc-guarded rows), and any violations.
+func renderSummary(baselinePath string, baseline, fresh snapshot, allocGuard int64, violations []string) string {
+	var sb strings.Builder
+	verdict := "pass"
+	if len(violations) > 0 {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(&sb, "## Bench gate: %s (vs `%s`)\n\n", verdict, filepath.Base(baselinePath))
+	if nsComparable(baseline, fresh) {
+		fmt.Fprintf(&sb, "Host shape matches (%s/%s, %d CPUs): ns/op rule active.\n\n",
+			fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	} else {
+		fmt.Fprintf(&sb, "Host shape differs (baseline %s/%s %d CPUs, fresh %s/%s %d CPUs): ns/op rule skipped, allocs/op still enforced.\n\n",
+			baseline.GOOS, baseline.GOARCH, baseline.CPUs, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	}
+	sb.WriteString("| benchmark | base ns/op | fresh ns/op | Δ ns/op | base allocs/op | fresh allocs/op |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	baseBy := make(map[string]benchResult, len(baseline.Benchmarks))
+	for _, b := range baseline.Benchmarks {
+		baseBy[b.Name] = b
+	}
+	seen := make(map[string]bool, len(baseline.Benchmarks))
+	row := func(name string) {
+		base, hasBase := baseBy[name]
+		var fr benchResult
+		hasFresh := false
+		for _, f := range fresh.Benchmarks {
+			if f.Name == name {
+				fr, hasFresh = f, true
+				break
+			}
+		}
+		guarded := ""
+		if hasBase && base.AllocsPerOp <= allocGuard {
+			guarded = " †"
+		}
+		cell := func(ok bool, v float64) string {
+			if !ok {
+				return "—"
+			}
+			return fmt.Sprintf("%.0f", v)
+		}
+		delta := "—"
+		if hasBase && hasFresh && base.NsPerOp > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(fr.NsPerOp/base.NsPerOp-1))
+		}
+		allocCell := func(ok bool, v int64) string {
+			if !ok {
+				return "—"
+			}
+			return fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&sb, "| %s%s | %s | %s | %s | %s | %s |\n",
+			name, guarded,
+			cell(hasBase, base.NsPerOp), cell(hasFresh, fr.NsPerOp), delta,
+			allocCell(hasBase, base.AllocsPerOp), allocCell(hasFresh, fr.AllocsPerOp))
+	}
+	for _, b := range baseline.Benchmarks {
+		row(b.Name)
+		seen[b.Name] = true
+	}
+	for _, f := range fresh.Benchmarks {
+		if !seen[f.Name] {
+			row(f.Name)
+		}
+	}
+	fmt.Fprintf(&sb, "\n† alloc-guarded (baseline allocs/op ≤ %d: any increase fails).\n", allocGuard)
+	if len(violations) > 0 {
+		sb.WriteString("\n**Violations:**\n\n")
+		for _, v := range violations {
+			fmt.Fprintf(&sb, "- %s\n", v)
+		}
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// appendFile appends text to path, creating it if needed (the GitHub
+// job-summary file is append-oriented: both gate steps contribute).
+func appendFile(path, text string) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(text); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

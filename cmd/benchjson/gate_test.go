@@ -116,18 +116,86 @@ func TestGateEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := gate(gateBaseline(), "", "", dir, 0.30, 100); err != nil {
+	if err := gate(gateBaseline(), "", "", dir, 0.30, 100, ""); err != nil {
 		t.Fatalf("clean gate failed: %v", err)
 	}
 	bad := gateBaseline()
 	bad.Benchmarks[2].NsPerOp *= 2
-	if err := gate(bad, "", "", dir, 0.30, 100); err == nil || !strings.Contains(err.Error(), "BENCH_3.json") {
+	if err := gate(bad, "", "", dir, 0.30, 100, ""); err == nil || !strings.Contains(err.Error(), "BENCH_3.json") {
 		t.Fatalf("regressed gate: %v", err)
 	}
 	// When the only BENCH_<n>.json around is the snapshot this very
 	// run wrote, the gate must refuse rather than pass against itself.
-	if err := gate(bad, filepath.Join(dir, "BENCH_3.json"), "", dir, 0.30, 100); err == nil ||
+	if err := gate(bad, filepath.Join(dir, "BENCH_3.json"), "", dir, 0.30, 100, ""); err == nil ||
 		!strings.Contains(err.Error(), "no BENCH_") {
 		t.Fatalf("self-comparison gate: %v", err)
+	}
+}
+
+// TestRenderSummary pins the job-summary markdown: verdict, host-shape
+// note, per-benchmark rows with deltas, guard marks, new benchmarks,
+// and the violations list.
+func TestRenderSummary(t *testing.T) {
+	baseline := gateBaseline()
+	fresh := gateBaseline()
+	fresh.Benchmarks[2].NsPerOp = 57_000_000 * 1.5
+	fresh.Benchmarks = append(fresh.Benchmarks, benchResult{Name: "BrandNew", NsPerOp: 123, AllocsPerOp: 0})
+	violations := compareSnapshots(baseline, fresh, 0.30, 100)
+	md := renderSummary("BENCH_3.json", baseline, fresh, 100, violations)
+
+	for _, want := range []string{
+		"## Bench gate: FAIL (vs `BENCH_3.json`)",
+		"ns/op rule active",
+		"| StudyCampaign | 57000000 | 85500000 | +50.0% | 7847 | 7847 |",
+		"| AnalyticCharacterizeRow † |",
+		"| BrandNew | — | 123 | — | — | 0 |",
+		"**Violations:**",
+		"- StudyCampaign: ns/op regressed",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+
+	// A clean pass on a foreign host: verdict flips, ns rule noted off.
+	fresh = gateBaseline()
+	fresh.CPUs = 64
+	md = renderSummary("BENCH_3.json", baseline, fresh, 100, nil)
+	for _, want := range []string{"## Bench gate: pass", "ns/op rule skipped"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+	if strings.Contains(md, "Violations") {
+		t.Errorf("clean summary lists violations:\n%s", md)
+	}
+}
+
+// TestGateWritesSummary: the gate appends the summary on pass and on
+// fail (CI renders it either way).
+func TestGateWritesSummary(t *testing.T) {
+	dir := t.TempDir()
+	data, err := json.Marshal(gateBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_3.json"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sum := filepath.Join(dir, "summary.md")
+	if err := gate(gateBaseline(), "", "", dir, 0.30, 100, sum); err != nil {
+		t.Fatalf("clean gate failed: %v", err)
+	}
+	bad := gateBaseline()
+	bad.Benchmarks[2].NsPerOp *= 2
+	if err := gate(bad, "", "", dir, 0.30, 100, sum); err == nil {
+		t.Fatal("regressed gate passed")
+	}
+	out, err := os.ReadFile(sum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(string(out), "## Bench gate:"); got != 2 {
+		t.Fatalf("summary file has %d sections, want 2 (append semantics):\n%s", got, out)
 	}
 }

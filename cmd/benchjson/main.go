@@ -20,6 +20,11 @@
 // baseline:
 //
 //	benchjson -out bench-fresh.json -gate
+//
+// -summary (with -gate) appends a markdown old-vs-new diff table —
+// ns/op, allocs/op and the relative delta per gated benchmark — to the
+// given file; CI points it at $GITHUB_STEP_SUMMARY so regressions are
+// readable from the job page without downloading the artifact.
 package main
 
 import (
@@ -75,6 +80,7 @@ func run(args []string) error {
 	baseline := fs.String("baseline", "", "explicit baseline file for -gate (default: newest BENCH_<n>.json)")
 	tolerance := fs.Float64("tolerance", 0.30, "fractional ns/op regression allowed on time-critical benchmarks")
 	allocGuard := fs.Int64("alloc-guard", 100, "baseline allocs/op at or below which a benchmark's allocation count must not increase")
+	summary := fs.String("summary", "", "with -gate: append a markdown old-vs-new diff table to this file (e.g. $GITHUB_STEP_SUMMARY)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,7 +145,7 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(snap.Benchmarks))
 	if *doGate {
-		return gate(snap, path, *baseline, ".", *tolerance, *allocGuard)
+		return gate(snap, path, *baseline, ".", *tolerance, *allocGuard, *summary)
 	}
 	return nil
 }
@@ -182,6 +188,7 @@ func headlineBenchmarks() []namedBench {
 		{"AnalyticCharacterizeRowCachedRuns", benchscen.AnalyticCharacterizeRowCachedRuns},
 		{"GenerateRowCells", benchscen.GenerateRowCells},
 		{"BankEngineCharacterizeRow", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 24) }},
+		{"BankEngineCharacterizeRowDenseCells", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 192) }},
 	}
 	sort.Slice(benches, func(i, j int) bool { return benches[i].name < benches[j].name })
 	return benches

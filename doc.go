@@ -127,13 +127,32 @@
 // per-cell aggregates still fold in a sequential run's exact
 // observation order (checkpoints stay byte-identical).
 //
+// The ground-truth engine (core.BankEngine, driving a simulated
+// device.Bank command by command) fast-forwards over the event
+// horizon by default: the access pattern is periodic, so a captured
+// device.DamageProfile (per-cell, per-activation damage deltas —
+// warm-up first iteration vs steady state) determines each victim
+// cell's accumulator trajectory, which is repeated IEEE-754 addition
+// of constants and can be reproduced bit for bit in closed form
+// (constant mantissa increments within a float binade; boundaries,
+// half-ulp ties and subnormals single-step). The engine solves for
+// the earliest possible flip iteration, seeks the bank state there
+// (device.Bank.SeekRowDisturb: exact accumulators, side bookkeeping,
+// counters) and replays only a guard window act by act, so RowResults
+// — and the victim row's microstate — are byte-identical to full
+// act-by-act execution (pinned by grid and property-fuzz tests;
+// core.WithExactReplay opts out). This takes a 60 ms characterization
+// from ~19 ms to ~80 us of wall time and accelerates every
+// bank-engine-backed cross-validation and calibration sweep.
+//
 // Benchmarks guard all of this: run
 //
 //	go test -run '^$' -bench . -benchmem .
 //
 // and record snapshots on the BENCH_*.json perf trajectory with
-// cmd/benchjson. cmd/characterize takes -cpuprofile/-memprofile to
-// profile full-scale campaigns.
+// cmd/benchjson (whose -gate mode is CI's bench-regression gate, with
+// a -summary markdown diff for job summaries). cmd/characterize takes
+// -cpuprofile/-memprofile to profile full-scale campaigns.
 //
 // See README.md for a quickstart and shard/resume examples. The
 // benchmarks in bench_test.go regenerate every table and figure of the

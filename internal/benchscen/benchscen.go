@@ -172,7 +172,12 @@ func GenerateRowCells(b *testing.B) {
 }
 
 // BankEngineCharacterizeRow measures the ground-truth bank-driving
-// path at the given weak-cell density, reporting acts/op and pres/op.
+// path at the given weak-cell density, reporting acts/op and pres/op
+// (the simulated schedule the engine accounts for, whether executed or
+// fast-forwarded). Victim rows are materialized before the timer so
+// allocs/op measures the engine's steady state rather than how far b.N
+// happens to amortize first-touch row generation — the gate freezes the
+// steady-state count.
 func BankEngineCharacterizeRow(b *testing.B, cellsPerMech int) {
 	profile := Profile()
 	profile.WeakCellsPerMech = cellsPerMech
@@ -183,6 +188,13 @@ func BankEngineCharacterizeRow(b *testing.B, cellsPerMech int) {
 	})
 	if err != nil {
 		b.Fatal(err)
+	}
+	// Victims span 100..3899, aggressors one row further out, and each
+	// precharge lazily materializes rows up to BlastRadius beyond the
+	// aggressor — cover the whole fringe.
+	radius := device.DefaultParams().BlastRadius
+	for row := 99 - radius; row <= 3900+radius; row++ {
+		bank.VictimCells(row)
 	}
 	eng := core.NewBankEngine(bank)
 	spec := combinedSpec(b)

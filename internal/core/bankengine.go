@@ -8,10 +8,24 @@ import (
 	"rowfuse/internal/pattern"
 )
 
+// aggressorOffsets are the victim-relative rows an experiment
+// initializes, hoisted so CharacterizeRow does not allocate it per call.
+var aggressorOffsets = [...]int{-1, +1}
+
 // BankEngine measures first-flip points by driving a simulated
-// device.Bank activation by activation, exactly as the FPGA
-// infrastructure drives a real chip. It is the ground-truth execution
-// path; AnalyticEngine must (and is tested to) agree with it.
+// device.Bank, observably exactly as the FPGA infrastructure drives a
+// real chip. It is the ground-truth execution path; AnalyticEngine must
+// (and is tested to) agree with it.
+//
+// By default the engine fast-forwards over the event horizon: the
+// access pattern is periodic, so one captured device.DamageProfile
+// determines every victim cell's bit-exact accumulator trajectory, the
+// engine solves for the first iteration any cell can flip, jumps the
+// bank state there in one step (device.Bank.SeekRowDisturb), and
+// replays only a small guard window act by act to recover the exact
+// flip activation, time and CompareRow readback. RowResults are
+// byte-identical to full act-by-act execution (pinned by the
+// fast-vs-exact grid and property tests); WithExactReplay opts out.
 //
 // The engine uses the bank's construction-time run seed for cell
 // populations; RunOpts.Run is ignored here. Like the bank it drives, a
@@ -20,25 +34,71 @@ import (
 type BankEngine struct {
 	bank *device.Bank
 
+	// exact forces act-by-act execution from iteration 1.
+	exact bool
+
 	// Per-row scratch, hoisted so repeated characterizations do not
-	// allocate: the victim/aggressor fill buffers and the set of bits
-	// already flipped before the experiment starts.
+	// allocate: the victim/aggressor fill buffers, the set of bits
+	// already flipped before the experiment starts, the memoized act
+	// schedule, and the fast-forward working state (see bankfast.go).
 	victimBuf     []byte
 	aggBuf        []byte
 	flippedBefore device.Bitset
+	actsSpec      pattern.Spec
+	actsOK        bool
+	acts          []pattern.Act
+	prof          device.DamageProfile
+	profActs      []device.ProfileAct
+	accs          []float64
 }
 
 var _ Engine = (*BankEngine)(nil)
 
+// BankEngineOption configures a BankEngine.
+type BankEngineOption func(*BankEngine)
+
+// WithExactReplay disables the event-horizon fast-forward: every
+// activation of every iteration is executed one by one. Results are
+// byte-identical either way; exact replay is the bit-exact reference
+// the fast path is validated against, and the mode to reach for when
+// debugging the device model itself.
+func WithExactReplay() BankEngineOption {
+	return func(e *BankEngine) { e.exact = true }
+}
+
 // NewBankEngine wraps a bank.
-func NewBankEngine(b *device.Bank) *BankEngine {
-	return &BankEngine{bank: b}
+func NewBankEngine(b *device.Bank, opts ...BankEngineOption) *BankEngine {
+	e := &BankEngine{bank: b}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+// actsFor returns the memoized act schedule of spec (specs repeat
+// across campaign loops; pattern.Spec.Acts allocates per call).
+func (e *BankEngine) actsFor(spec pattern.Spec) []pattern.Act {
+	if !e.actsOK || spec != e.actsSpec {
+		e.acts = spec.Acts()
+		e.actsSpec, e.actsOK = spec, true
+	}
+	return e.acts
+}
+
+// iterationTime mirrors pattern.Spec.IterationTime over a memoized act
+// slice.
+func iterationTime(acts []pattern.Act, trp time.Duration) time.Duration {
+	var d time.Duration
+	for _, a := range acts {
+		d += a.OnTime + trp
+	}
+	return d
 }
 
 // CharacterizeRow implements Engine. It initializes the victim and
-// aggressor rows with the data pattern, applies the access pattern
-// iteration by iteration, and stops at the first observed bitflip or
-// when the time budget is exhausted.
+// aggressor rows with the data pattern, applies the access pattern —
+// fast-forwarded to the flip horizon unless WithExactReplay — and stops
+// at the first observed bitflip or when the time budget is exhausted.
 func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts) (RowResult, error) {
 	opts = opts.withDefaults()
 	if err := checkVictim(victim, e.bank.NumRows()); err != nil {
@@ -53,14 +113,17 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 	if err := e.bank.WriteRow(victim, e.victimBuf, 0); err != nil {
 		return RowResult{}, fmt.Errorf("init victim: %w", err)
 	}
-	for _, off := range []int{-1, +1} {
+	for _, off := range aggressorOffsets {
 		if err := e.bank.WriteRow(victim+off, e.aggBuf, 0); err != nil {
 			return RowResult{}, fmt.Errorf("init aggressor: %w", err)
 		}
 	}
 
-	acts := spec.Acts()
-	maxIters := spec.MaxIterations(opts.Budget)
+	acts := e.actsFor(spec)
+	var maxIters int64
+	if it := iterationTime(acts, spec.Timings.TRP); it > 0 && opts.Budget > 0 {
+		maxIters = int64(opts.Budget / it)
+	}
 	cells := e.bank.VictimCells(victim)
 	e.flippedBefore.Reset(rowBytes * 8)
 	for i := range cells {
@@ -69,18 +132,37 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 		}
 	}
 
-	now := time.Duration(0)
-	totalActs := int64(0)
+	if !e.exact && len(acts) > 0 && maxIters > 0 {
+		if done, err := e.fastForward(victim, spec, acts, maxIters, &res); done {
+			if err != nil {
+				return RowResult{}, err
+			}
+			return res, nil
+		}
+	}
+	if err := e.hammer(victim, spec, acts, maxIters, 1, 0, 0, &res); err != nil {
+		return RowResult{}, err
+	}
+	return res, nil
+}
+
+// hammer drives the bank act by act from startIter (1-based) with the
+// given running clock and activation count, stopping at the first new
+// victim-row bitflip, and performs the end-of-experiment readback when
+// the iteration budget runs out — the shared back half of the exact and
+// the fast-forward path.
+func (e *BankEngine) hammer(victim int, spec pattern.Spec, acts []pattern.Act, maxIters, startIter int64, now time.Duration, totalActs int64, res *RowResult) error {
+	cells := e.bank.VictimCells(victim)
 	gen := e.bank.FlipGeneration()
-	for iter := int64(1); iter <= maxIters; iter++ {
+	for iter := startIter; iter <= maxIters; iter++ {
 		for ai, a := range acts {
 			row := victim + a.RowOffset
 			if err := e.bank.Activate(row, now); err != nil {
-				return RowResult{}, fmt.Errorf("iter %d act %d: %w", iter, ai, err)
+				return fmt.Errorf("iter %d act %d: %w", iter, ai, err)
 			}
 			now += a.OnTime
 			if err := e.bank.Precharge(now); err != nil {
-				return RowResult{}, fmt.Errorf("iter %d pre %d: %w", iter, ai, err)
+				return fmt.Errorf("iter %d pre %d: %w", iter, ai, err)
 			}
 			totalActs++
 			preAt := now
@@ -108,14 +190,14 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 			}
 			flips, err := e.bank.CompareRow(victim, preAt)
 			if err != nil {
-				return RowResult{}, err
+				return err
 			}
 			res.NoBitflip = false
 			res.Iterations = iter
 			res.ACmin = totalActs
 			res.TimeToFirst = preAt
 			res.Flips = flips
-			return res, nil
+			return nil
 		}
 	}
 
@@ -126,7 +208,7 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 	// rule exists to exclude.
 	flips, err := e.bank.CompareRow(victim, now)
 	if err != nil {
-		return RowResult{}, err
+		return err
 	}
 	if len(flips) > 0 {
 		res.NoBitflip = false
@@ -135,5 +217,5 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 		res.TimeToFirst = now
 		res.Flips = flips
 	}
-	return res, nil
+	return nil
 }

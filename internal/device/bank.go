@@ -270,22 +270,13 @@ func (b *Bank) disturb(victim, distance int, side Side, onTime time.Duration, ac
 		}
 	}
 
-	boost := b.params.HammerBoost(onTime)
-	exposure := b.params.PressExposure(onTime, interleaved)
-	tf := b.params.TempFactor(b.tempC)
-	blastH, blastP := b.params.BlastFactors(distance)
-
+	dose := b.doseFor(distance, side, onTime, synergy, interleaved)
 	for i := range st.weak {
 		c := &st.weak[i]
 		if c.flipped {
 			continue
 		}
-		hammer := boost * blastH
-		if synergy {
-			hammer *= c.Syn
-		}
-		press := exposure * blastP * SideFactor(side, b.weakSide, c.WeakSide)
-		c.acc += tf * (hammer/c.Th + press/c.Tp)
+		c.acc += dose.delta(c)
 		if c.acc >= 1 {
 			b.tryFlip(st, c)
 		}
@@ -298,6 +289,46 @@ func (b *Bank) disturb(victim, distance int, side Side, onTime time.Duration, ac
 		st.hasLast[si] = true
 		st.sideSeen[si] = true
 	}
+}
+
+// actDose is the damage context of one activation: everything about an
+// (on-time, side, distance, synergy, interleave) tuple that is uniform
+// across the victim row's cells. Both the act-by-act disturbance path
+// and the DamageProfile capture derive per-cell deltas through the same
+// dose, so the two deal bit-identical damage — the property the
+// fast-forward engine in internal/core depends on.
+type actDose struct {
+	tf       float64
+	hammer   float64 // HammerBoost * blast attenuation, before per-cell synergy
+	press    float64 // PressExposure * blast attenuation, before side coupling
+	side     Side
+	weakSide float64
+	synergy  bool
+}
+
+// doseFor builds the damage context of one activation.
+func (b *Bank) doseFor(distance int, side Side, onTime time.Duration, synergy, interleaved bool) actDose {
+	blastH, blastP := b.params.BlastFactors(distance)
+	return actDose{
+		tf:       b.params.TempFactor(b.tempC),
+		hammer:   b.params.HammerBoost(onTime) * blastH,
+		press:    b.params.PressExposure(onTime, interleaved) * blastP,
+		side:     side,
+		weakSide: b.weakSide,
+		synergy:  synergy,
+	}
+}
+
+// delta returns the damage fraction one activation under this dose adds
+// to a cell. The float operations happen in a fixed order, so the same
+// (dose, cell) pair always yields the same double.
+func (d *actDose) delta(c *WeakCell) float64 {
+	hammer := d.hammer
+	if d.synergy {
+		hammer *= c.Syn
+	}
+	press := d.press * SideFactor(d.side, d.weakSide, c.WeakSide)
+	return d.tf * (hammer/c.Th + press/c.Tp)
 }
 
 // tryFlip materializes a flip if the cell stores the vulnerable value.
@@ -526,4 +557,47 @@ func (b *Bank) VictimCells(row int) []WeakCell {
 		return nil
 	}
 	return b.row(p).weak
+}
+
+// SideSeek is one aggressor side's disturbance bookkeeping at a
+// fast-forward point: whether the side has activated since the row's
+// last reset, and when its most recent activation started.
+type SideSeek struct {
+	Seen         bool
+	HasLast      bool
+	LastActStart time.Duration
+}
+
+// SeekRowDisturb jumps one row's disturbance microstate to a
+// fast-forward point: per-cell damage accumulators (parallel to
+// VictimCells order; already-flipped cells keep their state), the
+// per-side synergy/interleave bookkeeping, and the bank's ACT/PRE
+// counters, which advance by skippedActs each so diagnostics count the
+// skipped schedule as executed. Callers are responsible for passing the
+// exact accumulator values the skipped activations would have produced
+// — see internal/core's fast-forward engine, which derives them from a
+// DamageProfile and replays a guard window act by act afterwards.
+func (b *Bank) SeekRowDisturb(row int, accs []float64, strong, weak SideSeek, skippedActs int64) error {
+	if b.isOpen {
+		return fmt.Errorf("device: seek with row %d open: %w", b.openRow, ErrBankOpen)
+	}
+	p, err := b.phys(row)
+	if err != nil {
+		return err
+	}
+	st := b.row(p)
+	if len(accs) != len(st.weak) {
+		return fmt.Errorf("device: seek needs %d accumulators, got %d", len(st.weak), len(accs))
+	}
+	for i := range st.weak {
+		if !st.weak[i].flipped {
+			st.weak[i].acc = accs[i]
+		}
+	}
+	si, wi := sideIdx(SideStrong), sideIdx(SideWeak)
+	st.sideSeen[si], st.hasLast[si], st.lastActStart[si] = strong.Seen, strong.HasLast, strong.LastActStart
+	st.sideSeen[wi], st.hasLast[wi], st.lastActStart[wi] = weak.Seen, weak.HasLast, weak.LastActStart
+	b.actCount += skippedActs
+	b.preCount += skippedActs
+	return nil
 }

@@ -1,0 +1,230 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// ErrProfileState reports a row whose disturbance state is not the
+// freshly-initialized one damage-profile capture assumes (a WriteRow
+// must precede the capture, exactly as the experiment engines do).
+var ErrProfileState = errors.New("device: row has pre-existing disturbance state")
+
+// ProfileAct describes one activation of a periodic access-pattern
+// iteration for damage-profile capture. Start is the activation's start
+// offset within the iteration; the profile only uses it to order
+// activations for the interleave bookkeeping and to report steady-state
+// side timings, so it must be consistent with the schedule the caller
+// will actually drive.
+type ProfileAct struct {
+	// RowOffset is the aggressor row relative to the victim (logical
+	// address, as passed to Activate).
+	RowOffset int
+	// OnTime is how long the aggressor row stays open.
+	OnTime time.Duration
+	// Start is the activation start offset within one iteration.
+	Start time.Duration
+}
+
+// DamageProfile is the per-cell, per-activation damage table of one
+// (victim row, act sequence, temperature, stored data) tuple: replaying
+// the captured deltas with plain float64 additions reproduces the
+// bank's per-cell accumulator trajectory bit for bit, because the bank
+// computes its act-by-act damage through the same actDose code path.
+//
+// The access pattern is periodic, so two iterations fully determine the
+// trajectory: the first iteration's activations can see cold
+// synergy/interleave bookkeeping (a strong-side press before the weak
+// side has ever activated), while from the second iteration on every
+// activation sees the same flags with times shifted by exactly one
+// iteration — the steady state.
+type DamageProfile struct {
+	acts int
+	// First and Steady are the cell-major [cell*NumActs()+act] damage
+	// deltas of the first and of every subsequent iteration.
+	First  []float64
+	Steady []float64
+	// Eligible[c] reports whether cell c can produce an observable flip
+	// under the row's current data (the stored bit matches the value the
+	// cell's mechanism attacks).
+	Eligible []bool
+
+	sides [2]profileSide
+}
+
+// profileSide is one side's steady-state bookkeeping shape.
+type profileSide struct {
+	seen    bool
+	hasLast bool
+	// startOff is the side's last distance-1 activation start, relative
+	// to the start of the iteration it occurs in.
+	startOff time.Duration
+}
+
+// NumActs returns the number of activations per iteration.
+func (p *DamageProfile) NumActs() int { return p.acts }
+
+// NumCells returns the number of weak cells profiled.
+func (p *DamageProfile) NumCells() int {
+	if p.acts == 0 {
+		return 0
+	}
+	return len(p.First) / p.acts
+}
+
+// CellFirst returns cell c's per-act deltas of the first iteration.
+func (p *DamageProfile) CellFirst(c int) []float64 {
+	return p.First[c*p.acts : (c+1)*p.acts]
+}
+
+// CellSteady returns cell c's per-act deltas of every later iteration.
+func (p *DamageProfile) CellSteady(c int) []float64 {
+	return p.Steady[c*p.acts : (c+1)*p.acts]
+}
+
+// SideSeekAt returns the SeekRowDisturb side targets for the state at
+// the end of `completed` full iterations (completed >= 1), given the
+// iteration period the profile was captured with.
+func (p *DamageProfile) SideSeekAt(completed int64, iterTime time.Duration) (strong, weak SideSeek) {
+	base := time.Duration(completed-1) * iterTime
+	mk := func(ps profileSide) SideSeek {
+		s := SideSeek{Seen: ps.seen, HasLast: ps.hasLast}
+		if ps.hasLast {
+			s.LastActStart = base + ps.startOff
+		}
+		return s
+	}
+	return mk(p.sides[sideIdx(SideStrong)]), mk(p.sides[sideIdx(SideWeak)])
+}
+
+func resizeFloats(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// FillDamageProfile captures the damage profile of driving the given
+// periodic act sequence against a victim row, into p (reusing its
+// backing storage). The victim row must be freshly initialized
+// (WriteRow), temperature must already be set, and iterTime is the wall
+// time of one whole iteration. It replays the bank's side-bookkeeping
+// state machine over two iterations and derives each cell's per-act
+// deltas through the same dose computation the act-by-act path uses, so
+// the captured doubles are exactly the ones Precharge would accumulate.
+//
+// Capture fails (and the caller must fall back to act-by-act execution)
+// on pre-disturbed rows, acts that would activate or alias the victim
+// row itself, and aggressor addresses outside the bank.
+func (b *Bank) FillDamageProfile(p *DamageProfile, victim int, acts []ProfileAct, iterTime time.Duration) error {
+	if len(acts) == 0 {
+		return errors.New("device: damage profile needs at least one act")
+	}
+	if iterTime <= 0 {
+		return fmt.Errorf("device: damage profile needs a positive iteration time, got %v", iterTime)
+	}
+	pv, err := b.phys(victim)
+	if err != nil {
+		return err
+	}
+	st := b.row(pv)
+	if st.sideSeen != [2]bool{} || st.hasLast != [2]bool{} {
+		return ErrProfileState
+	}
+	for i := range st.weak {
+		if st.weak[i].flipped || st.weak[i].acc != 0 {
+			return ErrProfileState
+		}
+	}
+	radius := b.params.BlastRadius
+	if radius < 1 {
+		radius = 1
+	}
+
+	n := len(st.weak)
+	a := len(acts)
+	p.acts = a
+	p.First = resizeFloats(p.First, n*a)
+	p.Steady = resizeFloats(p.Steady, n*a)
+	if cap(p.Eligible) < n {
+		p.Eligible = make([]bool, n)
+	}
+	p.Eligible = p.Eligible[:n]
+
+	// Replay the side-bookkeeping state machine over two iterations:
+	// iteration 1 captures the warm-up deltas, iteration 2 the steady
+	// state (see the type comment for why two suffice).
+	var seen, hasLast [2]bool
+	var lastStart [2]time.Duration
+	for iter := 0; iter < 2; iter++ {
+		dst := p.First
+		if iter == 1 {
+			dst = p.Steady
+		}
+		for ai := range acts {
+			act := &acts[ai]
+			if act.RowOffset == 0 {
+				return fmt.Errorf("device: profile act %d activates the victim row", ai)
+			}
+			if act.Start < 0 || act.Start >= iterTime {
+				return fmt.Errorf("device: profile act %d starts at %v, outside the %v iteration", ai, act.Start, iterTime)
+			}
+			pa, err := b.phys(victim + act.RowOffset)
+			if err != nil {
+				return err
+			}
+			d := pv - pa
+			if d == 0 {
+				// A non-bijective mapper aliased an aggressor onto the
+				// victim; activating it would reset the row.
+				return fmt.Errorf("device: profile act %d aliases the victim row", ai)
+			}
+			side := SideStrong
+			if d < 0 {
+				side, d = SideWeak, -d
+			}
+			actStart := time.Duration(iter)*iterTime + act.Start
+			if d <= radius {
+				si := sideIdx(side)
+				oi := sideIdx(otherSide(side))
+				synergy := seen[oi]
+				interleaved := false
+				if hasLast[oi] {
+					if !hasLast[si] || lastStart[oi] > lastStart[si] {
+						interleaved = true
+					}
+				}
+				dose := b.doseFor(d, side, act.OnTime, synergy, interleaved)
+				for c := 0; c < n; c++ {
+					dst[c*a+ai] = dose.delta(&st.weak[c])
+				}
+			} else {
+				for c := 0; c < n; c++ {
+					dst[c*a+ai] = 0
+				}
+			}
+			if d == 1 {
+				si := sideIdx(side)
+				lastStart[si] = actStart
+				hasLast[si] = true
+				seen[si] = true
+			}
+		}
+	}
+	for k := 0; k < 2; k++ {
+		ps := &p.sides[k]
+		ps.seen, ps.hasLast, ps.startOff = seen[k], hasLast[k], 0
+		if hasLast[k] {
+			off := lastStart[k] - iterTime
+			if off < 0 || off >= iterTime {
+				return fmt.Errorf("device: side bookkeeping did not reach steady state")
+			}
+			ps.startOff = off
+		}
+	}
+	for c := 0; c < n; c++ {
+		p.Eligible[c] = storedBit(st.data, st.weak[c].Bit) == st.weak[c].Dir.From()
+	}
+	return nil
+}

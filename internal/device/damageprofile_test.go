@@ -1,0 +1,188 @@
+package device
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+// profileActs builds a combined-style two-act schedule: the strong-side
+// aggressor open for aggOn, the weak-side one for tRAS.
+func profileActs(aggOn time.Duration) ([]ProfileAct, time.Duration) {
+	acts := []ProfileAct{
+		{RowOffset: -1, OnTime: aggOn, Start: 0},
+		{RowOffset: +1, OnTime: timing.TRAS, Start: aggOn + timing.TRP},
+	}
+	iterTime := aggOn + timing.TRP + timing.TRAS + timing.TRP
+	return acts, iterTime
+}
+
+// initRows writes the experiment data pattern the engines use.
+func initRows(t *testing.T, b *Bank, victim int) {
+	t.Helper()
+	rb := b.RowBytes()
+	if err := b.WriteRow(victim, FillRow(rb, 0x55), 0); err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{-1, +1} {
+		if err := b.WriteRow(victim+off, FillRow(rb, 0xAA), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestDamageProfileMatchesBankTrajectory replays several iterations of
+// a pattern against a real bank and checks, after every activation,
+// that accumulating the profile's captured deltas with plain float64
+// additions reproduces each victim cell's accumulator bit for bit —
+// the exactness contract the fast-forward engine builds on.
+func TestDamageProfileMatchesBankTrajectory(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		mapper RowMapper
+		aggOn  time.Duration
+	}{
+		{"identity rowhammer", nil, timing.TRAS},
+		{"identity rowpress", nil, 636 * time.Nanosecond},
+		{"xor mapper", xorMapper{mask: 4}, 636 * time.Nanosecond},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			b, err := NewBank(BankConfig{
+				Profile: validProfile(),
+				Params:  DefaultParams(),
+				NumRows: 4096,
+				Mapper:  tc.mapper,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const victim = 100
+			initRows(t, b, victim)
+
+			acts, iterTime := profileActs(tc.aggOn)
+			var prof DamageProfile
+			if err := b.FillDamageProfile(&prof, victim, acts, iterTime); err != nil {
+				t.Fatalf("FillDamageProfile: %v", err)
+			}
+
+			cells := b.VictimCells(victim)
+			if prof.NumCells() != len(cells) {
+				t.Fatalf("profile has %d cells, row has %d", prof.NumCells(), len(cells))
+			}
+			shadow := make([]float64, len(cells))
+
+			now := time.Duration(0)
+			for iter := 0; iter < 4; iter++ {
+				for ai, a := range acts {
+					if err := b.Activate(victim+a.RowOffset, now); err != nil {
+						t.Fatal(err)
+					}
+					now += a.OnTime
+					if err := b.Precharge(now); err != nil {
+						t.Fatal(err)
+					}
+					now += timing.TRP
+
+					for c := range cells {
+						d := prof.CellSteady(c)[ai]
+						if iter == 0 {
+							d = prof.CellFirst(c)[ai]
+						}
+						shadow[c] += d
+						if got := cells[c].Accumulated(); got != shadow[c] {
+							t.Fatalf("iter %d act %d cell %d (bit %d): bank acc %v, profile replay %v",
+								iter+1, ai, c, cells[c].Bit, got, shadow[c])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDamageProfileEligibility pins the eligibility mask to the stored
+// data: a cell is eligible iff the victim pattern stores the value its
+// polarity attacks.
+func TestDamageProfileEligibility(t *testing.T) {
+	b := testBank(t)
+	const victim = 200
+	initRows(t, b, victim)
+	acts, iterTime := profileActs(timing.TRAS)
+	var prof DamageProfile
+	if err := b.FillDamageProfile(&prof, victim, acts, iterTime); err != nil {
+		t.Fatal(err)
+	}
+	cells := b.VictimCells(victim)
+	for c := range cells {
+		want := Checkerboard.VictimBitAt(cells[c].Bit) == cells[c].Dir.From()
+		if prof.Eligible[c] != want {
+			t.Errorf("cell %d (bit %d, dir %v): eligible %v, want %v",
+				c, cells[c].Bit, cells[c].Dir, prof.Eligible[c], want)
+		}
+	}
+}
+
+// TestDamageProfileRejectsDirtyRow: capture assumes a freshly
+// initialized row; pre-existing disturbance state must be refused so
+// the engine falls back to exact execution.
+func TestDamageProfileRejectsDirtyRow(t *testing.T) {
+	b := testBank(t)
+	const victim = 300
+	initRows(t, b, victim)
+	// Hammer one activation to dirty the side bookkeeping and accs.
+	if err := b.Activate(victim-1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Precharge(timing.TRAS); err != nil {
+		t.Fatal(err)
+	}
+	acts, iterTime := profileActs(timing.TRAS)
+	var prof DamageProfile
+	if err := b.FillDamageProfile(&prof, victim, acts, iterTime); !errors.Is(err, ErrProfileState) {
+		t.Fatalf("dirty row accepted: %v", err)
+	}
+}
+
+// TestSeekRowDisturbValidation covers the seek API's guard rails.
+func TestSeekRowDisturbValidation(t *testing.T) {
+	b := testBank(t)
+	const victim = 400
+	initRows(t, b, victim)
+	cells := b.VictimCells(victim)
+	accs := make([]float64, len(cells))
+	if err := b.SeekRowDisturb(victim, accs[:1], SideSeek{}, SideSeek{}, 0); err == nil {
+		t.Error("accepted short accumulator slice")
+	}
+	if err := b.SeekRowDisturb(-1, accs, SideSeek{}, SideSeek{}, 0); !errors.Is(err, ErrRowOutOfRange) {
+		t.Errorf("row -1: %v, want ErrRowOutOfRange", err)
+	}
+	if err := b.Activate(victim-1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SeekRowDisturb(victim, accs, SideSeek{}, SideSeek{}, 0); !errors.Is(err, ErrBankOpen) {
+		t.Errorf("open bank: %v, want ErrBankOpen", err)
+	}
+	if err := b.Precharge(timing.TRAS); err != nil {
+		t.Fatal(err)
+	}
+
+	// A valid seek sets accumulators and counters.
+	for i := range accs {
+		accs[i] = 0.25
+	}
+	act0, pre0, _ := b.Counters()
+	if err := b.SeekRowDisturb(victim, accs, SideSeek{Seen: true, HasLast: true}, SideSeek{}, 10); err != nil {
+		t.Fatal(err)
+	}
+	act1, pre1, _ := b.Counters()
+	if act1-act0 != 10 || pre1-pre0 != 10 {
+		t.Errorf("counters advanced by %d/%d, want 10/10", act1-act0, pre1-pre0)
+	}
+	for i := range cells {
+		if cells[i].Accumulated() != 0.25 {
+			t.Fatalf("cell %d acc = %v, want 0.25", i, cells[i].Accumulated())
+		}
+	}
+}

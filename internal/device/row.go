@@ -274,10 +274,13 @@ func (rp *RowPopulation) AppendCells(dst []WeakCell, runSeed int64) []WeakCell {
 // GenerateRowCells deterministically builds the weak-cell population of a
 // victim row: the fixed base population (NewRowPopulation) with one
 // run's noise applied. The same (profile, bank, row, runSeed) always
-// yields the same cells. Hot loops that revisit a row should cache the
-// RowPopulation and call AppendCells instead.
+// yields the same cells. The output slice is pre-sized from the base
+// population, so the append inside AppendCells never regrows (guarded
+// by TestGenerateRowCellsAllocs). Hot loops that revisit a row should
+// cache the RowPopulation and call AppendCells instead.
 func GenerateRowCells(p Profile, d DisturbParams, bank, row int, rowBits int, runSeed int64) []WeakCell {
-	return NewRowPopulation(p, d, bank, row, rowBits).AppendCells(nil, runSeed)
+	rp := NewRowPopulation(p, d, bank, row, rowBits)
+	return rp.AppendCells(make([]WeakCell, 0, rp.Len()), runSeed)
 }
 
 // generateRetentionCells builds the retention-weak tail of a row.

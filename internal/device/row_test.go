@@ -8,6 +8,23 @@ import (
 
 const testRowBits = 8192
 
+// TestGenerateRowCellsAllocs freezes from-scratch generation at its
+// structural allocations (population struct, base-cell slice, pick
+// bitset, pre-sized output slice): the output is pre-sized from the
+// base population, so append growth must never reappear.
+func TestGenerateRowCellsAllocs(t *testing.T) {
+	p := validProfile()
+	d := DefaultParams()
+	row := 0
+	allocs := testing.AllocsPerRun(20, func() {
+		GenerateRowCells(p, d, 0, row, testRowBits, 0)
+		row++
+	})
+	if allocs > 4 {
+		t.Errorf("GenerateRowCells allocates %.1f times per call, want <= 4", allocs)
+	}
+}
+
 func TestGenerateRowCellsDeterministic(t *testing.T) {
 	p := validProfile()
 	d := DefaultParams()
