@@ -421,6 +421,14 @@ func BenchmarkAnalyticCharacterizeRowCachedRuns(b *testing.B) {
 	benchscen.AnalyticCharacterizeRowCachedRuns(b)
 }
 
+// BenchmarkWALQueueGrantSubmit measures the campaign service's durable
+// dispatch hot path: a journaled-and-fsynced lease grant plus submit
+// per op (see internal/benchscen). The bench-regression gate's alloc
+// guard pins its allocation count.
+func BenchmarkWALQueueGrantSubmit(b *testing.B) {
+	benchscen.WALQueueGrantSubmit(b)
+}
+
 func BenchmarkBenderInterpreter(b *testing.B) {
 	chip, err := device.NewChip(device.ChipConfig{
 		Profile: benchProfile(),

@@ -37,32 +37,43 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	"rowfuse/internal/core"
 	"rowfuse/internal/dispatch"
+	"rowfuse/internal/dispatch/registry"
 	"rowfuse/internal/resultio"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM trigger a graceful shutdown: stop granting,
+	// flush and fsync the campaign journals, exit 0 — the durable
+	// state is exactly what a restart resumes from.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "campaignd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out *os.File) error {
+func run(ctx context.Context, args []string, out *os.File) error {
 	fs := flag.NewFlagSet("campaignd", flag.ContinueOnError)
 	var (
-		dir    = fs.String("dir", "", "filesystem-queue mode: coordinate through this shared directory")
-		doInit = fs.Bool("init", false, "with -dir: write the campaign manifest and exit")
-		listen = fs.String("listen", "", "server mode: serve the coordinator HTTP API on this address")
-		watch  = fs.Duration("watch", 0, "print a live partial Table 2 / Fig 4 report at this interval (0 = only on completion)")
-		outCp  = fs.String("out", "", "write the fused campaign checkpoint to this file (rolling in -watch loops, final on completion)")
-		units  = fs.Int("units", 8, "work units to split the cell grid into (clamped to the grid size)")
-		ttl    = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
-		linger = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
+		dir     = fs.String("dir", "", "filesystem-queue mode: coordinate through this shared directory")
+		doInit  = fs.Bool("init", false, "with -dir: write the campaign manifest and exit")
+		listen  = fs.String("listen", "", "server mode: serve the coordinator HTTP API on this address")
+		service = fs.Bool("service", false, "campaign-service mode: host many concurrent campaigns (created over POST /v1/campaigns) with durable write-ahead queues under -state")
+		state   = fs.String("state", "", "durable queue state directory: with -service, the registry root; with plain -listen, journal the single campaign here so a coordinator restart resumes it")
+		watch   = fs.Duration("watch", 0, "print a live partial Table 2 / Fig 4 report at this interval (0 = only on completion)")
+		outCp   = fs.String("out", "", "write the fused campaign checkpoint to this file (rolling in -watch loops, final on completion)")
+		units   = fs.Int("units", 8, "work units to split the cell grid into (clamped to the grid size)")
+		ttl     = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
+		linger  = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
 
 		exp    = fs.String("exp", "all", "campaign grid: all (paper sweep) or table2 (the three Table 2 marks)")
 		rows   = fs.Int("rows", 200, "victim rows per bank region (paper: 1000)")
@@ -81,18 +92,36 @@ func run(args []string, out *os.File) error {
 	if *doInit && *dir == "" {
 		return errors.New("-init requires -dir")
 	}
+	if *state != "" && *listen == "" {
+		return errors.New("-state journals a served queue; it requires -listen")
+	}
+
+	if *service {
+		if *listen == "" || *state == "" {
+			return errors.New("-service requires -listen and -state")
+		}
+		// Campaigns are created over the API, each with its own spec;
+		// a config flag here would describe no campaign at all.
+		allowed := map[string]bool{"service": true, "state": true, "listen": true}
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			return fmt.Errorf("service mode hosts campaigns created over POST /v1/campaigns; %s would be silently ignored", strings.Join(rejected, " "))
+		}
+		return serveService(ctx, *listen, *state, out)
+	}
 
 	if *listen != "" {
-		cfg, err := studyConfig(*exp, *rows, *dies, *runs, *module, *temp, *budget)
+		q, closeQ, err := serverQueue(fs, *state, *exp, *rows, *dies, *runs, *module, *temp, *budget, *units, *ttl)
 		if err != nil {
 			return err
 		}
-		m := dispatch.NewManifest(cfg, *units, *ttl)
-		q, err := dispatch.NewMemQueue(m)
-		if err != nil {
-			return err
-		}
-		return serve(*listen, q, *watch, *linger, *outCp, out)
+		defer closeQ()
+		return serve(ctx, *listen, q, *watch, *linger, *outCp, out)
 	}
 
 	if *doInit {
@@ -155,11 +184,110 @@ func studyConfig(exp string, rows, dies, runs int, module string, temp float64, 
 	return core.CampaignConfig(mods, sweep, rows, dies, runs, temp, budget), nil
 }
 
+// serverQueue builds the single-campaign server-mode queue: in-memory
+// by default, WAL-backed when -state names a directory. A directory
+// already holding a journal resumes that campaign — its manifest, not
+// this process's flags, is the config truth, so explicitly set
+// campaign flags are rejected the same way watch mode rejects them.
+func serverQueue(fs *flag.FlagSet, state, exp string, rows, dies, runs int, module string, temp float64, budget time.Duration, units int, ttl time.Duration) (dispatch.Queue, func() error, error) {
+	noop := func() error { return nil }
+	newManifest := func() (dispatch.Manifest, error) {
+		cfg, err := studyConfig(exp, rows, dies, runs, module, temp, budget)
+		if err != nil {
+			return dispatch.Manifest{}, err
+		}
+		return dispatch.NewManifest(cfg, units, ttl), nil
+	}
+	if state == "" {
+		m, err := newManifest()
+		if err != nil {
+			return nil, nil, err
+		}
+		q, err := dispatch.NewMemQueue(m)
+		return q, noop, err
+	}
+	if _, err := os.Stat(filepath.Join(state, "queue.wal")); err == nil {
+		allowed := map[string]bool{"listen": true, "state": true, "watch": true, "out": true, "linger": true}
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			return nil, nil, fmt.Errorf("%s already holds a campaign journal; %s would be silently ignored (the journal resumes the original campaign)",
+				state, strings.Join(rejected, " "))
+		}
+		q, err := dispatch.OpenWALQueue(state)
+		if err != nil {
+			return nil, nil, err
+		}
+		if info := q.Recovered(); info.Err != nil {
+			fmt.Fprintf(os.Stderr, "campaignd: %s: journal tail damaged (%v); resumed from the last %d consistent records, %d bytes dropped\n",
+				state, info.Err, info.Records, info.DroppedBytes)
+		}
+		return q, q.Close, nil
+	}
+	m, err := newManifest()
+	if err != nil {
+		return nil, nil, err
+	}
+	q, err := dispatch.CreateWALQueue(state, m)
+	if err != nil {
+		return nil, nil, err
+	}
+	return q, q.Close, nil
+}
+
+// serveService runs the long-lived multi-campaign coordinator until
+// the process is signaled; campaigns are created, worked, watched and
+// canceled entirely over the /v1/campaigns API.
+func serveService(ctx context.Context, addr, stateDir string, out *os.File) error {
+	reg, err := registry.Open(stateDir)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		reg.Close()
+		return err
+	}
+	srv := &http.Server{Handler: reg.Handler()}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	infos, err := reg.List()
+	if err != nil {
+		reg.Close()
+		return err
+	}
+	fmt.Fprintf(out, "campaign service listening on %s\n", ln.Addr())
+	fmt.Fprintf(out, "state in %s: %d campaigns resumed\n", stateDir, len(infos))
+	fmt.Fprintf(out, "create campaigns with: curl -X POST http://%s/v1/campaigns -d @campaign.json\n", ln.Addr())
+	select {
+	case err := <-errCh:
+		reg.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(out, "shutting down: draining requests and flushing campaign journals")
+	if err := srv.Shutdown(context.Background()); err != nil {
+		reg.Close()
+		return err
+	}
+	return reg.Close()
+}
+
 // serve runs the HTTP coordinator until the campaign drains, then
 // writes the fused checkpoint, renders the final report, and keeps
 // answering (with ErrDrained) for linger before shutting down, so
 // workers mid-poll exit cleanly rather than hitting a dead socket.
-func serve(addr string, q dispatch.Queue, watch, linger time.Duration, outCp string, out *os.File) error {
+// A shutdown signal ends the server early and cleanly — with a
+// WAL-backed queue the journaled state resumes on the next start.
+func serve(ctx context.Context, addr string, q dispatch.Queue, watch, linger time.Duration, outCp string, out *os.File) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
@@ -188,6 +316,9 @@ func serve(addr string, q dispatch.Queue, watch, linger time.Duration, outCp str
 		select {
 		case err := <-errCh:
 			return err
+		case <-ctx.Done():
+			fmt.Fprintln(out, "shutting down: flushing the campaign journal")
+			return srv.Shutdown(context.Background())
 		case <-time.After(poll):
 		}
 		st, err := q.Status()
@@ -210,6 +341,7 @@ func serve(addr string, q dispatch.Queue, watch, linger time.Duration, outCp str
 			select {
 			case err := <-errCh:
 				return err
+			case <-ctx.Done():
 			case <-time.After(linger):
 			}
 			return srv.Shutdown(context.Background())

@@ -34,6 +34,12 @@
 //	characterize -worker shared/                  # filesystem campaign
 //	characterize -worker http://coordinator:8473  # served campaign
 //
+// Against a multi-campaign service (campaignd -service), point the
+// same worker at one hosted campaign by ID, presenting the worker
+// token handed out when the campaign was created:
+//
+//	characterize -worker http://svc:8473 -campaign c-1a2b3c4d-00112233 -campaign-token <token>
+//
 // Full-scale campaign profiles can be captured without a rebuild:
 //
 //	characterize -exp table2 -rows 1000 -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -84,9 +90,11 @@ func run(args []string) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 
-		workerFor    = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
-		workerName   = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
-		partialEvery = fs.Int("partial-every", 1, "worker mode: write an intra-unit checkpoint to the coordinator after every N completed cells (resume granularity after a worker death)")
+		workerFor     = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
+		workerName    = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
+		partialEvery  = fs.Int("partial-every", 1, "worker mode: write an intra-unit checkpoint to the coordinator after every N completed cells (resume granularity after a worker death)")
+		campaignID    = fs.String("campaign", "", "worker mode against a campaign service: the campaign ID to work for (requires an http(s) -worker endpoint)")
+		campaignToken = fs.String("campaign-token", "", "worker mode: the campaign's worker auth token (handed out when the campaign is created)")
 
 		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
 		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
@@ -135,6 +143,7 @@ func run(args []string) error {
 		allowed := map[string]bool{
 			"worker": true, "worker-name": true, "workers": true,
 			"partial-every": true, "cpuprofile": true, "memprofile": true,
+			"campaign": true, "campaign-token": true,
 		}
 		var rejected []string
 		fs.Visit(func(f *flag.Flag) {
@@ -146,7 +155,7 @@ func run(args []string) error {
 			return fmt.Errorf("-worker gets its campaign from the coordinator's manifest; %s would be silently ignored (drop them, or change the campaign at -init time)",
 				strings.Join(rejected, " "))
 		}
-		return runWorker(*workerFor, *workerName, *workers, *partialEvery)
+		return runWorker(*workerFor, *workerName, *campaignID, *campaignToken, *workers, *partialEvery)
 	}
 
 	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"
@@ -376,19 +385,29 @@ func run(args []string) error {
 }
 
 // runWorker drains a distributed campaign: lease shard work units from
-// the coordinator (a shared directory or a campaignd URL), run each
-// with the checkpointed Study.Run (resuming from any intra-unit
-// checkpoint a dead predecessor left behind and writing fresh ones as
-// cells complete), heartbeat while running, submit the measured
-// checkpoint, repeat until the campaign is drained.
-func runWorker(endpoint, name string, workers, partialEvery int) error {
+// the coordinator (a shared directory, a campaignd URL, or — with a
+// campaign ID and token — one campaign of a multi-campaign service),
+// run each with the checkpointed Study.Run (resuming from any
+// intra-unit checkpoint a dead predecessor left behind and writing
+// fresh ones as cells complete), heartbeat while running, submit the
+// measured checkpoint, repeat until the campaign is drained.
+func runWorker(endpoint, name, campaignID, campaignToken string, workers, partialEvery int) error {
 	var (
 		q   dispatch.Queue
 		err error
 	)
-	if strings.HasPrefix(endpoint, "http://") || strings.HasPrefix(endpoint, "https://") {
+	isHTTP := strings.HasPrefix(endpoint, "http://") || strings.HasPrefix(endpoint, "https://")
+	switch {
+	case campaignID != "":
+		if !isHTTP {
+			return fmt.Errorf("-campaign targets a campaign service, so -worker must be an http(s) URL (got %q)", endpoint)
+		}
+		q, err = dispatch.DialCampaign(endpoint, campaignID, campaignToken, nil)
+	case campaignToken != "":
+		return fmt.Errorf("-campaign-token is only meaningful with -campaign")
+	case isHTTP:
 		q, err = dispatch.Dial(endpoint, nil)
-	} else {
+	default:
 		q, err = dispatch.OpenDir(endpoint)
 	}
 	if err != nil {

@@ -106,6 +106,46 @@
 // cmd/campaignd (-init/-watch for directory campaigns, -listen for
 // the HTTP coordinator) and characterize -worker wire these together.
 //
+// # Campaign service
+//
+// On top of single-campaign dispatch, campaignd -service hosts many
+// concurrent campaigns behind one process, each resumable across
+// coordinator restarts:
+//
+//   - dispatch/wal is the storage primitive: an append-only record log
+//     of CRC-checksummed, magic-coded, sequence-numbered frames. Open
+//     heals a torn tail (truncates to the last consistent record and
+//     reports what was dropped) and surfaces damage as typed sentinels
+//     (wal.ErrTruncated, wal.ErrBadChecksum, wal.ErrUnknownMagic,
+//     wal.ErrBadVersion), pinned by a crash-injection table test.
+//   - dispatch.WALQueue wraps MemQueue with that log: every transition
+//     (init, grant, re-plan, heartbeat, submit, partial, steal,
+//     cancel) is journaled as applied, and everything except
+//     heartbeats is fsynced before it is acknowledged. Records carry
+//     outcomes (minted tokens, computed expiries, plan deltas), so
+//     replay is pure delta application — OpenWALQueue reconstructs
+//     the exact queue state, live leases and cost model included.
+//     Compaction atomically snapshots and truncates the log; a failed
+//     append poisons the queue rather than letting memory drift from
+//     the journal.
+//   - dispatch/registry multiplexes campaigns: fingerprint-derived
+//     campaign IDs, a per-campaign worker token (minted at create,
+//     compared in constant time), durable metadata committed by an
+//     atomic meta.json write, and an HTTP API that namespaces the
+//     whole single-campaign dispatch protocol under
+//     /v1/campaigns/{id}/... — wrong-campaign and wrong-token
+//     submissions fail with dispatch.ErrUnknownCampaign and
+//     dispatch.ErrBadCampaignToken, and canceled campaigns answer
+//     dispatch.ErrCanceled.
+//   - campaignd -service serves the registry (campaigns are created
+//     over POST /v1/campaigns); plain -listen -state journals a
+//     single campaign through the same WALQueue. SIGINT/SIGTERM stops
+//     granting, flushes and fsyncs every journal, and exits 0; a
+//     restart resumes from the state directory, and a killed-and-
+//     restarted campaign renders byte-identical to an uninterrupted
+//     one. Workers join with characterize -worker URL -campaign ID
+//     -campaign-token TOKEN (dispatch.DialCampaign).
+//
 // # Performance
 //
 // The campaign hot path is a batched, allocation-free solve.

@@ -8,13 +8,16 @@ package benchscen
 
 import (
 	"context"
+	"os"
 	"testing"
 	"time"
 
 	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
 	"rowfuse/internal/device"
+	"rowfuse/internal/dispatch"
 	"rowfuse/internal/pattern"
+	"rowfuse/internal/resultio"
 	"rowfuse/internal/timing"
 )
 
@@ -208,4 +211,76 @@ func BankEngineCharacterizeRow(b *testing.B, cellsPerMech int) {
 	act, pre, _ := bank.Counters()
 	b.ReportMetric(float64(act)/float64(b.N), "acts/op")
 	b.ReportMetric(float64(pre)/float64(b.N), "pres/op")
+}
+
+// WALQueueGrantSubmit measures the durable dispatch hot path: one
+// journaled-and-fsynced Acquire plus one journaled-and-fsynced Submit
+// per op against a write-ahead queue on local disk. One cell per unit
+// keeps the checkpoint fold negligible, so the op cost is the
+// journaling itself, and zero submit elapsed keeps the planner static,
+// so the prebuilt per-unit checkpoints stay valid across queue
+// generations.
+func WALQueueGrantSubmit(b *testing.B) {
+	m := dispatch.NewManifest(core.StudyConfig{
+		Modules:       chipdb.Modules()[:4],
+		Sweep:         Fig4Sweep(),
+		RowsPerRegion: 4,
+		Dies:          1,
+		Runs:          1,
+	}, 1<<20, time.Minute) // unit count clamps to one cell per unit
+	cfg, err := m.Campaign.StudyConfig()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cells := core.NewStudy(cfg).Cells()
+	cps := make([]*resultio.Checkpoint, m.Units)
+	for unit := range cps {
+		plan := m.Plan(unit)
+		sub := make(map[core.CellKey]core.AggregateState)
+		for idx, key := range cells {
+			if plan.Contains(idx) {
+				sub[key] = core.AggregateState{}
+			}
+		}
+		cps[unit] = resultio.NewCheckpoint(m.Fingerprint, plan, sub)
+	}
+
+	dir, err := os.MkdirTemp("", "walbench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	var q *dispatch.WALQueue
+	reset := func() {
+		if q != nil {
+			if err := q.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := os.RemoveAll(dir); err != nil {
+			b.Fatal(err)
+		}
+		if q, err = dispatch.CreateWALQueue(dir, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	reset()
+	defer func() { q.Close() }()
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 && i%m.Units == 0 {
+			b.StopTimer()
+			reset()
+			b.StartTimer()
+		}
+		l, err := q.Acquire("bench")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := q.Submit(l, cps[l.Unit], 0); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

@@ -1,6 +1,8 @@
 package dispatch
 
 import (
+	"fmt"
+
 	"rowfuse/internal/core"
 	"rowfuse/internal/pattern"
 )
@@ -141,3 +143,45 @@ func (cm *costModel) observe(cells []int, elapsedNs int64) {
 // observed reports whether the model has folded at least one real
 // submission (until then, re-planning has nothing to act on).
 func (cm *costModel) observed() bool { return cm.nsPerW.ok }
+
+// costState is the serializable learned state of a cost model. The
+// priors (weights, class layout) are derived from the manifest, which
+// is deterministic, so only the EWMAs need persisting; class index
+// order is the canonical grid order and therefore stable across
+// restarts of the same campaign.
+type costState struct {
+	NsPerW  ewmaState   `json:"nsPerW"`
+	ClassNs []ewmaState `json:"classNs"`
+}
+
+// ewmaState is one serialized EWMA.
+type ewmaState struct {
+	Mean float64 `json:"mean"`
+	Ok   bool    `json:"ok,omitempty"`
+}
+
+// snapshot captures the learned state.
+func (cm *costModel) snapshot() costState {
+	s := costState{
+		NsPerW:  ewmaState{Mean: cm.nsPerW.mean, Ok: cm.nsPerW.ok},
+		ClassNs: make([]ewmaState, len(cm.classNs)),
+	}
+	for i, e := range cm.classNs {
+		s.ClassNs[i] = ewmaState{Mean: e.mean, Ok: e.ok}
+	}
+	return s
+}
+
+// restore replaces the learned state. The class count is structural
+// (derived from the manifest), so a mismatch means the snapshot was
+// taken under a different campaign.
+func (cm *costModel) restore(s costState) error {
+	if len(s.ClassNs) != len(cm.classNs) {
+		return fmt.Errorf("cost model has %d classes, snapshot %d", len(cm.classNs), len(s.ClassNs))
+	}
+	cm.nsPerW = ewma{mean: s.NsPerW.Mean, ok: s.NsPerW.Ok}
+	for i, e := range s.ClassNs {
+		cm.classNs[i] = ewma{mean: e.Mean, ok: e.Ok}
+	}
+	return nil
+}

@@ -472,6 +472,15 @@ func (q *DirQueue) Acquire(worker string) (Lease, error) {
 		}
 		err = q.createExclusive(leaseFile(unit), data)
 		if err == nil {
+			// Re-check the done link after winning the claim: a submit
+			// can land between the candidate scan and the claim (the
+			// submitter links done, then frees the lease file we just
+			// reused). The done file is authoritative — hand the lease
+			// back instead of granting a finished unit.
+			if q.isDone(unit) {
+				_ = removeExclusive(q.dir, leaseFile(unit), q.hardLinks)
+				continue
+			}
 			return l, nil
 		}
 		if !errors.Is(err, os.ErrExist) {
@@ -499,6 +508,10 @@ func (q *DirQueue) Acquire(worker string) (Lease, error) {
 					return Lease{}, fmt.Errorf("dispatch: steal lease %d: %w", unit, err)
 				}
 				if err := q.createExclusive(leaseFile(unit), data); err == nil {
+					if q.isDone(unit) { // same scan-vs-claim race as above
+						_ = removeExclusive(q.dir, leaseFile(unit), q.hardLinks)
+						continue
+					}
 					return l, nil
 				} else if !errors.Is(err, os.ErrExist) {
 					return Lease{}, err

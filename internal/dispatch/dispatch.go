@@ -91,6 +91,16 @@ var (
 	// ErrDuplicateSubmit reports a submit for a unit that already has
 	// an accepted checkpoint.
 	ErrDuplicateSubmit = errors.New("dispatch: unit already submitted")
+	// ErrCanceled reports an operation against a campaign an operator
+	// canceled; workers should stop, results so far stay renderable.
+	ErrCanceled = errors.New("dispatch: campaign canceled")
+	// ErrUnknownCampaign reports a campaign-scoped request naming an
+	// ID the coordinator does not host.
+	ErrUnknownCampaign = errors.New("dispatch: unknown campaign")
+	// ErrBadCampaignToken reports a campaign-scoped request whose
+	// worker token does not match the campaign's — a worker pointed at
+	// the wrong campaign, or a token that leaked across campaigns.
+	ErrBadCampaignToken = errors.New("dispatch: bad campaign worker token")
 )
 
 // CampaignSpec is the serializable subset of core.StudyConfig — every

@@ -19,13 +19,20 @@ import (
 const (
 	errHeader = "Rowfuse-Dispatch-Error"
 
-	errValNoWork         = "no-work"
-	errValDrained        = "drained"
-	errValLeaseLost      = "lease-lost"
-	errValDuplicate      = "duplicate-submit"
-	errValConfigMismatch = "config-mismatch"
-	errValBadCheckpoint  = "bad-checkpoint"
+	errValNoWork           = "no-work"
+	errValDrained          = "drained"
+	errValLeaseLost        = "lease-lost"
+	errValDuplicate        = "duplicate-submit"
+	errValConfigMismatch   = "config-mismatch"
+	errValBadCheckpoint    = "bad-checkpoint"
+	errValCanceled         = "canceled"
+	errValUnknownCampaign  = "unknown-campaign"
+	errValBadCampaignToken = "bad-campaign-token"
 )
+
+// CampaignTokenHeader carries a campaign's worker auth token on every
+// campaign-scoped request a multi-campaign coordinator receives.
+const CampaignTokenHeader = "Rowfuse-Campaign-Token"
 
 // leaseRequest is the POST /v1/lease body.
 type leaseRequest struct {
@@ -189,6 +196,12 @@ func writeErr(w http.ResponseWriter, err error) {
 		code, val = http.StatusConflict, errValLeaseLost
 	case errors.Is(err, ErrDuplicateSubmit):
 		code, val = http.StatusConflict, errValDuplicate
+	case errors.Is(err, ErrCanceled):
+		code, val = http.StatusGone, errValCanceled
+	case errors.Is(err, ErrUnknownCampaign):
+		code, val = http.StatusNotFound, errValUnknownCampaign
+	case errors.Is(err, ErrBadCampaignToken):
+		code, val = http.StatusForbidden, errValBadCampaignToken
 	case errors.Is(err, resultio.ErrConfigMismatch):
 		code, val = http.StatusPreconditionFailed, errValConfigMismatch
 	case errors.Is(err, resultio.ErrBadCheckpoint):
@@ -200,10 +213,21 @@ func writeErr(w http.ResponseWriter, err error) {
 	http.Error(w, err.Error(), code)
 }
 
-// Client is the worker-side Queue over HTTP.
+// WriteError maps a queue sentinel onto its HTTP representation —
+// status code plus the error header the Client decodes back into the
+// same sentinel. For handlers layered around NewHandler (the
+// multi-campaign registry) that reject requests with dispatch
+// sentinels of their own.
+func WriteError(w http.ResponseWriter, err error) { writeErr(w, err) }
+
+// Client is the worker-side Queue over HTTP — against a classic
+// single-campaign coordinator (Dial) or one campaign of a
+// multi-campaign service (DialCampaign).
 type Client struct {
-	base string
-	hc   *http.Client
+	base   string
+	prefix string // route namespace: "/v1" or "/v1/campaigns/{id}"
+	token  string // campaign worker token, sent on every request
+	hc     *http.Client
 
 	manifest Manifest
 }
@@ -215,11 +239,28 @@ type Client struct {
 // retry — not a forever-blocked POST that outlives the very lease TTL
 // this design exists to enforce.
 func Dial(base string, hc *http.Client) (*Client, error) {
+	return dial(base, "/v1", "", hc)
+}
+
+// DialCampaign targets one campaign hosted by a multi-campaign
+// coordinator: requests go to /v1/campaigns/{id}/... and present the
+// campaign's worker token. An unknown id surfaces as
+// ErrUnknownCampaign, a wrong token as ErrBadCampaignToken, and a
+// canceled campaign as ErrCanceled — all before any unit state is
+// touched.
+func DialCampaign(base, campaignID, token string, hc *http.Client) (*Client, error) {
+	if campaignID == "" {
+		return nil, fmt.Errorf("dispatch: DialCampaign: empty campaign id")
+	}
+	return dial(base, "/v1/campaigns/"+campaignID, token, hc)
+}
+
+func dial(base, prefix, token string, hc *http.Client) (*Client, error) {
 	if hc == nil {
 		hc = &http.Client{Timeout: time.Minute}
 	}
-	c := &Client{base: strings.TrimRight(base, "/"), hc: hc}
-	if err := c.get("/v1/manifest", &c.manifest); err != nil {
+	c := &Client{base: strings.TrimRight(base, "/"), prefix: prefix, token: token, hc: hc}
+	if err := c.get("/manifest", &c.manifest); err != nil {
 		return nil, err
 	}
 	if err := c.manifest.Validate(); err != nil {
@@ -234,7 +275,7 @@ func (c *Client) Manifest() (Manifest, error) { return c.manifest, nil }
 // Acquire implements Queue.
 func (c *Client) Acquire(worker string) (Lease, error) {
 	var l Lease
-	if err := c.post("/v1/lease", leaseRequest{Worker: worker}, &l); err != nil {
+	if err := c.post("/lease", leaseRequest{Worker: worker}, &l); err != nil {
 		return Lease{}, err
 	}
 	return l, nil
@@ -242,23 +283,23 @@ func (c *Client) Acquire(worker string) (Lease, error) {
 
 // Heartbeat implements Queue.
 func (c *Client) Heartbeat(l Lease) error {
-	return c.post("/v1/heartbeat", l, nil)
+	return c.post("/heartbeat", l, nil)
 }
 
 // Submit implements Queue.
 func (c *Client) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
-	return c.post("/v1/submit", submitRequest{Lease: l, Checkpoint: cp, ElapsedNs: elapsed.Nanoseconds()}, nil)
+	return c.post("/submit", submitRequest{Lease: l, Checkpoint: cp, ElapsedNs: elapsed.Nanoseconds()}, nil)
 }
 
 // SavePartial implements Queue.
 func (c *Client) SavePartial(l Lease, cp *resultio.Checkpoint) error {
-	return c.post("/v1/partial", partialRequest{Lease: l, Checkpoint: cp}, nil)
+	return c.post("/partial", partialRequest{Lease: l, Checkpoint: cp}, nil)
 }
 
 // LoadPartial implements Queue.
 func (c *Client) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
 	var resp partialResponse
-	if err := c.post("/v1/partial", partialRequest{Lease: l, Load: true}, &resp); err != nil {
+	if err := c.post("/partial", partialRequest{Lease: l, Load: true}, &resp); err != nil {
 		return nil, err
 	}
 	return resp.Checkpoint, nil
@@ -267,7 +308,7 @@ func (c *Client) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
 // Status implements Queue.
 func (c *Client) Status() (Status, error) {
 	var st Status
-	if err := c.get("/v1/status", &st); err != nil {
+	if err := c.get("/status", &st); err != nil {
 		return Status{}, err
 	}
 	return st, nil
@@ -275,9 +316,9 @@ func (c *Client) Status() (Status, error) {
 
 // Merged implements Queue.
 func (c *Client) Merged() (*resultio.Checkpoint, error) {
-	resp, err := c.hc.Get(c.base + "/v1/checkpoint")
+	resp, err := c.do("GET", "/checkpoint", nil)
 	if err != nil {
-		return nil, fmt.Errorf("dispatch: GET /v1/checkpoint: %w", err)
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if err := responseErr(resp); err != nil {
@@ -288,9 +329,9 @@ func (c *Client) Merged() (*resultio.Checkpoint, error) {
 
 // Report fetches the coordinator's live partial-grid rendering.
 func (c *Client) Report() (string, error) {
-	resp, err := c.hc.Get(c.base + "/v1/report")
+	resp, err := c.do("GET", "/report", nil)
 	if err != nil {
-		return "", fmt.Errorf("dispatch: GET /v1/report: %w", err)
+		return "", err
 	}
 	defer resp.Body.Close()
 	if err := responseErr(resp); err != nil {
@@ -300,10 +341,34 @@ func (c *Client) Report() (string, error) {
 	return string(b), err
 }
 
-func (c *Client) get(path string, out any) error {
-	resp, err := c.hc.Get(c.base + path)
+// do issues one request under the client's route prefix, presenting
+// the campaign token when it carries one.
+func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+c.prefix+path, rd)
 	if err != nil {
-		return fmt.Errorf("dispatch: GET %s: %w", path, err)
+		return nil, fmt.Errorf("dispatch: %s %s: %w", method, path, err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	if c.token != "" {
+		req.Header.Set(CampaignTokenHeader, c.token)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("dispatch: %s %s%s: %w", method, c.prefix, path, err)
+	}
+	return resp, nil
+}
+
+func (c *Client) get(path string, out any) error {
+	resp, err := c.do("GET", path, nil)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	if err := responseErr(resp); err != nil {
@@ -317,9 +382,9 @@ func (c *Client) post(path string, body any, out any) error {
 	if err != nil {
 		return fmt.Errorf("dispatch: encode %s body: %w", path, err)
 	}
-	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(data))
+	resp, err := c.do("POST", path, data)
 	if err != nil {
-		return fmt.Errorf("dispatch: POST %s: %w", path, err)
+		return err
 	}
 	defer resp.Body.Close()
 	if err := responseErr(resp); err != nil {
@@ -351,6 +416,12 @@ func responseErr(resp *http.Response) error {
 		return fmt.Errorf("%w (%s)", resultio.ErrConfigMismatch, detail)
 	case errValBadCheckpoint:
 		return fmt.Errorf("%w (%s)", resultio.ErrBadCheckpoint, detail)
+	case errValCanceled:
+		return fmt.Errorf("%w (%s)", ErrCanceled, detail)
+	case errValUnknownCampaign:
+		return fmt.Errorf("%w (%s)", ErrUnknownCampaign, detail)
+	case errValBadCampaignToken:
+		return fmt.Errorf("%w (%s)", ErrBadCampaignToken, detail)
 	}
 	return fmt.Errorf("dispatch: coordinator returned %s: %s", resp.Status, detail)
 }

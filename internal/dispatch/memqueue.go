@@ -37,6 +37,36 @@ type MemQueue struct {
 	// replanDirty marks that the cost model changed since the last
 	// re-plan attempt.
 	replanDirty bool
+	// canceled stops the campaign: every worker-facing mutation fails
+	// with ErrCanceled; Status and Merged keep answering so operators
+	// can inspect and render what completed.
+	canceled bool
+	// sink, when non-nil, receives every state transition as it
+	// commits (called with mu held) — WALQueue's journaling hook.
+	// Lazy expiry sweeps are deliberately not journaled: they are
+	// derived from the expiry timestamps already on record.
+	sink journalSink
+}
+
+// journalSink observes MemQueue state transitions for durable
+// journaling. Restore entry points (restore*) bypass it, so replaying
+// a journal never re-journals.
+type journalSink interface {
+	journalPlan(deltas []PlanDelta)
+	journalGrant(l Lease, stolen bool)
+	journalHeartbeat(unit int, token string, expires time.Time)
+	journalSubmit(unit int, worker string, cp *resultio.Checkpoint, elapsedNs int64)
+	journalPartial(unit int, token string, cp *resultio.Checkpoint)
+	journalCancel()
+}
+
+// PlanDelta is one slot rewrite of a re-planning pass: the unit's new
+// state (pending or retired) and cell set. A slot index at or past
+// the current table length appends a new slot.
+type PlanDelta struct {
+	Unit  int    `json:"unit"`
+	State string `json:"state"`
+	Cells []int  `json:"cells,omitempty"`
 }
 
 type memUnit struct {
@@ -192,15 +222,22 @@ func (q *MemQueue) replan() {
 	}
 	// Write the bins back into the pooled slots; retire leftovers or
 	// append fresh slots as the bin count dictates.
+	var deltas []PlanDelta
 	for i, slot := range pool {
 		if i < len(binCells) {
 			q.units[slot] = memUnit{state: UnitPending, cells: binCells[i]}
+			deltas = append(deltas, PlanDelta{Unit: slot, State: UnitPending, Cells: binCells[i]})
 		} else {
 			q.units[slot] = memUnit{state: UnitRetired}
+			deltas = append(deltas, PlanDelta{Unit: slot, State: UnitRetired})
 		}
 	}
 	for i := len(pool); i < len(binCells); i++ {
+		deltas = append(deltas, PlanDelta{Unit: len(q.units), State: UnitPending, Cells: binCells[i]})
 		q.units = append(q.units, memUnit{state: UnitPending, cells: binCells[i]})
+	}
+	if q.sink != nil {
+		q.sink.journalPlan(deltas)
 	}
 }
 
@@ -211,6 +248,9 @@ func (q *MemQueue) replan() {
 func (q *MemQueue) Acquire(worker string) (Lease, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.canceled {
+		return Lease{}, fmt.Errorf("dispatch: acquire: %w", ErrCanceled)
+	}
 	now := q.now()
 	q.sweep(now)
 	q.replan()
@@ -233,14 +273,19 @@ func (q *MemQueue) Acquire(worker string) (Lease, error) {
 	}
 	if best >= 0 {
 		u := &q.units[best]
+		stolen := u.token != "" // an expired predecessor held it
 		u.state = UnitLeased
 		u.worker = worker
 		u.token = newToken() // invalidates any expired holder's lease
 		u.expires = now.Add(q.manifest.LeaseTTL())
-		return Lease{
+		l := Lease{
 			Unit: best, Worker: worker, Token: u.token, Expires: u.expires,
 			Cells: append([]int(nil), u.cells...),
-		}, nil
+		}
+		if q.sink != nil {
+			q.sink.journalGrant(l, stolen)
+		}
+		return l, nil
 	}
 	if done == live {
 		return Lease{}, ErrDrained
@@ -268,6 +313,9 @@ func (q *MemQueue) unitFor(l Lease, op string) (*memUnit, error) {
 func (q *MemQueue) Heartbeat(l Lease) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: heartbeat: %w", ErrCanceled)
+	}
 	now := q.now()
 	q.sweep(now)
 	u, err := q.unitFor(l, "heartbeat")
@@ -279,6 +327,9 @@ func (q *MemQueue) Heartbeat(l Lease) error {
 	}
 	u.state = UnitLeased
 	u.expires = now.Add(q.manifest.LeaseTTL())
+	if q.sink != nil {
+		q.sink.journalHeartbeat(l.Unit, u.token, u.expires)
+	}
 	return nil
 }
 
@@ -288,6 +339,9 @@ func (q *MemQueue) Heartbeat(l Lease) error {
 func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: submit: %w", ErrCanceled)
+	}
 	q.sweep(q.now())
 	u, err := q.unitFor(l, "submit")
 	if err != nil {
@@ -313,6 +367,9 @@ func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duratio
 	if elapsed > 0 {
 		q.replanDirty = true
 	}
+	if q.sink != nil {
+		q.sink.journalSubmit(l.Unit, l.Worker, cp, elapsed.Nanoseconds())
+	}
 	return nil
 }
 
@@ -321,6 +378,9 @@ func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duratio
 func (q *MemQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: save partial: %w", ErrCanceled)
+	}
 	q.sweep(q.now())
 	u, err := q.unitFor(l, "save partial")
 	if err != nil {
@@ -333,7 +393,34 @@ func (q *MemQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
 		return err
 	}
 	u.partial = cp
+	if q.sink != nil {
+		q.sink.journalPartial(l.Unit, u.token, cp)
+	}
 	return nil
+}
+
+// Cancel stops the campaign: subsequent Acquire, Heartbeat, Submit
+// and SavePartial calls fail with ErrCanceled. Status and Merged keep
+// working, so a canceled campaign's completed cells stay inspectable
+// and renderable. Idempotent.
+func (q *MemQueue) Cancel() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.canceled {
+		return nil
+	}
+	q.canceled = true
+	if q.sink != nil {
+		q.sink.journalCancel()
+	}
+	return nil
+}
+
+// Canceled reports whether the campaign was canceled.
+func (q *MemQueue) Canceled() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.canceled
 }
 
 // LoadPartial implements Queue: return the unit's stored intra-unit

@@ -1,0 +1,130 @@
+package dispatch_test
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"rowfuse/internal/dispatch"
+	"rowfuse/internal/resultio"
+)
+
+// eventQueue records the order of grants and submissions so a test
+// can assert two operations overlapped.
+type eventQueue struct {
+	dispatch.Queue
+	mu     sync.Mutex
+	events []string
+}
+
+func (e *eventQueue) record(format string, args ...any) {
+	e.mu.Lock()
+	e.events = append(e.events, fmt.Sprintf(format, args...))
+	e.mu.Unlock()
+}
+
+func (e *eventQueue) log() []string {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]string(nil), e.events...)
+}
+
+func (e *eventQueue) Acquire(worker string) (dispatch.Lease, error) {
+	l, err := e.Queue.Acquire(worker)
+	if err == nil {
+		e.record("acquire:%d", l.Unit)
+	}
+	return l, err
+}
+
+func (e *eventQueue) Submit(l dispatch.Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
+	err := e.Queue.Submit(l, cp, elapsed)
+	if err == nil {
+		e.record("submit:%d", l.Unit)
+	}
+	return err
+}
+
+// TestWorkerLeasePipelining proves the worker overlaps the next
+// Acquire with the current unit's tail cells: the second unit's grant
+// must land BEFORE the first unit's submission — the acquire round
+// trip is hidden behind the tail compute, not serialized after it.
+func TestWorkerLeasePipelining(t *testing.T) {
+	m := dispatch.NewManifest(testConfig(t), 2, time.Second)
+	mq, err := dispatch.NewMemQueue(m, dispatch.WithoutReplanning())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := &eventQueue{Queue: mq}
+
+	// The instrumented runner checkpoints all but the unit's last cell
+	// (arming the prefetch trigger), then refuses to "finish" the tail
+	// cell until the prefetched grant is on record — so the test
+	// passes only if the overlap actually happens, never by luck of
+	// scheduling.
+	firstUnit := true
+	run := func(ctx context.Context, man dispatch.Manifest, u dispatch.UnitWork) (*resultio.Checkpoint, dispatch.UnitRunStats, error) {
+		stats := dispatch.UnitRunStats{TotalCells: len(u.Cells), ComputedCells: len(u.Cells)}
+		if u.SavePartial != nil && len(u.Cells) > 1 {
+			_ = u.SavePartial(checkpointForCells(t, man, u.Cells[:len(u.Cells)-1]))
+		}
+		if firstUnit {
+			firstUnit = false
+			deadline := time.Now().Add(10 * time.Second)
+			for {
+				if grants := countPrefix(q.log(), "acquire:"); grants >= 2 {
+					break
+				}
+				if time.Now().After(deadline) {
+					return nil, stats, fmt.Errorf("no overlapping acquire arrived while unit %d's tail cell was still computing", u.Unit)
+				}
+				time.Sleep(2 * time.Millisecond)
+			}
+		}
+		return checkpointForCells(t, man, u.Cells), stats, nil
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	n, err := dispatch.Work(ctx, q, dispatch.WorkerOptions{Name: "pipelined", RunShard: run, Log: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("worker submitted %d units, want 2", n)
+	}
+
+	events := q.log()
+	secondAcquire, firstSubmit := -1, -1
+	acquires := 0
+	for i, ev := range events {
+		if ev == "submit:0" || ev == "submit:1" {
+			if firstSubmit == -1 {
+				firstSubmit = i
+			}
+			continue
+		}
+		if acquires++; acquires == 2 && secondAcquire == -1 {
+			secondAcquire = i
+		}
+	}
+	if secondAcquire == -1 || firstSubmit == -1 {
+		t.Fatalf("event log incomplete: %v", events)
+	}
+	if secondAcquire > firstSubmit {
+		t.Fatalf("no pipelining: second acquire (event %d) after first submit (event %d): %v",
+			secondAcquire, firstSubmit, events)
+	}
+}
+
+func countPrefix(events []string, prefix string) int {
+	n := 0
+	for _, ev := range events {
+		if len(ev) >= len(prefix) && ev[:len(prefix)] == prefix {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,147 @@
+package registry
+
+import (
+	"encoding/json"
+	"net/http"
+	"time"
+
+	"rowfuse/internal/dispatch"
+)
+
+// CreateRequest is the POST /v1/campaigns body: the campaign spec
+// plus the partitioning knobs. Units and TTLMs fall back to the same
+// defaults campaignd's single-campaign flags use.
+type CreateRequest struct {
+	Campaign dispatch.CampaignSpec `json:"campaign"`
+	Units    int                   `json:"units,omitempty"`
+	TTLMs    int64                 `json:"ttlMs,omitempty"`
+}
+
+// CreateResponse echoes the committed campaign identity — including
+// the worker token, which is handed out here and never again — and
+// the manifest the coordinator built (fingerprint recomputed
+// server-side from the spec, so a client cannot forge it).
+type CreateResponse struct {
+	Meta
+	Manifest dispatch.Manifest `json:"manifest"`
+}
+
+// workerOps are the campaign-scoped operations that mutate unit state
+// on a worker's behalf; they require the campaign's worker token.
+// Reads (manifest, status, checkpoint, report) stay open: they leak
+// progress, not results a foreign worker could corrupt.
+var workerOps = map[string]bool{
+	"lease":     true,
+	"heartbeat": true,
+	"submit":    true,
+	"partial":   true,
+}
+
+// Handler exposes the registry as the campaign-service HTTP API:
+//
+//	POST   /v1/campaigns             create; body CreateRequest -> CreateResponse
+//	GET    /v1/campaigns             list -> {"campaigns": [Info]}
+//	GET    /v1/campaigns/{id}        one campaign's Info
+//	DELETE /v1/campaigns/{id}        cancel (durable) -> 204
+//	*      /v1/campaigns/{id}/{op}   the single-campaign dispatch API,
+//	                                 namespaced per campaign; worker
+//	                                 mutations demand the campaign
+//	                                 token in Rowfuse-Campaign-Token
+//
+// Sentinel conditions ride the same Rowfuse-Dispatch-Error header the
+// single-campaign API uses, so dispatch.DialCampaign clients get the
+// exact dispatch errors back.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/campaigns", r.handleCreate)
+	mux.HandleFunc("GET /v1/campaigns", r.handleList)
+	mux.HandleFunc("GET /v1/campaigns/{id}", r.handleDescribe)
+	mux.HandleFunc("DELETE /v1/campaigns/{id}", r.handleCancel)
+	mux.HandleFunc("/v1/campaigns/{id}/{op...}", r.handleCampaignOp)
+	return mux
+}
+
+func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
+	var cr CreateRequest
+	if err := json.NewDecoder(req.Body).Decode(&cr); err != nil {
+		http.Error(w, "body must be a campaign create request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	cfg, err := cr.Campaign.StudyConfig()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if cr.Units <= 0 {
+		cr.Units = 8
+	}
+	ttl := time.Duration(cr.TTLMs) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 2 * time.Minute
+	}
+	m := dispatch.NewManifest(cfg, cr.Units, ttl)
+	meta, err := r.Create(m)
+	if err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	_ = json.NewEncoder(w).Encode(CreateResponse{Meta: meta, Manifest: m})
+}
+
+func (r *Registry) handleList(w http.ResponseWriter, req *http.Request) {
+	infos, err := r.List()
+	if err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	writeJSON(w, map[string][]Info{"campaigns": infos})
+}
+
+func (r *Registry) handleDescribe(w http.ResponseWriter, req *http.Request) {
+	info, err := r.Describe(req.PathValue("id"))
+	if err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	writeJSON(w, info)
+}
+
+func (r *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
+	if err := r.Cancel(req.PathValue("id")); err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleCampaignOp routes a campaign-scoped dispatch call to the
+// campaign's own single-campaign handler, after the namespace checks:
+// the campaign must exist, and worker mutations must present its
+// token. The inner handler is served with the path rebased to the
+// classic /v1/{op} route, so the entire single-campaign API —
+// semantics, error mapping, wire format — is reused verbatim.
+func (r *Registry) handleCampaignOp(w http.ResponseWriter, req *http.Request) {
+	id, op := req.PathValue("id"), req.PathValue("op")
+	c, err := r.lookup(id)
+	if err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	if workerOps[op] {
+		if err := r.Authorize(id, req.Header.Get(dispatch.CampaignTokenHeader)); err != nil {
+			dispatch.WriteError(w, err)
+			return
+		}
+	}
+	inner := req.Clone(req.Context())
+	inner.URL.Path = "/v1/" + op
+	inner.URL.RawPath = ""
+	c.handler.ServeHTTP(w, inner)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -4,13 +4,25 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand/v2"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"rowfuse/internal/core"
 	"rowfuse/internal/resultio"
 )
+
+// jitter spreads a timer ±10% so a worker fleet started in lockstep
+// (one orchestrator, one boot script) does not heartbeat and poll the
+// coordinator in synchronized bursts forever.
+func jitter(d time.Duration) time.Duration {
+	if d <= 0 {
+		return d
+	}
+	return time.Duration(float64(d) * (0.9 + 0.2*rand.Float64()))
+}
 
 // UnitWork describes one leased unit to a shard runner: which cells to
 // compute, and what a dead predecessor already finished.
@@ -228,14 +240,62 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 		}
 		return d
 	}
+	// Lease pipelining: when the running unit is down to its tail
+	// cells, a background goroutine overlaps the next Acquire with the
+	// remaining compute and babysits the prefetched lease (heartbeats
+	// it) until the main loop adopts it — hiding the acquire round
+	// trip behind the tail of the current unit. pipeCtx ends the
+	// babysitter when Work returns, letting an unadopted lease expire
+	// exactly like a crashed worker's would.
+	pipeCtx, pipeCancel := context.WithCancel(context.Background())
+	defer pipeCancel()
+	prefetchCh := make(chan *prefetchedLease, 1)
+	var next *prefetchedLease
+	var prefetching atomic.Bool // a prefetchLease goroutine has not delivered yet
+	defer func() {
+		if next != nil {
+			next.release()
+		}
+	}()
 	done := 0
 	for {
+		if next == nil && prefetching.Load() {
+			select {
+			case next = <-prefetchCh:
+				prefetching.Store(false)
+			default:
+			}
+		}
 		if err := ctx.Err(); err != nil {
 			return done, err
 		}
-		lease, err := q.Acquire(opt.Name)
+		var lease Lease
+		var err error
+		if next != nil {
+			lease = next.lease
+			next.release()
+			next = nil
+			opt.Log("worker %s: adopting prefetched lease for unit %d", opt.Name, lease.Unit)
+		} else {
+			lease, err = q.Acquire(opt.Name)
+		}
 		switch {
 		case errors.Is(err, ErrDrained):
+			// A prefetched grant may still be in flight; a drained
+			// answer to this worker's own Acquire says nothing about
+			// it. Wait the prefetch out and adopt its lease before
+			// concluding, or the unit would be abandoned to TTL expiry.
+			if prefetching.Load() {
+				select {
+				case next = <-prefetchCh:
+					prefetching.Store(false)
+					if next != nil {
+						continue
+					}
+				case <-ctx.Done():
+					return done, ctx.Err()
+				}
+			}
 			opt.Log("worker %s: campaign drained after %d units", opt.Name, done)
 			return done, nil
 		case errors.Is(err, ErrNoWork):
@@ -243,7 +303,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			select {
 			case <-ctx.Done():
 				return done, ctx.Err()
-			case <-time.After(opt.Poll):
+			case <-time.After(jitter(opt.Poll)):
 			}
 			continue
 		case err != nil:
@@ -253,7 +313,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			select {
 			case <-ctx.Done():
 				return done, ctx.Err()
-			case <-time.After(opt.Poll):
+			case <-time.After(jitter(opt.Poll)):
 			}
 			continue
 		}
@@ -269,7 +329,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 		hbDone := make(chan struct{})
 		go func() {
 			defer close(hbDone)
-			t := time.NewTicker(beat)
+			t := time.NewTimer(jitter(beat))
 			defer t.Stop()
 			for {
 				select {
@@ -287,6 +347,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 						// survives until the TTL runs out.
 						opt.Log("worker %s: heartbeat unit %d: %v", opt.Name, lease.Unit, err)
 					}
+					t.Reset(jitter(beat))
 				}
 			}
 		}()
@@ -303,6 +364,18 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			opt.Log("worker %s: unit %d: resuming from intra-unit checkpoint (%d of %d cells done)",
 				opt.Name, lease.Unit, len(resume.Cells), len(lease.Cells))
 		}
+		unitCells := len(lease.Cells)
+		if unitCells == 0 {
+			unitCells = len(m.UnitCells(lease.Unit))
+		}
+		// Pipelining trigger: once the unit is into its last
+		// checkpoint-interval's worth of cells, overlap the next
+		// Acquire with the tail compute. One attempt per unit.
+		pipeThreshold := opt.PartialEvery
+		if pipeThreshold < 1 {
+			pipeThreshold = 1
+		}
+		var prefetchOnce sync.Once
 		work := UnitWork{
 			Unit:         lease.Unit,
 			Cells:        lease.Cells,
@@ -311,6 +384,12 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			SavePartial: func(cp *resultio.Checkpoint) error {
 				if err := q.SavePartial(lease, cp); err != nil && !errors.Is(err, ErrLeaseLost) {
 					opt.Log("worker %s: unit %d: intra-unit checkpoint: %v", opt.Name, lease.Unit, err)
+				}
+				if unitCells > 0 && unitCells-len(cp.Cells) <= pipeThreshold {
+					prefetchOnce.Do(func() {
+						prefetching.Store(true)
+						go prefetchLease(pipeCtx, q, opt, beat, prefetchCh)
+					})
 				}
 				return nil
 			},
@@ -364,7 +443,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 				cancel()
 				<-hbDone
 				return done, ctx.Err()
-			case <-time.After(backoff(attempt)):
+			case <-time.After(jitter(backoff(attempt))):
 			}
 		}
 		cancel()
@@ -374,5 +453,64 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 		}
 		done++
 		opt.Log("worker %s: submitted unit %d", opt.Name, lease.Unit)
+	}
+}
+
+// prefetchedLease is a lease acquired ahead of need: a babysitter
+// goroutine keeps it heartbeated until the worker's main loop adopts
+// it (or Work returns and the lease is left to expire).
+type prefetchedLease struct {
+	lease Lease
+	stop  chan struct{}
+	done  chan struct{}
+}
+
+// release stops the babysitter and waits it out; the caller owns the
+// lease from here (or abandons it to TTL expiry).
+func (p *prefetchedLease) release() {
+	close(p.stop)
+	<-p.done
+}
+
+// prefetchLease overlaps the next Acquire with the current unit's
+// tail cells. On success the lease is handed to ch with a babysitter
+// heartbeating it; any acquire error (ErrNoWork, ErrDrained,
+// transient faults alike) simply means nothing was pipelined — the
+// main loop's own acquire path remains authoritative. Either way
+// exactly one value is delivered (nil on failure), so the main loop
+// can always tell an in-flight prefetch from a finished one.
+func prefetchLease(ctx context.Context, q Queue, opt WorkerOptions, beat time.Duration, ch chan *prefetchedLease) {
+	l, err := q.Acquire(opt.Name)
+	if err != nil {
+		select {
+		case ch <- nil:
+		case <-ctx.Done():
+		}
+		return
+	}
+	p := &prefetchedLease{lease: l, stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(p.done)
+		t := time.NewTimer(jitter(beat))
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				if err := q.Heartbeat(p.lease); errors.Is(err, ErrLeaseLost) {
+					return
+				}
+				t.Reset(jitter(beat))
+			}
+		}
+	}()
+	opt.Log("worker %s: prefetched lease for unit %d while finishing the current unit", opt.Name, l.Unit)
+	select {
+	case ch <- p:
+	case <-ctx.Done():
+		p.release()
 	}
 }

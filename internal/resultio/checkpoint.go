@@ -1,6 +1,7 @@
 package resultio
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -132,31 +133,45 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	return &cp, nil
 }
 
+// WriteFileAtomic atomically replaces path with data: write to a temp
+// file in the same directory, fsync, rename. A crash at any point
+// leaves either the previous content or the new one, never a torn
+// file; at worst a stale *.tmp* sibling survives, which readers must
+// ignore. Shared by checkpoint persistence and the dispatch WAL's
+// snapshot compaction.
+func WriteFileAtomic(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("resultio: temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultio: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("resultio: sync %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("resultio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("resultio: commit %s: %w", path, err)
+	}
+	return nil
+}
+
 // WriteCheckpointFile atomically replaces path with the checkpoint
 // (write to a temp file in the same directory, fsync, rename), so a
 // crash mid-checkpoint can never destroy the previous good state.
 func WriteCheckpointFile(path string, cp *Checkpoint) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return fmt.Errorf("resultio: checkpoint temp file: %w", err)
-	}
-	defer os.Remove(tmp.Name())
-	if err := SaveCheckpoint(tmp, cp); err != nil {
-		tmp.Close()
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
 		return err
 	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return fmt.Errorf("resultio: sync checkpoint: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("resultio: close checkpoint: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("resultio: commit checkpoint: %w", err)
-	}
-	return nil
+	return WriteFileAtomic(path, buf.Bytes())
 }
 
 // ReadCheckpointFile loads a checkpoint from disk and, when wantFingerprint
