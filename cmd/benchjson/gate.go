@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -27,8 +28,15 @@ import (
 //     scheduling.
 
 // timeCritical names the benchmarks whose ns_per_op regression fails
-// the gate.
-var timeCritical = map[string]bool{"StudyCampaign": true}
+// the gate: the end-to-end campaign headliner plus the two
+// kernel-bound benchmarks this repo's vector dispatch exists for —
+// losing the SIMD solve or the bulk bank fast-forward must not slip
+// through as "runner noise".
+var timeCritical = map[string]bool{
+	"StudyCampaign":                       true,
+	"SolveBatch":                          true,
+	"BankEngineCharacterizeRowDenseCells": true,
+}
 
 // newestBaseline returns the BENCH_<n>.json in dir with the largest
 // n, skipping exclude — the snapshot the gate itself just wrote must
@@ -81,6 +89,18 @@ func nsComparable(a, b snapshot) bool {
 	return a.GOOS == b.GOOS && a.GOARCH == b.GOARCH && a.CPUs == b.CPUs
 }
 
+// vectorComparable reports whether two snapshots ran under the same
+// vector dispatch (CPU feature level and GOAMD64). A mismatch — say a
+// baseline measured with AVX2 kernels against a fresh purego run —
+// makes ns/op differences dispatch artifacts, not regressions, so the
+// gate warns and skips the ns rule instead of failing. Empty fields
+// (snapshots predating them) compare as equal so old baselines keep
+// the rule.
+func vectorComparable(a, b snapshot) bool {
+	eq := func(x, y string) bool { return x == "" || y == "" || x == y }
+	return eq(a.CPUFeature, b.CPUFeature) && eq(a.GOAMD64, b.GOAMD64)
+}
+
 // compareSnapshots applies the gate rules and returns one line per
 // violation (empty = pass). tolerance is the fractional ns_per_op
 // slack on time-critical benchmarks (0.30 = fail beyond +30%),
@@ -92,7 +112,7 @@ func compareSnapshots(baseline, fresh snapshot, tolerance float64, allocGuard in
 	for _, b := range fresh.Benchmarks {
 		freshBy[b.Name] = b
 	}
-	gateNs := nsComparable(baseline, fresh)
+	gateNs := nsComparable(baseline, fresh) && vectorComparable(baseline, fresh)
 	var violations []string
 	for _, base := range baseline.Benchmarks {
 		f, ok := freshBy[base.Name]
@@ -139,6 +159,10 @@ func gate(fresh snapshot, freshPath, baselinePath, dir string, tolerance float64
 		fmt.Fprintf(os.Stderr,
 			"bench gate: host shape differs from %s (%s/%s %d cpus vs %s/%s %d cpus); ns/op rule skipped, allocs/op still enforced\n",
 			baselinePath, baseline.GOOS, baseline.GOARCH, baseline.CPUs, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	} else if !vectorComparable(baseline, fresh) {
+		fmt.Fprintf(os.Stderr,
+			"bench gate: warning: vector dispatch differs from %s (cpufeature %q goamd64 %q vs %q %q); ns/op rule skipped, allocs/op still enforced\n",
+			baselinePath, baseline.CPUFeature, baseline.GOAMD64, fresh.CPUFeature, fresh.GOAMD64)
 	}
 	violations := compareSnapshots(baseline, fresh, tolerance, allocGuard)
 	if summaryPath != "" {
@@ -166,12 +190,16 @@ func renderSummary(baselinePath string, baseline, fresh snapshot, allocGuard int
 		verdict = "FAIL"
 	}
 	fmt.Fprintf(&sb, "## Bench gate: %s (vs `%s`)\n\n", verdict, filepath.Base(baselinePath))
-	if nsComparable(baseline, fresh) {
-		fmt.Fprintf(&sb, "Host shape matches (%s/%s, %d CPUs): ns/op rule active.\n\n",
-			fresh.GOOS, fresh.GOARCH, fresh.CPUs)
-	} else {
+	switch {
+	case !nsComparable(baseline, fresh):
 		fmt.Fprintf(&sb, "Host shape differs (baseline %s/%s %d CPUs, fresh %s/%s %d CPUs): ns/op rule skipped, allocs/op still enforced.\n\n",
 			baseline.GOOS, baseline.GOARCH, baseline.CPUs, fresh.GOOS, fresh.GOARCH, fresh.CPUs)
+	case !vectorComparable(baseline, fresh):
+		fmt.Fprintf(&sb, "Vector dispatch differs (baseline cpufeature `%s` goamd64 `%s`, fresh `%s` `%s`): ns/op rule skipped, allocs/op still enforced.\n\n",
+			baseline.CPUFeature, baseline.GOAMD64, fresh.CPUFeature, fresh.GOAMD64)
+	default:
+		fmt.Fprintf(&sb, "Host shape matches (%s/%s, %d CPUs): ns/op rule active.\n\n",
+			fresh.GOOS, fresh.GOARCH, fresh.CPUs)
 	}
 	sb.WriteString("| benchmark | base ns/op | fresh ns/op | Δ ns/op | base allocs/op | fresh allocs/op |\n")
 	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
@@ -179,7 +207,6 @@ func renderSummary(baselinePath string, baseline, fresh snapshot, allocGuard int
 	for _, b := range baseline.Benchmarks {
 		baseBy[b.Name] = b
 	}
-	seen := make(map[string]bool, len(baseline.Benchmarks))
 	row := func(name string) {
 		base, hasBase := baseBy[name]
 		var fr benchResult
@@ -215,14 +242,23 @@ func renderSummary(baselinePath string, baseline, fresh snapshot, allocGuard int
 			cell(hasBase, base.NsPerOp), cell(hasFresh, fr.NsPerOp), delta,
 			allocCell(hasBase, base.AllocsPerOp), allocCell(hasFresh, fr.AllocsPerOp))
 	}
+	// Rows are the union of both snapshots, sorted by name: stable
+	// output regardless of either file's internal order, so successive
+	// job summaries diff cleanly.
+	nameSet := make(map[string]bool, len(baseline.Benchmarks)+len(fresh.Benchmarks))
 	for _, b := range baseline.Benchmarks {
-		row(b.Name)
-		seen[b.Name] = true
+		nameSet[b.Name] = true
 	}
 	for _, f := range fresh.Benchmarks {
-		if !seen[f.Name] {
-			row(f.Name)
-		}
+		nameSet[f.Name] = true
+	}
+	names := make([]string, 0, len(nameSet))
+	for n := range nameSet {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		row(n)
 	}
 	fmt.Fprintf(&sb, "\n† alloc-guarded (baseline allocs/op ≤ %d: any increase fails).\n", allocGuard)
 	if len(violations) > 0 {

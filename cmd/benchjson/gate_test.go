@@ -105,6 +105,91 @@ func TestCompareSnapshotsSkipsNsOnForeignHost(t *testing.T) {
 	}
 }
 
+// TestCompareSnapshotsWarnsNotFailsOnVectorMismatch: a baseline taken
+// under different vector dispatch must not produce ns/op failures (the
+// numbers are dispatch artifacts), while the exact allocs/op rule
+// still fires; matching or unrecorded dispatch keeps the ns rule.
+func TestCompareSnapshotsWarnsNotFailsOnVectorMismatch(t *testing.T) {
+	baseline := gateBaseline()
+	baseline.CPUFeature, baseline.GOAMD64 = "avx2", "v3"
+	fresh := gateBaseline()
+	fresh.CPUFeature, fresh.GOAMD64 = "scalar", "v3"
+	fresh.Benchmarks[2].NsPerOp *= 10 // would fail under matching dispatch
+	fresh.Benchmarks[0].AllocsPerOp = 5
+	v := compareSnapshots(baseline, fresh, 0.30, 100)
+	if len(v) != 1 || !strings.Contains(v[0], "allocs/op") {
+		t.Fatalf("violations: %v", v)
+	}
+
+	// Same dispatch: the ns rule is active and catches the slide.
+	fresh = gateBaseline()
+	fresh.CPUFeature, fresh.GOAMD64 = "avx2", "v3"
+	fresh.Benchmarks[2].NsPerOp *= 10
+	if v := compareSnapshots(baseline, fresh, 0.30, 100); len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("violations: %v", v)
+	}
+
+	// A baseline predating the fields compares as equal: old
+	// trajectories keep their ns rule.
+	old := gateBaseline()
+	if v := compareSnapshots(old, fresh, 0.30, 100); len(v) != 1 || !strings.Contains(v[0], "ns/op") {
+		t.Fatalf("violations vs fieldless baseline: %v", v)
+	}
+}
+
+// TestCompareSnapshotsGatesKernelBenchmarks: the SIMD solve and the
+// bulk bank fast-forward are time-critical alongside the campaign.
+func TestCompareSnapshotsGatesKernelBenchmarks(t *testing.T) {
+	baseline := gateBaseline()
+	baseline.Benchmarks = append(baseline.Benchmarks,
+		benchResult{Name: "SolveBatch", NsPerOp: 220, AllocsPerOp: 0},
+		benchResult{Name: "BankEngineCharacterizeRowDenseCells", NsPerOp: 290_000, AllocsPerOp: 1})
+	fresh := gateBaseline()
+	fresh.Benchmarks = append(fresh.Benchmarks,
+		benchResult{Name: "SolveBatch", NsPerOp: 700, AllocsPerOp: 0},
+		benchResult{Name: "BankEngineCharacterizeRowDenseCells", NsPerOp: 640_000, AllocsPerOp: 1})
+	v := compareSnapshots(baseline, fresh, 0.30, 100)
+	if len(v) != 2 {
+		t.Fatalf("violations: %v", v)
+	}
+	for i, name := range []string{"BankEngineCharacterizeRowDenseCells", "SolveBatch"} {
+		found := false
+		for _, line := range v {
+			if strings.Contains(line, name) && strings.Contains(line, "ns/op") {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("violation %d: no ns/op line for %s in %v", i, name, v)
+		}
+	}
+}
+
+// TestRenderSummarySortsRows: the table is the sorted union of both
+// snapshots' names, whatever order the files store them in.
+func TestRenderSummarySortsRows(t *testing.T) {
+	baseline := gateBaseline()
+	// Reverse the baseline's order and add a fresh-only benchmark that
+	// sorts before everything.
+	baseline.Benchmarks[0], baseline.Benchmarks[2] = baseline.Benchmarks[2], baseline.Benchmarks[0]
+	fresh := gateBaseline()
+	fresh.Benchmarks = append(fresh.Benchmarks, benchResult{Name: "AAANew", NsPerOp: 1})
+	md := renderSummary("BENCH_3.json", baseline, fresh, 100, nil)
+	var rows []int
+	for _, name := range []string{"AAANew", "AnalyticCharacterizeRow", "GenerateRowCells", "StudyCampaign"} {
+		i := strings.Index(md, "| "+name)
+		if i < 0 {
+			t.Fatalf("summary missing row for %s:\n%s", name, md)
+		}
+		rows = append(rows, i)
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i] < rows[i-1] {
+			t.Fatalf("summary rows out of sorted order:\n%s", md)
+		}
+	}
+}
+
 // TestGateEndToEnd exercises the gate() plumbing against files on disk.
 func TestGateEndToEnd(t *testing.T) {
 	dir := t.TempDir()

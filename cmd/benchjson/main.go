@@ -35,6 +35,7 @@ import (
 	"path/filepath"
 	"regexp"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,6 +43,7 @@ import (
 	"time"
 
 	"rowfuse/internal/benchscen"
+	"rowfuse/internal/cpu"
 )
 
 func main() {
@@ -60,15 +62,34 @@ type benchResult struct {
 	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
-// snapshot is the BENCH_<n>.json schema.
+// snapshot is the BENCH_<n>.json schema. GOAMD64 and CPUFeature
+// record the vector dispatch the numbers were measured under — a
+// snapshot from a scalar-dispatch run is not a fair ns/op baseline for
+// an AVX2 run — and are empty in snapshots predating them.
 type snapshot struct {
 	Schema     string        `json:"schema"`
 	Generated  string        `json:"generated"`
 	GoVersion  string        `json:"go"`
 	GOOS       string        `json:"goos"`
 	GOARCH     string        `json:"goarch"`
+	GOAMD64    string        `json:"goamd64,omitempty"`
+	CPUFeature string        `json:"cpufeature,omitempty"`
 	CPUs       int           `json:"cpus"`
 	Benchmarks []benchResult `json:"benchmarks"`
+}
+
+// buildGoamd64 returns the GOAMD64 microarchitecture level this binary
+// was compiled for, "" when unrecorded (non-amd64, or a build without
+// module info).
+func buildGoamd64() string {
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "GOAMD64" {
+				return s.Value
+			}
+		}
+	}
+	return ""
 }
 
 func run(args []string) error {
@@ -110,12 +131,14 @@ func run(args []string) error {
 	}
 
 	snap := snapshot{
-		Schema:    "rowfuse-bench/v1",
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		GoVersion: runtime.Version(),
-		GOOS:      runtime.GOOS,
-		GOARCH:    runtime.GOARCH,
-		CPUs:      runtime.NumCPU(),
+		Schema:     "rowfuse-bench/v1",
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOAMD64:    buildGoamd64(),
+		CPUFeature: cpu.Level(),
+		CPUs:       runtime.NumCPU(),
 	}
 	for _, b := range benches {
 		fmt.Fprintf(os.Stderr, "running %s...\n", b.name)

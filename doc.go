@@ -167,6 +167,20 @@
 // per-cell aggregates still fold in a sequential run's exact
 // observation order (checkpoints stay byte-identical).
 //
+// The damage phase of that batched solve dispatches at init to per-CPU
+// vector kernels: hand-written AVX2 assembly on amd64 (an AVX-512
+// variant is kept in parity reserve; arm64 gets a NEON-shaped loop),
+// selected by internal/cpu's CPUID/XGETBV probe, with -tags purego as
+// the pure-Go scalar escape hatch. The kernels are bit-exact by
+// construction, not approximately fast: lanes parallelize across
+// cells, never across acts, so each cell's float operations happen in
+// the scalar oracle's exact order, and FMA contraction is forbidden —
+// a fused multiply-add rounds once where the model rounds twice, so
+// the assembly uses only individually-rounding VMULPD/VDIVPD/VADDPD.
+// SolveView columns carry device.SolveLanes padding so full vector
+// loads never touch unowned memory. FuzzDamageKernelParity pins every
+// compiled-in kernel byte-identical to the scalar reference.
+//
 // The ground-truth engine (core.BankEngine, driving a simulated
 // device.Bank command by command) fast-forwards over the event
 // horizon by default: the access pattern is periodic, so a captured
@@ -183,7 +197,13 @@
 // act-by-act execution (pinned by grid and property-fuzz tests;
 // core.WithExactReplay opts out). This takes a 60 ms characterization
 // from ~19 ms to ~80 us of wall time and accelerates every
-// bank-engine-backed cross-validation and calibration sweep.
+// bank-engine-backed cross-validation and calibration sweep. The
+// closed-form stepper itself is vectorized in spirit if not in
+// registers: the default build replays the per-binade delta
+// decomposition as pure integer arithmetic on projected
+// mantissa/exponent pairs (internal/core/bankbatch.go), bit-identical
+// to the float reference (FuzzBankBatchParity), which remains the
+// purego build's implementation.
 //
 // Benchmarks guard all of this: run
 //
@@ -191,8 +211,12 @@
 //
 // and record snapshots on the BENCH_*.json perf trajectory with
 // cmd/benchjson (whose -gate mode is CI's bench-regression gate, with
-// a -summary markdown diff for job summaries). cmd/characterize takes
-// -cpuprofile/-memprofile to profile full-scale campaigns.
+// a -summary markdown diff for job summaries). Snapshots record the
+// GOAMD64 level and detected CPU feature tier; the gate warns and
+// skips its ns/op rule — rather than failing — when baseline and
+// fresh snapshots were measured under different vector dispatch.
+// cmd/characterize takes -cpuprofile/-memprofile to profile
+// full-scale campaigns.
 //
 // See README.md for a quickstart and shard/resume examples. The
 // benchmarks in bench_test.go regenerate every table and figure of the

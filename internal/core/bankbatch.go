@@ -1,0 +1,200 @@
+// Integer-stepping bulk fast-forward for the bank engine.
+//
+// bulkIterations (bankfast.go) re-derives each steady delta's ulp
+// decomposition with float divides, floors and Ldexp scalings on every
+// binade the accumulator climbs through. But the decomposition is pure
+// bit surgery: a delta d = md * 2^(ed-1075) splits against an
+// accumulator binade of exponent e into quotient md>>s and remainder
+// md&(2^s-1) with s = e - ed, and the round direction is one integer
+// compare against the half-ulp bit 2^(s-1). bankSolve projects a whole
+// damage profile's steady deltas into (mantissa, exponent) form once
+// per characterization, and bulkIterationsPre replays bulkIterations'
+// exact decision procedure on the projected integers — same fallback
+// triggers, same advance count, same composed accumulator bits — with
+// no float arithmetic at all.
+//
+// The projection rejects profiles containing a negative, NaN or
+// infinite steady delta (the damage model produces none); fastForward
+// then keeps the float reference path for the whole profile. purego
+// builds (bankFastEnabled = false) always run the float reference,
+// which the parity fuzz test pins the integer path to.
+
+package core
+
+import "math"
+
+// bankSolve holds one damage profile's steady deltas in projected
+// integer form, cell-major like DamageProfile.Steady: md is the
+// mantissa with the implicit bit ORed in for normal values, ed the
+// effective biased exponent (1 for subnormals, whose scale matches the
+// lowest normal binade). It lives on the BankEngine so steady-state
+// characterizations do not allocate.
+type bankSolve struct {
+	md []uint64
+	ed []int32
+}
+
+// project decomposes every steady delta of a profile. It reports false
+// — leaving the caller on the float reference path — if any delta is
+// negative (including -0), NaN or infinite.
+func (s *bankSolve) project(steady []float64) bool {
+	n := len(steady)
+	if cap(s.md) < n {
+		s.md = make([]uint64, n)
+		s.ed = make([]int32, n)
+	}
+	s.md, s.ed = s.md[:n], s.ed[:n]
+	for i, d := range steady {
+		bits := math.Float64bits(d)
+		exp := int32(bits >> 52 & 0x7ff)
+		if bits>>63 != 0 || exp == 0x7ff {
+			return false
+		}
+		m := bits & (1<<52 - 1)
+		if exp == 0 {
+			exp = 1 // subnormal: same scale as the lowest normal binade
+		} else {
+			m |= 1 << 52
+		}
+		s.md[i], s.ed[i] = m, exp
+	}
+	return true
+}
+
+// bulkIterationsPre is bulkIterations over a projected delta row: the
+// same closed-form advance, the same fallback conditions (accumulator
+// at or below the lowest normal binade, a delta reaching the next
+// binade in one add, an exact half-ulp remainder), the same cap
+// keeping every intermediate true sum inside the binade — decided with
+// integer shifts and compares instead of float divides and Ldexp.
+//
+// capped reports that the advance stopped at the binade's room rather
+// than at maxK. The leftover room is then provably under one
+// iteration's increment (room mod t < t), so re-probing before the
+// boundary single-step would always return k = 0 — callers go
+// straight to the single-step instead.
+func bulkIterationsPre(acc float64, md []uint64, ed []int32, maxK int64) (next float64, k int64, capped bool) {
+	bits := math.Float64bits(acc)
+	exp := int32(bits >> 52 & 0x7ff)
+	// The sign guard is unreachable for real damage trajectories
+	// (deltas are non-negative, accumulators start at 0) and falls
+	// back to exact single-stepping rather than mis-composing a
+	// negative accumulator's bits.
+	if exp <= 1 || exp == 0x7ff || bits>>63 != 0 {
+		return acc, 0, false
+	}
+	m := int64(1)<<52 | int64(bits&(1<<52-1))
+	ed = ed[:len(md)]
+	var t int64
+	for i, mv := range md {
+		s := exp - ed[i]
+		if uint32(s-1) < 53 { // 1 <= s <= 53, the common case
+			half := uint64(1) << (s - 1)
+			rb := mv & (half<<1 - 1)
+			q := int64(mv >> s)
+			if rb > half {
+				q++
+			} else if rb == half {
+				// Exact half ulp: round-half-even depends on mantissa
+				// parity, which varies step to step.
+				return acc, 0, false
+			}
+			t += q
+		} else if s >= 54 {
+			// The delta is under half an ulp: every add rounds to a
+			// no-op for this delta.
+		} else if s < 0 {
+			return acc, 0, false // a single add exits the binade
+		} else {
+			t += int64(mv) // s == 0: the delta is a whole number of ulps
+		}
+	}
+	if t == 0 {
+		// Every add rounds to a no-op; the accumulator never moves
+		// again in this binade.
+		return acc, maxK, false
+	}
+	room := (int64(1)<<53 - 1) - int64(len(md)) - 1 - m
+	k = room / t
+	if k >= maxK {
+		k = maxK
+	} else {
+		capped = true
+	}
+	if k <= 0 {
+		return acc, 0, false
+	}
+	// m+k*t stays in [2^52, 2^53), so masking off the implicit bit and
+	// keeping the binade exponent composes exactly the float64 that
+	// Ldexp(float64(m+k*t), exp-1075) would build.
+	return math.Float64frombits(uint64(exp)<<52 | uint64(m+k*t)&(1<<52-1)), k, capped
+}
+
+// flipIterationPre is flipIteration with the bulk advance running on
+// the projected deltas; the warm-up first iteration and the fallback
+// single-steps still use the real float additions.
+func flipIterationPre(first, steady []float64, md []uint64, ed []int32, maxIters int64) (int64, bool) {
+	if maxIters <= 0 {
+		return 0, false
+	}
+	acc := 0.0
+	for _, d := range first {
+		acc += d
+		if acc >= 1 {
+			return 1, true
+		}
+	}
+	for iter := int64(2); iter <= maxIters; {
+		if next, k, capped := bulkIterationsPre(acc, md, ed, maxIters-iter+1); k > 0 {
+			acc = next
+			iter += k
+			if !capped || iter > maxIters {
+				continue
+			}
+			// Room-capped: fall through to the boundary single-step
+			// without the provably fruitless re-probe.
+		}
+		prev := acc
+		for _, d := range steady {
+			acc += d
+			if acc >= 1 {
+				return iter, true
+			}
+		}
+		if acc == prev {
+			return 0, false
+		}
+		iter++
+	}
+	return 0, false
+}
+
+// accAfterPre is accAfter with the bulk advance running on the
+// projected deltas.
+func accAfterPre(first, steady []float64, md []uint64, ed []int32, iters int64) float64 {
+	if iters <= 0 {
+		return 0
+	}
+	acc := 0.0
+	for _, d := range first {
+		acc += d
+	}
+	for done := int64(1); done < iters; {
+		if next, k, capped := bulkIterationsPre(acc, md, ed, iters-done); k > 0 {
+			acc = next
+			done += k
+			if !capped || done >= iters {
+				continue
+			}
+		}
+		prev := acc
+		for _, d := range steady {
+			acc += d
+		}
+		if acc == prev {
+			return acc
+		}
+		done++
+	}
+	return acc
+}

@@ -50,6 +50,7 @@ type BankEngine struct {
 	prof          device.DamageProfile
 	profActs      []device.ProfileAct
 	accs          []float64
+	bsolve        bankSolve
 }
 
 var _ Engine = (*BankEngine)(nil)

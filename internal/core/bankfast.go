@@ -63,6 +63,11 @@ func (e *BankEngine) fastForward(victim int, spec pattern.Spec, acts []pattern.A
 	a := e.prof.NumActs()
 	n := e.prof.NumCells()
 
+	// Vector-dispatched builds advance accumulators with the integer
+	// binade stepping of bankbatch.go; purego builds (and profiles the
+	// projection rejects) keep the float reference path.
+	fast := bankFastEnabled && e.bsolve.project(e.prof.Steady)
+
 	// The event horizon: the earliest iteration any eligible cell's
 	// accumulator reaches 1. Later cells only need solving up to the
 	// current horizon — flips past it cannot win.
@@ -75,7 +80,14 @@ func (e *BankEngine) fastForward(victim int, spec pattern.Spec, acts []pattern.A
 		if lim > maxIters {
 			lim = maxIters
 		}
-		if it, ok := flipIteration(e.prof.CellFirst(c), e.prof.CellSteady(c), lim); ok && it < horizon {
+		var it int64
+		var ok bool
+		if fast {
+			it, ok = flipIterationPre(e.prof.CellFirst(c), e.prof.CellSteady(c), e.bsolve.md[c*a:(c+1)*a], e.bsolve.ed[c*a:(c+1)*a], lim)
+		} else {
+			it, ok = flipIteration(e.prof.CellFirst(c), e.prof.CellSteady(c), lim)
+		}
+		if ok && it < horizon {
 			horizon = it
 		}
 	}
@@ -99,7 +111,11 @@ func (e *BankEngine) fastForward(victim int, spec pattern.Spec, acts []pattern.A
 	}
 	e.accs = e.accs[:n]
 	for c := 0; c < n; c++ {
-		e.accs[c] = accAfter(e.prof.CellFirst(c), e.prof.CellSteady(c), skipped)
+		if fast {
+			e.accs[c] = accAfterPre(e.prof.CellFirst(c), e.prof.CellSteady(c), e.bsolve.md[c*a:(c+1)*a], e.bsolve.ed[c*a:(c+1)*a], skipped)
+		} else {
+			e.accs[c] = accAfter(e.prof.CellFirst(c), e.prof.CellSteady(c), skipped)
+		}
 	}
 	strong, weak := e.prof.SideSeekAt(skipped, iterTime)
 	if err := e.bank.SeekRowDisturb(victim, e.accs, strong, weak, skipped*int64(a)); err != nil {

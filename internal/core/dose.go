@@ -29,7 +29,7 @@ func (e *AnalyticEngine) CellFlipPoints(victim int, spec pattern.Spec, opts RunO
 	if err := checkVictim(victim, e.numRows); err != nil {
 		return nil, err
 	}
-	terms := e.termsFor(spec)
+	terms := e.termsFor(&spec)
 	tf := e.params.TempFactor(opts.TempC)
 	maxIters := spec.MaxIterations(opts.Budget)
 	cells := e.cellsFor(victim, opts.Run)

@@ -1,0 +1,15 @@
+//go:build arm64 && !purego
+
+package core
+
+import "rowfuse/internal/cpu"
+
+// vectorKernelsUnderTest enumerates every vector kernel compiled into
+// this binary that the running CPU can execute.
+func vectorKernelsUnderTest() []kernelUnderTest {
+	var ks []kernelUnderTest
+	if cpu.ARM64.HasNEON {
+		ks = append(ks, kernelUnderTest{"neon", damageSplitNEON, damageFusedNEON})
+	}
+	return ks
+}

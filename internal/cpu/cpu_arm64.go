@@ -1,0 +1,9 @@
+//go:build arm64 && !purego
+
+package cpu
+
+func init() {
+	// ASIMD (NEON) is architecturally mandatory on AArch64; there is
+	// nothing to probe.
+	ARM64.HasNEON = true
+}

@@ -3,7 +3,16 @@ package device
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 )
+
+// SolveLanes is the lane padding contract between SolveView and the
+// batch solvers: the float columns' backing arrays always extend to the
+// next multiple of SolveLanes past Len(), so vector kernels may load
+// full lanes without reading unowned memory. The value covers the
+// widest kernel anywhere in the tree (8 x float64 = one AVX-512
+// register); narrower kernels simply enjoy extra slack.
+const SolveLanes = 8
 
 // SolveView is the batch-friendly, struct-of-arrays projection of one
 // row's weak-cell population under one (runSeed, data pattern)
@@ -19,6 +28,12 @@ import (
 // population order (so tie-breaking by view index matches tie-breaking
 // by cell index in the AoS path). A view is immutable once built and
 // safe for concurrent readers.
+//
+// The float columns (Th, Tp, Syn, WeakSide) carry lane padding: their
+// backing arrays extend to the next multiple of SolveLanes past Len(),
+// filled with 1.0, so SIMD kernels can process ceil(Len()/SolveLanes)
+// full lanes. FillSolveView maintains the padding; views assembled by
+// hand (tests) must call PadLanes before solving.
 type SolveView struct {
 	// Bit is the cell's bit offset within the row.
 	Bit []int32
@@ -38,19 +53,56 @@ type SolveView struct {
 // Len returns the number of eligible cells in the view.
 func (v *SolveView) Len() int { return len(v.Th) }
 
+// PadLanes extends the float columns' backing arrays to the next
+// multiple of SolveLanes past Len(), filling the pad slots with 1.0
+// (finite, so padded kernel lanes compute harmless garbage). The
+// logical length is unchanged. FillSolveView calls this automatically;
+// it is exported for tests that assemble views by hand.
+func (v *SolveView) PadLanes() {
+	n := len(v.Th)
+	np := (n + SolveLanes - 1) &^ (SolveLanes - 1)
+	v.Th = padLanes(v.Th, np)
+	v.Tp = padLanes(v.Tp, np)
+	v.Syn = padLanes(v.Syn, np)
+	v.WeakSide = padLanes(v.WeakSide, np)
+}
+
+// padLanes grows s's backing array to np slots, writes 1.0 into the
+// pad region, and returns s at its original length.
+func padLanes(s []float64, np int) []float64 {
+	n := len(s)
+	for len(s) < np {
+		s = append(s, 1)
+	}
+	return s[:n]
+}
+
 // solveViewKey identifies one cached realization of a row population.
 type solveViewKey struct {
 	runSeed int64
 	data    DataPattern
 }
 
+// solveViewEntry is one cached (realization key, view) pair.
+type solveViewEntry struct {
+	key  solveViewKey
+	view *SolveView
+}
+
 // solveViewCache is the lazily-built view store embedded in a
 // RowPopulation. It has its own type so RowPopulation's documented
 // immutability story stays simple: the base cells never change; the
 // cache only memoizes derived, deterministic projections of them.
+//
+// The store is a copy-on-write list behind an atomic pointer: readers
+// do one load and a short linear scan (campaign loops hold a handful
+// of realizations per row, so a scan beats hashing), writers serialize
+// on the mutex and publish a fresh list. Lock-free hits matter because
+// every warm CharacterizeRowInto call in the shared-cache path goes
+// through here.
 type solveViewCache struct {
+	views  atomic.Pointer[[]solveViewEntry]
 	viewMu sync.Mutex
-	views  map[solveViewKey]*SolveView
 }
 
 // SolveView returns the row's solver view for one noise realization and
@@ -61,17 +113,33 @@ type solveViewCache struct {
 // solving over the materialized []WeakCell exactly.
 func (rp *RowPopulation) SolveView(runSeed int64, data DataPattern) *SolveView {
 	key := solveViewKey{runSeed: runSeed, data: data}
+	if list := rp.views.Load(); list != nil {
+		for i := range *list {
+			if (*list)[i].key == key {
+				return (*list)[i].view
+			}
+		}
+	}
 	rp.viewMu.Lock()
 	defer rp.viewMu.Unlock()
-	if v, ok := rp.views[key]; ok {
-		return v
+	// Re-check under the lock: another writer may have published the
+	// view between the lock-free scan and acquiring the mutex.
+	old := rp.views.Load()
+	if old != nil {
+		for i := range *old {
+			if (*old)[i].key == key {
+				return (*old)[i].view
+			}
+		}
 	}
 	v := &SolveView{}
 	rp.FillSolveView(v, runSeed, data)
-	if rp.views == nil {
-		rp.views = make(map[solveViewKey]*SolveView)
+	var next []solveViewEntry
+	if old != nil {
+		next = append(next, *old...)
 	}
-	rp.views[key] = v
+	next = append(next, solveViewEntry{key: key, view: v})
+	rp.views.Store(&next)
 	return v
 }
 
@@ -79,7 +147,8 @@ func (rp *RowPopulation) SolveView(runSeed int64, data DataPattern) *SolveView {
 // realization, reusing v's backing slices — the allocation-free variant
 // of SolveView for callers that own a scratch view (an engine without a
 // shared population cache rebuilds per call instead of caching
-// per-realization views on every row it ever visits).
+// per-realization views on every row it ever visits). The rebuilt view
+// carries the SolveLanes padding.
 func (rp *RowPopulation) FillSolveView(v *SolveView, runSeed int64, data DataPattern) {
 	v.Bit = v.Bit[:0]
 	v.Th = v.Th[:0]
@@ -88,6 +157,28 @@ func (rp *RowPopulation) FillSolveView(v *SolveView, runSeed int64, data DataPat
 	v.WeakSide = v.WeakSide[:0]
 	v.Dir = v.Dir[:0]
 	v.Mech = v.Mech[:0]
+	// Pre-size to the padded length so the append loop and PadLanes
+	// never reallocate mid-build (a growth realloc right at the end —
+	// from the pad slots — would roughly double every column's
+	// footprint on a fresh view).
+	n := 0
+	for i := range rp.cells {
+		if data.VictimBitAt(rp.cells[i].bit) == rp.cells[i].dir.From() {
+			n++
+		}
+	}
+	np := (n + SolveLanes - 1) &^ (SolveLanes - 1)
+	if cap(v.Th) < np {
+		v.Th = make([]float64, 0, np)
+		v.Tp = make([]float64, 0, np)
+		v.Syn = make([]float64, 0, np)
+		v.WeakSide = make([]float64, 0, np)
+	}
+	if cap(v.Bit) < n {
+		v.Bit = make([]int32, 0, n)
+		v.Dir = make([]Polarity, 0, n)
+		v.Mech = make([]Mechanism, 0, n)
+	}
 	var nr rng
 	noisy := runSeed != 0 && rp.runSigma > 0
 	if noisy {
@@ -125,4 +216,5 @@ func (rp *RowPopulation) FillSolveView(v *SolveView, runSeed int64, data DataPat
 		v.Dir = append(v.Dir, c.dir)
 		v.Mech = append(v.Mech, c.mech)
 	}
+	v.PadLanes()
 }

@@ -108,6 +108,20 @@ func New(kind Kind, aggOn time.Duration, ts timing.Set) (Spec, error) {
 // RowHammer (tAggON = tRAS).
 func (s Spec) IsRowHammer() bool { return s.AggOn == s.Timings.TRAS }
 
+// Eq reports s == *o, compared field by field. Memoizing hot paths key
+// on whole specs; the explicit compare keeps the hit test a handful of
+// register compares where the generic struct equality of a spec this
+// size lowers to a memeq call. Must cover every field of Spec and
+// timing.Set.
+func (s *Spec) Eq(o *Spec) bool {
+	return s.Kind == o.Kind && s.AggOn == o.AggOn &&
+		s.Timings.TRAS == o.Timings.TRAS && s.Timings.TRP == o.Timings.TRP &&
+		s.Timings.TRCD == o.Timings.TRCD && s.Timings.TRC == o.Timings.TRC &&
+		s.Timings.TREFI == o.Timings.TREFI && s.Timings.TREFW == o.Timings.TREFW &&
+		s.Timings.TRFC == o.Timings.TRFC && s.Timings.TWR == o.Timings.TWR &&
+		s.Timings.TCCD == o.Timings.TCCD && s.Timings.TCK == o.Timings.TCK
+}
+
 // Acts returns the aggressor activations of one iteration, in issue
 // order.
 func (s Spec) Acts() []Act {
