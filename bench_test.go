@@ -421,6 +421,29 @@ func BenchmarkAnalyticCharacterizeRowCachedRuns(b *testing.B) {
 	benchscen.AnalyticCharacterizeRowCachedRuns(b)
 }
 
+// BenchmarkBenderTraceFastForward measures the bender-trace scenario
+// engine in its default event-horizon mode: only a guard window and
+// the readback epilogue are interpreted; everything before the
+// earliest possible flip is solved in closed form and skipped. The
+// NaiveReplay variant interprets every activation — BENCH_8.json pins
+// the fast path at >= 10x over it, and the bench-regression gate's
+// alloc guard pins the fast path's allocation count.
+func BenchmarkBenderTraceFastForward(b *testing.B) {
+	benchscen.BenderTraceFastForward(b)
+}
+
+func BenchmarkBenderTraceNaiveReplay(b *testing.B) {
+	benchscen.BenderTraceNaiveReplay(b)
+}
+
+// BenchmarkMitigationCampaign runs the mitigation scenario axis end to
+// end: one module x one pattern re-characterized under each defense of
+// core.MitigationScenarios on a guarded simulated bank, folded into
+// the survival summary.
+func BenchmarkMitigationCampaign(b *testing.B) {
+	benchscen.MitigationCampaign(b)
+}
+
 // BenchmarkWALQueueGrantSubmit measures the campaign service's durable
 // dispatch hot path: a journaled-and-fsynced lease grant plus submit
 // per op (see internal/benchscen). The bench-regression gate's alloc

@@ -212,6 +212,9 @@ func headlineBenchmarks() []namedBench {
 		{"GenerateRowCells", benchscen.GenerateRowCells},
 		{"BankEngineCharacterizeRow", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 24) }},
 		{"BankEngineCharacterizeRowDenseCells", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 192) }},
+		{"BenderTraceFastForward", benchscen.BenderTraceFastForward},
+		{"BenderTraceNaiveReplay", benchscen.BenderTraceNaiveReplay},
+		{"MitigationCampaign", benchscen.MitigationCampaign},
 		{"WALQueueGrantSubmit", benchscen.WALQueueGrantSubmit},
 	}
 	sort.Slice(benches, func(i, j int) bool { return benches[i].name < benches[j].name })

@@ -74,15 +74,12 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		units   = fs.Int("units", 8, "work units to split the cell grid into (clamped to the grid size)")
 		ttl     = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
 		linger  = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
-
-		exp    = fs.String("exp", "all", "campaign grid: all (paper sweep) or table2 (the three Table 2 marks)")
-		rows   = fs.Int("rows", 200, "victim rows per bank region (paper: 1000)")
-		dies   = fs.Int("dies", 1, "dies per module to characterize (0 = all, as in the paper)")
-		runs   = fs.Int("runs", 3, "repeats per measurement (paper: 3)")
-		module = fs.String("module", "", "restrict to one module ID (e.g. S0)")
-		temp   = fs.Float64("temp", 50, "die temperature in Celsius (paper: 50)")
-		budget = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
 	)
+	// The campaign-defining flags (-exp, -rows, -dies, -runs, -module,
+	// -temp, -budget, -scenarios) come from the same builder
+	// cmd/characterize binds, so manifests minted here render there
+	// under an identical fingerprint.
+	builder := core.BindCampaignFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -116,7 +113,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 
 	if *listen != "" {
-		q, closeQ, err := serverQueue(fs, *state, *exp, *rows, *dies, *runs, *module, *temp, *budget, *units, *ttl)
+		q, closeQ, err := serverQueue(fs, *state, builder, *units, *ttl)
 		if err != nil {
 			return err
 		}
@@ -125,7 +122,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 
 	if *doInit {
-		cfg, err := studyConfig(*exp, *rows, *dies, *runs, *module, *temp, *budget)
+		cfg, err := studyConfig(builder)
 		if err != nil {
 			return err
 		}
@@ -168,20 +165,16 @@ func run(ctx context.Context, args []string, out *os.File) error {
 }
 
 // studyConfig assembles the campaign configuration through the same
-// core.CampaignGrid/CampaignConfig helpers cmd/characterize uses, so a
-// finished distributed run renders with characterize -merge under the
-// identical fingerprint.
-func studyConfig(exp string, rows, dies, runs int, module string, temp float64, budget time.Duration) (core.StudyConfig, error) {
-	switch exp {
-	case "all", "table2":
+// core.CampaignSpecBuilder cmd/characterize uses, so a finished
+// distributed run renders with characterize -merge under the identical
+// fingerprint. Only grid-shaped experiments describe a campaign.
+func studyConfig(b *core.CampaignSpecBuilder) (core.StudyConfig, error) {
+	switch b.Exp {
+	case "all", "table2", "mitigation", "crossover", "bender":
 	default:
-		return core.StudyConfig{}, fmt.Errorf("-exp %q: campaign grids are all or table2", exp)
+		return core.StudyConfig{}, fmt.Errorf("-exp %q: campaign grids are all, table2, mitigation, crossover or bender", b.Exp)
 	}
-	mods, sweep, err := core.CampaignGrid(module, exp)
-	if err != nil {
-		return core.StudyConfig{}, err
-	}
-	return core.CampaignConfig(mods, sweep, rows, dies, runs, temp, budget), nil
+	return b.StudyConfig()
 }
 
 // serverQueue builds the single-campaign server-mode queue: in-memory
@@ -189,10 +182,10 @@ func studyConfig(exp string, rows, dies, runs int, module string, temp float64, 
 // already holding a journal resumes that campaign — its manifest, not
 // this process's flags, is the config truth, so explicitly set
 // campaign flags are rejected the same way watch mode rejects them.
-func serverQueue(fs *flag.FlagSet, state, exp string, rows, dies, runs int, module string, temp float64, budget time.Duration, units int, ttl time.Duration) (dispatch.Queue, func() error, error) {
+func serverQueue(fs *flag.FlagSet, state string, b *core.CampaignSpecBuilder, units int, ttl time.Duration) (dispatch.Queue, func() error, error) {
 	noop := func() error { return nil }
 	newManifest := func() (dispatch.Manifest, error) {
-		cfg, err := studyConfig(exp, rows, dies, runs, module, temp, budget)
+		cfg, err := studyConfig(b)
 		if err != nil {
 			return dispatch.Manifest{}, err
 		}

@@ -341,11 +341,11 @@ func TestServiceModeHostsCampaignsAndShutsDown(t *testing.T) {
 		[]string{"-service", "-listen", "127.0.0.1:0", "-state", t.TempDir()},
 		"campaign service listening on ")
 
-	mods, sweep, err := core.CampaignGrid("S0", "table2")
+	cfg, err := core.NewCampaignSpecBuilder(
+		core.WithExp("table2"), core.WithModule("S0"), core.WithScale(2, 1, 1)).StudyConfig()
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := core.CampaignConfig(mods, sweep, 2, 1, 1, 50, core.DefaultBudget)
 	body, err := json.Marshal(registry.CreateRequest{Campaign: dispatch.NewCampaignSpec(cfg), Units: 2, TTLMs: 30_000})
 	if err != nil {
 		t.Fatal(err)

@@ -3,12 +3,24 @@
 //
 // Usage:
 //
-//	characterize -exp table1|table2|fig4|fig5|fig6|tempsweep|datapattern|hcdist|all [flags]
+//	characterize -exp table1|table2|fig4|fig5|fig6|mitigation|crossover|bender|tempsweep|datapattern|hcdist|all [flags]
 //
 // Examples:
 //
 //	characterize -exp fig4 -rows 100 -dies 2
 //	characterize -exp table2 -rows 1000 -runs 3 -csv out/
+//
+// Campaigns can carry a scenario axis — a fourth grid dimension that
+// selects the execution engine and operating conditions of each cell.
+// -exp mitigation sweeps the standard defense grid (TRR variants,
+// refresh multipliers, rank ECC) and renders flip survival per
+// scenario; -exp crossover renders where the combined pattern stops
+// beating conventional RowPress; -exp bender reruns Table 2 on the
+// cycle-accurate Bender trace interpreter. -scenarios overrides the
+// axis explicitly (default, mitigations, bender, bank, thermal:T1,T2):
+//
+//	characterize -exp mitigation -module S0 -rows 50
+//	characterize -exp table2 -scenarios thermal:40,55,70
 //
 // Paper-scale campaigns can be split across processes and machines and
 // survive crashes. Each shard runs a deterministic 1/n slice of the
@@ -60,6 +72,7 @@ import (
 	"rowfuse/internal/core"
 	"rowfuse/internal/device"
 	"rowfuse/internal/dispatch"
+	_ "rowfuse/internal/mitigation" // registers the "mitigated" scenario engine
 	"rowfuse/internal/pattern"
 	"rowfuse/internal/report"
 	"rowfuse/internal/resultio"
@@ -75,16 +88,13 @@ func main() {
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("characterize", flag.ContinueOnError)
+	// The campaign-defining flags (-exp, -rows, -dies, -runs, -module,
+	// -temp, -budget, -scenarios) are declared by the shared builder so
+	// they cannot drift from cmd/campaignd's.
+	builder := core.BindCampaignFlags(fs)
 	var (
-		exp     = fs.String("exp", "all", "experiment: table1, table2, fig4, fig5, fig6, tempsweep, datapattern, hcdist, or all")
-		rows    = fs.Int("rows", 200, "victim rows per bank region (paper: 1000)")
-		dies    = fs.Int("dies", 1, "dies per module to characterize (0 = all, as in the paper)")
-		runs    = fs.Int("runs", 3, "repeats per measurement (paper: 3)")
-		module  = fs.String("module", "", "restrict to one module ID (e.g. S0)")
 		csvDir  = fs.String("csv", "", "also write CSV files into this directory")
 		jsonOut = fs.String("json", "", "write a JSON result archive to this file (requires -exp all)")
-		temp    = fs.Float64("temp", 50, "die temperature in Celsius (paper: 50)")
-		budget  = fs.Duration("budget", core.DefaultBudget, "per-experiment time budget (paper: 60ms)")
 		workers = fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
 
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -185,10 +195,12 @@ func run(args []string) error {
 		return fmt.Errorf("-merge renders existing checkpoints; -resume does not apply")
 	}
 
-	// Module set and sweep come from the same helper campaignd uses to
-	// mint manifests, so the fingerprints of a distributed campaign
-	// and this command's -merge rendering can never drift.
-	mods, sweep, err := core.CampaignGrid(*module, *exp)
+	// The whole campaign configuration — module set, sweep, scenario
+	// axis — comes from the same builder campaignd uses to mint
+	// manifests, so the fingerprints of a distributed campaign and this
+	// command's -merge rendering can never drift.
+	exp := &builder.Exp
+	cfg, err := builder.StudyConfig()
 	if err != nil {
 		return err
 	}
@@ -201,16 +213,15 @@ func run(args []string) error {
 	}
 	switch *exp {
 	case "table1":
-		return report.Table1(os.Stdout, mods)
+		return report.Table1(os.Stdout, cfg.Modules)
 	case "tempsweep":
-		return runTempSweep(mods[0], *rows, *budget, *csvDir)
+		return runTempSweep(cfg.Modules[0], builder.Rows, builder.Budget, *csvDir)
 	case "datapattern":
-		return runDataPatternSweep(mods[0], *rows, *budget, *csvDir)
+		return runDataPatternSweep(cfg.Modules[0], builder.Rows, builder.Budget, *csvDir)
 	case "hcdist":
-		return runHCDist(mods[0], *rows, *budget)
+		return runHCDist(cfg.Modules[0], builder.Rows, builder.Budget)
 	}
 
-	cfg := core.CampaignConfig(mods, sweep, *rows, *dies, *runs, *temp, *budget)
 	cfg.Concurrency = *workers
 	cfg.Progress = func(done, total int) {
 		if done%25 == 0 || done == total {
@@ -282,8 +293,8 @@ func run(args []string) error {
 			}
 		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points (%d rows/region, %d runs)...\n",
-			len(mods), 3, len(sweep), *rows, *runs)
+		fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points x %d scenarios (%d rows/region, %d runs)...\n",
+			len(cfg.Modules), 3, len(cfg.Sweep), max(1, len(cfg.Scenarios)), builder.Rows, builder.Runs)
 		if err := study.Run(context.Background()); err != nil {
 			return err
 		}
@@ -316,8 +327,41 @@ func run(args []string) error {
 		csv = func(string, func(f *os.File) error) error { return nil }
 	}
 
+	// The scenario-axis experiments render their own reports: the
+	// mitigation survival table, the crossover sweep, or (for a pure
+	// bender-trace campaign) Table 2 measured on the trace engine.
+	switch *exp {
+	case "mitigation":
+		rows, err := study.MitigationSummary()
+		if err != nil {
+			return err
+		}
+		if err := report.MitigationTable(os.Stdout, rows); err != nil {
+			return err
+		}
+		return csv("mitigation.csv", func(f *os.File) error { return report.MitigationCSV(f, rows) })
+	case "crossover":
+		mods, err := study.CrossoverSweep()
+		if err != nil {
+			return err
+		}
+		if err := report.CrossoverTable(os.Stdout, mods); err != nil {
+			return err
+		}
+		return csv("crossover.csv", func(f *os.File) error { return report.CrossoverCSV(f, mods) })
+	case "bender":
+		rows, err := study.Table2()
+		if err != nil {
+			return err
+		}
+		if err := report.Table2(os.Stdout, rows); err != nil {
+			return err
+		}
+		return csv("table2.csv", func(f *os.File) error { return report.Table2CSV(f, rows) })
+	}
+
 	if want("table1") {
-		if err := report.Table1(os.Stdout, mods); err != nil {
+		if err := report.Table1(os.Stdout, cfg.Modules); err != nil {
 			return err
 		}
 	}

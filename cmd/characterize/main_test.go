@@ -8,11 +8,9 @@ import (
 	"testing"
 	"time"
 
-	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
 	"rowfuse/internal/dispatch"
 	"rowfuse/internal/resultio"
-	"rowfuse/internal/timing"
 )
 
 // capture redirects stdout around fn and returns what it printed.
@@ -316,11 +314,8 @@ func TestRunWorkerDrainsDirCampaign(t *testing.T) {
 // studyConfigForTest mirrors the campaign config run() builds for
 // "-exp table2 -module M4 -rows 3 -runs 1", so tests can mint a
 // manifest with the fingerprint a -merge under those flags expects.
-// It goes through the same core.CampaignConfig assembly run() uses.
+// It goes through the same core.CampaignSpecBuilder assembly run() uses.
 func studyConfigForTest() (core.StudyConfig, error) {
-	mi, err := chipdb.ByID("M4")
-	if err != nil {
-		return core.StudyConfig{}, err
-	}
-	return core.CampaignConfig([]chipdb.ModuleInfo{mi}, timing.Table2Marks(), 3, 1, 1, 50, core.DefaultBudget), nil
+	return core.NewCampaignSpecBuilder(
+		core.WithExp("table2"), core.WithModule("M4"), core.WithScale(3, 1, 1)).StudyConfig()
 }

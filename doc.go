@@ -52,6 +52,59 @@
 // cmd/characterize wires these together behind -shard, -checkpoint,
 // -resume and -merge.
 //
+// # Scenario axes
+//
+// core.Scenario is the fourth campaign grid dimension: a serializable,
+// fingerprintable execution context — engine selection (analytic, bank,
+// bender-trace, or any kind registered via core.RegisterEngineKind),
+// a mitigation configuration (core.MitigationSpec: TRR tracker size,
+// refresh-rate multiplier, rank ECC), a thermal setpoint settled
+// through the PID plant (core.ThermalSpec), and trace-executor knobs
+// (core.TraceSpec). StudyConfig.Scenarios enumerates
+// (module, pattern, tAggON, scenario) cells; a nil or single default
+// scenario reproduces the pre-scenario grid exactly — same
+// fingerprints, same checkpoint bytes, same renderings (pinned by the
+// golden compatibility suite in scenario_compat_test.go). Scenario
+// cells shard, checkpoint, merge and dispatch like any other cell;
+// CellKey.Scenario and the checkpoint format carry the axis only when
+// it is non-default, so pre-scenario checkpoint files stay readable
+// and re-serializable byte for byte.
+//
+// Three campaign kinds ride the axis out of the box:
+//
+//   - Mitigation evaluation (characterize -exp mitigation, or
+//     -scenarios mitigations on any grid): every cell re-runs under a
+//     defense drawn from core.MitigationScenarios — no defense,
+//     counter-based TRR at two tracker sizes, doubled refresh, rank
+//     SEC-DED ECC, TRR+ECC stacked. internal/mitigation registers the
+//     "mitigated" engine kind: the TRR guard wraps the simulated bank
+//     as a core.BankDriver, so the guarded bank satisfies core.Engine
+//     and reuses the bank engine's hammer loop (and its event-horizon
+//     fast-forward) instead of duplicating it. Study.MitigationSummary
+//     and report.MitigationTable/MitigationCSV render flip survival
+//     per scenario per module.
+//   - Combined-attack crossover (characterize -exp crossover):
+//     Study.CrossoverSweep extracts per-tAggON mean time-to-first-flip
+//     per pattern, the winning pattern per cell and the tAggON bracket
+//     where the winner flips between combined and single-sided
+//     RowPress; report.CrossoverTable/CrossoverCSV render it.
+//   - Bender-trace execution (characterize -exp bender, or a
+//     core.Scenario with Engine: core.EngineBenderTrace): each cell
+//     assembles the access pattern into a DRAM Bender program,
+//     locates its hammer loop, captures a device.DamageProfile from
+//     one interpreted iteration, and fast-forwards over the loop with
+//     the same event-horizon solver the bank engine uses — RowResults
+//     byte-identical to interpreting every instruction
+//     (core.TraceSpec.Exact opts out).
+//
+// core.NewCampaignSpecBuilder (options: WithExp, WithModule,
+// WithScale, WithOperatingPoint, WithScenarioSet) is the one
+// spec-construction path shared by cmd/characterize, cmd/campaignd
+// and the examples; BindCampaignFlags exposes it as the common
+// -exp/-rows/-dies/-runs/-module/-temp/-budget/-scenarios flag set,
+// and core.ParseScenarioSet names the built-in scenario sets
+// (default, mitigations, bender, bank, thermal:T1,T2,...).
+//
 // # Distributed dispatch
 //
 // internal/dispatch scales the sharded campaign past hand-assigned

@@ -5,22 +5,24 @@
 // (Observation 1) and its convergence to single-sided RowPress at large
 // tAggON (Observation 3).
 //
+// It is a thin wrapper over the crossover campaign grid: build the
+// sweep with core.NewCampaignSpecBuilder, run it as a Study, and render
+// the per-cell winners with report.CrossoverTable. The same campaign is
+// available from the CLI as `characterize -exp crossover`.
+//
 // Run with:
 //
 //	go run ./examples/combined_attack [module]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
-	"time"
 
-	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
-	"rowfuse/internal/device"
-	"rowfuse/internal/pattern"
-	"rowfuse/internal/timing"
+	"rowfuse/internal/report"
 )
 
 func main() {
@@ -34,79 +36,22 @@ func main() {
 }
 
 func run(moduleID string) error {
-	mi, err := chipdb.ByID(moduleID)
+	cfg, err := core.NewCampaignSpecBuilder(
+		core.WithExp("crossover"),
+		core.WithModule(moduleID),
+		core.WithScale(50, 1, 1),
+	).StudyConfig()
 	if err != nil {
 		return err
 	}
-	params := device.DefaultParams()
-	numRows, rowBytes := mi.Geometry()
-	eng, err := core.NewAnalyticEngine(core.AnalyticConfig{
-		Profile:  mi.Profile(params),
-		Params:   params,
-		NumRows:  numRows,
-		RowBytes: rowBytes,
-	})
+	study := core.NewStudy(cfg)
+	if err := study.Run(context.Background()); err != nil {
+		return err
+	}
+	mods, err := study.CrossoverSweep()
 	if err != nil {
 		return err
 	}
-
-	rows := core.PaperRows(numRows, 50)
-	fmt.Printf("module %s (%s), %d victim rows, time to first bitflip (ms):\n\n", mi.ID, mi.Mfr, len(rows))
-	fmt.Printf("%-10s %12s %12s %12s %14s\n", "tAggON", "combined", "double RP", "single RP", "winner")
-
-	for _, aggOn := range timing.PaperSweep() {
-		times := make(map[pattern.Kind]float64, 3)
-		for _, kind := range []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided} {
-			spec, err := pattern.New(kind, aggOn, timing.Default())
-			if err != nil {
-				return err
-			}
-			sum, n := 0.0, 0
-			for _, victim := range rows {
-				res, err := eng.CharacterizeRow(victim, spec, core.RunOpts{})
-				if err != nil {
-					return err
-				}
-				if !res.NoBitflip {
-					sum += res.TimeToFirst.Seconds() * 1000
-					n++
-				}
-			}
-			if n > 0 {
-				times[kind] = sum / float64(n)
-			}
-		}
-		fmt.Printf("%-10s %12s %12s %12s %14s\n",
-			fmtAgg(aggOn), fmtMs(times[pattern.Combined]), fmtMs(times[pattern.DoubleSided]),
-			fmtMs(times[pattern.SingleSided]), winner(times))
-	}
-	return nil
-}
-
-func fmtAgg(d time.Duration) string {
-	if d < time.Microsecond {
-		return fmt.Sprintf("%dns", d.Nanoseconds())
-	}
-	return fmt.Sprintf("%.1fus", float64(d)/float64(time.Microsecond))
-}
-
-func fmtMs(v float64) string {
-	if v == 0 {
-		return "no flip"
-	}
-	return fmt.Sprintf("%.2f", v)
-}
-
-func winner(times map[pattern.Kind]float64) string {
-	best := pattern.Kind(0)
-	bestT := 0.0
-	for k, t := range times {
-		if t > 0 && (best == 0 || t < bestT) {
-			best, bestT = k, t
-		}
-	}
-	if best == 0 {
-		return "-"
-	}
-	return best.Short()
+	fmt.Printf("time to first bitflip per tAggON, %d victim rows per cell:\n\n", cfg.RowsPerRegion)
+	return report.CrossoverTable(os.Stdout, mods)
 }

@@ -1,173 +1,66 @@
 // mitigation_eval evaluates existing read-disturbance defenses against
-// the paper's access patterns (the paper's future-work item 3):
+// the paper's access patterns (the paper's future-work item 3) by
+// running the mitigation scenario grid: every cell re-runs the same
+// module × pattern × tAggON sweep under a different defense — no
+// defense, counter-based TRR at two tracker sizes, doubled refresh
+// rate, rank-level SEC-DED ECC, and TRR+ECC stacked.
 //
-//  1. It shows why the characterization methodology disables periodic
-//     refresh: a counter-based TRR mechanism neutralizes plain
-//     double-sided RowHammer.
-//  2. It evaluates TRR against the combined RowHammer+RowPress pattern
-//     across tAggON values — fewer activations per unit damage make the
-//     aggressors harder for activation-counting trackers to rank.
-//  3. It quantifies how much rank-level SEC-DED ECC would mask.
+// It is a thin wrapper over the campaign spec builder: the identical
+// grid is available from the CLI as `characterize -exp mitigation` (or
+// any other -exp with `-scenarios mitigations`), where it also shards
+// and checkpoints like every other campaign.
 //
 // Run with:
 //
-//	go run ./examples/mitigation_eval
+//	go run ./examples/mitigation_eval [module]
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
-	"rowfuse/internal/chipdb"
 	"rowfuse/internal/core"
-	"rowfuse/internal/device"
-	"rowfuse/internal/mitigation"
-	"rowfuse/internal/pattern"
-	"rowfuse/internal/timing"
+	_ "rowfuse/internal/mitigation" // registers the "mitigated" scenario engine
+	"rowfuse/internal/report"
 )
 
 func main() {
-	if err := run(); err != nil {
+	moduleID := "S1"
+	if len(os.Args) > 1 {
+		moduleID = os.Args[1]
+	}
+	if err := run(moduleID); err != nil {
 		log.Fatal(err)
 	}
 }
 
-func run() error {
-	mi, err := chipdb.ByID("S1")
+func run(moduleID string) error {
+	cfg, err := core.NewCampaignSpecBuilder(
+		core.WithExp("mitigation"),
+		core.WithModule(moduleID),
+		core.WithScale(4, 1, 1),
+		core.WithOperatingPoint(50, 5*time.Millisecond),
+	).StudyConfig()
 	if err != nil {
 		return err
 	}
-	params := device.DefaultParams()
-	numRows, rowBytes := mi.Geometry()
-
-	newBank := func() (*device.Bank, error) {
-		return device.NewBank(device.BankConfig{
-			Profile:  mi.Profile(params),
-			Params:   params,
-			NumRows:  numRows,
-			RowBytes: rowBytes,
-		})
+	study := core.NewStudy(cfg)
+	if err := study.Run(context.Background()); err != nil {
+		return err
 	}
-
-	fmt.Printf("module %s (%s): mitigation evaluation, victim row 4096\n\n", mi.ID, mi.Mfr)
-	fmt.Printf("%-22s %-10s %-28s %s\n", "pattern", "tAggON", "no mitigation", "TRR (16 counters, REF@tREFI)")
-
-	const victim = 4096
-	cases := []struct {
-		kind  pattern.Kind
-		aggOn time.Duration
-	}{
-		{pattern.DoubleSided, timing.TRAS},
-		{pattern.Combined, 636 * time.Nanosecond},
-		{pattern.Combined, timing.AggOnTREFI},
-		{pattern.Combined, timing.AggOnNineTREFI},
-	}
-	for _, c := range cases {
-		spec, err := pattern.New(c.kind, c.aggOn, timing.Default())
-		if err != nil {
-			return err
-		}
-
-		// Baseline: refresh disabled (the paper's methodology).
-		bank, err := newBank()
-		if err != nil {
-			return err
-		}
-		base, err := mitigation.Run(mitigation.EvalConfig{
-			Bank: bank, Spec: spec, Victim: victim,
-		})
-		if err != nil {
-			return err
-		}
-
-		// Protected: TRR sampling on top of regular tREFI refresh.
-		bank2, err := newBank()
-		if err != nil {
-			return err
-		}
-		guard, err := mitigation.NewGuard(mitigation.GuardConfig{
-			Bank:    bank2,
-			Tracker: mitigation.NewMisraGries(16),
-		})
-		if err != nil {
-			return err
-		}
-		prot, err := mitigation.Run(mitigation.EvalConfig{
-			Bank: bank2, Spec: spec, Victim: victim,
-			Guard: guard, RefInterval: timing.TREFI,
-		})
-		if err != nil {
-			return err
-		}
-
-		fmt.Printf("%-22s %-10v %-28s %s\n",
-			spec.Kind, c.aggOn, describe(base), describe(prot))
-	}
-
-	// ECC masking: take the unprotected flips of a long experiment and
-	// run them through rank-level SEC-DED.
-	bank, err := newBank()
+	rows, err := study.MitigationSummary()
 	if err != nil {
 		return err
 	}
-	spec, err := pattern.New(pattern.Combined, 636*time.Nanosecond, timing.Default())
-	if err != nil {
+	fmt.Printf("flip survival per defense, %d victim rows per cell, %v hammer budget:\n\n",
+		cfg.RowsPerRegion, cfg.Opts.Budget)
+	if err := report.MitigationTable(os.Stdout, rows); err != nil {
 		return err
 	}
-	if _, err := mitigation.Run(mitigation.EvalConfig{Bank: bank, Spec: spec, Victim: victim}); err != nil {
-		return err
-	}
-	observed, err := bank.RowData(victim, 0)
-	if err != nil {
-		return err
-	}
-	golden := device.FillRow(rowBytes, device.Checkerboard.VictimByte())
-	ecc, err := mitigation.EvaluateRow(golden, observed)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nrank SEC-DED ECC on the victim row after the combined attack:\n")
-	fmt.Printf("  %d words: %d clean, %d corrected, %d uncorrectable, %d residual errors\n",
-		ecc.Words, ecc.Clean, ecc.Corrected, ecc.Detected, ecc.ResidualErr)
-
-	// Refresh-rate scaling: how much faster than tREFW must the victim
-	// be refreshed to be safe against each pattern?
-	numRows2, rowBytes2 := mi.Geometry()
-	eng, err := core.NewAnalyticEngine(core.AnalyticConfig{
-		Profile:  mi.Profile(params),
-		Params:   params,
-		NumRows:  numRows2,
-		RowBytes: rowBytes2,
-	})
-	if err != nil {
-		return err
-	}
-	sample := core.PaperRows(numRows2, 40)
-	var specs []pattern.Spec
-	for _, kind := range []pattern.Kind{pattern.SingleSided, pattern.DoubleSided, pattern.Combined} {
-		s, err := pattern.New(kind, 636*time.Nanosecond, timing.Default())
-		if err != nil {
-			return err
-		}
-		specs = append(specs, s)
-	}
-	scalings, err := mitigation.CompareRefreshScaling(eng, specs, sample, core.RunOpts{})
-	if err != nil {
-		return err
-	}
-	fmt.Printf("\nrefresh-rate scaling needed to protect the sampled rows (tAggON = 636ns):\n")
-	for _, s := range scalings {
-		fmt.Printf("  %-24s fastest flip %8v  -> refresh window must shrink %.0fx below tREFW\n",
-			s.Spec.Kind, s.MinTimeToFlip.Round(time.Microsecond), s.Factor)
-	}
-	fmt.Println("\n(The paper's infrastructure disables REF and ECC precisely because they mask circuit-level flips.)")
+	fmt.Println("\n(The paper's characterization infrastructure disables REF and ECC" +
+		" precisely because they mask circuit-level flips; here they are the subject.)")
 	return nil
-}
-
-func describe(r mitigation.EvalResult) string {
-	if !r.Flipped {
-		return fmt.Sprintf("protected (%d acts)", r.TotalActs)
-	}
-	return fmt.Sprintf("flips at %v (%d acts)", r.FirstFlipAt.Round(time.Microsecond), r.TotalActs)
 }

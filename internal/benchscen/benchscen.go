@@ -16,6 +16,7 @@ import (
 	"rowfuse/internal/core"
 	"rowfuse/internal/device"
 	"rowfuse/internal/dispatch"
+	_ "rowfuse/internal/mitigation" // registers the "mitigated" scenario engine
 	"rowfuse/internal/pattern"
 	"rowfuse/internal/resultio"
 	"rowfuse/internal/timing"
@@ -211,6 +212,90 @@ func BankEngineCharacterizeRow(b *testing.B, cellsPerMech int) {
 	act, pre, _ := bank.Counters()
 	b.ReportMetric(float64(act)/float64(b.N), "acts/op")
 	b.ReportMetric(float64(pre)/float64(b.N), "pres/op")
+}
+
+// benderTraceBench drives the bender-trace scenario engine over a
+// small set of pre-materialized victim rows. The exact flag selects
+// instruction-by-instruction replay (TraceSpec.Exact) versus the
+// default event-horizon fast-forward; BENCH_8.json pins the fast path
+// at >= 10x over naive replay on the same cells. The shrunk row size
+// keeps readback cheap so the op cost is the interpreter and the
+// horizon machinery, and the warm-up pass materializes every victim's
+// rows so allocs/op measures the engine's steady state.
+func benderTraceBench(b *testing.B, exact bool) {
+	env := core.EngineEnv{
+		Profile:  Profile(),
+		Params:   device.DefaultParams(),
+		Timings:  timing.Default(),
+		NumRows:  4096,
+		RowBytes: 256,
+	}
+	sc := core.Scenario{ID: "bender", Engine: core.EngineBenderTrace}
+	if exact {
+		sc.Trace = &core.TraceSpec{Exact: true}
+	}
+	eng, err := core.NewScenarioEngine(env, sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	spec := combinedSpec(b)
+	const victims = 16
+	for v := 0; v < victims; v++ {
+		if _, err := eng.CharacterizeRow(100+v, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.CharacterizeRow(100+i%victims, spec, core.RunOpts{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenderTraceFastForward measures the bender-trace scenario engine in
+// its default mode: hammer-loop recognition, damage-profile capture,
+// closed-form flip-horizon solve, and a clock/bank seek past every
+// iteration that cannot flip — only a guard window and the epilogue
+// are interpreted.
+func BenderTraceFastForward(b *testing.B) { benderTraceBench(b, false) }
+
+// BenderTraceNaiveReplay interprets the same cells activation by
+// activation (TraceSpec.Exact) — the baseline the fast-forward's
+// >= 10x is measured against.
+func BenderTraceNaiveReplay(b *testing.B) { benderTraceBench(b, true) }
+
+// MitigationCampaignConfig is the mitigation-axis campaign scenario: a
+// one-module, one-pattern grid re-run under every defense of
+// core.MitigationScenarios, each cell hammering a TRR-guarded (or
+// ECC-checked) simulated bank. The caller must have registered the
+// "mitigated" engine kind (blank-import rowfuse/internal/mitigation).
+func MitigationCampaignConfig() core.StudyConfig {
+	return core.StudyConfig{
+		Modules:       chipdb.Modules()[:1],
+		Patterns:      []pattern.Kind{pattern.Combined},
+		Sweep:         []time.Duration{636 * time.Nanosecond},
+		RowsPerRegion: 2,
+		Dies:          1,
+		Runs:          1,
+		Opts:          core.RunOpts{Budget: 2 * time.Millisecond},
+		Scenarios:     core.MitigationScenarios(),
+	}
+}
+
+// MitigationCampaign runs the mitigation-axis campaign end to end.
+func MitigationCampaign(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := core.NewStudy(MitigationCampaignConfig())
+		if err := s.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.MitigationSummary(); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // WALQueueGrantSubmit measures the durable dispatch hot path: one

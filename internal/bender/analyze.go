@@ -1,0 +1,119 @@
+package bender
+
+import (
+	"time"
+
+	"rowfuse/internal/timing"
+)
+
+// LoopAct is one activation of a recognized hammer loop, with its
+// clock offsets from the start of a loop iteration under the
+// interpreter's timing model (one TCK per instruction, WAIT operands
+// in nanoseconds).
+type LoopAct struct {
+	Row int
+	// ActAt/PreAt are when the activate and the matching precharge of
+	// this act execute, relative to the iteration start.
+	ActAt, PreAt time.Duration
+}
+
+// HammerLoop describes the canonical counted hammer loop the builder
+// emits (SET reg, n; body of ACT/WAIT/PRE/WAIT on one bank; DJNZ reg
+// back to the body). Recognizing it lets the trace executor treat the
+// loop as a periodic access pattern: profile one iteration, solve for
+// the flip horizon, and fast-forward over the iterations that cannot
+// flip anything.
+type HammerLoop struct {
+	// SetPC, Body and Djnz are the program counters of the SET that
+	// loads the loop register, the first body instruction, and the
+	// DJNZ.
+	SetPC, Body, Djnz int
+	// Reg is the loop counter register; Count its initial value.
+	Reg   int
+	Count int64
+	// Bank is the single bank every body command addresses.
+	Bank int
+	// Acts are the body's activations in order.
+	Acts []LoopAct
+	// IterTime is the clock advance of one full iteration, DJNZ
+	// included.
+	IterTime time.Duration
+}
+
+// FindHammerLoop scans the program for the first canonical hammer loop
+// and returns its descriptor. Only fully immediate loops qualify (any
+// register operand other than the DJNZ counter disqualifies the
+// candidate — the executor could not predict the access pattern), and
+// every command must address the same bank.
+func FindHammerLoop(p *Program, timings timing.Set) (*HammerLoop, bool) {
+	if p == nil {
+		return nil, false
+	}
+	for pc := 0; pc < len(p.Instrs); pc++ {
+		in := p.Instrs[pc]
+		if in.Op != OpSet || in.B.Reg {
+			continue
+		}
+		if hl, ok := analyzeLoopAt(p, pc, timings); ok {
+			return hl, true
+		}
+	}
+	return nil, false
+}
+
+// analyzeLoopAt tries to parse a hammer loop whose SET is at setPC.
+func analyzeLoopAt(p *Program, setPC int, timings timing.Set) (*HammerLoop, bool) {
+	set := p.Instrs[setPC]
+	reg := int(set.A.Val)
+	count := set.B.Val
+	if count <= 0 {
+		return nil, false
+	}
+	body := setPC + 1
+	hl := &HammerLoop{SetPC: setPC, Body: body, Reg: reg, Count: count, Bank: -1}
+	var clock time.Duration
+	open := -1 // index into hl.Acts of the activation awaiting its PRE
+	for pc := body; pc < len(p.Instrs); pc++ {
+		in := p.Instrs[pc]
+		switch in.Op {
+		case OpAct:
+			if in.A.Reg || in.B.Reg || open >= 0 {
+				return nil, false
+			}
+			if hl.Bank < 0 {
+				hl.Bank = int(in.A.Val)
+			} else if hl.Bank != int(in.A.Val) {
+				return nil, false
+			}
+			open = len(hl.Acts)
+			hl.Acts = append(hl.Acts, LoopAct{Row: int(in.B.Val), ActAt: clock})
+			clock += timings.TCK
+		case OpPre:
+			if in.A.Reg || open < 0 || hl.Bank != int(in.A.Val) {
+				return nil, false
+			}
+			hl.Acts[open].PreAt = clock
+			open = -1
+			clock += timings.TCK
+		case OpWait:
+			if in.A.Reg || in.A.Val < 0 {
+				return nil, false
+			}
+			clock += time.Duration(in.A.Val) * time.Nanosecond
+		case OpDjnz:
+			if int(in.A.Val) != reg || int(in.B.Val) != body {
+				return nil, false
+			}
+			if open >= 0 || len(hl.Acts) == 0 {
+				return nil, false
+			}
+			hl.Djnz = pc
+			clock += timings.TCK
+			hl.IterTime = clock
+			return hl, true
+		default:
+			return nil, false
+		}
+	}
+	return nil, false
+}

@@ -33,6 +33,26 @@ type Engine struct {
 	// record enables command-trace capture.
 	record bool
 	trace  dramcmd.Trace
+
+	// watch is the armed flip-watch (see WatchFlips).
+	watch flipWatch
+	// wrBuf memoizes WR fill-byte burst buffers; OpWr would otherwise
+	// allocate one per executed write.
+	wrBuf map[byte][]byte
+}
+
+// flipWatch holds the halt-on-flip state: the victim row being
+// watched, the bits that were already flipped when the watch was
+// armed, and the bank's flip-generation watermark for the cheap
+// no-new-flip fast path.
+type flipWatch struct {
+	bank   *device.Bank
+	victim int
+	armed  bool
+	gen    int64
+	before device.Bitset
+	halted bool
+	at     time.Duration
 }
 
 // EngineConfig configures a bender engine.
@@ -108,15 +128,107 @@ func (e *Engine) Captured() []byte { return e.captured }
 // CommandCount returns how many instructions of an opcode have executed.
 func (e *Engine) CommandCount(op Opcode) int64 { return e.cmdCount[op] }
 
-// Reset clears clock, registers and capture buffer (device state is
-// untouched: the chip keeps its accumulated disturbance, as real
-// hardware would).
+// Reset clears clock, registers, capture buffer and flip-watch (device
+// state is untouched: the chip keeps its accumulated disturbance, as
+// real hardware would).
 func (e *Engine) Reset() {
 	e.now = 0
 	e.regs = [NumRegs]int64{}
 	e.captured = nil
 	e.steps = 0
 	e.cmdCount = make(map[Opcode]int64)
+	e.watch.armed = false
+	e.watch.halted = false
+}
+
+// SetReg writes a register directly, as the trace fast-forward does to
+// seed a loop counter with the not-yet-executed iteration count.
+func (e *Engine) SetReg(i int, v int64) error {
+	if i < 0 || i >= NumRegs {
+		return fmt.Errorf("bender: register r%d out of range", i)
+	}
+	e.regs[i] = v
+	return nil
+}
+
+// Reg reads a register.
+func (e *Engine) Reg(i int) int64 {
+	if i < 0 || i >= NumRegs {
+		return 0
+	}
+	return e.regs[i]
+}
+
+// AdvanceClock jumps the engine clock forward by d without issuing any
+// command — the trace fast-forward uses it to account for the skipped
+// loop iterations after seeking the bank past them.
+func (e *Engine) AdvanceClock(d time.Duration) {
+	if d > 0 {
+		e.now += d
+	}
+}
+
+// WatchFlips arms a halt-on-flip watch on a victim row: execution stops
+// right after the PRE or REF whose disturbance flips a bit of the row
+// that was not already flipped when the watch was armed. FlipHalt
+// reports whether (and when) the halt fired.
+func (e *Engine) WatchFlips(bankIdx, victim int) error {
+	b, err := e.chip.Bank(bankIdx)
+	if err != nil {
+		return err
+	}
+	w := &e.watch
+	w.bank = b
+	w.victim = victim
+	w.armed = true
+	w.halted = false
+	w.at = 0
+	w.gen = b.FlipGeneration()
+	cells := b.VictimCells(victim)
+	w.before.Reset(b.RowBytes() * 8)
+	for i := range cells {
+		if cells[i].Flipped() {
+			w.before.Set(cells[i].Bit)
+		}
+	}
+	return nil
+}
+
+// FlipHalt reports whether the last run halted on a watched flip, and
+// the clock time of the PRE/REF that exposed it.
+func (e *Engine) FlipHalt() (time.Duration, bool) {
+	return e.watch.at, e.watch.halted
+}
+
+// watchTripped scans for a new flip on the watched victim row. The
+// flip-generation watermark keeps the no-flip common case to one
+// integer compare.
+func (e *Engine) watchTripped() bool {
+	w := &e.watch
+	if !w.armed || w.bank.FlipGeneration() == w.gen {
+		return false
+	}
+	w.gen = w.bank.FlipGeneration()
+	cells := w.bank.VictimCells(w.victim)
+	for i := range cells {
+		if cells[i].Flipped() && !w.before.Has(cells[i].Bit) {
+			return true
+		}
+	}
+	return false
+}
+
+// fillBuf returns a memoized burst buffer of the fill byte.
+func (e *Engine) fillBuf(fill byte) []byte {
+	if buf, ok := e.wrBuf[fill]; ok && len(buf) == e.burst {
+		return buf
+	}
+	if e.wrBuf == nil {
+		e.wrBuf = make(map[byte][]byte)
+	}
+	buf := device.FillRow(e.burst, fill)
+	e.wrBuf[fill] = buf
+	return buf
 }
 
 // RuntimeError wraps an execution failure with program position.
@@ -145,11 +257,35 @@ func (e *Engine) value(o Operand) int64 {
 
 // Run executes the program to END (or the end of the instruction list).
 func (e *Engine) Run(p *Program) error {
+	return e.run(p, 0, -1)
+}
+
+// RunFrom executes the program starting at pc, keeping the engine's
+// clock and registers as they are — the back half of a segmented
+// execution started with RunUntil.
+func (e *Engine) RunFrom(p *Program, pc int) error {
+	return e.run(p, pc, -1)
+}
+
+// RunUntil executes from startPC and returns just before stopPC would
+// execute (clock and registers persist, so execution can resume there
+// with RunFrom). A taken branch that jumps over stopPC does not stop.
+func (e *Engine) RunUntil(p *Program, startPC, stopPC int) error {
+	return e.run(p, startPC, stopPC)
+}
+
+func (e *Engine) run(p *Program, startPC, stopPC int) error {
 	if err := p.Validate(); err != nil {
 		return err
 	}
-	pc := 0
+	if startPC < 0 || startPC > len(p.Instrs) {
+		return fmt.Errorf("bender: start pc %d out of range", startPC)
+	}
+	pc := startPC
 	for pc < len(p.Instrs) {
+		if pc == stopPC {
+			return nil
+		}
 		in := p.Instrs[pc]
 		e.steps++
 		if e.steps > e.maxSteps {
@@ -183,6 +319,13 @@ func (e *Engine) Run(p *Program) error {
 				return fail(err)
 			}
 			e.recordCmd(dramcmd.Command{Kind: dramcmd.PRE, Bank: int(e.value(in.A))})
+			// Disturbance damage lands at precharge; this is where a
+			// watched flip becomes observable.
+			if e.watchTripped() {
+				e.watch.halted = true
+				e.watch.at = e.now
+				return nil
+			}
 			advance()
 		case OpRd:
 			bank, err := e.bank(in.A)
@@ -202,7 +345,7 @@ func (e *Engine) Run(p *Program) error {
 				return fail(err)
 			}
 			fill := byte(e.value(in.C))
-			buf := device.FillRow(e.burst, fill)
+			buf := e.fillBuf(fill)
 			if err := bank.Write(int(e.value(in.B)), buf, e.now); err != nil {
 				return fail(err)
 			}
@@ -219,6 +362,11 @@ func (e *Engine) Run(p *Program) error {
 				}
 			}
 			e.recordCmd(dramcmd.Command{Kind: dramcmd.REF})
+			if e.watchTripped() {
+				e.watch.halted = true
+				e.watch.at = e.now
+				return nil
+			}
 			e.now += e.timings.TRFC
 		case OpWait:
 			d := e.value(in.A)

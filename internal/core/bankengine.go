@@ -36,6 +36,15 @@ type BankEngine struct {
 
 	// exact forces act-by-act execution from iteration 1.
 	exact bool
+	// drv, when set, receives every ACT/PRE/REF instead of the bank
+	// (a mitigation guard, say); implies exact execution, since a
+	// driver may mutate bank state the damage-profile solve cannot see.
+	drv BankDriver
+	// refEvery injects a REF through the driver whenever the hammer
+	// clock passes the next multiple of it (0 = refresh disabled, the
+	// paper's characterization methodology). Implies exact execution.
+	refEvery  time.Duration
+	refreshes int64
 
 	// Per-row scratch, hoisted so repeated characterizations do not
 	// allocate: the victim/aggressor fill buffers, the set of bits
@@ -58,6 +67,36 @@ var _ Engine = (*BankEngine)(nil)
 // BankEngineOption configures a BankEngine.
 type BankEngineOption func(*BankEngine)
 
+// BankDriver issues row commands on behalf of the engine's hammer
+// loop. *device.Bank satisfies it (the default); a mitigation guard
+// wraps one to observe activations and fire targeted refreshes, which
+// is how a guarded bank rides the engine's loop instead of keeping a
+// bespoke copy of it.
+type BankDriver interface {
+	Activate(row int, now time.Duration) error
+	Precharge(now time.Duration) error
+	Refresh(now time.Duration) error
+}
+
+var _ BankDriver = (*device.Bank)(nil)
+
+// WithDriver routes the hammer loop's ACT/PRE (and any injected REF)
+// through d instead of the bare bank. The fast-forward is disabled: a
+// driver may mutate cell state (TRR refreshes victims) in ways the
+// damage-profile solve cannot model, so execution must be act by act.
+func WithDriver(d BankDriver) BankEngineOption {
+	return func(e *BankEngine) { e.drv = d }
+}
+
+// WithRefreshEvery injects a REF through the driver every interval of
+// hammering time, before the activation that first reaches it — the
+// cadence mitigation evaluations hammer against. Zero disables refresh
+// (the default, matching the paper's methodology). Implies exact
+// execution like WithDriver.
+func WithRefreshEvery(interval time.Duration) BankEngineOption {
+	return func(e *BankEngine) { e.refEvery = interval }
+}
+
 // WithExactReplay disables the event-horizon fast-forward: every
 // activation of every iteration is executed one by one. Results are
 // byte-identical either way; exact replay is the bit-exact reference
@@ -75,6 +114,10 @@ func NewBankEngine(b *device.Bank, opts ...BankEngineOption) *BankEngine {
 	}
 	return e
 }
+
+// Refreshes returns how many periodic REFs WithRefreshEvery injected
+// during the most recent CharacterizeRow call.
+func (e *BankEngine) Refreshes() int64 { return e.refreshes }
 
 // actsFor returns the memoized act schedule of spec (specs repeat
 // across campaign loops; pattern.Spec.Acts allocates per call).
@@ -106,6 +149,7 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 		return RowResult{}, err
 	}
 	res := RowResult{Victim: victim, Spec: spec, NoBitflip: true}
+	e.refreshes = 0
 
 	e.bank.SetTemperature(opts.TempC)
 	rowBytes := e.bank.RowBytes()
@@ -133,7 +177,7 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 		}
 	}
 
-	if !e.exact && len(acts) > 0 && maxIters > 0 {
+	if !e.exact && e.drv == nil && e.refEvery == 0 && len(acts) > 0 && maxIters > 0 {
 		if done, err := e.fastForward(victim, spec, acts, maxIters, &res); done {
 			if err != nil {
 				return RowResult{}, err
@@ -155,14 +199,41 @@ func (e *BankEngine) CharacterizeRow(victim int, spec pattern.Spec, opts RunOpts
 func (e *BankEngine) hammer(victim int, spec pattern.Spec, acts []pattern.Act, maxIters, startIter int64, now time.Duration, totalActs int64, res *RowResult) error {
 	cells := e.bank.VictimCells(victim)
 	gen := e.bank.FlipGeneration()
+	nextRef := e.refEvery
 	for iter := startIter; iter <= maxIters; iter++ {
 		for ai, a := range acts {
+			if e.refEvery > 0 && now >= nextRef {
+				refresh := e.bank.Refresh
+				if e.drv != nil {
+					refresh = e.drv.Refresh
+				}
+				if err := refresh(now); err != nil {
+					return fmt.Errorf("iter %d ref: %w", iter, err)
+				}
+				e.refreshes++
+				nextRef += e.refEvery
+				// A REF may heal (or, through TRR, reset) victim cells;
+				// resync the generation watermark so the flip scan below
+				// still fires only on genuinely new flips.
+				gen = e.bank.FlipGeneration()
+			}
 			row := victim + a.RowOffset
-			if err := e.bank.Activate(row, now); err != nil {
+			var err error
+			if e.drv != nil {
+				err = e.drv.Activate(row, now)
+			} else {
+				err = e.bank.Activate(row, now)
+			}
+			if err != nil {
 				return fmt.Errorf("iter %d act %d: %w", iter, ai, err)
 			}
 			now += a.OnTime
-			if err := e.bank.Precharge(now); err != nil {
+			if e.drv != nil {
+				err = e.drv.Precharge(now)
+			} else {
+				err = e.bank.Precharge(now)
+			}
+			if err != nil {
 				return fmt.Errorf("iter %d pre %d: %w", iter, ai, err)
 			}
 			totalActs++

@@ -60,37 +60,7 @@ func (e *BankEngine) fastForward(victim int, spec pattern.Spec, acts []pattern.A
 		return false, nil
 	}
 
-	a := e.prof.NumActs()
-	n := e.prof.NumCells()
-
-	// Vector-dispatched builds advance accumulators with the integer
-	// binade stepping of bankbatch.go; purego builds (and profiles the
-	// projection rejects) keep the float reference path.
-	fast := bankFastEnabled && e.bsolve.project(e.prof.Steady)
-
-	// The event horizon: the earliest iteration any eligible cell's
-	// accumulator reaches 1. Later cells only need solving up to the
-	// current horizon — flips past it cannot win.
-	horizon := maxIters + 1
-	for c := 0; c < n; c++ {
-		if !e.prof.Eligible[c] {
-			continue
-		}
-		lim := horizon
-		if lim > maxIters {
-			lim = maxIters
-		}
-		var it int64
-		var ok bool
-		if fast {
-			it, ok = flipIterationPre(e.prof.CellFirst(c), e.prof.CellSteady(c), e.bsolve.md[c*a:(c+1)*a], e.bsolve.ed[c*a:(c+1)*a], lim)
-		} else {
-			it, ok = flipIteration(e.prof.CellFirst(c), e.prof.CellSteady(c), lim)
-		}
-		if ok && it < horizon {
-			horizon = it
-		}
-	}
+	horizon, fast := solveFlipHorizon(&e.prof, &e.bsolve, maxIters)
 
 	startIter := horizon - guardIters
 	if horizon > maxIters {
@@ -106,23 +76,74 @@ func (e *BankEngine) fastForward(victim int, spec pattern.Spec, acts []pattern.A
 	// the end of iteration startIter-1, counters advanced over the
 	// skipped activations.
 	skipped := startIter - 1
-	if cap(e.accs) < n {
-		e.accs = make([]float64, n)
-	}
-	e.accs = e.accs[:n]
-	for c := 0; c < n; c++ {
-		if fast {
-			e.accs[c] = accAfterPre(e.prof.CellFirst(c), e.prof.CellSteady(c), e.bsolve.md[c*a:(c+1)*a], e.bsolve.ed[c*a:(c+1)*a], skipped)
-		} else {
-			e.accs[c] = accAfter(e.prof.CellFirst(c), e.prof.CellSteady(c), skipped)
-		}
-	}
+	a := e.prof.NumActs()
+	e.accs = seekAccsAt(&e.prof, &e.bsolve, fast, skipped, e.accs)
 	strong, weak := e.prof.SideSeekAt(skipped, iterTime)
 	if err := e.bank.SeekRowDisturb(victim, e.accs, strong, weak, skipped*int64(a)); err != nil {
 		return false, nil
 	}
 	err := e.hammer(victim, spec, acts, maxIters, startIter, time.Duration(skipped)*iterTime, skipped*int64(a), res)
 	return true, err
+}
+
+// solveFlipHorizon returns the event horizon of a captured damage
+// profile: the earliest 1-based iteration any eligible cell's
+// accumulator reaches 1, or maxIters+1 when no cell flips within the
+// budget. The returned fast flag reports whether the vector-dispatched
+// integer binade stepping of bankbatch.go engaged (it also conditions
+// which accumulator-seek variant matches the solve); purego builds and
+// profiles the projection rejects keep the float reference path. The
+// bank engine's fast-forward and the bender trace executor share this
+// solve.
+func solveFlipHorizon(prof *device.DamageProfile, bs *bankSolve, maxIters int64) (horizon int64, fast bool) {
+	a := prof.NumActs()
+	n := prof.NumCells()
+	fast = bankFastEnabled && bs.project(prof.Steady)
+
+	// Later cells only need solving up to the current horizon — flips
+	// past it cannot win.
+	horizon = maxIters + 1
+	for c := 0; c < n; c++ {
+		if !prof.Eligible[c] {
+			continue
+		}
+		lim := horizon
+		if lim > maxIters {
+			lim = maxIters
+		}
+		var it int64
+		var ok bool
+		if fast {
+			it, ok = flipIterationPre(prof.CellFirst(c), prof.CellSteady(c), bs.md[c*a:(c+1)*a], bs.ed[c*a:(c+1)*a], lim)
+		} else {
+			it, ok = flipIteration(prof.CellFirst(c), prof.CellSteady(c), lim)
+		}
+		if ok && it < horizon {
+			horizon = it
+		}
+	}
+	return horizon, fast
+}
+
+// seekAccsAt fills accs (reusing its backing storage) with every
+// profiled cell's exact accumulator value after `skipped` completed
+// iterations, using the same stepping variant the horizon was solved
+// with.
+func seekAccsAt(prof *device.DamageProfile, bs *bankSolve, fast bool, skipped int64, accs []float64) []float64 {
+	a := prof.NumActs()
+	n := prof.NumCells()
+	if cap(accs) < n {
+		accs = make([]float64, n)
+	}
+	accs = accs[:n]
+	for c := 0; c < n; c++ {
+		if fast {
+			accs[c] = accAfterPre(prof.CellFirst(c), prof.CellSteady(c), bs.md[c*a:(c+1)*a], bs.ed[c*a:(c+1)*a], skipped)
+		} else {
+			accs[c] = accAfter(prof.CellFirst(c), prof.CellSteady(c), skipped)
+		}
+	}
+	return accs
 }
 
 // flipIteration returns the first 1-based iteration at which repeated

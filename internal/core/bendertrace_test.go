@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/device"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+// traceEnv builds the engine environment of one trace comparison run.
+func traceEnv(t *testing.T, moduleID string, run int64) EngineEnv {
+	t.Helper()
+	mi, err := chipdb.ByID(moduleID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := device.DefaultParams()
+	return EngineEnv{
+		Profile:  device.DieProfile(mi.Profile(params), 0),
+		Params:   params,
+		Timings:  timing.Default(),
+		Bank:     0,
+		NumRows:  4096,
+		RowBytes: 256,
+		Run:      run,
+	}
+}
+
+// mkTraceEngines builds a fast-forwarding and an exact trace engine
+// over twin chips of the same environment.
+func mkTraceEngines(t *testing.T, env EngineEnv) (fast, exact *traceEngine) {
+	t.Helper()
+	fe, err := newTraceEngineFor(env, Scenario{ID: "bender", Engine: EngineBenderTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ee, err := newTraceEngineFor(env, Scenario{ID: "bender", Engine: EngineBenderTrace, Trace: &TraceSpec{Exact: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fe.(*traceEngine), ee.(*traceEngine)
+}
+
+// compareTraceFastExact runs one (victim, spec, opts) on both engines
+// and asserts byte-identical RowResults and victim-row microstate.
+func compareTraceFastExact(t *testing.T, label string, fast, exact *traceEngine, victim int, spec pattern.Spec, opts RunOpts) {
+	t.Helper()
+	got, err := fast.CharacterizeRow(victim, spec, opts)
+	if err != nil {
+		t.Fatalf("%s: fast: %v", label, err)
+	}
+	want, err := exact.CharacterizeRow(victim, spec, opts)
+	if err != nil {
+		t.Fatalf("%s: exact: %v", label, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("%s: RowResult differs:\nfast:  %+v\nexact: %+v", label, got, want)
+	}
+	fc := fast.bank.VictimCells(victim)
+	ec := exact.bank.VictimCells(victim)
+	if len(fc) != len(ec) {
+		t.Fatalf("%s: cell counts differ: %d vs %d", label, len(fc), len(ec))
+	}
+	for i := range fc {
+		if math.Float64bits(fc[i].Accumulated()) != math.Float64bits(ec[i].Accumulated()) {
+			t.Fatalf("%s: cell %d (bit %d) acc differs: fast %v exact %v",
+				label, i, fc[i].Bit, fc[i].Accumulated(), ec[i].Accumulated())
+		}
+		if fc[i].Flipped() != ec[i].Flipped() {
+			t.Fatalf("%s: cell %d flipped differs: fast %v exact %v",
+				label, i, fc[i].Flipped(), ec[i].Flipped())
+		}
+	}
+}
+
+// TestTraceEngineFastMatchesExact requires the bender-trace
+// fast-forward to reproduce full instruction-by-instruction
+// interpretation byte for byte across pattern families, tAggON marks,
+// data patterns and run seeds — the trace analogue of
+// TestBankFastMatchesExactReplay.
+func TestTraceEngineFastMatchesExact(t *testing.T) {
+	marks := timing.Table2Marks()
+	picks := []int{0, len(marks) / 2, len(marks) - 1}
+	kinds := []pattern.Kind{pattern.SingleSided, pattern.DoubleSided, pattern.Combined}
+	datas := []device.DataPattern{device.Checkerboard, device.RowStripe}
+	for _, kind := range kinds {
+		for _, mi := range picks {
+			spec, err := pattern.New(kind, marks[mi], timing.Default())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, data := range datas {
+				for run := int64(0); run < 2; run++ {
+					env := traceEnv(t, "S1", run)
+					fast, exact := mkTraceEngines(t, env)
+					victim := 100 + int(run)*911
+					label := kind.Short() + "@" + marks[mi].String() + "/" + data.String()
+					compareTraceFastExact(t, label, fast, exact, victim, spec, RunOpts{Data: data})
+				}
+			}
+		}
+	}
+}
+
+// TestTraceEngineReuse pins engine reuse across rows, specs and
+// repeated visits (the campaign shape: one engine per run, scratch and
+// interpreter state recycled between cells).
+func TestTraceEngineReuse(t *testing.T) {
+	env := traceEnv(t, "M4", 1)
+	fast, exact := mkTraceEngines(t, env)
+	spec, err := pattern.New(pattern.Combined, timing.AggOnTREFI, timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec2, err := pattern.New(pattern.DoubleSided, timing.Table2Marks()[0], timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		for _, s := range []pattern.Spec{spec, spec2} {
+			for _, victim := range []int{512, 513, 512} {
+				compareTraceFastExact(t, s.String(), fast, exact, victim, s, RunOpts{})
+			}
+		}
+	}
+}
+
+// TestTraceEngineScenarioDispatch covers the scenario-axis entry
+// point: "bender-trace" resolves through newScenarioEngine and the
+// engine honors the scenario's data/temperature overrides.
+func TestTraceEngineScenarioDispatch(t *testing.T) {
+	env := traceEnv(t, "S1", 0)
+	eng, err := newScenarioEngine(env, Scenario{ID: "bender", Engine: EngineBenderTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := pattern.New(pattern.DoubleSided, timing.Table2Marks()[0], timing.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.CharacterizeRow(500, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Victim != 500 {
+		t.Fatalf("victim = %d, want 500", res.Victim)
+	}
+	// A second engine built from the same env must reproduce the result
+	// exactly (determinism across engine constructions).
+	eng2, err := newScenarioEngine(env, Scenario{ID: "bender", Engine: EngineBenderTrace})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := eng2.CharacterizeRow(500, spec, RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("rebuilt engine diverged:\n%+v\n%+v", res, res2)
+	}
+}

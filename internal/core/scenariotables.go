@@ -1,0 +1,160 @@
+// Extractors for scenario-axis campaigns: the mitigation survival
+// summary (flip survival vs TRR variant, ECC and refresh multiplier)
+// and the combined-attack crossover sweep, the in-campaign promotion of
+// what examples/combined_attack used to compute ad hoc. Both read the
+// study's completed cells the way Table2/Fig4 do, so they render from
+// live campaigns, resumed checkpoints and merged shards alike.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/pattern"
+)
+
+// MitigationModuleStat is one module's survival accounting under one
+// scenario, folded across every (pattern, tAggON) cell of the grid.
+type MitigationModuleStat struct {
+	Module string
+	// FlippedObs / TotalObs count row observations: an observation
+	// survives when no bitflip escaped the scenario's mitigations
+	// within the budget.
+	FlippedObs int
+	TotalObs   int
+	// FastestMs is the smallest per-cell mean time-to-first-bitflip
+	// (milliseconds) among the module's flipped cells; zero when every
+	// cell survived.
+	FastestMs float64
+}
+
+// Survived is the fraction of observations without a surviving flip.
+func (m MitigationModuleStat) Survived() float64 {
+	if m.TotalObs == 0 {
+		return 1
+	}
+	return 1 - float64(m.FlippedObs)/float64(m.TotalObs)
+}
+
+// MitigationRow is one scenario of the mitigation table: the
+// configuration under test and the per-module survival it achieved.
+type MitigationRow struct {
+	Scenario Scenario
+	// Modules follows the study's module order.
+	Modules []MitigationModuleStat
+}
+
+// MitigationSummary folds every completed cell into per-(scenario,
+// module) survival rows, in the configured scenario order. Every cell
+// of the grid must have results (run the campaign, or seed it from a
+// checkpoint, first).
+func (s *Study) MitigationSummary() ([]MitigationRow, error) {
+	sweep := s.SweepSorted()
+	rows := make([]MitigationRow, 0, len(s.cfg.scenarios()))
+	for _, sc := range s.cfg.scenarios() {
+		row := MitigationRow{Scenario: sc, Modules: make([]MitigationModuleStat, 0, len(s.cfg.Modules))}
+		for _, mi := range s.cfg.Modules {
+			stat := MitigationModuleStat{Module: mi.ID}
+			for _, kind := range s.cfg.Patterns {
+				for _, aggOn := range sweep {
+					key := CellKey{Module: mi.ID, Kind: kind, AggOn: aggOn, Scenario: sc.ID}
+					r, ok := s.ResultCell(key)
+					if !ok {
+						return nil, fmt.Errorf("core: study has no result for cell %v", key)
+					}
+					ts := r.TimeStats()
+					stat.FlippedObs += ts.N
+					stat.TotalObs += ts.Total
+					if ts.N > 0 {
+						ms := ts.Mean * 1000
+						if stat.FastestMs == 0 || ms < stat.FastestMs {
+							stat.FastestMs = ms
+						}
+					}
+				}
+			}
+			row.Modules = append(row.Modules, stat)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// CrossoverCell is one tAggON position of one module's crossover sweep.
+type CrossoverCell struct {
+	AggOn time.Duration
+	// TimesMs maps each pattern to its mean time-to-first-bitflip in
+	// milliseconds; patterns that never flipped at this tAggON are
+	// absent.
+	TimesMs map[pattern.Kind]float64
+	// Winner is the fastest flipping pattern (zero when nothing flips).
+	Winner pattern.Kind
+}
+
+// CrossoverModule is one module's sweep: which pattern family wins at
+// each tAggON, and where the winner changes hands (the paper's
+// Observations 1 and 3 — the combined pattern dominates small-to-medium
+// on-times and converges to single-sided RowPress at large ones).
+type CrossoverModule struct {
+	Info chipdb.ModuleInfo
+	// Cells covers the sweep in ascending tAggON order.
+	Cells []CrossoverCell
+	// Crossover brackets the first winner change; valid only when
+	// HasCrossover is set (a module one pattern dominates throughout
+	// has none).
+	Crossover    CrossoverPoint
+	HasCrossover bool
+}
+
+// CrossoverSweep extracts the per-module crossover structure from the
+// study's primary scenario: every configured pattern's mean
+// time-to-first-bitflip at every sweep point, the per-point winner, and
+// the bracket where the winner first changes. Every cell must have
+// results.
+func (s *Study) CrossoverSweep() ([]CrossoverModule, error) {
+	sweep := s.SweepSorted()
+	out := make([]CrossoverModule, 0, len(s.cfg.Modules))
+	for _, mi := range s.cfg.Modules {
+		cm := CrossoverModule{Info: mi, Cells: make([]CrossoverCell, 0, len(sweep))}
+		for _, aggOn := range sweep {
+			cell := CrossoverCell{AggOn: aggOn, TimesMs: make(map[pattern.Kind]float64, len(s.cfg.Patterns))}
+			for _, kind := range s.cfg.Patterns {
+				r, err := s.mustResult(mi.ID, kind, aggOn)
+				if err != nil {
+					return nil, err
+				}
+				if ts := r.TimeStats(); ts.N > 0 {
+					ms := ts.Mean * 1000
+					cell.TimesMs[kind] = ms
+					if cell.Winner == 0 || ms < cell.TimesMs[cell.Winner] {
+						cell.Winner = kind
+					}
+				}
+			}
+			cm.Cells = append(cm.Cells, cell)
+		}
+		cm.Crossover, cm.HasCrossover = crossoverBracket(cm.Cells)
+		out = append(out, cm)
+	}
+	return out, nil
+}
+
+// crossoverBracket finds the first adjacent pair of sweep points whose
+// winners differ — the same bracket semantics as FindCrossover, read
+// off campaign cells instead of a fresh engine scan.
+func crossoverBracket(cells []CrossoverCell) (CrossoverPoint, bool) {
+	var prev CrossoverCell
+	havePrev := false
+	for _, c := range cells {
+		if c.Winner == 0 {
+			havePrev = false
+			continue
+		}
+		if havePrev && c.Winner != prev.Winner {
+			return CrossoverPoint{Below: prev.AggOn, Above: c.AggOn}, true
+		}
+		prev, havePrev = c, true
+	}
+	return CrossoverPoint{}, false
+}

@@ -11,19 +11,26 @@ import (
 	"rowfuse/internal/pattern"
 )
 
-// CellKey identifies one (module, pattern, tAggON) cell of a campaign's
-// cell grid. It is the unit of sharding and checkpointing: each cell is
-// computed wholly within one shard, so merging shard checkpoints is
-// bit-identical to a single monolithic run.
+// CellKey identifies one (module, pattern, tAggON, scenario) cell of a
+// campaign's cell grid. It is the unit of sharding and checkpointing:
+// each cell is computed wholly within one shard, so merging shard
+// checkpoints is bit-identical to a single monolithic run.
 type CellKey struct {
 	Module string
 	Kind   pattern.Kind
 	AggOn  time.Duration
+	// Scenario is the scenario ID ("" = the default scenario, which is
+	// what every pre-scenario campaign's keys carry).
+	Scenario string
 }
 
-// String renders the key as "module/pattern/tAggON".
+// String renders the key as "module/pattern/tAggON" with a "/scenario"
+// suffix for non-default scenarios.
 func (k CellKey) String() string {
-	return fmt.Sprintf("%s/%s/%v", k.Module, k.Kind.Short(), k.AggOn)
+	if k.Scenario == "" {
+		return fmt.Sprintf("%s/%s/%v", k.Module, k.Kind.Short(), k.AggOn)
+	}
+	return fmt.Sprintf("%s/%s/%v/%s", k.Module, k.Kind.Short(), k.AggOn, k.Scenario)
 }
 
 // ShardPlan deterministically partitions a campaign's cell grid into
@@ -87,14 +94,19 @@ func (p ShardPlan) String() string {
 }
 
 // Cells enumerates the study's full cell grid in the deterministic
-// order sharding indexes it: modules x patterns x sweep, as configured.
-// Every shard of every process sees the same order.
+// order sharding indexes it: modules x patterns x sweep x scenarios,
+// as configured. Every shard of every process sees the same order; the
+// scenario axis is innermost so a single-scenario grid enumerates
+// exactly like a pre-scenario one.
 func (s *Study) Cells() []CellKey {
+	scens := s.cfg.scenarios()
 	var cells []CellKey
 	for _, mi := range s.cfg.Modules {
 		for _, k := range s.cfg.Patterns {
 			for _, t := range s.cfg.Sweep {
-				cells = append(cells, CellKey{Module: mi.ID, Kind: k, AggOn: t})
+				for _, sc := range scens {
+					cells = append(cells, CellKey{Module: mi.ID, Kind: k, AggOn: t, Scenario: sc.ID})
+				}
 			}
 		}
 	}
@@ -125,5 +137,14 @@ func (c StudyConfig) Fingerprint() string {
 	}
 	fmt.Fprintf(h, "rows %d dies %d runs %d bank %d\n", c.RowsPerRegion, c.Dies, c.Runs, c.Bank)
 	fmt.Fprintf(h, "opts %+v\n", c.Opts)
+	// The scenario axis joins the hash only when it deviates from the
+	// default, so every pre-scenario fingerprint — and with it every
+	// checkpoint and manifest in the field — stays valid (golden-pinned
+	// by TestScenarioGoldenFingerprints).
+	if !c.scenariosAreDefault() {
+		for _, sc := range c.Scenarios {
+			fmt.Fprintf(h, "scenario %s\n", sc.fingerprint())
+		}
+	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

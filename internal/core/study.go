@@ -39,7 +39,14 @@ type StudyConfig struct {
 	Runs int
 	// Bank is the bank under test (the paper picks one arbitrary bank).
 	Bank int
+	// Scenarios is the scenario axis of the grid: engine selection and
+	// operating-condition overrides per cell (nil or a single default
+	// scenario = the classic module x pattern x tAggON grid, hashed,
+	// keyed and checkpointed exactly as before the axis existed).
+	// Non-default scenarios need unique, non-empty IDs.
+	Scenarios []Scenario
 	// Opts are the per-row run options (budget, data pattern, temp).
+	// Scenarios may override Data and TempC per cell.
 	Opts RunOpts
 	// Concurrency bounds the worker pool (default GOMAXPROCS).
 	Concurrency int
@@ -226,6 +233,11 @@ type cellJob struct {
 	numRows  int
 	rowBytes int
 	dies     int
+	// scenario is the cell's point on the scenario axis and opts the
+	// study RunOpts with the scenario's overrides already resolved
+	// (thermal settle included).
+	scenario Scenario
+	opts     RunOpts
 
 	// pending counts die units still running; the worker that drops it
 	// to zero folds dieObs into the cell's aggregate.
@@ -297,9 +309,24 @@ func (s *Study) Run(ctx context.Context) error {
 	if err := s.cfg.Shard.Validate(); err != nil {
 		return err
 	}
+	if err := s.cfg.validateScenarios(); err != nil {
+		return err
+	}
 	byID := make(map[string]chipdb.ModuleInfo, len(s.cfg.Modules))
 	for _, mi := range s.cfg.Modules {
 		byID[mi.ID] = mi
+	}
+	// Resolve each scenario's effective RunOpts once (a thermal settle
+	// runs a whole control loop; cells of the same scenario share it).
+	scByID := make(map[string]Scenario)
+	optsByID := make(map[string]RunOpts)
+	for _, sc := range s.cfg.scenarios() {
+		opts, err := sc.resolveOpts(s.cfg.Opts)
+		if err != nil {
+			return err
+		}
+		scByID[sc.ID] = sc
+		optsByID[sc.ID] = opts
 	}
 	// Cells() is the one source of truth for the grid order shard
 	// indices refer to; every process of a campaign must agree on it.
@@ -316,12 +343,15 @@ func (s *Study) Run(ctx context.Context) error {
 		selected = func(idx int) bool { return in[idx] }
 	}
 	var jobs []*cellJob
+	// cellsPerModule counts only analytic-engine cells: it seeds the
+	// population-cache refcounts, and bank-backed scenario engines
+	// never touch the cache.
 	cellsPerModule := make(map[string]int)
 	for idx, key := range grid {
 		if !selected(idx) {
 			continue
 		}
-		if _, ok := s.Result(key.Module, key.Kind, key.AggOn); ok {
+		if _, ok := s.ResultCell(key); ok {
 			continue // restored from a checkpoint
 		}
 		mi := byID[key.Module]
@@ -343,11 +373,15 @@ func (s *Study) Run(ctx context.Context) error {
 			numRows:  numRows,
 			rowBytes: rowBytes,
 			dies:     dies,
+			scenario: scByID[key.Scenario],
+			opts:     optsByID[key.Scenario],
 			dieObs:   make([][]RowObservation, dies),
 		}
 		job.pending.Store(int32(dies))
 		jobs = append(jobs, job)
-		cellsPerModule[key.Module]++
+		if job.scenario.usesAnalytic() {
+			cellsPerModule[key.Module]++
+		}
 	}
 	var tasks []dieTask
 	for _, job := range jobs {
@@ -386,13 +420,18 @@ func (s *Study) Run(ctx context.Context) error {
 			defer wg.Done()
 			for t := range taskCh {
 				job := t.job
+				var cache *device.PopulationCache
 				cacheKey := popCacheKey{module: job.mi.ID, die: t.die}
-				cache := pops.acquire(cacheKey, cellsPerModule[job.mi.ID], func() *device.PopulationCache {
-					return device.NewPopulationCache(
-						device.DieProfile(job.profile, t.die), s.cfg.Params, s.cfg.Bank, job.rowBytes*8)
-				})
+				if job.scenario.usesAnalytic() {
+					cache = pops.acquire(cacheKey, cellsPerModule[job.mi.ID], func() *device.PopulationCache {
+						return device.NewPopulationCache(
+							device.DieProfile(job.profile, t.die), s.cfg.Params, s.cfg.Bank, job.rowBytes*8)
+					})
+				}
 				obs, err := s.runCellDie(job, t.die, cache)
-				pops.release(cacheKey)
+				if cache != nil {
+					pops.release(cacheKey)
+				}
 				if err != nil {
 					fail(err)
 					return
@@ -481,12 +520,16 @@ func (s *Study) Seed(cells map[CellKey]AggregateState) error {
 	for _, k := range s.cfg.Patterns {
 		inPatterns[k] = true
 	}
+	inScenarios := make(map[string]bool)
+	for _, sc := range s.cfg.scenarios() {
+		inScenarios[sc.ID] = true
+	}
 	for key, st := range cells {
 		mi, ok := byID[key.Module]
 		if !ok {
 			return fmt.Errorf("core: seed cell %v: module not in study config", key)
 		}
-		if !inPatterns[key.Kind] || !inSweep[key.AggOn] {
+		if !inPatterns[key.Kind] || !inSweep[key.AggOn] || !inScenarios[key.Scenario] {
 			return fmt.Errorf("core: seed cell %v: not on the study's cell grid", key)
 		}
 		spec, err := pattern.New(key.Kind, key.AggOn, s.cfg.Timings)
@@ -503,47 +546,84 @@ func (s *Study) Seed(cells map[CellKey]AggregateState) error {
 	return nil
 }
 
-// runCellDie characterizes one die of one (module, pattern, tAggON)
-// cell across rows and repeats. It iterates row-major so each row's
-// cached base population (shared through cache across every cell of the
-// same die) serves all repeats, but stores observations in (run, row)
-// order so the final fold replays a sequential run's order exactly.
+// runCellDie characterizes one die of one (module, pattern, tAggON,
+// scenario) cell across rows and repeats. The analytic path iterates
+// row-major so each row's cached base population (shared through cache
+// across every cell of the same die) serves all repeats, but stores
+// observations in (run, row) order so the final fold replays a
+// sequential run's order exactly. Bank-backed scenario engines iterate
+// run-major instead: each run gets a freshly built engine whose bank
+// carries that run's noise seed (the bank ignores RunOpts.Run), stored
+// in the same (run, row) slots.
 func (s *Study) runCellDie(job *cellJob, die int, cache *device.PopulationCache) ([]RowObservation, error) {
-	eng, err := NewAnalyticEngine(AnalyticConfig{
+	env := EngineEnv{
 		Profile:  device.DieProfile(job.profile, die),
 		Params:   s.cfg.Params,
+		Timings:  s.cfg.Timings,
 		Bank:     s.cfg.Bank,
 		NumRows:  job.numRows,
 		RowBytes: job.rowBytes,
 		PopCache: cache,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("module %s die %d: %w", job.mi.ID, die, err)
 	}
 	runs := s.cfg.Runs
 	obs := make([]RowObservation, runs*len(job.rows))
-	opts := s.cfg.Opts
-	var res RowResult
-	// arena backs the retained flip slices: CharacterizeRowInto reuses
-	// res.Flips, so each observation's flips are copied out once, into
-	// one amortized allocation instead of one per flipped row.
+	opts := job.opts
+	// arena backs the retained flip slices: engines reuse res.Flips, so
+	// each observation's flips are copied out once, into one amortized
+	// allocation instead of one per flipped row.
 	var arena []device.Bitflip
-	for ri, victim := range job.rows {
-		for run := 0; run < runs; run++ {
-			opts.Run = int64(run)
-			if err := eng.CharacterizeRowInto(victim, job.spec, opts, &res); err != nil {
-				return nil, fmt.Errorf("module %s die %d row %d: %w", job.mi.ID, die, victim, err)
+	store := func(run, ri int, res *RowResult) {
+		o := &obs[run*len(job.rows)+ri]
+		o.Die = die
+		o.Run = run
+		o.RowResult = *res
+		o.Flips = nil
+		if n := len(res.Flips); n > 0 {
+			start := len(arena)
+			arena = append(arena, res.Flips...)
+			o.Flips = arena[start : start+n : start+n]
+		}
+	}
+
+	if job.scenario.usesAnalytic() {
+		eng, err := NewAnalyticEngine(AnalyticConfig{
+			Profile:  env.Profile,
+			Params:   env.Params,
+			Bank:     env.Bank,
+			NumRows:  env.NumRows,
+			RowBytes: env.RowBytes,
+			PopCache: cache,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("module %s die %d: %w", job.mi.ID, die, err)
+		}
+		var res RowResult
+		for ri, victim := range job.rows {
+			for run := 0; run < runs; run++ {
+				opts.Run = int64(run)
+				if err := eng.CharacterizeRowInto(victim, job.spec, opts, &res); err != nil {
+					return nil, fmt.Errorf("module %s die %d row %d: %w", job.mi.ID, die, victim, err)
+				}
+				store(run, ri, &res)
 			}
-			o := &obs[run*len(job.rows)+ri]
-			o.Die = die
-			o.Run = run
-			o.RowResult = res
-			o.Flips = nil
-			if n := len(res.Flips); n > 0 {
-				start := len(arena)
-				arena = append(arena, res.Flips...)
-				o.Flips = arena[start : start+n : start+n]
+		}
+		return obs, nil
+	}
+
+	for run := 0; run < runs; run++ {
+		env.Run = int64(run)
+		eng, err := newScenarioEngine(env, job.scenario)
+		if err != nil {
+			return nil, fmt.Errorf("module %s die %d scenario %q: %w", job.mi.ID, die, job.key.Scenario, err)
+		}
+		opts.Run = int64(run)
+		for ri, victim := range job.rows {
+			res, err := eng.CharacterizeRow(victim, job.spec, opts)
+			if err != nil {
+				return nil, fmt.Errorf("module %s die %d scenario %q row %d: %w",
+					job.mi.ID, die, job.key.Scenario, victim, err)
 			}
+			store(run, ri, &res)
 		}
 	}
 	return obs, nil
@@ -571,11 +651,23 @@ func (s *Study) finishCell(job *cellJob) *ModuleResult {
 	return res
 }
 
-// Result returns the cached cell for (moduleID, kind, aggOn).
+// Result returns the cached cell for (moduleID, kind, aggOn) on the
+// study's primary scenario — the default scenario when configured,
+// otherwise the first one. The table and figure extractors are built
+// on it, so a default campaign renders exactly as before the scenario
+// axis, a mitigation campaign renders its baseline, and a pure
+// bender-trace campaign renders its only scenario. Use ResultCell for
+// an explicit scenario.
 func (s *Study) Result(moduleID string, kind pattern.Kind, aggOn time.Duration) (*ModuleResult, bool) {
+	return s.ResultCell(CellKey{Module: moduleID, Kind: kind, AggOn: aggOn, Scenario: s.cfg.primaryScenarioID()})
+}
+
+// ResultCell returns the cached cell for an exact grid key, scenario
+// included.
+func (s *Study) ResultCell(key CellKey) (*ModuleResult, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	r, ok := s.results[CellKey{moduleID, kind, aggOn}]
+	r, ok := s.results[key]
 	return r, ok
 }
 

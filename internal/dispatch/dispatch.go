@@ -121,6 +121,10 @@ type CampaignSpec struct {
 	Data          int                  `json:"data"`
 	TempC         float64              `json:"tempC"`
 	NoiseRun      int64                `json:"noiseRun"`
+	// Scenarios is the campaign's scenario axis. Empty means the
+	// default single-scenario grid; the field is omitted then, so
+	// pre-scenario manifests parse (and re-serialize) unchanged.
+	Scenarios []core.Scenario `json:"scenarios,omitempty"`
 }
 
 // NewCampaignSpec captures cfg (with defaults applied) as a spec.
@@ -144,6 +148,9 @@ func NewCampaignSpec(cfg core.StudyConfig) CampaignSpec {
 	}
 	for _, k := range cfg.Patterns {
 		sp.Patterns = append(sp.Patterns, k.Short())
+	}
+	if len(cfg.Scenarios) > 0 {
+		sp.Scenarios = append(sp.Scenarios, cfg.Scenarios...)
 	}
 	return sp
 }
@@ -177,6 +184,9 @@ func (sp CampaignSpec) StudyConfig() (core.StudyConfig, error) {
 		}
 		cfg.Patterns = append(cfg.Patterns, k)
 	}
+	if len(sp.Scenarios) > 0 {
+		cfg.Scenarios = append(cfg.Scenarios, sp.Scenarios...)
+	}
 	return cfg, nil
 }
 
@@ -200,7 +210,16 @@ type Manifest struct {
 
 // GridSize returns the number of cells on the campaign grid.
 func (m Manifest) GridSize() int {
-	return len(m.Campaign.Modules) * len(m.Campaign.Patterns) * len(m.Campaign.SweepNs)
+	return len(m.Campaign.Modules) * len(m.Campaign.Patterns) * len(m.Campaign.SweepNs) * scenarioCount(m.Campaign.Scenarios)
+}
+
+// scenarioCount is the scenario axis's contribution to the grid size:
+// an empty axis still enumerates the single default scenario.
+func scenarioCount(scs []core.Scenario) int {
+	if len(scs) == 0 {
+		return 1
+	}
+	return len(scs)
 }
 
 // UnitCells expands a unit's initial shard plan into the explicit grid
@@ -223,7 +242,7 @@ func (m Manifest) UnitCells(unit int) []int {
 // structurally empty.
 func NewManifest(cfg core.StudyConfig, units int, ttl time.Duration) Manifest {
 	spec := NewCampaignSpec(cfg)
-	if cells := len(spec.Modules) * len(spec.Patterns) * len(spec.SweepNs); units > cells {
+	if cells := len(spec.Modules) * len(spec.Patterns) * len(spec.SweepNs) * scenarioCount(spec.Scenarios); units > cells {
 		units = cells
 	}
 	if units < 1 {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"rowfuse/internal/core"
 	"rowfuse/internal/device"
 	"rowfuse/internal/pattern"
 )
@@ -42,7 +43,9 @@ type EvalConfig struct {
 }
 
 // Run hammers the victim row under the configured mitigation and
-// reports whether read-disturbance bitflips survive.
+// reports whether read-disturbance bitflips survive. It is a thin
+// wrapper over Engine — which itself rides core.BankEngine's hammer
+// loop — mapping the RowResult into the evaluation's accounting.
 func Run(cfg EvalConfig) (EvalResult, error) {
 	if cfg.Bank == nil {
 		return EvalResult{}, ErrNilBank
@@ -53,83 +56,28 @@ func Run(cfg EvalConfig) (EvalResult, error) {
 	if cfg.Data == 0 {
 		cfg.Data = device.Checkerboard
 	}
-	bank := cfg.Bank
-	if cfg.Victim < 1 || cfg.Victim >= bank.NumRows()-1 {
+	if cfg.Victim < 1 || cfg.Victim >= cfg.Bank.NumRows()-1 {
 		return EvalResult{}, fmt.Errorf("mitigation: victim %d out of range", cfg.Victim)
 	}
-
-	rowBytes := bank.RowBytes()
-	victimData := device.FillRow(rowBytes, cfg.Data.VictimByte())
-	aggData := device.FillRow(rowBytes, cfg.Data.AggressorByte())
-	for _, off := range []int{-1, 0, 1} {
-		data := victimData
-		if off != 0 {
-			data = aggData
-		}
-		if err := bank.WriteRow(cfg.Victim+off, data, 0); err != nil {
-			return EvalResult{}, err
-		}
+	eng, err := NewEngine(EngineConfig{Bank: cfg.Bank, Guard: cfg.Guard, RefInterval: cfg.RefInterval})
+	if err != nil {
+		return EvalResult{}, err
 	}
-
-	activate := bank.Activate
-	precharge := bank.Precharge
-	refresh := bank.Refresh
-	if cfg.Guard != nil {
-		activate = cfg.Guard.Activate
-		precharge = cfg.Guard.Precharge
-		refresh = cfg.Guard.Refresh
+	rr, err := eng.CharacterizeRow(cfg.Victim, cfg.Spec, core.RunOpts{Budget: cfg.Budget, Data: cfg.Data})
+	if err != nil {
+		return EvalResult{}, err
 	}
-
-	var res EvalResult
-	acts := cfg.Spec.Acts()
-	now := time.Duration(0)
-	nextRef := cfg.RefInterval
-	maxIters := cfg.Spec.MaxIterations(cfg.Budget)
-	for iter := int64(0); iter < maxIters; iter++ {
-		for _, a := range acts {
-			if cfg.RefInterval > 0 && now >= nextRef {
-				if err := refresh(now); err != nil {
-					return EvalResult{}, err
-				}
-				res.Refreshes++
-				nextRef += cfg.RefInterval
-			}
-			if err := activate(cfg.Victim+a.RowOffset, now); err != nil {
-				return EvalResult{}, err
-			}
-			now += a.OnTime
-			if err := precharge(now); err != nil {
-				return EvalResult{}, err
-			}
-			res.TotalActs++
-			flips, err := quickFlipCheck(bank, cfg.Victim)
-			if err != nil {
-				return EvalResult{}, err
-			}
-			if flips {
-				res.Flipped = true
-				res.FirstFlipAt = now
-				if cfg.Guard != nil {
-					res.TRRRefreshes = cfg.Guard.TRRRefreshes()
-				}
-				return res, nil
-			}
-			now += cfg.Spec.Timings.TRP
-		}
+	res := EvalResult{
+		Flipped:      !rr.NoBitflip,
+		FirstFlipAt:  rr.TimeToFirst,
+		TotalActs:    rr.ACmin,
+		TRRRefreshes: eng.TRRRefreshes(),
+		Refreshes:    eng.Refreshes(),
 	}
-	if cfg.Guard != nil {
-		res.TRRRefreshes = cfg.Guard.TRRRefreshes()
+	if rr.NoBitflip {
+		// The loop ran the whole budget: every scheduled activation was
+		// issued (the engine leaves ACmin zero on no-flip rows).
+		res.TotalActs = cfg.Spec.MaxIterations(cfg.Budget) * int64(len(cfg.Spec.Acts()))
 	}
 	return res, nil
-}
-
-// quickFlipCheck uses the weak-cell population (white-box access) to
-// detect a flip without scanning the whole row each activation.
-func quickFlipCheck(bank *device.Bank, victim int) (bool, error) {
-	for _, c := range bank.VictimCells(victim) {
-		if c.Flipped() {
-			return true, nil
-		}
-	}
-	return false, nil
 }

@@ -1,0 +1,160 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+// describeMitigation renders a scenario's defense configuration in a
+// compact "TRR(16)x2 +2xREF +ECC" style; the unprotected baseline reads
+// "none".
+func describeMitigation(sc core.Scenario) string {
+	var parts []string
+	if m := sc.Mitigation; m != nil {
+		if m.TRRCounters > 0 {
+			victims := m.VictimsPerRef
+			if victims == 0 {
+				victims = 2
+			}
+			parts = append(parts, fmt.Sprintf("TRR(%d)x%d", m.TRRCounters, victims))
+		}
+		if m.RefreshMult > 0 {
+			parts = append(parts, fmt.Sprintf("%gxREF", m.RefreshMult))
+		}
+		if m.ECC {
+			parts = append(parts, "ECC")
+		}
+	}
+	if len(parts) == 0 {
+		return "none"
+	}
+	return strings.Join(parts, " +")
+}
+
+// scenarioLabel names a scenario row ("" is the default scenario).
+func scenarioLabel(sc core.Scenario) string {
+	if sc.ID == "" {
+		return "(default)"
+	}
+	return sc.ID
+}
+
+// MitigationTable renders the mitigation-evaluation campaign summary:
+// one row per scenario, per-module flip survival across the whole
+// (pattern, tAggON) grid.
+func MitigationTable(w io.Writer, rows []core.MitigationRow) error {
+	if _, err := fmt.Fprintln(w, "Mitigation evaluation: surviving flips per scenario"); err != nil {
+		return err
+	}
+	header := []string{"Scenario", "Defenses"}
+	if len(rows) > 0 {
+		for _, m := range rows[0].Modules {
+			header = append(header, m.Module)
+		}
+	}
+	tw := newTableWriter(w, header)
+	for _, r := range rows {
+		cols := []string{scenarioLabel(r.Scenario), describeMitigation(r.Scenario)}
+		for _, m := range r.Modules {
+			if m.FlippedObs == 0 {
+				cols = append(cols, fmt.Sprintf("survives (n=%d)", m.TotalObs))
+			} else {
+				cols = append(cols, fmt.Sprintf("%d/%d flip @%.1fms", m.FlippedObs, m.TotalObs, m.FastestMs))
+			}
+		}
+		tw.row(cols...)
+	}
+	return tw.flush()
+}
+
+// MitigationCSV emits the mitigation summary as CSV.
+func MitigationCSV(w io.Writer, rows []core.MitigationRow) error {
+	if _, err := fmt.Fprintln(w, "scenario,defenses,module,flipped_obs,total_obs,survived_frac,fastest_ms"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, m := range r.Modules {
+			if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.4f,%.3f\n",
+				scenarioLabel(r.Scenario), describeMitigation(r.Scenario),
+				m.Module, m.FlippedObs, m.TotalObs, m.Survived(), m.FastestMs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// crossoverKinds is the column order of the crossover table; patterns a
+// campaign did not run render as "-".
+var crossoverKinds = []pattern.Kind{pattern.Combined, pattern.DoubleSided, pattern.SingleSided}
+
+// CrossoverTable renders the combined-attack crossover sweep: per
+// module, the mean time to first bitflip of each pattern at each
+// tAggON, the per-point winner, and the bracket where the winner
+// changes hands.
+func CrossoverTable(w io.Writer, mods []core.CrossoverModule) error {
+	for _, cm := range mods {
+		if _, err := fmt.Fprintf(w, "\nCrossover sweep — %s (%s): time to first bitflip (ms)\n", cm.Info.ID, cm.Info.Mfr); err != nil {
+			return err
+		}
+		tw := newTableWriter(w, []string{"tAggON", "combined", "double RP", "single RP", "winner"})
+		for _, c := range cm.Cells {
+			cols := []string{FormatDuration(c.AggOn)}
+			for _, k := range crossoverKinds {
+				if ms, ok := c.TimesMs[k]; ok {
+					cols = append(cols, fmt.Sprintf("%.2f", ms))
+				} else {
+					cols = append(cols, "no flip")
+				}
+			}
+			if c.Winner == 0 {
+				cols = append(cols, "-")
+			} else {
+				cols = append(cols, c.Winner.Short())
+			}
+			tw.row(cols...)
+		}
+		if err := tw.flush(); err != nil {
+			return err
+		}
+		if cm.HasCrossover {
+			if _, err := fmt.Fprintf(w, "winner changes between %s and %s\n",
+				FormatDuration(cm.Crossover.Below), FormatDuration(cm.Crossover.Above)); err != nil {
+				return err
+			}
+		} else if _, err := fmt.Fprintln(w, "no crossover inside the sweep"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CrossoverCSV emits the crossover sweep as CSV.
+func CrossoverCSV(w io.Writer, mods []core.CrossoverModule) error {
+	if _, err := fmt.Fprintln(w, "module,taggon_ns,pattern,time_ms,winner"); err != nil {
+		return err
+	}
+	for _, cm := range mods {
+		for _, c := range cm.Cells {
+			for _, k := range crossoverKinds {
+				ms, ok := c.TimesMs[k]
+				if !ok {
+					continue
+				}
+				winner := 0
+				if k == c.Winner {
+					winner = 1
+				}
+				if _, err := fmt.Fprintf(w, "%s,%d,%s,%.4f,%d\n",
+					cm.Info.ID, c.AggOn.Nanoseconds(), k.Short(), ms, winner); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -42,16 +42,19 @@ type Checkpoint struct {
 	// Shard is the producing shard in "i/n" form ("" = whole grid).
 	Shard string `json:"shard,omitempty"`
 	// Cells are the completed cells, sorted by (module, pattern,
-	// tAggON) so equal states serialize to equal bytes.
+	// tAggON, scenario) so equal states serialize to equal bytes.
 	Cells []CellRecord `json:"cells"`
 }
 
-// CellRecord is one persisted cell.
+// CellRecord is one persisted cell. Scenario is empty for the default
+// scenario, so pre-scenario checkpoints parse unchanged and default
+// campaigns keep writing byte-identical files.
 type CellRecord struct {
-	Module  string              `json:"module"`
-	Pattern string              `json:"pattern"`
-	AggOnNs int64               `json:"taggonNs"`
-	Agg     core.AggregateState `json:"agg"`
+	Module   string              `json:"module"`
+	Pattern  string              `json:"pattern"`
+	AggOnNs  int64               `json:"taggonNs"`
+	Scenario string              `json:"scenario,omitempty"`
+	Agg      core.AggregateState `json:"agg"`
 }
 
 // NewCheckpoint packs a study snapshot into a checkpoint, deterministically
@@ -65,10 +68,11 @@ func NewCheckpoint(fingerprint string, shard core.ShardPlan, cells map[core.Cell
 	}
 	for key, st := range cells {
 		cp.Cells = append(cp.Cells, CellRecord{
-			Module:  key.Module,
-			Pattern: key.Kind.Short(),
-			AggOnNs: key.AggOn.Nanoseconds(),
-			Agg:     st,
+			Module:   key.Module,
+			Pattern:  key.Kind.Short(),
+			AggOnNs:  key.AggOn.Nanoseconds(),
+			Scenario: key.Scenario,
+			Agg:      st,
 		})
 	}
 	sortCells(cp.Cells)
@@ -84,7 +88,10 @@ func sortCells(cells []CellRecord) {
 		if a.Pattern != b.Pattern {
 			return a.Pattern < b.Pattern
 		}
-		return a.AggOnNs < b.AggOnNs
+		if a.AggOnNs != b.AggOnNs {
+			return a.AggOnNs < b.AggOnNs
+		}
+		return a.Scenario < b.Scenario
 	})
 }
 
@@ -99,7 +106,7 @@ func (cp *Checkpoint) CellMap() (map[core.CellKey]core.AggregateState, error) {
 		if err != nil {
 			return nil, fmt.Errorf("%w: cell %s: %v", ErrBadCheckpoint, rec.Module, err)
 		}
-		key := core.CellKey{Module: rec.Module, Kind: kind, AggOn: time.Duration(rec.AggOnNs)}
+		key := core.CellKey{Module: rec.Module, Kind: kind, AggOn: time.Duration(rec.AggOnNs), Scenario: rec.Scenario}
 		if _, ok := out[key]; ok {
 			return nil, fmt.Errorf("%w: duplicate cell %v", ErrBadCheckpoint, key)
 		}

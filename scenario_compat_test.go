@@ -1,0 +1,87 @@
+package rowfuse_test
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/resultio"
+	"rowfuse/internal/timing"
+)
+
+// The scenario-axis compatibility suite. A default (single-scenario)
+// campaign must be indistinguishable — byte for byte — from the
+// pre-scenario campaign layer: the config fingerprint, the checkpoint
+// file, and the rendered tables (TestGoldenRenderings) are all pinned
+// against goldens captured before the scenario axis existed. Any
+// scenario change that perturbs a default campaign's bytes invalidates
+// every checkpoint and manifest in the field, so these tests fail it.
+
+// compatConfig is a small but multi-module, multi-die campaign whose
+// checkpoint bytes are pinned.
+func compatConfig() core.StudyConfig {
+	return core.StudyConfig{
+		Modules:       chipdb.Modules()[:2],
+		Sweep:         timing.Table2Marks(),
+		RowsPerRegion: 2,
+		Dies:          2,
+		Runs:          2,
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from the pre-scenario golden (-want +got):\n--- want ---\n%s\n--- got ---\n%s", name, want, got)
+	}
+}
+
+// TestScenarioGoldenFingerprints pins the config fingerprints of a
+// fully-defaulted study and of the compat campaign. The fingerprint is
+// what gates every checkpoint resume, shard merge and dispatch submit,
+// so a default-scenario grid hashing differently than the pre-scenario
+// code would orphan every existing campaign.
+func TestScenarioGoldenFingerprints(t *testing.T) {
+	got := []byte(
+		"default " + core.StudyConfig{}.Fingerprint() + "\n" +
+			"compat " + compatConfig().Fingerprint() + "\n")
+	checkGolden(t, "golden_fingerprints.txt", got)
+}
+
+// TestScenarioGoldenCheckpoint pins the checkpoint file of the compat
+// campaign byte for byte: cell keys, sort order, aggregate state and
+// JSON layout must all match the pre-scenario format exactly.
+func TestScenarioGoldenCheckpoint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full (small) campaign")
+	}
+	cfg := compatConfig()
+	s := core.NewStudy(cfg)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cp := resultio.NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, s.Snapshot())
+	var buf bytes.Buffer
+	if err := resultio.SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "golden_checkpoint.json", buf.Bytes())
+}
