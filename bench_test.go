@@ -436,6 +436,15 @@ func BenchmarkBenderTraceNaiveReplay(b *testing.B) {
 	benchscen.BenderTraceNaiveReplay(b)
 }
 
+// BenchmarkFleetFold measures fleet-campaign throughput with one op
+// per chip: generate a synthetic chip from the population model,
+// characterize it, and stream it through the per-group quantile-sketch
+// fold (see internal/benchscen). Reports chips/sec; the gate's alloc
+// guard pins the flat per-chip allocation count.
+func BenchmarkFleetFold(b *testing.B) {
+	benchscen.FleetFold(b)
+}
+
 // BenchmarkMitigationCampaign runs the mitigation scenario axis end to
 // end: one module x one pattern re-characterized under each defense of
 // core.MitigationScenarios on a guarded simulated bank, folded into

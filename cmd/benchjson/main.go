@@ -213,6 +213,7 @@ func headlineBenchmarks() []namedBench {
 		{"BankEngineCharacterizeRow", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 24) }},
 		{"BankEngineCharacterizeRowDenseCells", func(b *testing.B) { benchscen.BankEngineCharacterizeRow(b, 192) }},
 		{"BenderTraceFastForward", benchscen.BenderTraceFastForward},
+		{"FleetFold", benchscen.FleetFold},
 		{"BenderTraceNaiveReplay", benchscen.BenderTraceNaiveReplay},
 		{"MitigationCampaign", benchscen.MitigationCampaign},
 		{"WALQueueGrantSubmit", benchscen.WALQueueGrantSubmit},

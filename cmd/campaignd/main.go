@@ -20,6 +20,14 @@
 //	campaignd -listen :8473 -exp all -rows 1000 -runs 3 -units 12 -ttl 2m -out merged.json
 //	characterize -worker http://coordinator:8473  # on each machine
 //
+// Service mode hosts many concurrent campaigns (created over
+// POST /v1/campaigns, including -exp fleet population sweeps) with
+// durable write-ahead queues under -state; -retention garbage-collects
+// a campaign's on-disk state once it has sat drained or canceled that
+// long:
+//
+//	campaignd -service -listen :8473 -state /var/lib/rowfuse -retention 24h
+//
 // In both modes the campaign configuration is embedded in the manifest
 // — workers reconstruct it (and its fingerprint) from there, so config
 // drift between machines is structurally impossible. When every unit
@@ -74,6 +82,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		units   = fs.Int("units", 8, "work units to split the cell grid into (clamped to the grid size)")
 		ttl     = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
 		linger  = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
+		retain  = fs.Duration("retention", 0, "service mode: delete a campaign's durable state this long after it drains or is canceled (0 = keep forever)")
 	)
 	// The campaign-defining flags (-exp, -rows, -dies, -runs, -module,
 	// -temp, -budget, -scenarios) come from the same builder
@@ -93,13 +102,20 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return errors.New("-state journals a served queue; it requires -listen")
 	}
 
+	if *retain != 0 && !*service {
+		return errors.New("-retention garbage-collects hosted campaigns; it requires -service")
+	}
+	if *retain < 0 {
+		return fmt.Errorf("-retention %v: must be non-negative", *retain)
+	}
+
 	if *service {
 		if *listen == "" || *state == "" {
 			return errors.New("-service requires -listen and -state")
 		}
 		// Campaigns are created over the API, each with its own spec;
 		// a config flag here would describe no campaign at all.
-		allowed := map[string]bool{"service": true, "state": true, "listen": true}
+		allowed := map[string]bool{"service": true, "state": true, "listen": true, "retention": true}
 		var rejected []string
 		fs.Visit(func(f *flag.Flag) {
 			if !allowed[f.Name] {
@@ -109,7 +125,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		if len(rejected) > 0 {
 			return fmt.Errorf("service mode hosts campaigns created over POST /v1/campaigns; %s would be silently ignored", strings.Join(rejected, " "))
 		}
-		return serveService(ctx, *listen, *state, out)
+		return serveService(ctx, *listen, *state, *retain, out)
 	}
 
 	if *listen != "" {
@@ -170,9 +186,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 // fingerprint. Only grid-shaped experiments describe a campaign.
 func studyConfig(b *core.CampaignSpecBuilder) (core.StudyConfig, error) {
 	switch b.Exp {
-	case "all", "table2", "mitigation", "crossover", "bender":
+	case "all", "table2", "mitigation", "crossover", "bender", "fleet":
 	default:
-		return core.StudyConfig{}, fmt.Errorf("-exp %q: campaign grids are all, table2, mitigation, crossover or bender", b.Exp)
+		return core.StudyConfig{}, fmt.Errorf("-exp %q: campaign grids are all, table2, mitigation, crossover, bender or fleet", b.Exp)
 	}
 	return b.StudyConfig()
 }
@@ -234,8 +250,10 @@ func serverQueue(fs *flag.FlagSet, state string, b *core.CampaignSpecBuilder, un
 
 // serveService runs the long-lived multi-campaign coordinator until
 // the process is signaled; campaigns are created, worked, watched and
-// canceled entirely over the /v1/campaigns API.
-func serveService(ctx context.Context, addr, stateDir string, out *os.File) error {
+// canceled entirely over the /v1/campaigns API. With retention > 0 a
+// background sweep deletes each campaign's durable state once it has
+// sat drained or canceled for that long.
+func serveService(ctx context.Context, addr, stateDir string, retention time.Duration, out *os.File) error {
 	reg, err := registry.Open(stateDir)
 	if err != nil {
 		return err
@@ -252,6 +270,34 @@ func serveService(ctx context.Context, addr, stateDir string, out *os.File) erro
 			errCh <- err
 		}
 	}()
+	if retention > 0 {
+		interval := retention / 4
+		if interval < time.Second {
+			interval = time.Second
+		}
+		if interval > time.Minute {
+			interval = time.Minute
+		}
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tick.C:
+				}
+				removed, err := reg.Sweep(retention)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "campaignd: retention sweep: %v\n", err)
+					continue
+				}
+				for _, id := range removed {
+					fmt.Fprintf(out, "retention: campaign %s finished over %v ago; state deleted\n", id, retention)
+				}
+			}
+		}()
+	}
 	infos, err := reg.List()
 	if err != nil {
 		reg.Close()

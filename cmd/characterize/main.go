@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	characterize -exp table1|table2|fig4|fig5|fig6|mitigation|crossover|bender|tempsweep|datapattern|hcdist|all [flags]
+//	characterize -exp table1|table2|fig4|fig5|fig6|mitigation|crossover|bender|fleet|tempsweep|datapattern|hcdist|all [flags]
 //
 // Examples:
 //
 //	characterize -exp fig4 -rows 100 -dies 2
 //	characterize -exp table2 -rows 1000 -runs 3 -csv out/
+//
+// -exp fleet replaces the Table 1 module inventory with a synthetic
+// chip population drawn from the chipdb generative model and renders
+// the fleet-wide ACmin/time-to-flip distribution (streaming quantile
+// sketches, so memory stays flat no matter the fleet size):
+//
+//	characterize -exp fleet -chips 100000
 //
 // Campaigns can carry a scenario axis — a fourth grid dimension that
 // selects the execution engine and operating conditions of each cell.
@@ -17,7 +24,9 @@
 // scenario; -exp crossover renders where the combined pattern stops
 // beating conventional RowPress; -exp bender reruns Table 2 on the
 // cycle-accurate Bender trace interpreter. -scenarios overrides the
-// axis explicitly (default, mitigations, bender, bank, thermal:T1,T2):
+// axis explicitly (default, mitigations, bender, bank, thermal:T1,T2);
+// a thermal axis additionally renders the disturbance-vs-settled-
+// temperature table:
 //
 //	characterize -exp mitigation -module S0 -rows 50
 //	characterize -exp table2 -scenarios thermal:40,55,70
@@ -293,8 +302,13 @@ func run(args []string) error {
 			}
 		}
 		start := time.Now()
-		fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points x %d scenarios (%d rows/region, %d runs)...\n",
-			len(cfg.Modules), 3, len(cfg.Sweep), max(1, len(cfg.Scenarios)), builder.Rows, builder.Runs)
+		if f := study.Config().Fleet; f != nil {
+			fmt.Fprintf(os.Stderr, "running fleet study: %d chips in %d blocks x %d patterns x %d tAggON points x %d scenarios...\n",
+				f.Chips, f.Blocks(), 3, len(cfg.Sweep), max(1, len(cfg.Scenarios)))
+		} else {
+			fmt.Fprintf(os.Stderr, "running study: %d modules x %d patterns x %d tAggON points x %d scenarios (%d rows/region, %d runs)...\n",
+				len(cfg.Modules), 3, len(cfg.Sweep), max(1, len(cfg.Scenarios)), builder.Rows, builder.Runs)
+		}
 		if err := study.Run(context.Background()); err != nil {
 			return err
 		}
@@ -358,6 +372,31 @@ func run(args []string) error {
 			return err
 		}
 		return csv("table2.csv", func(f *os.File) error { return report.Table2CSV(f, rows) })
+	case "fleet":
+		stats, err := core.FleetStats(study.Snapshot())
+		if err != nil {
+			return err
+		}
+		perScenario := len(study.Cells()) / max(1, len(cfg.Scenarios))
+		if err := report.FleetDistribution(os.Stdout, stats, perScenario); err != nil {
+			return err
+		}
+		return csv("fleet.csv", func(f *os.File) error { return report.FleetCSV(f, stats) })
+	}
+
+	// A thermal scenario axis earns its disturbance-vs-temperature
+	// table alongside whatever grid experiment was requested.
+	if strings.HasPrefix(builder.ScenarioSet, "thermal:") {
+		rows, err := study.ThermalSummary()
+		if err != nil {
+			return err
+		}
+		if err := report.ThermalTable(os.Stdout, rows); err != nil {
+			return err
+		}
+		if err := csv("thermal.csv", func(f *os.File) error { return report.ThermalCSV(f, rows) }); err != nil {
+			return err
+		}
 	}
 
 	if want("table1") {

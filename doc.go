@@ -98,12 +98,58 @@
 //     (core.TraceSpec.Exact opts out).
 //
 // core.NewCampaignSpecBuilder (options: WithExp, WithModule,
-// WithScale, WithOperatingPoint, WithScenarioSet) is the one
-// spec-construction path shared by cmd/characterize, cmd/campaignd
+// WithScale, WithOperatingPoint, WithScenarioSet, WithChips) is the
+// one spec-construction path shared by cmd/characterize, cmd/campaignd
 // and the examples; BindCampaignFlags exposes it as the common
-// -exp/-rows/-dies/-runs/-module/-temp/-budget/-scenarios flag set,
-// and core.ParseScenarioSet names the built-in scenario sets
-// (default, mitigations, bender, bank, thermal:T1,T2,...).
+// -exp/-rows/-dies/-runs/-module/-chips/-temp/-budget/-scenarios flag
+// set, and core.ParseScenarioSet names the built-in scenario sets
+// (default, mitigations, bender, bank, thermal:T1,T2,...). A
+// thermal:... axis additionally renders the disturbance-vs-settled-
+// temperature table (Study.ThermalSummary, report.ThermalTable).
+//
+// # Fleet-scale populations
+//
+// -exp fleet swaps the Table 1 inventory for a synthetic chip
+// population and answers deployment-scale distribution questions with
+// bounded memory:
+//
+//   - chipdb.PopulationModel generates arbitrary-size fleets from the
+//     14 calibrated Table 2 modules: each chip samples a base die and
+//     perturbs its measured disturbance numbers with lognormal process
+//     and die-to-die factors (priors matched to the spread Table 2
+//     shows between same-die-revision modules), then feeds the same
+//     Profile() inversion as real inventory. Derive(i) depends only on
+//     (Seed, i) — splitmix64-derived per-chip streams — so any chip
+//     sub-range is reproducible in isolation, on any shard, in any
+//     order.
+//   - internal/analysis provides the mergeable streaming statistics
+//     the fold reduces into: a DDSketch-style log-binned quantile
+//     sketch (1% relative error, commutative order-independent merge,
+//     deterministic serialization — FuzzSketchMerge pins both) and
+//     exact Welford/Chan moments.
+//   - core.FleetPlan places chip blocks on the grid's module axis
+//     ("fleet[%08d]" cells, ChipsPerCell chips each), so fleet cells
+//     shard, checkpoint, merge and dispatch like any other cell while
+//     Study.Run streams each block's chips through a core.Fold whose
+//     state is O(sketch), not O(chips)
+//     (TestFleetFoldBoundedMemory). core.FleetStats folds completed
+//     cells in canonical order into per-vendor/die
+//     core.FleetScenarioStat groups; report.FleetDistribution and
+//     report.FleetCSV render survival and ACmin/time-to-flip
+//     percentiles, with partial-coverage annotations while a
+//     distributed campaign converges (dispatch.RenderPartial).
+//     Checkpoints carrying fleet state use a bumped format version;
+//     grid checkpoints are byte-identical to before and both versions
+//     load.
+//   - The dispatch cost model weighs a fleet cell by its block's chip
+//     count, and the sharded-and-merged fold is byte-identical to an
+//     unsharded run (TestFleetDispatchWorkerKillByteIdentical: 10^5
+//     chips, three workers, one killed mid-run).
+//   - dispatch/registry garbage-collects finished campaigns:
+//     campaignd -service -retention D sweeps campaigns that have sat
+//     drained or canceled for D (mark on first observation, delete on
+//     a later sweep) — journal, checkpoints and meta removed, ID
+//     retired.
 //
 // # Distributed dispatch
 //

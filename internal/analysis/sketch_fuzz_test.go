@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"sort"
+	"testing"
+)
+
+// FuzzSketchMerge drives the sketch with arbitrary value streams
+// split at an arbitrary point into two shards, and checks the three
+// contracts the fleet pipeline depends on:
+//
+//  1. merge-order invariance: a⊕b and b⊕a serialize identically, and
+//     both match folding the whole stream into one sketch;
+//  2. quantile error: every queried quantile stays within the
+//     documented alpha-relative budget of the exact order statistic;
+//  3. round-trip: serialize → deserialize → serialize is
+//     byte-identical and never panics.
+func FuzzSketchMerge(f *testing.F) {
+	seed := func(vals ...float64) []byte {
+		var b []byte
+		for _, v := range vals {
+			b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+		}
+		return b
+	}
+	f.Add(seed(1, 2, 3, 4, 5), uint16(2))
+	f.Add(seed(0, 0, 1e-13, 5e4, 1e16), uint16(1))
+	f.Add(seed(1e-12, 1e15, 7.25), uint16(0))
+	f.Add([]byte{}, uint16(0))
+
+	f.Fuzz(func(t *testing.T, raw []byte, splitRaw uint16) {
+		var vals []float64
+		for len(raw) >= 8 {
+			v := math.Float64frombits(binary.LittleEndian.Uint64(raw))
+			raw = raw[8:]
+			if math.IsNaN(v) || v < 0 {
+				continue // Add rejects these by contract
+			}
+			vals = append(vals, v)
+			if len(vals) >= 512 {
+				break
+			}
+		}
+		split := 0
+		if len(vals) > 0 {
+			split = int(splitRaw) % (len(vals) + 1)
+		}
+
+		whole := NewSketch(SketchAlpha)
+		a := NewSketch(SketchAlpha)
+		b := NewSketch(SketchAlpha)
+		for i, v := range vals {
+			whole.Add(v)
+			if i < split {
+				a.Add(v)
+			} else {
+				b.Add(v)
+			}
+		}
+
+		ab := NewSketch(SketchAlpha)
+		if err := ab.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		ba := NewSketch(SketchAlpha)
+		ba.Merge(b)
+		ba.Merge(a)
+
+		wb := whole.AppendBinary(nil)
+		if !bytes.Equal(ab.AppendBinary(nil), wb) {
+			t.Fatal("a⊕b differs from unsharded fold")
+		}
+		if !bytes.Equal(ba.AppendBinary(nil), wb) {
+			t.Fatal("b⊕a differs from a⊕b")
+		}
+
+		// Round trip.
+		dec, n, err := SketchFromBinary(wb)
+		if err != nil {
+			t.Fatalf("round trip decode: %v", err)
+		}
+		if n != len(wb) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(wb))
+		}
+		if !bytes.Equal(dec.AppendBinary(nil), wb) {
+			t.Fatal("round trip re-encode not byte-identical")
+		}
+
+		// Quantile error budget against exact order statistics.
+		if len(vals) == 0 {
+			if got := whole.Quantile(0.5); got != 0 {
+				t.Fatalf("empty sketch quantile = %v", got)
+			}
+			return
+		}
+		sorted := append([]float64(nil), vals...)
+		for i, v := range sorted {
+			// The sketch clamps; mirror that for the oracle.
+			if v < sketchValueFloor {
+				sorted[i] = 0
+			} else if v > sketchValueCeil {
+				sorted[i] = sketchValueCeil
+			}
+		}
+		sort.Float64s(sorted)
+		for _, q := range []float64{0, 0.1, 0.5, 0.9, 0.99, 1} {
+			rank := int(math.Ceil(q * float64(len(sorted))))
+			if rank < 1 {
+				rank = 1
+			}
+			want := sorted[rank-1]
+			got := whole.Quantile(q)
+			if want == 0 {
+				if got != 0 {
+					t.Fatalf("q=%v: got %v want 0", q, got)
+				}
+				continue
+			}
+			if rel := math.Abs(got-want) / want; rel > SketchAlpha+1e-12 {
+				t.Fatalf("q=%v: got %v want %v (rel err %v)", q, got, want, rel)
+			}
+		}
+	})
+}

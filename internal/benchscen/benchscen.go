@@ -298,6 +298,48 @@ func MitigationCampaign(b *testing.B) {
 	}
 }
 
+// FleetFoldConfig is the fleet-campaign scenario shape: one pattern at
+// one tAggON point, one victim row per chip — pure population breadth,
+// which is what the streaming fold is for. Chips is set by FleetFold
+// from b.N.
+func FleetFoldConfig() core.StudyConfig {
+	return core.StudyConfig{
+		Fleet:         &core.FleetPlan{ChipsPerCell: 2048, RowsPerChip: 1, Seed: 9},
+		Patterns:      []pattern.Kind{pattern.DoubleSided},
+		Sweep:         []time.Duration{timing.AggOnTREFI},
+		RowsPerRegion: 1,
+		Runs:          1,
+	}
+}
+
+// FleetFold measures fleet-campaign throughput with one op per chip:
+// a b.N-chip synthetic fleet is generated from the population model,
+// characterized, and streamed through the per-group quantile-sketch
+// fold. ns/op is therefore the whole-pipeline cost per chip and
+// allocs/op the per-chip allocation count (amortized sketch-bin growth
+// included — the fold's state is O(sketch), not O(chips), so the
+// per-chip count stays flat and the bench-regression gate's alloc
+// guard pins it). Reports chips/sec for the trajectory's headline.
+func FleetFold(b *testing.B) {
+	cfg := FleetFoldConfig()
+	cfg.Fleet.Chips = b.N
+	b.ReportAllocs()
+	b.ResetTimer()
+	s := core.NewStudy(cfg)
+	if err := s.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	stats, err := core.FleetStats(s.Snapshot())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	if len(stats) != 1 || stats[0].Chips() != uint64(b.N) {
+		b.Fatalf("fold observed %+v, want %d chips in one scenario", stats, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "chips/sec")
+}
+
 // WALQueueGrantSubmit measures the durable dispatch hot path: one
 // journaled-and-fsynced Acquire plus one journaled-and-fsynced Submit
 // per op against a write-ahead queue on local disk. One cell per unit

@@ -97,6 +97,11 @@ type AggregateState struct {
 	OneToZero int          `json:"oneToZero"`
 	// FlipKeys is the sorted unique (die, row, bit) flip set.
 	FlipKeys []uint64 `json:"flipKeys,omitempty"`
+	// Fleet is the distribution-fold state of a fleet cell (nil for
+	// dense grid cells, so every pre-fleet checkpoint — and every
+	// default-grid checkpoint written today — serializes exactly as
+	// before the fold abstraction existed).
+	Fleet *FleetAggState `json:"fleet,omitempty"`
 }
 
 // State exports the aggregate for persistence. FlipKeys are sorted so
@@ -149,6 +154,9 @@ func MergeAggregates(a, b AggregateState) AggregateState {
 	if b.Total == 0 {
 		return a
 	}
+	if a.Fleet != nil || b.Fleet != nil {
+		return mergeFleetStates(a, b)
+	}
 	ma, mb := aggregateFromState(a), aggregateFromState(b)
 	ma.total += mb.total
 	ma.acmin.merge(mb.acmin)
@@ -161,8 +169,11 @@ func MergeAggregates(a, b AggregateState) AggregateState {
 	return ma.State()
 }
 
-// observe folds one row measurement into the aggregate.
-func (a *cellAggregate) observe(die int, rr RowResult) {
+// Total reports the number of observations folded in (Fold).
+func (a *cellAggregate) Total() int { return a.total }
+
+// Observe folds one row measurement into the aggregate (Fold).
+func (a *cellAggregate) Observe(die int, rr RowResult) {
 	a.total++
 	if rr.NoBitflip {
 		return

@@ -37,8 +37,8 @@ func TestWelfordEmpty(t *testing.T) {
 
 func TestCellAggregateObserve(t *testing.T) {
 	a := newCellAggregate()
-	a.observe(0, RowResult{NoBitflip: true})
-	a.observe(0, RowResult{
+	a.Observe(0, RowResult{NoBitflip: true})
+	a.Observe(0, RowResult{
 		ACmin:       100,
 		TimeToFirst: 2 * time.Millisecond,
 		Flips: []device.Bitflip{
@@ -46,7 +46,7 @@ func TestCellAggregateObserve(t *testing.T) {
 			{Row: 5, Bit: 12, Dir: device.ZeroToOne},
 		},
 	})
-	a.observe(1, RowResult{
+	a.Observe(1, RowResult{
 		ACmin:       200,
 		TimeToFirst: 4 * time.Millisecond,
 		Flips: []device.Bitflip{

@@ -24,15 +24,20 @@ import (
 // checkpoint cadence) are set by each caller; they are excluded from
 // the fingerprint.
 type CampaignSpecBuilder struct {
-	// Exp selects the campaign grid. "table2", "mitigation" and
-	// "bender" narrow the sweep to the three Table 2 marks; everything
-	// else runs the paper sweep.
+	// Exp selects the campaign grid. "table2", "mitigation", "bender"
+	// and "fleet" narrow the sweep to the three Table 2 marks;
+	// everything else runs the paper sweep. "fleet" additionally swaps
+	// the Table 1 module inventory for Chips synthetic chips.
 	Exp string
 	// Module restricts the campaign to one module ID ("" = the whole
 	// Table 1 inventory).
 	Module string
 	// Rows, Dies and Runs set the campaign scale.
 	Rows, Dies, Runs int
+	// Chips sets the synthetic-fleet size; it only takes effect with
+	// Exp == "fleet", which swaps the module inventory for generated
+	// chip blocks.
+	Chips int
 	// Temp and Budget set the operating point.
 	Temp   float64
 	Budget time.Duration
@@ -70,6 +75,12 @@ func WithScenarioSet(set string) CampaignOption {
 	return func(b *CampaignSpecBuilder) { b.ScenarioSet = set }
 }
 
+// WithChips sets the synthetic-fleet size (effective with
+// WithExp("fleet")).
+func WithChips(n int) CampaignOption {
+	return func(b *CampaignSpecBuilder) { b.Chips = n }
+}
+
 // NewCampaignSpecBuilder returns a builder with the shared flag
 // defaults applied, then opts.
 func NewCampaignSpecBuilder(opts ...CampaignOption) *CampaignSpecBuilder {
@@ -80,6 +91,7 @@ func NewCampaignSpecBuilder(opts ...CampaignOption) *CampaignSpecBuilder {
 		Runs:   3,
 		Temp:   50,
 		Budget: DefaultBudget,
+		Chips:  100000,
 	}
 	for _, opt := range opts {
 		opt(b)
@@ -93,11 +105,12 @@ func NewCampaignSpecBuilder(opts ...CampaignOption) *CampaignSpecBuilder {
 // binds them — that is the point.
 func BindCampaignFlags(fs *flag.FlagSet) *CampaignSpecBuilder {
 	b := NewCampaignSpecBuilder()
-	fs.StringVar(&b.Exp, "exp", b.Exp, "experiment grid (table2/mitigation/bender narrow the sweep to the Table 2 marks)")
+	fs.StringVar(&b.Exp, "exp", b.Exp, "experiment grid (table2/mitigation/bender/fleet narrow the sweep to the Table 2 marks)")
 	fs.IntVar(&b.Rows, "rows", b.Rows, "victim rows per bank region (paper: 1000)")
 	fs.IntVar(&b.Dies, "dies", b.Dies, "dies per module to characterize (0 = all, as in the paper)")
 	fs.IntVar(&b.Runs, "runs", b.Runs, "repeats per measurement (paper: 3)")
 	fs.StringVar(&b.Module, "module", b.Module, "restrict to one module ID (e.g. S0)")
+	fs.IntVar(&b.Chips, "chips", b.Chips, "fleet size for -exp fleet (synthetic chips drawn from the population model)")
 	fs.Float64Var(&b.Temp, "temp", b.Temp, "die temperature in Celsius (paper: 50)")
 	fs.DurationVar(&b.Budget, "budget", b.Budget, "per-experiment time budget (paper: 60ms)")
 	fs.StringVar(&b.ScenarioSet, "scenarios", b.ScenarioSet,
@@ -136,14 +149,26 @@ func (b *CampaignSpecBuilder) StudyConfig() (StudyConfig, error) {
 	}
 	sweep := timing.PaperSweep()
 	switch b.Exp {
-	case "table2", "mitigation", "bender":
+	case "table2", "mitigation", "bender", "fleet":
 		sweep = timing.Table2Marks()
 	}
 	scens, err := ParseScenarioSet(b.scenarioSet())
 	if err != nil {
 		return StudyConfig{}, err
 	}
+	var fleet *FleetPlan
+	if b.Exp == "fleet" {
+		if b.Module != "" {
+			return StudyConfig{}, fmt.Errorf("core: -exp fleet draws synthetic chips from the population model; -module %s selects inventory hardware", b.Module)
+		}
+		if b.Chips < 1 {
+			return StudyConfig{}, fmt.Errorf("core: -exp fleet needs at least 1 chip (got %d)", b.Chips)
+		}
+		mods = nil
+		fleet = &FleetPlan{Chips: b.Chips}
+	}
 	cfg := StudyConfig{
+		Fleet:         fleet,
 		Modules:       mods,
 		Sweep:         sweep,
 		RowsPerRegion: b.Rows,

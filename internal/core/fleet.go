@@ -1,0 +1,446 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rowfuse/internal/analysis"
+	"rowfuse/internal/chipdb"
+)
+
+// Fleet-scale campaigns: instead of the Table 1 module inventory, the
+// grid's module axis becomes blocks of synthetic chips drawn from a
+// chipdb.PopulationModel, and each cell's fold is a bounded-memory
+// distribution sketch rather than the dense per-cell aggregate.
+//
+// A block is the unit of sharding and checkpointing, exactly as a
+// module cell is for grid campaigns: every chip of a block is derived
+// and characterized wholly within one shard, in ascending chip order,
+// so a block's fold state depends only on (config, block index) —
+// never on which worker ran it. Merging shard checkpoints and folding
+// blocks in canonical order therefore renders byte-identical to an
+// unsharded run.
+
+// FleetPlan configures a synthetic-fleet campaign.
+type FleetPlan struct {
+	// Chips is the fleet size (the ROADMAP target is 10^5–10^6).
+	Chips int `json:"chips"`
+	// ChipsPerCell is the block size: how many chips one grid cell
+	// (the dispatch/checkpoint unit) covers. Default 512.
+	ChipsPerCell int `json:"chipsPerCell,omitempty"`
+	// RowsPerChip is the victim-row sample per chip. Fleet campaigns
+	// trade per-chip depth for population breadth; default 3 (one row
+	// per bank region).
+	RowsPerChip int `json:"rowsPerChip,omitempty"`
+	// Seed namespaces the population (chipdb.PopulationModel.Seed).
+	Seed int64 `json:"seed,omitempty"`
+	// ProcessSigma / DieToDieSigma override the population priors
+	// (0 = chipdb defaults).
+	ProcessSigma  float64 `json:"processSigma,omitempty"`
+	DieToDieSigma float64 `json:"dieToDieSigma,omitempty"`
+}
+
+func (f FleetPlan) withDefaults() FleetPlan {
+	if f.ChipsPerCell == 0 {
+		f.ChipsPerCell = 512
+	}
+	if f.RowsPerChip == 0 {
+		f.RowsPerChip = 3
+	}
+	return f
+}
+
+// Validate checks the plan is runnable.
+func (f FleetPlan) Validate() error {
+	if f.Chips < 1 {
+		return fmt.Errorf("core: fleet needs at least 1 chip (got %d)", f.Chips)
+	}
+	if f.ChipsPerCell < 1 {
+		return fmt.Errorf("core: fleet chips-per-cell %d < 1", f.ChipsPerCell)
+	}
+	if f.RowsPerChip < 1 {
+		return fmt.Errorf("core: fleet rows-per-chip %d < 1", f.RowsPerChip)
+	}
+	return nil
+}
+
+// Blocks returns the number of chip blocks (grid cells per
+// pattern/sweep/scenario point) the fleet splits into.
+func (f FleetPlan) Blocks() int {
+	return (f.Chips + f.ChipsPerCell - 1) / f.ChipsPerCell
+}
+
+// BlockRange returns block b's chip range [lo, hi).
+func (f FleetPlan) BlockRange(b int) (lo, hi int) {
+	lo = b * f.ChipsPerCell
+	hi = lo + f.ChipsPerCell
+	if hi > f.Chips {
+		hi = f.Chips
+	}
+	return lo, hi
+}
+
+// Population builds the plan's chip generator.
+func (f FleetPlan) Population() *chipdb.PopulationModel {
+	m := chipdb.NewPopulation(f.Seed)
+	if f.ProcessSigma != 0 {
+		m.ProcessSigma = f.ProcessSigma
+	}
+	if f.DieToDieSigma != 0 {
+		m.DieToDieSigma = f.DieToDieSigma
+	}
+	return m
+}
+
+// fleetBlockPrefix frames block IDs on the grid's module axis. The
+// zero-padded index keeps the checkpoint sort order equal to the
+// numeric block order.
+const fleetBlockPrefix = "fleet["
+
+// FleetBlockID names block b on the cell grid's module axis
+// ("fleet[00000042]").
+func FleetBlockID(b int) string {
+	return fmt.Sprintf("%s%08d]", fleetBlockPrefix, b)
+}
+
+// ParseFleetBlockID inverts FleetBlockID.
+func ParseFleetBlockID(s string) (int, bool) {
+	if !strings.HasPrefix(s, fleetBlockPrefix) || !strings.HasSuffix(s, "]") {
+		return 0, false
+	}
+	digits := s[len(fleetBlockPrefix) : len(s)-1]
+	if len(digits) != 8 {
+		return 0, false
+	}
+	b, err := strconv.Atoi(digits)
+	if err != nil || b < 0 {
+		return 0, false
+	}
+	return b, true
+}
+
+// FleetGroupState is the serialized per-(vendor, die type) slice of a
+// fleet fold: chip and flip counts, the ACmin and time-to-first-flip
+// quantile sketches over flipped chips (analysis.Sketch bytes,
+// base64 in JSON), and streaming moments of per-chip ACmin.
+type FleetGroupState struct {
+	Key     string           `json:"key"`
+	Chips   uint64           `json:"chips"`
+	Flipped uint64           `json:"flipped"`
+	ACmin   []byte           `json:"acmin,omitempty"`
+	TimeS   []byte           `json:"timeS,omitempty"`
+	Moments analysis.Moments `json:"moments"`
+}
+
+// FleetAggState is the complete serialized state of one fleet cell's
+// fold, with groups sorted by key so equal folds serialize to equal
+// bytes.
+type FleetAggState struct {
+	Groups []FleetGroupState `json:"groups"`
+}
+
+// fleetGroup is the live accumulator behind one FleetGroupState.
+type fleetGroup struct {
+	chips   uint64
+	flipped uint64
+	acmin   *analysis.Sketch
+	timeS   *analysis.Sketch
+	mom     analysis.Moments
+}
+
+func newFleetGroup() *fleetGroup {
+	return &fleetGroup{
+		acmin: analysis.NewSketch(analysis.SketchAlpha),
+		timeS: analysis.NewSketch(analysis.SketchAlpha),
+	}
+}
+
+// fleetAggregate is the Fold of one fleet block cell. Observations
+// arrive in (chip, run, row) order; the fold reduces each chip's
+// RowsPerChip x Runs observations to a per-chip summary (flipped?,
+// min ACmin, min time-to-first-flip) and folds that into the chip's
+// vendor/die group. Resident size is O(groups x sketch), independent
+// of how many chips stream through.
+type fleetAggregate struct {
+	perChip int      // observations per chip (RowsPerChip * Runs)
+	groups  []string // group key per chip offset; dropped when the block completes
+	total   int
+	byGroup map[string]*fleetGroup
+
+	curChip  int
+	curSeen  int
+	curFlip  bool
+	curACmin float64
+	curTime  float64
+}
+
+func newFleetAggregate(perChip int, groups []string) *fleetAggregate {
+	return &fleetAggregate{
+		perChip: perChip,
+		groups:  groups,
+		byGroup: make(map[string]*fleetGroup),
+		curChip: -1,
+	}
+}
+
+// Observe folds one row measurement of chip offset `chip` (Fold).
+func (f *fleetAggregate) Observe(chip int, rr RowResult) {
+	if chip != f.curChip {
+		if f.curSeen != 0 {
+			panic(fmt.Sprintf("core: fleet fold: chip %d interrupted mid-stream at %d/%d observations",
+				f.curChip, f.curSeen, f.perChip))
+		}
+		f.curChip = chip
+	}
+	f.total++
+	f.curSeen++
+	if !rr.NoBitflip {
+		ac := float64(rr.ACmin)
+		t := rr.TimeToFirst.Seconds()
+		if !f.curFlip || ac < f.curACmin {
+			f.curACmin = ac
+		}
+		if !f.curFlip || t < f.curTime {
+			f.curTime = t
+		}
+		f.curFlip = true
+	}
+	if f.curSeen == f.perChip {
+		f.finishChip()
+	}
+}
+
+func (f *fleetAggregate) finishChip() {
+	key := f.groups[f.curChip]
+	g := f.byGroup[key]
+	if g == nil {
+		g = newFleetGroup()
+		f.byGroup[key] = g
+	}
+	g.chips++
+	if f.curFlip {
+		g.flipped++
+		g.acmin.Add(f.curACmin)
+		g.timeS.Add(f.curTime)
+		g.mom.Add(f.curACmin)
+	}
+	f.curSeen, f.curFlip, f.curACmin, f.curTime = 0, false, 0, 0
+	// The group lookup table is O(block); once the last chip is
+	// folded it has served its purpose — drop it so completed cells
+	// retain only the O(sketch) distribution state.
+	if f.curChip == len(f.groups)-1 {
+		f.groups = nil
+	}
+}
+
+// Total reports the number of observations folded in (Fold).
+func (f *fleetAggregate) Total() int { return f.total }
+
+// State exports the fold for checkpointing (Fold): groups sorted by
+// key, sketches in their deterministic binary form.
+func (f *fleetAggregate) State() AggregateState {
+	if f.curSeen != 0 {
+		panic(fmt.Sprintf("core: fleet fold snapshot with chip %d mid-stream", f.curChip))
+	}
+	fl := &FleetAggState{Groups: make([]FleetGroupState, 0, len(f.byGroup))}
+	for key, g := range f.byGroup {
+		gs := FleetGroupState{
+			Key:     key,
+			Chips:   g.chips,
+			Flipped: g.flipped,
+			Moments: g.mom,
+		}
+		if g.flipped > 0 {
+			gs.ACmin = g.acmin.AppendBinary(nil)
+			gs.TimeS = g.timeS.AppendBinary(nil)
+		}
+		fl.Groups = append(fl.Groups, gs)
+	}
+	sort.Slice(fl.Groups, func(i, j int) bool { return fl.Groups[i].Key < fl.Groups[j].Key })
+	return AggregateState{Total: f.total, Fleet: fl}
+}
+
+// fleetFromState reconstructs a fleet fold from persisted state.
+func fleetFromState(st AggregateState) (*fleetAggregate, error) {
+	f := newFleetAggregate(0, nil)
+	f.total = st.Total
+	for _, gs := range st.Fleet.Groups {
+		g := newFleetGroup()
+		g.chips = gs.Chips
+		g.flipped = gs.Flipped
+		g.mom = gs.Moments
+		if len(gs.ACmin) > 0 {
+			sk, _, err := analysis.SketchFromBinary(gs.ACmin)
+			if err != nil {
+				return nil, fmt.Errorf("core: fleet group %q acmin sketch: %w", gs.Key, err)
+			}
+			g.acmin = sk
+		}
+		if len(gs.TimeS) > 0 {
+			sk, _, err := analysis.SketchFromBinary(gs.TimeS)
+			if err != nil {
+				return nil, fmt.Errorf("core: fleet group %q time sketch: %w", gs.Key, err)
+			}
+			g.timeS = sk
+		}
+		f.byGroup[gs.Key] = g
+	}
+	return f, nil
+}
+
+// mergeFleetStates fuses two fleet cell states group-wise. Sketch and
+// counter merges are exact and order-insensitive; like the grid
+// merge, campaign machinery only ever exercises this when fusing a
+// seeded cell with new observations of the same cell.
+func mergeFleetStates(a, b AggregateState) AggregateState {
+	if a.Fleet == nil || b.Fleet == nil {
+		// A fleet and a grid state under one cell key means corrupt
+		// inputs; surface it loudly rather than silently dropping one
+		// side.
+		panic("core: merging fleet and non-fleet aggregate states")
+	}
+	fa, errA := fleetFromState(a)
+	fb, errB := fleetFromState(b)
+	if errA != nil || errB != nil {
+		panic(fmt.Sprintf("core: merging undecodable fleet states: %v %v", errA, errB))
+	}
+	fa.total += fb.total
+	for key, g := range fb.byGroup {
+		dst := fa.byGroup[key]
+		if dst == nil {
+			fa.byGroup[key] = g
+			continue
+		}
+		dst.chips += g.chips
+		dst.flipped += g.flipped
+		if err := dst.acmin.Merge(g.acmin); err != nil {
+			panic(fmt.Sprintf("core: fleet merge: %v", err))
+		}
+		if err := dst.timeS.Merge(g.timeS); err != nil {
+			panic(fmt.Sprintf("core: fleet merge: %v", err))
+		}
+		dst.mom.Merge(g.mom)
+	}
+	return fa.State()
+}
+
+// FleetGroupStat is one merged vendor/die-type slice of a fleet
+// campaign, ready for reporting.
+type FleetGroupStat struct {
+	// Key is the group ("Mfr. S 8Gb D-Die").
+	Key string
+	// Chips and Flipped count the group's fleet slice and how many of
+	// those chips flipped at least once.
+	Chips, Flipped uint64
+	// ACmin and TimeS are quantile sketches of per-chip minimum ACmin
+	// and time-to-first-flip across flipped chips.
+	ACmin, TimeS *analysis.Sketch
+	// Moments are streaming moments of per-chip minimum ACmin.
+	Moments analysis.Moments
+}
+
+// Survival is the fraction of the group's chips with no bitflip.
+func (g FleetGroupStat) Survival() float64 {
+	if g.Chips == 0 {
+		return 0
+	}
+	return 1 - float64(g.Flipped)/float64(g.Chips)
+}
+
+// FleetScenarioStat aggregates one scenario's full fleet
+// distribution.
+type FleetScenarioStat struct {
+	// Scenario is the scenario ID ("" = default).
+	Scenario string
+	// Cells counts the fleet cells folded in (for partial reports:
+	// compare against the campaign's cell count for this scenario).
+	Cells int
+	// Groups are the vendor/die-type slices, sorted by key.
+	Groups []FleetGroupStat
+}
+
+// Chips sums the scenario's observed chips across groups.
+func (s FleetScenarioStat) Chips() uint64 {
+	var n uint64
+	for _, g := range s.Groups {
+		n += g.Chips
+	}
+	return n
+}
+
+// FleetStats merges fleet cell states into per-scenario, per-group
+// distributions. Cells are folded in canonical key order, so any
+// subset of a campaign's cells (a partial report) and any shard
+// composition of the full set produce deterministic — and for the
+// full set, identical — results. Non-fleet cells are an error.
+func FleetStats(cells map[CellKey]AggregateState) ([]FleetScenarioStat, error) {
+	keys := make([]CellKey, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Module != b.Module {
+			return a.Module < b.Module
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.AggOn != b.AggOn {
+			return a.AggOn < b.AggOn
+		}
+		return a.Scenario < b.Scenario
+	})
+	merged := make(map[string]*fleetAggregate)
+	counts := make(map[string]int)
+	var order []string
+	for _, k := range keys {
+		st := cells[k]
+		if st.Fleet == nil {
+			return nil, fmt.Errorf("core: cell %v is not a fleet cell", k)
+		}
+		counts[k.Scenario]++
+		dst, ok := merged[k.Scenario]
+		if !ok {
+			var err error
+			if dst, err = fleetFromState(st); err != nil {
+				return nil, fmt.Errorf("core: cell %v: %w", k, err)
+			}
+			merged[k.Scenario] = dst
+			order = append(order, k.Scenario)
+			continue
+		}
+		res := mergeFleetStates(dst.State(), st)
+		next, err := fleetFromState(res)
+		if err != nil {
+			return nil, fmt.Errorf("core: cell %v: %w", k, err)
+		}
+		merged[k.Scenario] = next
+	}
+	sort.Strings(order)
+	out := make([]FleetScenarioStat, 0, len(order))
+	for _, sc := range order {
+		f := merged[sc]
+		stat := FleetScenarioStat{Scenario: sc, Cells: counts[sc]}
+		gKeys := make([]string, 0, len(f.byGroup))
+		for k := range f.byGroup {
+			gKeys = append(gKeys, k)
+		}
+		sort.Strings(gKeys)
+		for _, gk := range gKeys {
+			g := f.byGroup[gk]
+			stat.Groups = append(stat.Groups, FleetGroupStat{
+				Key:     gk,
+				Chips:   g.chips,
+				Flipped: g.flipped,
+				ACmin:   g.acmin,
+				TimeS:   g.timeS,
+				Moments: g.mom,
+			})
+		}
+		out = append(out, stat)
+	}
+	return out, nil
+}

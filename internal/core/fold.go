@@ -1,0 +1,33 @@
+package core
+
+// Fold is the sink Study.Run streams per-row results into, one fold
+// per grid cell. The classic dense grid aggregate (cellAggregate) and
+// the fleet distribution fold (fleetAggregate) are the two
+// implementations; checkpoints persist whichever State a cell's fold
+// exports, and Seed reconstructs the right fold from that state.
+//
+// Contract: Observe is called in a deterministic (die/chip, run, row)
+// order — finishCell replays per-die buffers in that order precisely
+// so fold state is byte-identical across schedulers and shards.
+// State must be deterministic (equal observation streams yield equal
+// serialized states) and must not mutate the fold.
+type Fold interface {
+	// Observe folds one row measurement. die is the die index for
+	// grid cells and the chip offset within the block for fleet
+	// cells.
+	Observe(die int, rr RowResult)
+	// Total reports the number of observations folded in.
+	Total() int
+	// State exports the fold for checkpointing.
+	State() AggregateState
+}
+
+// foldFromState reconstructs the cell's fold from persisted state:
+// fleet states (Fleet set) restore a fleet fold, everything else the
+// dense grid aggregate.
+func foldFromState(st AggregateState) (Fold, error) {
+	if st.Fleet != nil {
+		return fleetFromState(st)
+	}
+	return aggregateFromState(st), nil
+}

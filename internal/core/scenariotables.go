@@ -81,6 +81,77 @@ func (s *Study) MitigationSummary() ([]MitigationRow, error) {
 	return rows, nil
 }
 
+// ThermalModuleStat is one module's disturbance summary at one thermal
+// operating point, folded across every (pattern, tAggON) cell.
+type ThermalModuleStat struct {
+	Module string
+	// ACminMean is the observation-weighted mean ACmin across the
+	// module's flipped observations (0 when nothing flipped).
+	ACminMean float64
+	// FlippedObs / TotalObs count row observations with/without flips.
+	FlippedObs int
+	TotalObs   int
+	// FastestMs is the smallest per-cell mean time-to-first-bitflip in
+	// milliseconds (0 when every cell survived).
+	FastestMs float64
+}
+
+// ThermalRow is one scenario (operating point) of the thermal table.
+type ThermalRow struct {
+	Scenario Scenario
+	// SettledC is the effective die temperature of the scenario's
+	// cells: the heater-pad controller's settled plant temperature for
+	// thermal scenarios, the resolved TempC override otherwise.
+	SettledC float64
+	// Modules follows the study's module order.
+	Modules []ThermalModuleStat
+}
+
+// ThermalSummary folds every completed cell into per-(scenario,
+// module) thermal rows, in the configured scenario order — the
+// extractor behind report.ThermalTable for `-scenarios thermal:...`
+// campaigns. Every cell of the grid must have results.
+func (s *Study) ThermalSummary() ([]ThermalRow, error) {
+	sweep := s.SweepSorted()
+	rows := make([]ThermalRow, 0, len(s.cfg.scenarios()))
+	for _, sc := range s.cfg.scenarios() {
+		opts, err := sc.resolveOpts(s.cfg.Opts)
+		if err != nil {
+			return nil, err
+		}
+		row := ThermalRow{Scenario: sc, SettledC: opts.TempC, Modules: make([]ThermalModuleStat, 0, len(s.cfg.Modules))}
+		for _, mi := range s.cfg.Modules {
+			stat := ThermalModuleStat{Module: mi.ID}
+			var acSum float64
+			for _, kind := range s.cfg.Patterns {
+				for _, aggOn := range sweep {
+					key := CellKey{Module: mi.ID, Kind: kind, AggOn: aggOn, Scenario: sc.ID}
+					r, ok := s.ResultCell(key)
+					if !ok {
+						return nil, fmt.Errorf("core: study has no result for cell %v", key)
+					}
+					ac := r.ACminStats()
+					stat.FlippedObs += ac.N
+					stat.TotalObs += ac.Total
+					acSum += ac.Mean * float64(ac.N)
+					if ts := r.TimeStats(); ts.N > 0 {
+						ms := ts.Mean * 1000
+						if stat.FastestMs == 0 || ms < stat.FastestMs {
+							stat.FastestMs = ms
+						}
+					}
+				}
+			}
+			if stat.FlippedObs > 0 {
+				stat.ACminMean = acSum / float64(stat.FlippedObs)
+			}
+			row.Modules = append(row.Modules, stat)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
 // CrossoverCell is one tAggON position of one module's crossover sweep.
 type CrossoverCell struct {
 	AggOn time.Duration

@@ -101,6 +101,22 @@ func (p ShardPlan) String() string {
 func (s *Study) Cells() []CellKey {
 	scens := s.cfg.scenarios()
 	var cells []CellKey
+	if s.cfg.Fleet != nil {
+		// Fleet campaigns put chip blocks on the module axis; block
+		// order is ascending so checkpoint sort order, grid order and
+		// chip order all agree.
+		for b := 0; b < s.cfg.Fleet.Blocks(); b++ {
+			id := FleetBlockID(b)
+			for _, k := range s.cfg.Patterns {
+				for _, t := range s.cfg.Sweep {
+					for _, sc := range scens {
+						cells = append(cells, CellKey{Module: id, Kind: k, AggOn: t, Scenario: sc.ID})
+					}
+				}
+			}
+		}
+		return cells
+	}
 	for _, mi := range s.cfg.Modules {
 		for _, k := range s.cfg.Patterns {
 			for _, t := range s.cfg.Sweep {
@@ -145,6 +161,11 @@ func (c StudyConfig) Fingerprint() string {
 		for _, sc := range c.Scenarios {
 			fmt.Fprintf(h, "scenario %s\n", sc.fingerprint())
 		}
+	}
+	// Like the scenario axis, the fleet plan joins the hash only when
+	// present, so every grid-campaign fingerprint is unchanged.
+	if c.Fleet != nil {
+		fmt.Fprintf(h, "fleet %+v\n", *c.Fleet)
 	}
 	return hex.EncodeToString(h.Sum(nil)[:16])
 }

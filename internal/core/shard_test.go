@@ -132,7 +132,7 @@ func TestWelfordMergeMatchesSequential(t *testing.T) {
 
 func TestMergeAggregatesWithEmptyIsBitIdentical(t *testing.T) {
 	a := newCellAggregate()
-	a.observe(0, RowResult{ACmin: 1234, TimeToFirst: 5 * time.Millisecond,
+	a.Observe(0, RowResult{ACmin: 1234, TimeToFirst: 5 * time.Millisecond,
 		Flips: []device.Bitflip{
 			{Row: 10, Bit: 3, Dir: device.OneToZero},
 			{Row: 10, Bit: 9, Dir: device.ZeroToOne},

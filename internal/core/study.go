@@ -39,6 +39,13 @@ type StudyConfig struct {
 	Runs int
 	// Bank is the bank under test (the paper picks one arbitrary bank).
 	Bank int
+	// Fleet, when non-nil, turns the campaign into a synthetic-fleet
+	// study: the module axis becomes chip blocks drawn from a
+	// chipdb.PopulationModel and every cell folds into a bounded
+	// distribution sketch instead of the dense grid aggregate.
+	// Modules is ignored as a grid axis (the population model is
+	// calibrated against the full Table 2 inventory regardless).
+	Fleet *FleetPlan
 	// Scenarios is the scenario axis of the grid: engine selection and
 	// operating-condition overrides per cell (nil or a single default
 	// scenario = the classic module x pattern x tAggON grid, hashed,
@@ -107,6 +114,10 @@ func (c StudyConfig) withDefaults() StudyConfig {
 	if c.CheckpointEvery == 0 {
 		c.CheckpointEvery = 16
 	}
+	if c.Fleet != nil {
+		f := c.Fleet.withDefaults()
+		c.Fleet = &f
+	}
 	c.Opts = c.Opts.withDefaults()
 	return c
 }
@@ -127,7 +138,19 @@ type ModuleResult struct {
 	// Rows holds the raw observations when KeepObservations is set.
 	Rows []RowObservation
 
-	agg *cellAggregate
+	// agg is the cell's fold: a dense grid aggregate for module
+	// cells, a distribution sketch for fleet cells.
+	agg Fold
+}
+
+// gridAgg returns the dense grid aggregate behind this cell, or an
+// empty one for fleet cells (whose per-row stats the grid extractors
+// never consume — fleet campaigns report through FleetStats).
+func (r *ModuleResult) gridAgg() *cellAggregate {
+	if a, ok := r.agg.(*cellAggregate); ok {
+		return a
+	}
+	return newCellAggregate()
 }
 
 // Stats is a mean/min/std summary of a per-row metric.
@@ -173,33 +196,36 @@ func summarize(values []float64, total int) Stats {
 
 // Observations returns the number of row measurements folded into the
 // cell.
-func (r *ModuleResult) Observations() int { return r.agg.total }
+func (r *ModuleResult) Observations() int { return r.agg.Total() }
 
 // ACminStats summarizes ACmin across flipped observations.
 func (r *ModuleResult) ACminStats() Stats {
-	return r.agg.acmin.stats(r.agg.total)
+	a := r.gridAgg()
+	return a.acmin.stats(a.total)
 }
 
 // TimeStats summarizes time-to-first-bitflip (in seconds) across flipped
 // observations.
 func (r *ModuleResult) TimeStats() Stats {
-	return r.agg.timeSec.stats(r.agg.total)
+	a := r.gridAgg()
+	return a.timeSec.stats(a.total)
 }
 
 // OneToZeroFraction returns the fraction of observed bitflips with 1->0
 // direction, and the flip count.
 func (r *ModuleResult) OneToZeroFraction() (float64, int) {
-	if r.agg.flips == 0 {
+	a := r.gridAgg()
+	if a.flips == 0 {
 		return 0, 0
 	}
-	return float64(r.agg.oneToZero) / float64(r.agg.flips), r.agg.flips
+	return float64(a.oneToZero) / float64(a.flips), a.flips
 }
 
 // FlipKeys returns the set of unique bitflips across all observations,
 // keyed by (die, row, bit). The returned map is the aggregate's own
 // storage; callers must not mutate it.
 func (r *ModuleResult) FlipKeys() map[uint64]struct{} {
-	return r.agg.flipKeys
+	return r.gridAgg().flipKeys
 }
 
 // Study runs and caches a characterization campaign.
@@ -312,6 +338,9 @@ func (s *Study) Run(ctx context.Context) error {
 	if err := s.cfg.validateScenarios(); err != nil {
 		return err
 	}
+	if s.cfg.Fleet != nil {
+		return s.runFleet(ctx)
+	}
 	byID := make(map[string]chipdb.ModuleInfo, len(s.cfg.Modules))
 	for _, mi := range s.cfg.Modules {
 		byID[mi.ID] = mi
@@ -331,16 +360,9 @@ func (s *Study) Run(ctx context.Context) error {
 	// Cells() is the one source of truth for the grid order shard
 	// indices refer to; every process of a campaign must agree on it.
 	grid := s.Cells()
-	selected := s.cfg.Shard.Contains
-	if s.cfg.CellIndices != nil {
-		in := make(map[int]bool, len(s.cfg.CellIndices))
-		for _, idx := range s.cfg.CellIndices {
-			if idx < 0 || idx >= len(grid) {
-				return fmt.Errorf("core: cell index %d outside the %d-cell grid", idx, len(grid))
-			}
-			in[idx] = true
-		}
-		selected = func(idx int) bool { return in[idx] }
+	selected, err := s.selectCells(grid)
+	if err != nil {
+		return err
 	}
 	var jobs []*cellJob
 	// cellsPerModule counts only analytic-engine cells: it seeds the
@@ -484,6 +506,23 @@ feed:
 	return checkpoint()
 }
 
+// selectCells resolves the run's cell filter: CellIndices when set,
+// otherwise the shard plan's arithmetic partition. Both grid and
+// fleet runs index the same Cells() order.
+func (s *Study) selectCells(grid []CellKey) (func(int) bool, error) {
+	if s.cfg.CellIndices == nil {
+		return s.cfg.Shard.Contains, nil
+	}
+	in := make(map[int]bool, len(s.cfg.CellIndices))
+	for _, idx := range s.cfg.CellIndices {
+		if idx < 0 || idx >= len(grid) {
+			return nil, fmt.Errorf("core: cell index %d outside the %d-cell grid", idx, len(grid))
+		}
+		in[idx] = true
+	}
+	return func(idx int) bool { return in[idx] }, nil
+}
+
 // Snapshot exports the aggregate state of every completed cell. The
 // snapshot is consistent (taken under the results lock) and safe to
 // serialize concurrently with an ongoing Run. Only the mergeable
@@ -526,8 +565,20 @@ func (s *Study) Seed(cells map[CellKey]AggregateState) error {
 	}
 	for key, st := range cells {
 		mi, ok := byID[key.Module]
-		if !ok {
+		switch {
+		case s.cfg.Fleet != nil:
+			block, blockOK := ParseFleetBlockID(key.Module)
+			if !blockOK || block >= s.cfg.Fleet.Blocks() {
+				return fmt.Errorf("core: seed cell %v: not a block of this fleet", key)
+			}
+			if st.Fleet == nil {
+				return fmt.Errorf("core: seed cell %v: fleet campaign but non-fleet aggregate state", key)
+			}
+			mi = chipdb.ModuleInfo{ID: key.Module}
+		case !ok:
 			return fmt.Errorf("core: seed cell %v: module not in study config", key)
+		case st.Fleet != nil:
+			return fmt.Errorf("core: seed cell %v: fleet aggregate state on a grid campaign", key)
 		}
 		if !inPatterns[key.Kind] || !inSweep[key.AggOn] || !inScenarios[key.Scenario] {
 			return fmt.Errorf("core: seed cell %v: not on the study's cell grid", key)
@@ -540,7 +591,12 @@ func (s *Study) Seed(cells map[CellKey]AggregateState) error {
 		if prev, ok := s.results[key]; ok {
 			st = MergeAggregates(prev.agg.State(), st)
 		}
-		s.results[key] = &ModuleResult{Info: mi, Spec: spec, agg: aggregateFromState(st)}
+		fold, err := foldFromState(st)
+		if err != nil {
+			s.mu.Unlock()
+			return fmt.Errorf("core: seed cell %v: %w", key, err)
+		}
+		s.results[key] = &ModuleResult{Info: mi, Spec: spec, agg: fold}
 		s.mu.Unlock()
 	}
 	return nil
@@ -638,7 +694,7 @@ func (s *Study) finishCell(job *cellJob) *ModuleResult {
 	for _, dieObs := range job.dieObs {
 		for i := range dieObs {
 			o := &dieObs[i]
-			res.agg.observe(o.Die, o.RowResult)
+			res.agg.Observe(o.Die, o.RowResult)
 			if s.cfg.KeepObservations {
 				res.Rows = append(res.Rows, *o)
 			}

@@ -74,6 +74,15 @@ func newCostModel(m Manifest, cellsByIdx []core.CellKey) *costModel {
 	}
 	for i, key := range cellsByIdx {
 		dies := diesByModule[key.Module]
+		// Fleet cells weigh in at their block's chip count: a fleet
+		// cell is chips-per-cell times fatter than a one-die grid cell,
+		// and the trailing (ragged) block proportionally cheaper.
+		if f := m.Campaign.Fleet; f != nil {
+			if b, ok := core.ParseFleetBlockID(key.Module); ok {
+				lo, hi := f.BlockRange(b)
+				dies = hi - lo
+			}
+		}
 		if dies < 1 {
 			dies = 1
 		}

@@ -125,6 +125,11 @@ type CampaignSpec struct {
 	// default single-scenario grid; the field is omitted then, so
 	// pre-scenario manifests parse (and re-serialize) unchanged.
 	Scenarios []core.Scenario `json:"scenarios,omitempty"`
+	// Fleet, when set, makes this a fleet campaign: the module axis
+	// carries synthetic chip blocks instead of the Table 1 inventory
+	// (Modules is empty then). Omitted for grid campaigns, so their
+	// manifests are unchanged.
+	Fleet *core.FleetPlan `json:"fleet,omitempty"`
 }
 
 // NewCampaignSpec captures cfg (with defaults applied) as a spec.
@@ -151,6 +156,10 @@ func NewCampaignSpec(cfg core.StudyConfig) CampaignSpec {
 	}
 	if len(cfg.Scenarios) > 0 {
 		sp.Scenarios = append(sp.Scenarios, cfg.Scenarios...)
+	}
+	if cfg.Fleet != nil {
+		f := *cfg.Fleet // defaults already applied by Config()
+		sp.Fleet = &f
 	}
 	return sp
 }
@@ -187,6 +196,10 @@ func (sp CampaignSpec) StudyConfig() (core.StudyConfig, error) {
 	if len(sp.Scenarios) > 0 {
 		cfg.Scenarios = append(cfg.Scenarios, sp.Scenarios...)
 	}
+	if sp.Fleet != nil {
+		f := *sp.Fleet
+		cfg.Fleet = &f
+	}
 	return cfg, nil
 }
 
@@ -208,9 +221,19 @@ type Manifest struct {
 	Campaign CampaignSpec `json:"campaign"`
 }
 
-// GridSize returns the number of cells on the campaign grid.
+// GridSize returns the number of cells on the campaign grid. Fleet
+// campaigns put chip blocks on the module axis, so their grid size is
+// blocks x patterns x sweep x scenarios.
 func (m Manifest) GridSize() int {
-	return len(m.Campaign.Modules) * len(m.Campaign.Patterns) * len(m.Campaign.SweepNs) * scenarioCount(m.Campaign.Scenarios)
+	return gridSize(m.Campaign)
+}
+
+func gridSize(sp CampaignSpec) int {
+	modules := len(sp.Modules)
+	if sp.Fleet != nil {
+		modules = sp.Fleet.Blocks()
+	}
+	return modules * len(sp.Patterns) * len(sp.SweepNs) * scenarioCount(sp.Scenarios)
 }
 
 // scenarioCount is the scenario axis's contribution to the grid size:
@@ -242,7 +265,7 @@ func (m Manifest) UnitCells(unit int) []int {
 // structurally empty.
 func NewManifest(cfg core.StudyConfig, units int, ttl time.Duration) Manifest {
 	spec := NewCampaignSpec(cfg)
-	if cells := len(spec.Modules) * len(spec.Patterns) * len(spec.SweepNs) * scenarioCount(spec.Scenarios); units > cells {
+	if cells := gridSize(spec); units > cells {
 		units = cells
 	}
 	if units < 1 {

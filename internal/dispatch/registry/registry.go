@@ -58,16 +58,31 @@ type campaign struct {
 	// handler is the campaign's single-campaign dispatch API, which
 	// the registry handler serves under /v1/campaigns/{id}/.
 	handler http.Handler
+	// doneAt is when a retention sweep first observed the campaign
+	// drained or canceled; zero while it is still live. Retention
+	// counts from this observation, so a coordinator restart restarts
+	// the clock rather than deleting a freshly reopened campaign.
+	doneAt time.Time
 }
 
 // Registry is the multi-campaign coordinator state: a directory of
 // per-campaign WAL queues and the in-memory handles serving them.
 type Registry struct {
 	dir string
+	// now is the sweep clock; tests inject a fake via SetClock.
+	now func() time.Time
 
 	mu        sync.Mutex
 	campaigns map[string]*campaign
 	closed    bool
+}
+
+// SetClock replaces the retention clock (tests only; the default is
+// time.Now).
+func (r *Registry) SetClock(now func() time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.now = now
 }
 
 // Open loads (or initializes) a registry state directory, reopening
@@ -83,7 +98,7 @@ func Open(dir string) (*Registry, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Registry{dir: dir, campaigns: make(map[string]*campaign)}
+	r := &Registry{dir: dir, now: time.Now, campaigns: make(map[string]*campaign)}
 	for _, e := range entries {
 		if !e.IsDir() {
 			continue
@@ -241,6 +256,57 @@ func (r *Registry) lookup(id string) (*campaign, error) {
 		return nil, fmt.Errorf("%w: %s", dispatch.ErrUnknownCampaign, id)
 	}
 	return c, nil
+}
+
+// Sweep garbage-collects finished campaigns: one that has been
+// observed drained or canceled for at least ttl is closed, its state
+// directory (journal, checkpoints, meta) deleted, and its ID retired —
+// workers and reads then answer dispatch.ErrUnknownCampaign. The first
+// sweep that sees a campaign finished only starts its retention clock;
+// a campaign that somehow goes live again (a canceled-then-uncanceled
+// state cannot happen today, but a half-drained one rewinds on crash
+// recovery) has the clock reset. Returns the IDs removed.
+func (r *Registry) Sweep(ttl time.Duration) ([]string, error) {
+	if ttl < 0 {
+		return nil, fmt.Errorf("registry: negative retention %v", ttl)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, errors.New("registry: closed")
+	}
+	var removed []string
+	for id, c := range r.campaigns {
+		done := c.queue.Canceled()
+		if !done {
+			st, err := c.queue.Status()
+			if err != nil {
+				return removed, err
+			}
+			done = st.Drained()
+		}
+		if !done {
+			c.doneAt = time.Time{}
+			continue
+		}
+		if c.doneAt.IsZero() {
+			c.doneAt = r.now()
+			continue
+		}
+		if r.now().Sub(c.doneAt) < ttl {
+			continue
+		}
+		if err := c.queue.Close(); err != nil {
+			return removed, fmt.Errorf("registry: close campaign %s: %w", id, err)
+		}
+		if err := os.RemoveAll(filepath.Join(r.dir, id)); err != nil {
+			return removed, fmt.Errorf("registry: remove campaign %s: %w", id, err)
+		}
+		delete(r.campaigns, id)
+		removed = append(removed, id)
+	}
+	sort.Strings(removed)
+	return removed, nil
 }
 
 // Close flushes and closes every campaign's journal. The registry

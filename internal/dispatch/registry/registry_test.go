@@ -7,6 +7,8 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 	"time"
@@ -333,4 +335,80 @@ func unitCheckpoint(t *testing.T, m dispatch.Manifest, cells []int) *resultio.Ch
 		out[grid[idx]] = core.AggregateState{}
 	}
 	return resultio.NewCheckpoint(m.Fingerprint, core.ShardPlan{}, out)
+}
+
+// TestRetentionSweep drives the campaign GC with an injected clock: a
+// canceled campaign is first marked, then — once it has sat finished
+// for the retention TTL — closed and deleted from both memory and
+// disk, while a live campaign is never touched.
+func TestRetentionSweep(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Close()
+
+	now := time.Unix(1_700_000_000, 0)
+	reg.SetClock(func() time.Time { return now })
+
+	doomed, err := reg.Create(dispatch.NewManifest(twoModuleConfig(t), 3, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	live, err := reg.Create(dispatch.NewManifest(oneModuleConfig(t), 2, time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Cancel(doomed.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// First sweep only starts the doomed campaign's retention clock.
+	removed, err := reg.Sweep(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("first sweep removed %v, want none (mark only)", removed)
+	}
+
+	// Inside the TTL the campaign survives.
+	now = now.Add(30 * time.Minute)
+	if removed, err = reg.Sweep(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("sweep inside the TTL removed %v", removed)
+	}
+
+	// Past the TTL the campaign goes: memory, disk, and API.
+	now = now.Add(time.Hour)
+	if removed, err = reg.Sweep(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 1 || removed[0] != doomed.ID {
+		t.Fatalf("sweep removed %v, want [%s]", removed, doomed.ID)
+	}
+	if _, err := reg.Get(doomed.ID); !errors.Is(err, dispatch.ErrUnknownCampaign) {
+		t.Fatalf("Get after GC = %v, want ErrUnknownCampaign", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, doomed.ID)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("campaign directory survived GC: %v", err)
+	}
+
+	// The live campaign is untouched, now and on every future sweep.
+	if _, err := reg.Get(live.ID); err != nil {
+		t.Fatal(err)
+	}
+	now = now.Add(24 * time.Hour)
+	if removed, err = reg.Sweep(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if len(removed) != 0 {
+		t.Fatalf("sweep removed live campaign: %v", removed)
+	}
+	if _, err := os.Stat(filepath.Join(dir, live.ID)); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -18,6 +18,9 @@ func RenderPartial(w io.Writer, m Manifest, cp *resultio.Checkpoint) error {
 	if err != nil {
 		return err
 	}
+	if cfg.Fleet != nil {
+		return renderFleetPartial(w, m, cp)
+	}
 	study := core.NewStudy(cfg)
 	if cp != nil {
 		cells, err := cp.CellMap()
@@ -36,5 +39,37 @@ func RenderPartial(w io.Writer, m Manifest, cp *resultio.Checkpoint) error {
 		return err
 	}
 	_, err = fmt.Fprintf(w, "\ncampaign coverage: %s\n", cov)
+	return err
+}
+
+// renderFleetPartial renders a fleet campaign's live population
+// distribution from whatever cells have been submitted so far. The
+// per-scenario sketches merge in canonical cell order, so the same
+// checkpoint always renders the same bytes, and a complete campaign
+// renders identically to an unsharded run's FleetStats.
+func renderFleetPartial(w io.Writer, m Manifest, cp *resultio.Checkpoint) error {
+	cells := map[core.CellKey]core.AggregateState{}
+	if cp != nil {
+		var err error
+		if cells, err = cp.CellMap(); err != nil {
+			return err
+		}
+	}
+	stats, err := core.FleetStats(cells)
+	if err != nil {
+		return err
+	}
+	perScenario := 0
+	if n := scenarioCount(m.Campaign.Scenarios); n > 0 {
+		perScenario = m.GridSize() / n
+	}
+	if len(stats) == 0 {
+		if _, err := fmt.Fprintf(w, "Fleet distribution: no cells submitted yet (0/%d)\n", m.GridSize()); err != nil {
+			return err
+		}
+	} else if err := report.FleetDistribution(w, stats, perScenario); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "\ncampaign coverage: %d/%d cells\n", len(cells), m.GridSize())
 	return err
 }

@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"rowfuse/internal/core"
+)
+
+// fleetQuantiles is the percentile set every fleet table and CSV
+// reports, chosen to bracket both the weak tail (p5: the chips an
+// attacker finds first) and the bulk of the population.
+var fleetQuantiles = []float64{0.05, 0.25, 0.50, 0.75, 0.95, 0.99}
+
+// fleetCoverageTag annotates a fleet report with how much of the
+// campaign's cell grid has been folded in. totalCells <= 0 means the
+// campaign total is unknown (a caller holding only a checkpoint); the
+// tag then reports the absolute cell count without claiming
+// completeness.
+func fleetCoverageTag(folded, totalCells int) string {
+	if totalCells <= 0 {
+		return fmt.Sprintf("%d cells folded", folded)
+	}
+	if folded >= totalCells {
+		return fmt.Sprintf("complete: %d/%d cells", folded, totalCells)
+	}
+	return fmt.Sprintf("partial: %d/%d cells", folded, totalCells)
+}
+
+// FleetDistribution renders a fleet campaign's population summary: per
+// scenario, one row per vendor/die-type group with its survival
+// fraction and the ACmin percentiles of the chips that flipped. The
+// percentiles come from the campaign's merged quantile sketches, so
+// the table renders identically from a live partial checkpoint, a
+// resumed one, or merged shards. totalCells is the campaign's cell
+// count per scenario (Blocks x patterns x sweep); <= 0 if unknown.
+func FleetDistribution(w io.Writer, stats []core.FleetScenarioStat, totalCells int) error {
+	for _, sc := range stats {
+		if _, err := fmt.Fprintf(w, "\nFleet distribution — scenario %s (%s): %d chips\n",
+			scenarioLabelID(sc.Scenario), fleetCoverageTag(sc.Cells, totalCells), sc.Chips()); err != nil {
+			return err
+		}
+		tw := newTableWriter(w, []string{
+			"Group", "Chips", "Flipped", "Survival",
+			"ACmin p5", "p25", "p50", "p75", "p95", "p99",
+			"ACmin mean ±std", "t50 (ms)",
+		})
+		for _, g := range sc.Groups {
+			cols := []string{
+				g.Key,
+				fmt.Sprintf("%d", g.Chips),
+				fmt.Sprintf("%d", g.Flipped),
+				fmt.Sprintf("%.1f%%", g.Survival()*100),
+			}
+			if g.Flipped == 0 {
+				for range fleetQuantiles {
+					cols = append(cols, "-")
+				}
+				cols = append(cols, "-", "-")
+			} else {
+				for _, q := range fleetQuantiles {
+					cols = append(cols, formatACmin(g.ACmin.Quantile(q)))
+				}
+				cols = append(cols,
+					fmt.Sprintf("%s ±%s", formatACmin(g.Moments.Mean), formatACmin(g.Moments.Std())),
+					fmt.Sprintf("%.1f", g.TimeS.Quantile(0.5)*1000))
+			}
+			tw.row(cols...)
+		}
+		if err := tw.flush(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FleetCSV emits the fleet distribution as CSV, one line per
+// (scenario, group).
+func FleetCSV(w io.Writer, stats []core.FleetScenarioStat) error {
+	if _, err := fmt.Fprintln(w, "scenario,group,chips,flipped,survival_frac,"+
+		"acmin_p5,acmin_p25,acmin_p50,acmin_p75,acmin_p95,acmin_p99,"+
+		"acmin_mean,acmin_std,time_p50_ms"); err != nil {
+		return err
+	}
+	for _, sc := range stats {
+		for _, g := range sc.Groups {
+			if _, err := fmt.Fprintf(w, "%s,%s,%d,%d,%.4f",
+				scenarioLabelID(sc.Scenario), g.Key, g.Chips, g.Flipped, g.Survival()); err != nil {
+				return err
+			}
+			if g.Flipped == 0 {
+				if _, err := fmt.Fprintln(w, ",,,,,,,,,"); err != nil {
+					return err
+				}
+				continue
+			}
+			for _, q := range fleetQuantiles {
+				if _, err := fmt.Fprintf(w, ",%.0f", g.ACmin.Quantile(q)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, ",%.1f,%.1f,%.3f\n",
+				g.Moments.Mean, g.Moments.Std(), g.TimeS.Quantile(0.5)*1000); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// scenarioLabelID names a scenario by its bare ID ("" is the default
+// scenario) — the fleet extractors carry IDs, not full core.Scenario
+// values.
+func scenarioLabelID(id string) string {
+	if id == "" {
+		return "(default)"
+	}
+	return id
+}

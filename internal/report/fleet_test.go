@@ -1,0 +1,89 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func fleetStatsForTest(t *testing.T) []core.FleetScenarioStat {
+	t.Helper()
+	s := core.NewStudy(core.StudyConfig{
+		Fleet:         &core.FleetPlan{Chips: 48, ChipsPerCell: 16, RowsPerChip: 2, Seed: 7},
+		Patterns:      []pattern.Kind{pattern.DoubleSided},
+		Sweep:         []time.Duration{timing.AggOnTREFI},
+		RowsPerRegion: 1,
+		Runs:          1,
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := core.FleetStats(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stats
+}
+
+func TestFleetDistributionRendering(t *testing.T) {
+	stats := fleetStatsForTest(t)
+	var b strings.Builder
+	if err := FleetDistribution(&b, stats, 3); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Fleet distribution", "complete: 3/3 cells", "48 chips", "Survival", "p99", "Mfr."} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fleet table missing %q:\n%s", want, out)
+		}
+	}
+
+	// A partial fold (fewer cells than the campaign total) must say so.
+	var p strings.Builder
+	if err := FleetDistribution(&p, stats, 6); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(p.String(), "partial: 3/6 cells") {
+		t.Errorf("partial fleet table missing coverage tag:\n%s", p.String())
+	}
+
+	// Rendering is deterministic: the same campaign re-run produces the
+	// same bytes (sketches, group order and formatting are all
+	// canonical).
+	var b2 strings.Builder
+	if err := FleetDistribution(&b2, fleetStatsForTest(t), 3); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Errorf("fleet table not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out, b2.String())
+	}
+}
+
+func TestFleetCSV(t *testing.T) {
+	stats := fleetStatsForTest(t)
+	var csv strings.Builder
+	if err := FleetCSV(&csv, stats); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	groups := 0
+	for _, sc := range stats {
+		groups += len(sc.Groups)
+	}
+	if len(lines) != 1+groups {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+groups)
+	}
+	if !strings.HasPrefix(lines[0], "scenario,group,chips,flipped,survival_frac,acmin_p5") {
+		t.Errorf("CSV header: %q", lines[0])
+	}
+	for _, l := range lines[1:] {
+		if n := strings.Count(l, ","); n != strings.Count(lines[0], ",") {
+			t.Errorf("CSV line has %d commas, want %d: %q", n, strings.Count(lines[0], ","), l)
+		}
+	}
+}

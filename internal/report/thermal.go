@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+	"io"
+
+	"rowfuse/internal/core"
+)
+
+// ThermalTable renders the thermal-sweep campaign summary: one row per
+// `-scenarios thermal:...` operating point with the settled die
+// temperature and the per-module disturbance it produced, folded
+// across the whole (pattern, tAggON) grid.
+func ThermalTable(w io.Writer, rows []core.ThermalRow) error {
+	if _, err := fmt.Fprintln(w, "Thermal sweep: disturbance vs settled die temperature"); err != nil {
+		return err
+	}
+	header := []string{"Scenario", "T(C)"}
+	if len(rows) > 0 {
+		for _, m := range rows[0].Modules {
+			header = append(header, m.Module)
+		}
+	}
+	tw := newTableWriter(w, header)
+	for _, r := range rows {
+		cols := []string{scenarioLabel(r.Scenario), fmt.Sprintf("%.1f", r.SettledC)}
+		for _, m := range r.Modules {
+			if m.FlippedObs == 0 {
+				cols = append(cols, fmt.Sprintf("survives (n=%d)", m.TotalObs))
+			} else {
+				cols = append(cols, fmt.Sprintf("%s @%.1fms (%d/%d)",
+					formatACmin(m.ACminMean), m.FastestMs, m.FlippedObs, m.TotalObs))
+			}
+		}
+		tw.row(cols...)
+	}
+	return tw.flush()
+}
+
+// ThermalCSV emits the thermal sweep as CSV, one line per
+// (scenario, module).
+func ThermalCSV(w io.Writer, rows []core.ThermalRow) error {
+	if _, err := fmt.Fprintln(w, "scenario,settled_c,module,acmin_mean,flipped_obs,total_obs,fastest_ms"); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		for _, m := range r.Modules {
+			if _, err := fmt.Fprintf(w, "%s,%.2f,%s,%.1f,%d,%d,%.3f\n",
+				scenarioLabel(r.Scenario), r.SettledC, m.Module,
+				m.ACminMean, m.FlippedObs, m.TotalObs, m.FastestMs); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

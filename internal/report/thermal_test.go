@@ -1,0 +1,91 @@
+package report
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/chipdb"
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+)
+
+func thermalRowsForTest(t *testing.T) []core.ThermalRow {
+	t.Helper()
+	s0, err := chipdb.ByID("S0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	scens, err := core.ParseScenarioSet("thermal:50,85")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := core.NewStudy(core.StudyConfig{
+		Modules:       []chipdb.ModuleInfo{s0},
+		Patterns:      []pattern.Kind{pattern.DoubleSided},
+		Sweep:         []time.Duration{7800 * time.Nanosecond},
+		RowsPerRegion: 2,
+		Dies:          1,
+		Runs:          1,
+		Scenarios:     scens,
+	})
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := s.ThermalSummary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestThermalTableRendering(t *testing.T) {
+	rows := thermalRowsForTest(t)
+	if len(rows) != 2 {
+		t.Fatalf("got %d thermal rows, want 2", len(rows))
+	}
+	// The settled temperature tracks the setpoint within the paper's
+	// control band, and the two operating points differ.
+	if d := rows[0].SettledC - 50; d < -1 || d > 1 {
+		t.Errorf("t50 settled at %.2fC", rows[0].SettledC)
+	}
+	if rows[1].SettledC <= rows[0].SettledC {
+		t.Errorf("t85 settled (%.2fC) not above t50 (%.2fC)", rows[1].SettledC, rows[0].SettledC)
+	}
+
+	var b strings.Builder
+	if err := ThermalTable(&b, rows); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"Thermal sweep", "t50", "t85", "S0"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("thermal table missing %q:\n%s", want, out)
+		}
+	}
+
+	// Golden determinism: a re-run renders byte-identically.
+	var b2 strings.Builder
+	if err := ThermalTable(&b2, thermalRowsForTest(t)); err != nil {
+		t.Fatal(err)
+	}
+	if b2.String() != out {
+		t.Errorf("thermal table not deterministic:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", out, b2.String())
+	}
+}
+
+func TestThermalCSV(t *testing.T) {
+	rows := thermalRowsForTest(t)
+	var csv strings.Builder
+	if err := ThermalCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 1+len(rows) {
+		t.Fatalf("CSV has %d lines, want %d", len(lines), 1+len(rows))
+	}
+	if !strings.HasPrefix(lines[0], "scenario,settled_c,module,") {
+		t.Errorf("CSV header: %q", lines[0])
+	}
+}

@@ -15,8 +15,17 @@ import (
 	"rowfuse/internal/pattern"
 )
 
-// CheckpointVersion identifies the checkpoint schema.
+// CheckpointVersion identifies the classic dense-grid checkpoint
+// schema. Fleet campaigns, whose cells carry distribution-fold state,
+// write CheckpointVersionFleet; grid campaigns keep writing version 1
+// so their checkpoint bytes are unchanged by the fold refactor.
 const CheckpointVersion = 1
+
+// CheckpointVersionFleet marks checkpoints whose cells include fleet
+// fold state (AggregateState.Fleet). Readers accept both versions;
+// pre-fleet readers reject version 2 instead of silently
+// misinterpreting sketch state.
+const CheckpointVersionFleet = 2
 
 // Sentinel errors for checkpoint validation; callers branch with
 // errors.Is.
@@ -67,6 +76,9 @@ func NewCheckpoint(fingerprint string, shard core.ShardPlan, cells map[core.Cell
 		Cells:       make([]CellRecord, 0, len(cells)),
 	}
 	for key, st := range cells {
+		if st.Fleet != nil {
+			cp.Version = CheckpointVersionFleet
+		}
 		cp.Cells = append(cp.Cells, CellRecord{
 			Module:   key.Module,
 			Pattern:  key.Kind.Short(),
@@ -131,8 +143,9 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadCheckpoint, err)
 	}
-	if cp.Version != CheckpointVersion {
-		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadCheckpoint, cp.Version, CheckpointVersion)
+	if cp.Version != CheckpointVersion && cp.Version != CheckpointVersionFleet {
+		return nil, fmt.Errorf("%w: version %d (want %d or %d)",
+			ErrBadCheckpoint, cp.Version, CheckpointVersion, CheckpointVersionFleet)
 	}
 	if cp.Fingerprint == "" {
 		return nil, fmt.Errorf("%w: missing config fingerprint", ErrBadCheckpoint)

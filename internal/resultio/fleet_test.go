@@ -1,0 +1,120 @@
+package resultio
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"rowfuse/internal/core"
+	"rowfuse/internal/pattern"
+	"rowfuse/internal/timing"
+)
+
+func fleetCfg(chips int) core.StudyConfig {
+	return core.StudyConfig{
+		Fleet:         &core.FleetPlan{Chips: chips, ChipsPerCell: 8, RowsPerChip: 1, Seed: 5},
+		Patterns:      []pattern.Kind{pattern.DoubleSided},
+		Sweep:         []time.Duration{timing.AggOnTREFI},
+		RowsPerRegion: 1,
+		Runs:          1,
+		Concurrency:   2,
+	}
+}
+
+// Fleet checkpoints carry the fold state under the bumped schema
+// version; grid checkpoints keep writing version 1, and the loader
+// accepts both.
+func TestFleetCheckpointVersioning(t *testing.T) {
+	cfg := fleetCfg(24)
+	s := core.NewStudy(cfg)
+	if err := s.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cp := NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, s.Snapshot())
+	if cp.Version != CheckpointVersionFleet {
+		t.Fatalf("fleet checkpoint version = %d, want %d", cp.Version, CheckpointVersionFleet)
+	}
+
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	first := buf.String()
+	got, err := LoadCheckpoint(strings.NewReader(first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells, err := got.CellMap()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip through Seed and back to bytes.
+	s2 := core.NewStudy(cfg)
+	if err := s2.Seed(cells); err != nil {
+		t.Fatal(err)
+	}
+	var buf2 bytes.Buffer
+	if err := SaveCheckpoint(&buf2, NewCheckpoint(cfg.Fingerprint(), core.ShardPlan{}, s2.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != first {
+		t.Error("fleet checkpoint round trip not byte-identical")
+	}
+
+	// A grid checkpoint stays version 1 even post-fold-refactor.
+	grid := NewCheckpoint("fp", core.ShardPlan{}, map[core.CellKey]core.AggregateState{
+		{Module: "S0", Kind: pattern.DoubleSided, AggOn: timing.AggOnTREFI}: {Total: 3},
+	})
+	if grid.Version != CheckpointVersion {
+		t.Fatalf("grid checkpoint version = %d, want %d", grid.Version, CheckpointVersion)
+	}
+	var gbuf bytes.Buffer
+	if err := SaveCheckpoint(&gbuf, grid); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(gbuf.String(), "fleet") {
+		t.Error("grid checkpoint serialized fleet state")
+	}
+}
+
+// Merging fleet shard checkpoints preserves per-cell bytes and the
+// fleet schema version.
+func TestFleetCheckpointMerge(t *testing.T) {
+	cfg := fleetCfg(24)
+	fp := cfg.Fingerprint()
+	var shards []*Checkpoint
+	for i := 0; i < 3; i++ {
+		c := fleetCfg(24)
+		c.Shard = core.ShardPlan{Index: i, Count: 3}
+		s := core.NewStudy(c)
+		if err := s.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, NewCheckpoint(fp, c.Shard, s.Snapshot()))
+	}
+	merged, err := MergeCheckpoints(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Version != CheckpointVersionFleet {
+		t.Fatalf("merged version = %d, want %d", merged.Version, CheckpointVersionFleet)
+	}
+
+	whole := core.NewStudy(fleetCfg(24))
+	if err := whole.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var wantBuf, gotBuf bytes.Buffer
+	if err := SaveCheckpoint(&wantBuf, NewCheckpoint(fp, core.ShardPlan{}, whole.Snapshot())); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveCheckpoint(&gotBuf, merged); err != nil {
+		t.Fatal(err)
+	}
+	if gotBuf.String() != wantBuf.String() {
+		t.Error("merged fleet checkpoint differs from unsharded checkpoint bytes")
+	}
+}
