@@ -83,6 +83,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		ttl     = fs.Duration("ttl", 2*time.Minute, "lease TTL: a unit whose worker misses heartbeats this long is re-granted")
 		linger  = fs.Duration("linger", 6*time.Second, "server mode: keep serving this long after the campaign drains, so workers sleeping in a no-work poll observe the drain instead of a dead socket")
 		retain  = fs.Duration("retention", 0, "service mode: delete a campaign's durable state this long after it drains or is canceled (0 = keep forever)")
+		strikes = fs.Int("max-strikes", 0, "quarantine a unit after this many lease expiries or worker-reported failures (0 = default threshold)")
 	)
 	// The campaign-defining flags (-exp, -rows, -dies, -runs, -module,
 	// -temp, -budget, -scenarios) come from the same builder
@@ -108,6 +109,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	if *retain < 0 {
 		return fmt.Errorf("-retention %v: must be non-negative", *retain)
 	}
+	if *strikes < 0 {
+		return fmt.Errorf("-max-strikes %d: must be non-negative", *strikes)
+	}
 
 	if *service {
 		if *listen == "" || *state == "" {
@@ -129,7 +133,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	}
 
 	if *listen != "" {
-		q, closeQ, err := serverQueue(fs, *state, builder, *units, *ttl)
+		q, closeQ, err := serverQueue(fs, *state, builder, *units, *ttl, *strikes)
 		if err != nil {
 			return err
 		}
@@ -143,6 +147,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			return err
 		}
 		m := dispatch.NewManifest(cfg, *units, *ttl)
+		m.MaxStrikes = *strikes
 		if err := dispatch.InitDir(*dir, m); err != nil {
 			return err
 		}
@@ -198,14 +203,16 @@ func studyConfig(b *core.CampaignSpecBuilder) (core.StudyConfig, error) {
 // already holding a journal resumes that campaign — its manifest, not
 // this process's flags, is the config truth, so explicitly set
 // campaign flags are rejected the same way watch mode rejects them.
-func serverQueue(fs *flag.FlagSet, state string, b *core.CampaignSpecBuilder, units int, ttl time.Duration) (dispatch.Queue, func() error, error) {
+func serverQueue(fs *flag.FlagSet, state string, b *core.CampaignSpecBuilder, units int, ttl time.Duration, strikes int) (dispatch.Queue, func() error, error) {
 	noop := func() error { return nil }
 	newManifest := func() (dispatch.Manifest, error) {
 		cfg, err := studyConfig(b)
 		if err != nil {
 			return dispatch.Manifest{}, err
 		}
-		return dispatch.NewManifest(cfg, units, ttl), nil
+		m := dispatch.NewManifest(cfg, units, ttl)
+		m.MaxStrikes = strikes
+		return m, nil
 	}
 	if state == "" {
 		m, err := newManifest()
@@ -376,7 +383,7 @@ func serve(ctx context.Context, addr string, q dispatch.Queue, watch, linger tim
 			if err := report(q, m, st, outCp, out); err != nil {
 				return err
 			}
-			fmt.Fprintln(out, "campaign complete")
+			fmt.Fprintln(out, completionMsg(st))
 			select {
 			case err := <-errCh:
 				return err
@@ -407,22 +414,27 @@ func watchLoop(q dispatch.Queue, watch time.Duration, outCp string, out *os.File
 			return err
 		}
 		if st.Drained() {
-			fmt.Fprintln(out, "campaign complete")
+			fmt.Fprintln(out, completionMsg(st))
 			return nil
 		}
 		time.Sleep(watch)
 	}
 }
 
-// report prints the unit ledger and the partial-grid renderings, and
-// (when -out is set) persists the rolling merged checkpoint.
+// report prints the unit ledger (including the quarantine dead-letter
+// list) and the degradation-aware partial-grid renderings, and (when
+// -out is set) persists the rolling merged checkpoint.
 func report(q dispatch.Queue, m dispatch.Manifest, st dispatch.Status, outCp string, out *os.File) error {
 	cp, err := q.Merged()
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(out, "\n=== %s — units: %d done, %d leased, %d pending of %d ===\n",
+	header := fmt.Sprintf("\n=== %s — units: %d done, %d leased, %d pending of %d",
 		time.Now().Format(time.TimeOnly), st.Done, st.Leased, st.Pending, st.Units)
+	if st.Quarantined > 0 || st.Dropped > 0 {
+		header += fmt.Sprintf(" (%d quarantined, %d dropped)", st.Quarantined, st.Dropped)
+	}
+	fmt.Fprintln(out, header+" ===")
 	for _, u := range st.PerUnit {
 		if u.State != dispatch.UnitLeased {
 			continue
@@ -436,7 +448,25 @@ func report(q dispatch.Queue, m dispatch.Manifest, st dispatch.Status, outCp str
 		}
 		fmt.Fprintln(out, line+")")
 	}
-	if err := dispatch.RenderPartial(out, m, cp); err != nil {
+	quar, err := q.Quarantined()
+	if err != nil {
+		return err
+	}
+	for _, e := range quar {
+		line := fmt.Sprintf("  unit %d %s after %d strikes", e.Unit, e.State, e.Strikes)
+		if e.LastFailure != "" {
+			line += ": " + e.LastFailure
+		}
+		if e.HasPartial {
+			line += " (intra-unit checkpoint on record)"
+		}
+		fmt.Fprintln(out, line)
+	}
+	quarCells, err := dispatch.QuarantinedCells(q)
+	if err != nil {
+		return err
+	}
+	if err := dispatch.RenderPartialDegraded(out, m, cp, quarCells); err != nil {
 		return err
 	}
 	if outCp != "" {
@@ -445,4 +475,13 @@ func report(q dispatch.Queue, m dispatch.Manifest, st dispatch.Status, outCp str
 		}
 	}
 	return nil
+}
+
+// completionMsg is the drain banner: a degraded campaign says so
+// rather than claiming a clean finish.
+func completionMsg(st dispatch.Status) string {
+	if st.Quarantined > 0 || st.Dropped > 0 {
+		return fmt.Sprintf("campaign complete (degraded: %d units quarantined, %d dropped)", st.Quarantined, st.Dropped)
+	}
+	return "campaign complete"
 }

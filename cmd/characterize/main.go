@@ -112,8 +112,12 @@ func run(args []string) error {
 		workerFor     = fs.String("worker", "", "work for a campaign coordinator: a shared campaign directory or a campaignd http(s) URL")
 		workerName    = fs.String("worker-name", "", "worker identity in leases and status output (default hostname-pid)")
 		partialEvery  = fs.Int("partial-every", 1, "worker mode: write an intra-unit checkpoint to the coordinator after every N completed cells (resume granularity after a worker death)")
+		unitTimeout   = fs.Duration("unit-timeout", 0, "worker mode: bound one unit's compute; a unit exceeding it is reported as failed (a strike toward quarantine) instead of wedging the worker (0 = unbounded)")
 		campaignID    = fs.String("campaign", "", "worker mode against a campaign service: the campaign ID to work for (requires an http(s) -worker endpoint)")
 		campaignToken = fs.String("campaign-token", "", "worker mode: the campaign's worker auth token (handed out when the campaign is created)")
+		statusFor     = fs.String("status", "", "print a campaign's status, quarantine ledger and current partial report: a shared campaign directory or a campaignd http(s) URL")
+		watchFor      = fs.String("watch", "", "stream a campaign's live report until it drains: a campaignd http(s) URL (uses /v1/report?follow=1)")
+		watchEvery    = fs.Duration("watch-interval", 2*time.Second, "with -watch: how often the coordinator streams a report frame")
 
 		shardFlag = fs.String("shard", "", "run only shard i/n of the cell grid (requires -checkpoint; skips rendering)")
 		ckptPath  = fs.String("checkpoint", "", "periodically write per-cell aggregates to this file")
@@ -161,7 +165,8 @@ func run(args []string) error {
 		// Only worker identity, pool size and profiling are local.
 		allowed := map[string]bool{
 			"worker": true, "worker-name": true, "workers": true,
-			"partial-every": true, "cpuprofile": true, "memprofile": true,
+			"partial-every": true, "unit-timeout": true,
+			"cpuprofile": true, "memprofile": true,
 			"campaign": true, "campaign-token": true,
 		}
 		var rejected []string
@@ -174,7 +179,34 @@ func run(args []string) error {
 			return fmt.Errorf("-worker gets its campaign from the coordinator's manifest; %s would be silently ignored (drop them, or change the campaign at -init time)",
 				strings.Join(rejected, " "))
 		}
-		return runWorker(*workerFor, *workerName, *campaignID, *campaignToken, *workers, *partialEvery)
+		return runWorker(*workerFor, *workerName, *campaignID, *campaignToken, *workers, *partialEvery, *unitTimeout)
+	}
+
+	if *statusFor != "" || *watchFor != "" {
+		// Status/watch are read-only observers: like worker mode, the
+		// campaign config lives in the coordinator's manifest, so any
+		// explicitly set config flag is a mistake worth flagging.
+		allowed := map[string]bool{
+			"status": true, "watch": true, "watch-interval": true,
+			"campaign": true,
+		}
+		var rejected []string
+		fs.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				rejected = append(rejected, "-"+f.Name)
+			}
+		})
+		if len(rejected) > 0 {
+			return fmt.Errorf("-status/-watch read the campaign from the coordinator; %s would be silently ignored",
+				strings.Join(rejected, " "))
+		}
+		if *statusFor != "" && *watchFor != "" {
+			return fmt.Errorf("-status and -watch are mutually exclusive")
+		}
+		if *statusFor != "" {
+			return runStatus(*statusFor, *campaignID)
+		}
+		return runWatch(*watchFor, *campaignID, *watchEvery)
 	}
 
 	// sharded tracks the flag, not ShardPlan.IsSharded(): "-shard 1/1"
@@ -474,25 +506,8 @@ func run(args []string) error {
 // intra-unit checkpoint a dead predecessor left behind and writing
 // fresh ones as cells complete), heartbeat while running, submit the
 // measured checkpoint, repeat until the campaign is drained.
-func runWorker(endpoint, name, campaignID, campaignToken string, workers, partialEvery int) error {
-	var (
-		q   dispatch.Queue
-		err error
-	)
-	isHTTP := strings.HasPrefix(endpoint, "http://") || strings.HasPrefix(endpoint, "https://")
-	switch {
-	case campaignID != "":
-		if !isHTTP {
-			return fmt.Errorf("-campaign targets a campaign service, so -worker must be an http(s) URL (got %q)", endpoint)
-		}
-		q, err = dispatch.DialCampaign(endpoint, campaignID, campaignToken, nil)
-	case campaignToken != "":
-		return fmt.Errorf("-campaign-token is only meaningful with -campaign")
-	case isHTTP:
-		q, err = dispatch.Dial(endpoint, nil)
-	default:
-		q, err = dispatch.OpenDir(endpoint)
-	}
+func runWorker(endpoint, name, campaignID, campaignToken string, workers, partialEvery int, unitTimeout time.Duration) error {
+	q, err := dialQueue(endpoint, "-worker", campaignID, campaignToken)
 	if err != nil {
 		return err
 	}
@@ -500,6 +515,7 @@ func runWorker(endpoint, name, campaignID, campaignToken string, workers, partia
 		Name:         name,
 		Concurrency:  workers,
 		PartialEvery: partialEvery,
+		UnitTimeout:  unitTimeout,
 		Log: func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		},
@@ -508,6 +524,74 @@ func runWorker(endpoint, name, campaignID, campaignToken string, workers, partia
 		return fmt.Errorf("after %d submitted units: %w", done, err)
 	}
 	return nil
+}
+
+// dialQueue resolves a campaign endpoint the way every campaign-facing
+// mode does: a campaign-service (endpoint + campaign ID), a plain
+// coordinator URL, or a shared campaign directory.
+func dialQueue(endpoint, mode, campaignID, campaignToken string) (dispatch.Queue, error) {
+	isHTTP := strings.HasPrefix(endpoint, "http://") || strings.HasPrefix(endpoint, "https://")
+	switch {
+	case campaignID != "":
+		if !isHTTP {
+			return nil, fmt.Errorf("-campaign targets a campaign service, so %s must be an http(s) URL (got %q)", mode, endpoint)
+		}
+		return dispatch.DialCampaign(endpoint, campaignID, campaignToken, nil)
+	case campaignToken != "":
+		return nil, fmt.Errorf("-campaign-token is only meaningful with -campaign")
+	case isHTTP:
+		return dispatch.Dial(endpoint, nil)
+	default:
+		return dispatch.OpenDir(endpoint)
+	}
+}
+
+// runStatus prints a campaign's unit ledger — including quarantined
+// and dropped units with their strike counts and last failures — and
+// the current degradation-aware partial report.
+func runStatus(endpoint, campaignID string) error {
+	q, err := dialQueue(endpoint, "-status", campaignID, "")
+	if err != nil {
+		return err
+	}
+	st, err := q.Status()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("units: %d done, %d leased, %d pending of %d", st.Done, st.Leased, st.Pending, st.Units)
+	if st.Quarantined > 0 || st.Dropped > 0 {
+		fmt.Printf(" (%d quarantined, %d dropped)", st.Quarantined, st.Dropped)
+	}
+	fmt.Println()
+	quar, err := q.Quarantined()
+	if err != nil {
+		return err
+	}
+	for _, e := range quar {
+		line := fmt.Sprintf("unit %d %s after %d strikes", e.Unit, e.State, e.Strikes)
+		if e.LastFailure != "" {
+			line += ": " + e.LastFailure
+		}
+		if e.HasPartial {
+			line += " (intra-unit checkpoint on record)"
+		}
+		fmt.Println(line)
+	}
+	return dispatch.RenderQueueReport(os.Stdout, q)
+}
+
+// runWatch streams a campaign's live report frames over
+// GET /v1/report?follow=1 until the campaign drains.
+func runWatch(endpoint, campaignID string, interval time.Duration) error {
+	q, err := dialQueue(endpoint, "-watch", campaignID, "")
+	if err != nil {
+		return err
+	}
+	c, ok := q.(*dispatch.Client)
+	if !ok {
+		return fmt.Errorf("-watch streams over HTTP; %q is a directory campaign (use -status, or campaignd -dir ... -watch)", endpoint)
+	}
+	return c.Follow(os.Stdout, interval)
 }
 
 // writeArchive bundles every reproduction into a JSON archive.

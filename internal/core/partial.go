@@ -17,10 +17,20 @@ type GridCoverage struct {
 	Done int
 	// Total is the size of the full cell grid.
 	Total int
+	// Quarantined is the number of cells without results that belong
+	// to dead-lettered campaign units (SetUnavailable): they are not
+	// coming, and a degraded report annotates them as quarantined
+	// rather than pending.
+	Quarantined int
 }
 
 // Complete reports whether every cell of the grid has results.
 func (c GridCoverage) Complete() bool { return c.Done >= c.Total }
+
+// Settled reports that no more results are expected: every cell either
+// has results or is quarantined. A settled-but-incomplete grid is a
+// degraded campaign's final state.
+func (c GridCoverage) Settled() bool { return c.Done+c.Quarantined >= c.Total }
 
 // String renders the paper-margin form "12 of 27 cells (44.4%)".
 func (c GridCoverage) String() string {
@@ -36,8 +46,43 @@ func (c GridCoverage) String() string {
 func (s *Study) Coverage() GridCoverage {
 	s.mu.Lock()
 	done := len(s.results)
+	quar := 0
+	for key := range s.unavailable {
+		if _, ok := s.results[key]; !ok {
+			quar++
+		}
+	}
 	s.mu.Unlock()
-	return GridCoverage{Done: done, Total: len(s.Cells())}
+	return GridCoverage{Done: done, Total: len(s.Cells()), Quarantined: quar}
+}
+
+// SetUnavailable marks cells whose results will never arrive — the
+// cells of a campaign's quarantined or dropped units. Partial
+// extractors report them as quarantined instead of pending, so a
+// degraded report reads as what it is: final, minus the dead-lettered
+// cells. A cell that nevertheless has results (a late submit landed
+// before quarantine) is unaffected.
+func (s *Study) SetUnavailable(keys []CellKey) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.unavailable == nil {
+		s.unavailable = make(map[CellKey]bool, len(keys))
+	}
+	for _, k := range keys {
+		s.unavailable[k] = true
+	}
+}
+
+// cellQuarantined reports whether a cell is unavailable and without
+// results; callers pass the fully-qualified key.
+func (s *Study) cellQuarantined(key CellKey) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.unavailable[key] {
+		return false
+	}
+	_, ok := s.results[key]
+	return !ok
 }
 
 // Table2Marks labels the five measured columns of Table 2, in column
@@ -65,6 +110,9 @@ type Table2PartialRow struct {
 	Table2Row
 	// Pending flags the Table2Marks columns whose cell has no results.
 	Pending [5]bool
+	// Quarantined flags the columns whose cell has no results and never
+	// will (its campaign unit was dead-lettered); disjoint from Pending.
+	Quarantined [5]bool
 }
 
 // PartialTable2 extracts Table 2 from whatever cells the study has,
@@ -89,7 +137,11 @@ func (s *Study) PartialTable2() ([]Table2PartialRow, GridCoverage) {
 		for j, c := range table2MarkCells {
 			r, ok := s.Result(mi.ID, c.Kind, c.AggOn)
 			if !ok {
-				pr.Pending[j] = true
+				if s.cellQuarantined(s.primaryKey(mi.ID, c.Kind, c.AggOn)) {
+					pr.Quarantined[j] = true
+				} else {
+					pr.Pending[j] = true
+				}
 				continue
 			}
 			ac := r.ACminStats()
@@ -113,8 +165,17 @@ type Fig4Partial struct {
 	// cell at SweepSorted()[i] has no results yet (0 = the point is
 	// final).
 	Pending map[chipdb.Manufacturer]map[pattern.Kind][]int
+	// Quarantined mirrors Pending for cells that will never get
+	// results (dead-lettered campaign units).
+	Quarantined map[chipdb.Manufacturer]map[pattern.Kind][]int
 	// Coverage is the whole-grid coverage backing the figure.
 	Coverage GridCoverage
+}
+
+// primaryKey is the fully-qualified grid key of a (module, pattern,
+// tAggON) cell on the study's primary scenario — the cell Result reads.
+func (s *Study) primaryKey(moduleID string, kind pattern.Kind, aggOn time.Duration) CellKey {
+	return CellKey{Module: moduleID, Kind: kind, AggOn: aggOn, Scenario: s.cfg.primaryScenarioID()}
 }
 
 // PartialFig4 extracts Fig. 4 from whatever cells the study has.
@@ -123,9 +184,10 @@ type Fig4Partial struct {
 // be rendered mid-flight without presenting partial means as final.
 func (s *Study) PartialFig4() Fig4Partial {
 	p := Fig4Partial{
-		Data:     make(Fig4Data),
-		Pending:  make(map[chipdb.Manufacturer]map[pattern.Kind][]int),
-		Coverage: s.Coverage(),
+		Data:        make(Fig4Data),
+		Pending:     make(map[chipdb.Manufacturer]map[pattern.Kind][]int),
+		Quarantined: make(map[chipdb.Manufacturer]map[pattern.Kind][]int),
+		Coverage:    s.Coverage(),
 	}
 	sweep := s.SweepSorted()
 	for _, mfr := range []chipdb.Manufacturer{chipdb.MfrS, chipdb.MfrH, chipdb.MfrM} {
@@ -135,15 +197,21 @@ func (s *Study) PartialFig4() Fig4Partial {
 		}
 		perPattern := make(map[pattern.Kind]Fig4Series, len(s.cfg.Patterns))
 		pendPattern := make(map[pattern.Kind][]int, len(s.cfg.Patterns))
+		quarPattern := make(map[pattern.Kind][]int, len(s.cfg.Patterns))
 		for _, k := range s.cfg.Patterns {
 			series := make(Fig4Series, 0, len(sweep))
 			pend := make([]int, len(sweep))
+			quar := make([]int, len(sweep))
 			for i, aggOn := range sweep {
 				var times, acmins []float64
 				for _, mi := range mods {
 					r, ok := s.Result(mi.ID, k, aggOn)
 					if !ok {
-						pend[i]++
+						if s.cellQuarantined(s.primaryKey(mi.ID, k, aggOn)) {
+							quar[i]++
+						} else {
+							pend[i]++
+						}
 						continue
 					}
 					ts := r.TimeStats()
@@ -165,9 +233,11 @@ func (s *Study) PartialFig4() Fig4Partial {
 			}
 			perPattern[k] = series
 			pendPattern[k] = pend
+			quarPattern[k] = quar
 		}
 		p.Data[mfr] = perPattern
 		p.Pending[mfr] = pendPattern
+		p.Quarantined[mfr] = quarPattern
 	}
 	return p
 }

@@ -234,6 +234,9 @@ type Study struct {
 
 	mu      sync.Mutex
 	results map[CellKey]*ModuleResult
+	// unavailable marks cells whose results will never arrive (the
+	// cells of quarantined campaign units); see SetUnavailable.
+	unavailable map[CellKey]bool
 }
 
 // NewStudy builds a study with defaults applied.

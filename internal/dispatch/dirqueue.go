@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"rowfuse/internal/core"
+	"rowfuse/internal/faultpoint"
 	"rowfuse/internal/resultio"
 )
 
@@ -87,10 +88,12 @@ const manifestFile = "manifest.json"
 // protocols do not exclude against each other.
 const lockModeFile = "uses-lock-files"
 
-func leaseFile(unit int) string { return fmt.Sprintf("lease_%04d.json", unit) }
-func doneFile(unit int) string  { return fmt.Sprintf("done_%04d.json", unit) }
-func partFile(unit int) string  { return fmt.Sprintf("part_%04d.json", unit) }
-func costFile(unit int) string  { return fmt.Sprintf("cost_%04d.json", unit) }
+func leaseFile(unit int) string  { return fmt.Sprintf("lease_%04d.json", unit) }
+func doneFile(unit int) string   { return fmt.Sprintf("done_%04d.json", unit) }
+func partFile(unit int) string   { return fmt.Sprintf("part_%04d.json", unit) }
+func costFile(unit int) string   { return fmt.Sprintf("cost_%04d.json", unit) }
+func strikeFile(unit int) string { return fmt.Sprintf("strike_%04d.json", unit) }
+func quarFile(unit int) string   { return fmt.Sprintf("quar_%04d.json", unit) }
 
 // SupportsHardLinks probes whether dir's filesystem honors hard links
 // (os.Link), the primitive DirQueue's exclusive claims prefer. The
@@ -226,14 +229,32 @@ func (q *DirQueue) UsesLockFiles() bool { return !q.hardLinks }
 // persistent "name.claim" lock file, then the payload lands through an
 // atomic rename, so a reader still never sees a torn file. A claim
 // whose payload never arrived (the claimant crashed in between) goes
-// stale after staleAfter and is broken by the next creator.
+// stale after staleAfter and is broken by the next creator. Breaking a
+// stale claim — or finding it vanished between the open and the stat —
+// is followed by a jittered backoff and a bounded retry: retrying only
+// once could live-lock two racing workers that keep breaking each
+// other's half-built claims in lockstep, and jitter tears the
+// symmetry.
 func exclusiveCreate(dir, name string, content []byte, hardLinks bool, staleAfter time.Duration) error {
+	if err := faultpoint.Check("dir.claim"); err != nil {
+		return fmt.Errorf("dispatch: claim %s: %w", name, err)
+	}
 	if hardLinks {
 		return linkExclusive(dir, name, content)
 	}
 	final := filepath.Join(dir, name)
 	claim := final + ".claim"
-	for attempt := 0; attempt < 2; attempt++ {
+	const claimAttempts = 6
+	for attempt := 0; attempt < claimAttempts; attempt++ {
+		if attempt > 0 {
+			// Jittered exponential backoff, capped well under a lease
+			// TTL: 1, 2, 4, 8, then 16ms (±10%).
+			d := time.Millisecond << (attempt - 1)
+			if d > 16*time.Millisecond {
+				d = 16 * time.Millisecond
+			}
+			time.Sleep(jitter(d))
+		}
 		f, err := os.OpenFile(claim, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
 		if err == nil {
 			f.Close()
@@ -260,11 +281,19 @@ func exclusiveCreate(dir, name string, content []byte, hardLinks bool, staleAfte
 		}
 		// Claimed but no payload: a creator is mid-flight, or crashed.
 		fi, serr := os.Stat(claim)
-		if serr == nil && staleAfter > 0 && q0Now().Sub(fi.ModTime()) > staleAfter {
-			os.Remove(claim)
-			continue // stale claim broken; retry once
+		switch {
+		case errors.Is(serr, os.ErrNotExist):
+			// The claim vanished between the open and the stat: its
+			// holder either just landed the payload (the final-file
+			// check next attempt will see it) or aborted (the name is
+			// free again). Either way the picture is stale — retry.
+		case serr != nil:
+			return fmt.Errorf("dispatch: claim %s: %w", name, serr)
+		case staleAfter > 0 && q0Now().Sub(fi.ModTime()) > staleAfter:
+			os.Remove(claim) // crashed creator; break the claim and retry
+		default:
+			return os.ErrExist // live claim, creator mid-flight
 		}
-		return os.ErrExist
 	}
 	return os.ErrExist
 }
@@ -328,6 +357,9 @@ func linkExclusive(dir, name string, content []byte) error {
 // file + rename), for heartbeat's lease extension and partial
 // checkpoint updates.
 func replaceAtomic(dir, name string, content []byte) error {
+	if err := faultpoint.Check("dir.replace"); err != nil {
+		return fmt.Errorf("dispatch: replace %s: %w", name, err)
+	}
 	tmp, err := os.CreateTemp(dir, name+".tmp*")
 	if err != nil {
 		return fmt.Errorf("dispatch: temp file: %w", err)
@@ -372,6 +404,77 @@ func (q *DirQueue) readLease(unit int) (Lease, bool, error) {
 func (q *DirQueue) isDone(unit int) bool {
 	_, err := os.Stat(filepath.Join(q.dir, doneFile(unit)))
 	return err == nil
+}
+
+// strikeState is the strike_NNNN.json sidecar schema: the unit's
+// accumulated failure count. Best-effort read-modify-write — two
+// thieves racing one expired lease may merge their strikes into one;
+// quarantine then simply takes one extra failure, never a wrong
+// result.
+type strikeState struct {
+	Strikes     int    `json:"strikes"`
+	LastFailure string `json:"lastFailure,omitempty"`
+}
+
+// quarState is the quar_NNNN.json dead-letter marker. Its existence is
+// what excludes the unit from Acquire; Dropped marks an operator
+// discard.
+type quarState struct {
+	Strikes int    `json:"strikes"`
+	Reason  string `json:"reason,omitempty"`
+	Dropped bool   `json:"dropped,omitempty"`
+}
+
+func (q *DirQueue) readStrikes(unit int) strikeState {
+	var ss strikeState
+	data, err := os.ReadFile(filepath.Join(q.dir, strikeFile(unit)))
+	if err == nil {
+		_ = json.Unmarshal(data, &ss) // corrupt sidecar reads as zero
+	}
+	return ss
+}
+
+// readQuar loads a unit's dead-letter marker, reporting whether one
+// exists. A torn or corrupt marker still quarantines (existence is the
+// contract); its strikes/reason just read as zero.
+func (q *DirQueue) readQuar(unit int) (quarState, bool) {
+	data, err := os.ReadFile(filepath.Join(q.dir, quarFile(unit)))
+	if err != nil {
+		// An unreadable-but-present marker still quarantines.
+		return quarState{}, !errors.Is(err, os.ErrNotExist)
+	}
+	var qs quarState
+	_ = json.Unmarshal(data, &qs)
+	return qs, true
+}
+
+func (q *DirQueue) isQuarantined(unit int) bool {
+	_, ok := q.readQuar(unit)
+	return ok
+}
+
+// strike records one failure against a unit and quarantines it at the
+// manifest's threshold, returning the resulting strike count and
+// whether the unit is now dead-lettered. All writes are best-effort
+// sidecars: a lost strike costs one extra failure before quarantine,
+// nothing more.
+func (q *DirQueue) strike(unit int, reason string) (int, bool) {
+	ss := q.readStrikes(unit)
+	ss.Strikes++
+	ss.LastFailure = reason
+	if data, err := json.Marshal(ss); err == nil {
+		_ = replaceAtomic(q.dir, strikeFile(unit), data)
+	}
+	if ss.Strikes < q.manifest.Strikes() {
+		return ss.Strikes, false
+	}
+	qs := quarState{Strikes: ss.Strikes, Reason: reason}
+	if data, err := json.Marshal(qs); err == nil {
+		// Exclusive: the first quarantiner's record wins; a racer's
+		// os.ErrExist means the unit is already dead-lettered.
+		_ = q.createExclusive(quarFile(unit), data)
+	}
+	return ss.Strikes, true
 }
 
 // costStats is the cost_NNNN.json sidecar schema.
@@ -445,11 +548,13 @@ func (q *DirQueue) Acquire(worker string) (Lease, error) {
 	now := q.now()
 	var candidates []int
 	for unit := 0; unit < q.manifest.Units; unit++ {
-		if !q.isDone(unit) {
+		if !q.isDone(unit) && !q.isQuarantined(unit) {
 			candidates = append(candidates, unit)
 		}
 	}
 	if len(candidates) == 0 {
+		// Every unit is done or dead-lettered: the campaign drained —
+		// possibly degraded, which Status/the report annotate.
 		return Lease{}, ErrDrained
 	}
 	remaining := q.refreshCosts(candidates)
@@ -507,6 +612,12 @@ func (q *DirQueue) Acquire(worker string) (Lease, error) {
 				if err := removeExclusive(q.dir, leaseFile(unit), q.hardLinks); err != nil {
 					return Lease{}, fmt.Errorf("dispatch: steal lease %d: %w", unit, err)
 				}
+				// The expiry we just acted on is a strike; at the
+				// threshold the unit dead-letters instead of being
+				// re-granted.
+				if _, quarantined := q.strike(unit, fmt.Sprintf("lease expired (worker %s)", cur.Worker)); quarantined {
+					continue
+				}
 				if err := q.createExclusive(leaseFile(unit), data); err == nil {
 					if q.isDone(unit) { // same scan-vs-claim race as above
 						_ = removeExclusive(q.dir, leaseFile(unit), q.hardLinks)
@@ -555,6 +666,12 @@ func (q *DirQueue) Heartbeat(l Lease) error {
 func (q *DirQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duration) error {
 	if l.Unit < 0 || l.Unit >= q.manifest.Units {
 		return fmt.Errorf("dispatch: submit for unit %d of %d", l.Unit, q.manifest.Units)
+	}
+	// A late submit for a merely quarantined unit is accepted — the
+	// work is deterministic and completing beats staying dead-lettered —
+	// but an operator-dropped unit's result was explicitly discarded.
+	if qs, quarantined := q.readQuar(l.Unit); quarantined && qs.Dropped {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
 	}
 	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, q.unitCells[l.Unit], cp, false); err != nil {
 		return err
@@ -613,6 +730,96 @@ func (q *DirQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
 	return replaceAtomic(q.dir, partFile(l.Unit), buf.Bytes())
 }
 
+// Fail implements Queue: a worker reports its unit's work errored. The
+// report is accepted only under a live lease (token match), which is
+// then released; the strike may dead-letter the unit.
+func (q *DirQueue) Fail(l Lease, reason string) error {
+	if l.Unit < 0 || l.Unit >= q.manifest.Units {
+		return fmt.Errorf("dispatch: fail for unit %d of %d", l.Unit, q.manifest.Units)
+	}
+	if q.isDone(l.Unit) {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	cur, ok, err := q.readLease(l.Unit)
+	if err != nil {
+		return err
+	}
+	if !ok || cur.Token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	if reason == "" {
+		reason = "worker-reported failure"
+	}
+	if err := removeExclusive(q.dir, leaseFile(l.Unit), q.hardLinks); err != nil {
+		return fmt.Errorf("dispatch: fail unit %d: %w", l.Unit, err)
+	}
+	q.strike(l.Unit, fmt.Sprintf("%s (worker %s)", reason, l.Worker))
+	return nil
+}
+
+// Quarantined implements Queue: list the dead-lettered units.
+func (q *DirQueue) Quarantined() ([]QuarantineEntry, error) {
+	var out []QuarantineEntry
+	for unit := 0; unit < q.manifest.Units; unit++ {
+		qs, ok := q.readQuar(unit)
+		if !ok || q.isDone(unit) {
+			// A done file trumps a leftover quarantine marker: a late
+			// submit un-quarantines a unit by completing it.
+			continue
+		}
+		state := UnitQuarantined
+		if qs.Dropped {
+			state = UnitDropped
+		}
+		e := QuarantineEntry{
+			Unit: unit, State: state, Strikes: qs.Strikes,
+			LastFailure: qs.Reason,
+			Cells:       append([]int(nil), q.unitCells[unit]...),
+		}
+		if _, err := os.Stat(filepath.Join(q.dir, partFile(unit))); err == nil {
+			e.HasPartial = true
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// Requeue implements Queue: remove the dead-letter marker and strike
+// history so the unit re-enters the pending pool; any stored partial
+// survives for the next leaseholder to resume from.
+func (q *DirQueue) Requeue(unit int) error {
+	if unit < 0 || unit >= q.manifest.Units {
+		return fmt.Errorf("dispatch: requeue for unit %d of %d", unit, q.manifest.Units)
+	}
+	if !q.isQuarantined(unit) {
+		return fmt.Errorf("dispatch: requeue unit %d: not quarantined", unit)
+	}
+	if err := removeExclusive(q.dir, quarFile(unit), q.hardLinks); err != nil {
+		return fmt.Errorf("dispatch: requeue unit %d: %w", unit, err)
+	}
+	if err := os.Remove(filepath.Join(q.dir, strikeFile(unit))); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("dispatch: requeue unit %d: %w", unit, err)
+	}
+	return nil
+}
+
+// Drop implements Queue: mark a quarantined unit as operator-discarded.
+func (q *DirQueue) Drop(unit int) error {
+	if unit < 0 || unit >= q.manifest.Units {
+		return fmt.Errorf("dispatch: drop for unit %d of %d", unit, q.manifest.Units)
+	}
+	qs, ok := q.readQuar(unit)
+	if !ok {
+		return fmt.Errorf("dispatch: drop unit %d: not quarantined", unit)
+	}
+	qs.Dropped = true
+	data, err := json.Marshal(qs)
+	if err != nil {
+		return err
+	}
+	return replaceAtomic(q.dir, quarFile(unit), data)
+}
+
 // readPartial loads and validates a unit's partial checkpoint file,
 // returning (nil, nil) when absent and an error only for real I/O
 // trouble — a corrupt or foreign partial is discarded (resume is an
@@ -653,9 +860,21 @@ func (q *DirQueue) Status() (Status, error) {
 		if _, err := os.Stat(filepath.Join(q.dir, partFile(unit))); err == nil {
 			us.HasPartial = true
 		}
+		us.Strikes = q.readStrikes(unit).Strikes
 		if q.isDone(unit) {
 			us.State = UnitDone
 			st.Done++
+		} else if qs, quarantined := q.readQuar(unit); quarantined {
+			if qs.Strikes > us.Strikes {
+				us.Strikes = qs.Strikes
+			}
+			if qs.Dropped {
+				us.State = UnitDropped
+				st.Dropped++
+			} else {
+				us.State = UnitQuarantined
+				st.Quarantined++
+			}
 		} else if l, ok, err := q.readLease(unit); err != nil {
 			return Status{}, err
 		} else if ok && !now.After(l.Expires) {

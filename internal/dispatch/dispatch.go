@@ -1,59 +1,3 @@
-// Package dispatch turns a core.StudyConfig into a queue of leased
-// shard work units so a fleet of workers can drain one campaign
-// without a human handing out -shard i/n assignments or babysitting
-// crashed processes.
-//
-// A campaign is described by a Manifest: the serializable campaign
-// configuration (the coordinator is the single source of config truth
-// — workers reconstruct core.StudyConfig from the manifest, so the
-// config fingerprint cannot drift between machines), the number of
-// work units the cell grid is partitioned into via core.ShardPlan, and
-// the lease TTL. Workers acquire time-bounded leases on units, extend
-// them with heartbeats while the shard runs, and submit the shard's
-// checkpoint when done. A lease whose worker stops heartbeating (a
-// crashed or partitioned machine) expires and the unit is re-granted
-// to the next worker that asks — work stealing from dead workers.
-// Shard runs are deterministic, so a unit computed twice (the original
-// worker was slow, not dead) folds to the same bytes either way;
-// execution is at-least-once, folding is exactly-once.
-//
-// Dispatch is cost-aware. Every submission reports the wall time the
-// worker spent, and the queues fold it into a per-cell cost model
-// (costModel: die-count priors refined by per-(dies, pattern) EWMAs).
-// MemQueue — the single-coordinator mode — re-plans the still-pending,
-// unleased units after each observation so their expected costs
-// equalize: units holding fat 8/16-die cells split finer, cheap cells
-// coalesce, and the campaign drains without a straggler tail. DirQueue
-// has no coordinator process that could own such a re-plan (concurrent
-// re-partitions through a shared directory cannot be made atomic), so
-// it keeps the manifest's static units and instead grants the most
-// expensive pending unit first — LPT scheduling, which attacks the
-// same tail from the ordering side.
-//
-// Workers also write intra-unit checkpoints: the completed cells of
-// the unit in flight, stored at the queue under the lease. When a
-// lease expires and is re-granted, the new holder resumes from the
-// dead worker's last partial instead of recomputing the whole unit.
-// Execution stays at-least-once and folding exactly-once — partials
-// hold only whole-cell aggregates, which are deterministic, so a
-// resumed unit's final checkpoint is byte-identical to a from-scratch
-// run.
-//
-// Two queue implementations share the Queue interface:
-//
-//   - DirQueue coordinates through a shared directory (NFS or any
-//     common filesystem) with no server at all: leases are
-//     exclusively-created files, heartbeats atomically rewrite them,
-//     and submissions are atomically linked checkpoint files.
-//   - MemQueue is an in-memory queue served over HTTP by
-//     cmd/campaignd; Client speaks the same protocol from the worker
-//     side.
-//
-// Submitted checkpoints are validated against the manifest fingerprint
-// and the unit's shard plan before they are accepted, and the rolling
-// merged state is folded with resultio's overlap-checked merge, so a
-// duplicate or foreign checkpoint can never silently double-count
-// observations.
 package dispatch
 
 import (
@@ -217,8 +161,28 @@ type Manifest struct {
 	// LeaseTTLMs bounds how long a unit may go without a heartbeat
 	// before its lease expires and the unit is re-granted.
 	LeaseTTLMs int64 `json:"leaseTtlMs"`
+	// MaxStrikes is the quarantine threshold: after this many strikes
+	// (lease expiries that led to a re-grant, or worker-reported unit
+	// failures) a unit moves to the quarantined dead-letter state
+	// instead of back to the pending pool. 0 means the default
+	// (DefaultMaxStrikes); omitted then, so pre-quarantine manifests
+	// parse unchanged. Excluded from the config fingerprint — it is an
+	// operational knob, not a result-determining one.
+	MaxStrikes int `json:"maxStrikes,omitempty"`
 	// Campaign is the serializable study configuration.
 	Campaign CampaignSpec `json:"campaign"`
+}
+
+// DefaultMaxStrikes is the quarantine threshold applied when the
+// manifest does not set one.
+const DefaultMaxStrikes = 3
+
+// Strikes returns the effective quarantine threshold.
+func (m Manifest) Strikes() int {
+	if m.MaxStrikes > 0 {
+		return m.MaxStrikes
+	}
+	return DefaultMaxStrikes
 }
 
 // GridSize returns the number of cells on the campaign grid. Fleet
@@ -300,6 +264,9 @@ func (m Manifest) Validate() error {
 	}
 	if m.LeaseTTLMs <= 0 {
 		return fmt.Errorf("dispatch: manifest lease TTL %dms (want > 0)", m.LeaseTTLMs)
+	}
+	if m.MaxStrikes < 0 {
+		return fmt.Errorf("dispatch: manifest max strikes %d (want >= 0)", m.MaxStrikes)
 	}
 	cfg, err := m.Campaign.StudyConfig()
 	if err != nil {
@@ -402,7 +369,34 @@ const (
 	UnitPending = "pending"
 	UnitLeased  = "leased"
 	UnitDone    = "done"
+	// UnitQuarantined is the dead-letter state: the unit struck out
+	// (Manifest.Strikes() lease expiries or reported failures) and is
+	// no longer granted. An operator can Requeue it (strikes reset) or
+	// Drop it (permanently excluded); either way the campaign drains —
+	// degraded — without it.
+	UnitQuarantined = "quarantined"
+	// UnitDropped is an operator-discarded quarantined unit: its cells
+	// are permanently excluded from the campaign, which still counts
+	// as drained.
+	UnitDropped = "dropped"
 )
+
+// QuarantineEntry describes one quarantined (or dropped) unit for the
+// operator-facing dead-letter listing.
+type QuarantineEntry struct {
+	Unit    int    `json:"unit"`
+	State   string `json:"state"` // UnitQuarantined or UnitDropped
+	Strikes int    `json:"strikes"`
+	// LastFailure is the most recent strike's reason — a lease-expiry
+	// note or the error a worker reported via Fail.
+	LastFailure string `json:"lastFailure,omitempty"`
+	// Cells are the grid cell indices the unit covers; the cells a
+	// degraded report annotates as quarantined.
+	Cells []int `json:"cells,omitempty"`
+	// HasPartial reports stored intra-unit progress, which a Requeue
+	// resumes from.
+	HasPartial bool `json:"hasPartial,omitempty"`
+}
 
 // UnitStatus is one unit's place in the lifecycle.
 type UnitStatus struct {
@@ -420,19 +414,33 @@ type UnitStatus struct {
 	// HasPartial reports that an intra-unit checkpoint is stored for
 	// the unit, so a re-granted lease will resume rather than recompute.
 	HasPartial bool `json:"hasPartial,omitempty"`
+	// Strikes is the unit's accumulated failure count (lease expiries
+	// plus worker-reported failures); Manifest.Strikes() of them
+	// quarantine the unit.
+	Strikes int `json:"strikes,omitempty"`
 }
 
 // Status summarizes a campaign's progress.
 type Status struct {
-	Units   int          `json:"units"`
-	Pending int          `json:"pending"`
-	Leased  int          `json:"leased"`
-	Done    int          `json:"done"`
-	PerUnit []UnitStatus `json:"perUnit"`
+	Units       int          `json:"units"`
+	Pending     int          `json:"pending"`
+	Leased      int          `json:"leased"`
+	Done        int          `json:"done"`
+	Quarantined int          `json:"quarantined,omitempty"`
+	Dropped     int          `json:"dropped,omitempty"`
+	PerUnit     []UnitStatus `json:"perUnit"`
 }
 
-// Drained reports whether every unit has an accepted checkpoint.
-func (s Status) Drained() bool { return s.Done == s.Units }
+// Drained reports whether every unit reached a terminal state: an
+// accepted checkpoint, quarantine, or an operator drop. A campaign
+// with quarantined units drains *degraded* — workers exit, the report
+// renders with its quarantined cells annotated — instead of hanging on
+// units that will never succeed.
+func (s Status) Drained() bool { return s.Done+s.Quarantined+s.Dropped == s.Units }
+
+// Degraded reports a drained-but-incomplete campaign: some units ended
+// in quarantine or were dropped rather than submitting a checkpoint.
+func (s Status) Degraded() bool { return s.Quarantined+s.Dropped > 0 }
 
 // Queue is the worker-facing coordination surface, implemented by
 // MemQueue (in-process / behind cmd/campaignd), DirQueue (shared
@@ -465,6 +473,22 @@ type Queue interface {
 	// (nil, nil) if none — typically a dead predecessor's progress
 	// that a freshly re-granted lease resumes from.
 	LoadPartial(l Lease) (*resultio.Checkpoint, error)
+	// Fail reports that the unit's work errored under a live lease (a
+	// crash, a panic, a unit-timeout) — a strike. The lease is
+	// released; at Manifest.Strikes() strikes the unit quarantines
+	// instead of returning to the pending pool. ErrLeaseLost means the
+	// report arrived after the unit went elsewhere and was ignored.
+	Fail(l Lease, reason string) error
+	// Quarantined lists the dead-letter units (quarantined and
+	// dropped), lowest unit first.
+	Quarantined() ([]QuarantineEntry, error)
+	// Requeue returns a quarantined (or dropped) unit to the pending
+	// pool with its strikes reset; stored intra-unit progress is kept,
+	// so the next lease resumes from it.
+	Requeue(unit int) error
+	// Drop permanently discards a quarantined unit: its cells are
+	// excluded from the campaign, which still drains (degraded).
+	Drop(unit int) error
 	// Status reports per-unit progress.
 	Status() (Status, error)
 	// Merged folds every accepted checkpoint into one (possibly

@@ -1,6 +1,14 @@
 package dispatch
 
+import "time"
+
 // ForceLockFiles switches an open DirQueue into the O_EXCL lock-file
 // fallback regardless of what the filesystem probe found, so tests
 // exercise the no-hard-links path on filesystems that do support them.
 func ForceLockFiles(q *DirQueue) { q.hardLinks = false }
+
+// ExclusiveCreateForTest exposes the lock-file claim protocol for the
+// stale-claim live-lock regression test.
+func ExclusiveCreateForTest(dir, name string, content []byte, stale time.Duration) error {
+	return exclusiveCreate(dir, name, content, false, stale)
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"rowfuse/internal/faultpoint"
 	"rowfuse/internal/resultio"
 )
 
@@ -61,6 +62,25 @@ type partialResponse struct {
 	Checkpoint *resultio.Checkpoint `json:"checkpoint"`
 }
 
+// failRequest is the POST /v1/fail body: a worker reporting that its
+// unit's work errored under a live lease.
+type failRequest struct {
+	Lease  Lease  `json:"lease"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// quarActionRequest is the POST /v1/quarantine body: an operator
+// returning a dead-lettered unit to the pool or discarding it.
+type quarActionRequest struct {
+	Unit   int    `json:"unit"`
+	Action string `json:"action"` // "requeue" or "drop"
+}
+
+// FollowSeparator terminates each report frame of a streamed
+// (?follow=1) report: the frame's text, then this line. Clients split
+// on it; terminals largely ignore it.
+const FollowSeparator = "\f\n"
+
 // NewHandler exposes q over HTTP:
 //
 //	GET  /v1/manifest    the campaign manifest
@@ -69,9 +89,18 @@ type partialResponse struct {
 //	POST /v1/submit      {"lease": ..., "checkpoint": ..., "elapsedNs": n} -> 204
 //	POST /v1/partial     {"lease": ..., "checkpoint": ...} -> 204 (save)
 //	                     {"lease": ..., "load": true} -> {"checkpoint": ...|null}
+//	POST /v1/fail        {"lease": ..., "reason": ...} -> 204 (a strike)
+//	GET  /v1/quarantine  the dead-letter list ([]QuarantineEntry)
+//	POST /v1/quarantine  {"unit": n, "action": "requeue"|"drop"} -> 204
 //	GET  /v1/status      Status
 //	GET  /v1/checkpoint  the rolling merged (possibly partial) checkpoint
-//	GET  /v1/report      text: coverage-annotated partial Table 2 / Fig 4
+//	GET  /v1/report      text: coverage-annotated partial Table 2 / Fig 4,
+//	                     quarantined cells marked; ?follow=1 streams a
+//	                     fresh frame every ?interval (default 2s) until
+//	                     the campaign drains
+//
+// Every request passes the "http.server" fault point, so chaos tests
+// inject 5xx responses and slow replies without touching the queue.
 func NewHandler(q Queue) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/manifest", func(w http.ResponseWriter, r *http.Request) {
@@ -140,6 +169,51 @@ func NewHandler(q Queue) http.Handler {
 		}
 		w.WriteHeader(http.StatusNoContent)
 	})
+	mux.HandleFunc("POST /v1/fail", func(w http.ResponseWriter, r *http.Request) {
+		var req failRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "body must be {\"lease\": ..., \"reason\": ...}", http.StatusBadRequest)
+			return
+		}
+		if err := q.Fail(req.Lease, req.Reason); err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("GET /v1/quarantine", func(w http.ResponseWriter, r *http.Request) {
+		entries, err := q.Quarantined()
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		if entries == nil {
+			entries = []QuarantineEntry{}
+		}
+		writeJSON(w, entries)
+	})
+	mux.HandleFunc("POST /v1/quarantine", func(w http.ResponseWriter, r *http.Request) {
+		var req quarActionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "body must be {\"unit\": n, \"action\": \"requeue\"|\"drop\"}", http.StatusBadRequest)
+			return
+		}
+		var err error
+		switch req.Action {
+		case "requeue":
+			err = q.Requeue(req.Unit)
+		case "drop":
+			err = q.Drop(req.Unit)
+		default:
+			http.Error(w, fmt.Sprintf("unknown action %q (want requeue or drop)", req.Action), http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			writeErr(w, err)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		st, err := q.Status()
 		if err != nil {
@@ -158,25 +232,78 @@ func NewHandler(q Queue) http.Handler {
 		_ = resultio.SaveCheckpoint(w, cp)
 	})
 	mux.HandleFunc("GET /v1/report", func(w http.ResponseWriter, r *http.Request) {
-		m, err := q.Manifest()
-		if err != nil {
-			writeErr(w, err)
-			return
-		}
-		cp, err := q.Merged()
-		if err != nil {
-			writeErr(w, err)
+		if r.URL.Query().Get("follow") == "1" {
+			followReport(w, r, q)
 			return
 		}
 		var buf bytes.Buffer
-		if err := RenderPartial(&buf, m, cp); err != nil {
+		if err := RenderQueueReport(&buf, q); err != nil {
 			writeErr(w, err)
 			return
 		}
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		_, _ = w.Write(buf.Bytes())
 	})
-	return mux
+	return faultMiddleware(mux)
+}
+
+// faultMiddleware passes every request through the "http.server" fault
+// point, so a chaos schedule injects 5xx responses (or slow replies)
+// uniformly across the protocol.
+func faultMiddleware(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if err := faultpoint.Check("http.server"); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		h.ServeHTTP(w, r)
+	})
+}
+
+// followReport streams report frames — each the full rendered report
+// followed by FollowSeparator — until the campaign drains or the
+// client goes away. Frames are flushed as they are written, so an
+// operator's terminal (or characterize -watch) sees coverage and
+// quarantine changes live instead of polling.
+func followReport(w http.ResponseWriter, r *http.Request, q Queue) {
+	interval := 2 * time.Second
+	if s := r.URL.Query().Get("interval"); s != "" {
+		if d, err := time.ParseDuration(s); err == nil && d > 0 {
+			// Honor the caller's cadence, floored so a pathological
+			// interval cannot turn the stream into a busy loop.
+			if d < 100*time.Millisecond {
+				d = 100 * time.Millisecond
+			}
+			interval = d
+		}
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		var buf bytes.Buffer
+		if err := RenderQueueReport(&buf, q); err != nil {
+			fmt.Fprintf(w, "report error: %v\n", err)
+			return
+		}
+		buf.WriteString(FollowSeparator)
+		if _, err := w.Write(buf.Bytes()); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if st, err := q.Status(); err == nil && st.Drained() {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-ticker.C:
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -327,6 +454,61 @@ func (c *Client) Merged() (*resultio.Checkpoint, error) {
 	return resultio.LoadCheckpoint(resp.Body)
 }
 
+// Fail implements Queue.
+func (c *Client) Fail(l Lease, reason string) error {
+	return c.post("/fail", failRequest{Lease: l, Reason: reason}, nil)
+}
+
+// Quarantined implements Queue.
+func (c *Client) Quarantined() ([]QuarantineEntry, error) {
+	var entries []QuarantineEntry
+	if err := c.get("/quarantine", &entries); err != nil {
+		return nil, err
+	}
+	return entries, nil
+}
+
+// Requeue implements Queue.
+func (c *Client) Requeue(unit int) error {
+	return c.post("/quarantine", quarActionRequest{Unit: unit, Action: "requeue"}, nil)
+}
+
+// Drop implements Queue.
+func (c *Client) Drop(unit int) error {
+	return c.post("/quarantine", quarActionRequest{Unit: unit, Action: "drop"}, nil)
+}
+
+// Follow streams the coordinator's live report (GET /v1/report?follow=1)
+// to w until the campaign drains or the stream breaks. Frames arrive
+// as rendered reports separated by FollowSeparator; they are copied
+// through verbatim, separator included. The streaming request runs on
+// a timeout-less client (sharing the dial transport): the stream is
+// expected to outlive any per-request timeout.
+func (c *Client) Follow(w io.Writer, interval time.Duration) error {
+	path := "/report?follow=1"
+	if interval > 0 {
+		path += "&interval=" + interval.String()
+	}
+	req, err := http.NewRequest("GET", c.base+c.prefix+path, nil)
+	if err != nil {
+		return fmt.Errorf("dispatch: follow: %w", err)
+	}
+	if c.token != "" {
+		req.Header.Set(CampaignTokenHeader, c.token)
+	}
+	hc := &http.Client{Transport: c.hc.Transport}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("dispatch: follow: %w", err)
+	}
+	defer resp.Body.Close()
+	if err := responseErr(resp); err != nil {
+		return err
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
 // Report fetches the coordinator's live partial-grid rendering.
 func (c *Client) Report() (string, error) {
 	resp, err := c.do("GET", "/report", nil)
@@ -357,6 +539,11 @@ func (c *Client) do(method, path string, body []byte) (*http.Response, error) {
 	}
 	if c.token != "" {
 		req.Header.Set(CampaignTokenHeader, c.token)
+	}
+	// The "http.client" fault point simulates dropped connections and
+	// slow links on the worker side of the protocol.
+	if err := faultpoint.Check("http.client"); err != nil {
+		return nil, fmt.Errorf("dispatch: %s %s%s: %w", method, c.prefix, path, err)
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

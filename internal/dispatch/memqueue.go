@@ -57,6 +57,7 @@ type journalSink interface {
 	journalHeartbeat(unit int, token string, expires time.Time)
 	journalSubmit(unit int, worker string, cp *resultio.Checkpoint, elapsedNs int64)
 	journalPartial(unit int, token string, cp *resultio.Checkpoint)
+	journalStrike(unit, strikes int, state, reason string)
 	journalCancel()
 }
 
@@ -77,6 +78,11 @@ type memUnit struct {
 	expires time.Time
 	cp      *resultio.Checkpoint
 	partial *resultio.Checkpoint
+	// strikes counts lease expiries that led to a re-grant plus
+	// worker-reported failures; at Manifest.Strikes() the unit
+	// quarantines. lastFailure is the latest strike's reason.
+	strikes     int
+	lastFailure string
 }
 
 // UnitRetired marks a slot emptied by re-planning (its cells moved to
@@ -170,8 +176,11 @@ func (q *MemQueue) replan() {
 		// revive via heartbeat or land a late submit. Re-planning such
 		// a unit would wipe that token and throw the holder's
 		// nearly-done work away, so only never-leased pending units
-		// without intra-unit progress are pooled.
-		if u.state == UnitPending && u.partial == nil && u.token == "" {
+		// without intra-unit progress are pooled. Units with strikes
+		// are excluded too: redistributing a failing unit's cells would
+		// launder its strike history into fresh zero-strike units and
+		// defeat quarantine.
+		if u.state == UnitPending && u.partial == nil && u.token == "" && u.strikes == 0 {
 			pool = append(pool, i)
 			cells = append(cells, u.cells...)
 		}
@@ -254,25 +263,50 @@ func (q *MemQueue) Acquire(worker string) (Lease, error) {
 	now := q.now()
 	q.sweep(now)
 	q.replan()
-	best, done, live := -1, 0, 0
-	var bestCost float64
-	for i := range q.units {
-		u := &q.units[i]
-		switch u.state {
-		case UnitRetired:
-			continue
-		case UnitDone:
-			done++
-		case UnitPending:
-			c := q.cost.unitCost(u.cells)
-			if best < 0 || c > bestCost {
-				best, bestCost = i, c
+	for {
+		best, terminal, live := -1, 0, 0
+		var bestCost float64
+		for i := range q.units {
+			u := &q.units[i]
+			switch u.state {
+			case UnitRetired:
+				continue
+			case UnitDone, UnitQuarantined, UnitDropped:
+				terminal++
+			case UnitPending:
+				c := q.cost.unitCost(u.cells)
+				if best < 0 || c > bestCost {
+					best, bestCost = i, c
+				}
+			}
+			live++
+		}
+		if best < 0 {
+			if terminal == live {
+				return Lease{}, ErrDrained
+			}
+			return Lease{}, ErrNoWork
+		}
+		u := &q.units[best]
+		if u.token != "" {
+			// An expired predecessor held the unit; stealing it is a
+			// strike. At the threshold the unit quarantines instead of
+			// being re-granted, and the scan re-runs for the next
+			// candidate.
+			u.strikes++
+			u.lastFailure = fmt.Sprintf("lease expired (worker %s)", u.worker)
+			if u.strikes >= q.manifest.Strikes() {
+				u.state = UnitQuarantined
+				u.worker, u.token = "", ""
+				if q.sink != nil {
+					q.sink.journalStrike(best, u.strikes, UnitQuarantined, u.lastFailure)
+				}
+				continue
+			}
+			if q.sink != nil {
+				q.sink.journalStrike(best, u.strikes, UnitPending, u.lastFailure)
 			}
 		}
-		live++
-	}
-	if best >= 0 {
-		u := &q.units[best]
 		stolen := u.token != "" // an expired predecessor held it
 		u.state = UnitLeased
 		u.worker = worker
@@ -287,10 +321,6 @@ func (q *MemQueue) Acquire(worker string) (Lease, error) {
 		}
 		return l, nil
 	}
-	if done == live {
-		return Lease{}, ErrDrained
-	}
-	return Lease{}, ErrNoWork
 }
 
 // unitFor bounds-checks a lease's slot; callers hold q.mu.
@@ -350,10 +380,16 @@ func (q *MemQueue) Submit(l Lease, cp *resultio.Checkpoint, elapsed time.Duratio
 	switch u.state {
 	case UnitDone:
 		return fmt.Errorf("unit %d: %w", l.Unit, ErrDuplicateSubmit)
+	case UnitDropped:
+		// The operator discarded the unit; its late result is refused.
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
 	case UnitLeased:
 		if u.token != l.Token {
 			return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
 		}
+		// A late submit for a pending (expired, not re-granted) or even a
+		// quarantined unit is accepted: the work is deterministic and
+		// valid, and completing beats re-running or staying dead-lettered.
 	}
 	if err := validateUnitCheckpoint(q.manifest, q.grid, l.Unit, u.cells, cp, false); err != nil {
 		return err
@@ -395,6 +431,108 @@ func (q *MemQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
 	u.partial = cp
 	if q.sink != nil {
 		q.sink.journalPartial(l.Unit, u.token, cp)
+	}
+	return nil
+}
+
+// Fail implements Queue: a worker reports that its unit's work errored
+// under a live lease. The lease is released with a strike; at the
+// manifest's threshold the unit quarantines. A Fail under a lost lease
+// returns ErrLeaseLost and records nothing — the failure belongs to
+// whoever holds the unit now.
+func (q *MemQueue) Fail(l Lease, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: fail: %w", ErrCanceled)
+	}
+	q.sweep(q.now())
+	u, err := q.unitFor(l, "fail")
+	if err != nil {
+		return err
+	}
+	if u.state == UnitDone || u.token != l.Token {
+		return fmt.Errorf("unit %d: %w", l.Unit, ErrLeaseLost)
+	}
+	if reason == "" {
+		reason = "worker-reported failure"
+	}
+	u.strikes++
+	u.lastFailure = fmt.Sprintf("%s (worker %s)", reason, l.Worker)
+	u.worker, u.token = "", ""
+	state := UnitPending
+	if u.strikes >= q.manifest.Strikes() {
+		state = UnitQuarantined
+	}
+	u.state = state
+	if q.sink != nil {
+		q.sink.journalStrike(l.Unit, u.strikes, state, u.lastFailure)
+	}
+	return nil
+}
+
+// Quarantined implements Queue: list the dead-letter units.
+func (q *MemQueue) Quarantined() ([]QuarantineEntry, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var out []QuarantineEntry
+	for i := range q.units {
+		u := &q.units[i]
+		if u.state != UnitQuarantined && u.state != UnitDropped {
+			continue
+		}
+		out = append(out, QuarantineEntry{
+			Unit: i, State: u.state, Strikes: u.strikes,
+			LastFailure: u.lastFailure,
+			Cells:       append([]int(nil), u.cells...),
+			HasPartial:  u.partial != nil,
+		})
+	}
+	return out, nil
+}
+
+// Requeue implements Queue: return a dead-lettered unit to the pending
+// pool with its strikes reset. Stored intra-unit progress is kept, so
+// the next lease resumes instead of recomputing.
+func (q *MemQueue) Requeue(unit int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: requeue: %w", ErrCanceled)
+	}
+	if unit < 0 || unit >= len(q.units) {
+		return fmt.Errorf("dispatch: requeue for unit %d of %d", unit, len(q.units))
+	}
+	u := &q.units[unit]
+	if u.state != UnitQuarantined && u.state != UnitDropped {
+		return fmt.Errorf("dispatch: requeue unit %d: state %s (want quarantined or dropped)", unit, u.state)
+	}
+	u.state = UnitPending
+	u.strikes, u.lastFailure = 0, ""
+	if q.sink != nil {
+		q.sink.journalStrike(unit, 0, UnitPending, "")
+	}
+	return nil
+}
+
+// Drop implements Queue: permanently discard a quarantined unit. Its
+// cells stay excluded; the campaign drains (degraded) without them.
+func (q *MemQueue) Drop(unit int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.canceled {
+		return fmt.Errorf("dispatch: drop: %w", ErrCanceled)
+	}
+	if unit < 0 || unit >= len(q.units) {
+		return fmt.Errorf("dispatch: drop for unit %d of %d", unit, len(q.units))
+	}
+	u := &q.units[unit]
+	if u.state != UnitQuarantined {
+		return fmt.Errorf("dispatch: drop unit %d: state %s (want quarantined)", unit, u.state)
+	}
+	u.state = UnitDropped
+	if q.sink != nil {
+		q.sink.journalStrike(unit, u.strikes, UnitDropped, u.lastFailure)
 	}
 	return nil
 }
@@ -456,6 +594,7 @@ func (q *MemQueue) Status() (Status, error) {
 			Unit: i, State: u.state, Worker: u.worker,
 			CellCount:  len(u.cells),
 			HasPartial: u.partial != nil,
+			Strikes:    u.strikes,
 		}
 		if q.cost.observed() {
 			us.EstCostMs = int64(q.cost.unitCost(u.cells) / 1e6)
@@ -468,6 +607,10 @@ func (q *MemQueue) Status() (Status, error) {
 			us.ExpiresInMs = u.expires.Sub(now).Milliseconds()
 		case UnitDone:
 			st.Done++
+		case UnitQuarantined:
+			st.Quarantined++
+		case UnitDropped:
+			st.Dropped++
 		}
 		st.PerUnit = append(st.PerUnit, us)
 	}

@@ -1,0 +1,438 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rowfuse/internal/dispatch"
+	"rowfuse/internal/resultio"
+)
+
+// TestQuarantineAfterLeaseExpiries: a unit whose leases keep expiring
+// un-heartbeated collects one strike per steal and quarantines at the
+// manifest threshold instead of being re-granted forever.
+func TestQuarantineAfterLeaseExpiries(t *testing.T) {
+	clock := newFakeClock()
+	m := dispatch.NewManifest(testConfig(t), 2, time.Second)
+	m.MaxStrikes = 2
+	q, err := dispatch.NewMemQueue(m, dispatch.WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lease both units; finish one; let the other expire repeatedly.
+	lA, err := q.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := q.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(lB, checkpointForCells(t, m, lB.Cells), 0); err != nil {
+		t.Fatal(err)
+	}
+	poison := lA.Unit
+
+	// First expiry: the steal re-grants with one strike on record.
+	clock.Advance(2 * time.Second)
+	l2, err := q.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l2.Unit != poison {
+		t.Fatalf("steal granted unit %d, want the expired unit %d", l2.Unit, poison)
+	}
+	st, err := q.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range st.PerUnit {
+		if u.Unit == poison && u.Strikes != 1 {
+			t.Fatalf("after first expiry, unit %d has %d strikes, want 1", poison, u.Strikes)
+		}
+	}
+
+	// Second expiry hits MaxStrikes: the unit quarantines, the grid has
+	// no other work, and the campaign reads as drained-degraded.
+	clock.Advance(2 * time.Second)
+	if _, err := q.Acquire("w3"); !errors.Is(err, dispatch.ErrDrained) {
+		t.Fatalf("acquire after quarantine: got %v, want ErrDrained", err)
+	}
+	entries, err := q.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Unit != poison {
+		t.Fatalf("quarantine ledger: %+v, want exactly unit %d", entries, poison)
+	}
+	e := entries[0]
+	if e.State != dispatch.UnitQuarantined || e.Strikes != 2 {
+		t.Fatalf("entry %+v, want quarantined with 2 strikes", e)
+	}
+	if !strings.Contains(e.LastFailure, "lease expired") {
+		t.Fatalf("LastFailure %q does not name the expiry", e.LastFailure)
+	}
+	st, err = q.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() || !st.Degraded() || st.Quarantined != 1 {
+		t.Fatalf("status %+v, want drained+degraded with 1 quarantined", st)
+	}
+
+	// A late submit under the old (pre-quarantine) lease is still
+	// deterministic valid work: it un-quarantines the unit.
+	if err := q.Submit(l2, checkpointForCells(t, m, l2.Cells), 0); err != nil {
+		t.Fatalf("late submit to quarantined unit: %v", err)
+	}
+	st, err = q.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() || st.Degraded() || st.Done != 2 {
+		t.Fatalf("status after late submit %+v, want cleanly drained", st)
+	}
+}
+
+// TestFailRequeueDropLifecycle drives the worker-reported side of the
+// strike ledger: Fail strikes toward quarantine, Requeue resets, Drop
+// refuses late results.
+func TestFailRequeueDropLifecycle(t *testing.T) {
+	m := dispatch.NewManifest(testConfig(t), 1, time.Minute)
+	m.MaxStrikes = 2
+	q, err := dispatch.NewMemQueue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fail := func(worker, reason string) {
+		t.Helper()
+		l, err := q.Acquire(worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := q.Fail(l, reason); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fail("w1", "solver crashed")
+	fail("w2", "solver crashed")
+	entries, err := q.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].State != dispatch.UnitQuarantined {
+		t.Fatalf("after 2 fails: %+v, want one quarantined unit", entries)
+	}
+	if want := "solver crashed (worker w2)"; entries[0].LastFailure != want {
+		t.Fatalf("LastFailure %q, want %q", entries[0].LastFailure, want)
+	}
+
+	// Requeue resets strikes; the unit is grantable and completable.
+	if err := q.Requeue(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Requeue(0); err == nil {
+		t.Fatal("requeue of a pending unit succeeded; want a state error")
+	}
+	l, err := q.Acquire("w3")
+	if err != nil {
+		t.Fatalf("acquire after requeue: %v", err)
+	}
+
+	// Back to quarantine, then Drop: the operator's discard is final
+	// for results, but a drop can still be requeued (undo).
+	if err := q.Fail(l, ""); err != nil {
+		t.Fatal(err)
+	}
+	l, err = q.Acquire("w4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(l, ""); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = q.Quarantined()
+	if len(entries) != 1 || !strings.Contains(entries[0].LastFailure, "worker-reported failure") {
+		t.Fatalf("default failure reason missing: %+v", entries)
+	}
+	if err := q.Drop(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Drop(0); err == nil {
+		t.Fatal("double drop succeeded; want a state error")
+	}
+	if err := q.Submit(l, checkpointForCells(t, m, l.Cells), 0); !errors.Is(err, dispatch.ErrLeaseLost) {
+		t.Fatalf("submit to a dropped unit: %v, want ErrLeaseLost", err)
+	}
+	st, err := q.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() || st.Dropped != 1 {
+		t.Fatalf("status %+v, want drained with 1 dropped", st)
+	}
+	if err := q.Requeue(0); err != nil {
+		t.Fatalf("requeue of a dropped unit: %v", err)
+	}
+}
+
+// TestFailUnderLostLeaseRecordsNothing: once a unit is re-granted, the
+// old holder's Fail is refused — the failure belongs to the new lease.
+func TestFailUnderLostLeaseRecordsNothing(t *testing.T) {
+	clock := newFakeClock()
+	m := dispatch.NewManifest(testConfig(t), 1, time.Second)
+	q, err := dispatch.NewMemQueue(m, dispatch.WithClock(clock.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, err := q.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(2 * time.Second)
+	if _, err := q.Acquire("w2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(old, "late failure"); !errors.Is(err, dispatch.ErrLeaseLost) {
+		t.Fatalf("stale Fail: %v, want ErrLeaseLost", err)
+	}
+	st, _ := q.Status()
+	// The steal itself cost one strike; the stale Fail must not add one.
+	for _, u := range st.PerUnit {
+		if u.Strikes > 1 {
+			t.Fatalf("stale Fail recorded a strike: %+v", u)
+		}
+	}
+}
+
+// TestQuarantineSurvivesRestart is the kill-9 acceptance case: strikes,
+// quarantine, and a requeue all ride the write-ahead journal, so a
+// coordinator that dies without Close resumes the exact ledger.
+func TestQuarantineSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	m := dispatch.NewManifest(testConfig(t), 2, time.Minute)
+	m.MaxStrikes = 1
+	q1, err := dispatch.CreateWALQueue(dir, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lA, err := q1.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lB, err := q1.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Submit(lB, checkpointForCells(t, m, lB.Cells), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := q1.Fail(lA, "poison cell"); err != nil {
+		t.Fatal(err)
+	}
+	// Kill -9: no Close, no flush. The journal already holds the strike.
+
+	q2, err := dispatch.OpenWALQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := q2.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Unit != lA.Unit || entries[0].Strikes != 1 {
+		t.Fatalf("replayed ledger: %+v, want unit %d with 1 strike", entries, lA.Unit)
+	}
+	if want := "poison cell (worker w1)"; entries[0].LastFailure != want {
+		t.Fatalf("replayed LastFailure %q, want %q", entries[0].LastFailure, want)
+	}
+	st, err := q2.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() || !st.Degraded() {
+		t.Fatalf("replayed status %+v, want drained+degraded", st)
+	}
+
+	// Requeue, kill -9 again, and the third incarnation can finish the
+	// campaign cleanly.
+	if err := q2.Requeue(lA.Unit); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := dispatch.OpenWALQueue(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q3.Close()
+	l, err := q3.Acquire("w2")
+	if err != nil {
+		t.Fatalf("acquire after replayed requeue: %v", err)
+	}
+	if l.Unit != lA.Unit {
+		t.Fatalf("granted unit %d, want the requeued unit %d", l.Unit, lA.Unit)
+	}
+	if err := q3.Submit(l, checkpointForCells(t, m, l.Cells), 0); err != nil {
+		t.Fatal(err)
+	}
+	st, _ = q3.Status()
+	if !st.Drained() || st.Degraded() {
+		t.Fatalf("final status %+v, want cleanly drained", st)
+	}
+}
+
+// TestWorkerUnitTimeout: a wedged shard runner is canceled at
+// -unit-timeout and reported to the queue as a failure, so the worker
+// moves on and the unit strikes toward quarantine.
+func TestWorkerUnitTimeout(t *testing.T) {
+	m := dispatch.NewManifest(testConfig(t), 1, time.Minute)
+	m.MaxStrikes = 1
+	q, err := dispatch.NewMemQueue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs syncedLog
+	done, err := dispatch.Work(context.Background(), q, dispatch.WorkerOptions{
+		Name:        "wedged",
+		UnitTimeout: 50 * time.Millisecond,
+		RunShard: func(ctx context.Context, m dispatch.Manifest, u dispatch.UnitWork) (*resultio.Checkpoint, dispatch.UnitRunStats, error) {
+			<-ctx.Done() // the wedge: only the timeout ends it
+			return nil, dispatch.UnitRunStats{}, ctx.Err()
+		},
+		Log: logs.logf(t),
+	})
+	if err != nil {
+		t.Fatalf("worker died instead of failing the unit: %v", err)
+	}
+	if done != 0 {
+		t.Fatalf("worker claims %d submitted units", done)
+	}
+	entries, err := q.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("quarantine ledger %+v, want the timed-out unit", entries)
+	}
+	if !strings.Contains(entries[0].LastFailure, "unit timeout 50ms exceeded") {
+		t.Fatalf("LastFailure %q does not name the timeout", entries[0].LastFailure)
+	}
+}
+
+// TestWorkerPanicBecomesFailure: a panicking shard runner must not
+// kill the worker process — the panic converts to a reported failure
+// and the campaign drains degraded.
+func TestWorkerPanicBecomesFailure(t *testing.T) {
+	m := dispatch.NewManifest(testConfig(t), 2, time.Minute)
+	m.MaxStrikes = 1
+	q, err := dispatch.NewMemQueue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logs syncedLog
+	done, err := dispatch.Work(context.Background(), q, dispatch.WorkerOptions{
+		Name: "panicky",
+		RunShard: func(ctx context.Context, m dispatch.Manifest, u dispatch.UnitWork) (*resultio.Checkpoint, dispatch.UnitRunStats, error) {
+			if u.Unit == 0 {
+				panic("poison unit")
+			}
+			st := dispatch.UnitRunStats{TotalCells: len(u.Cells), ComputedCells: len(u.Cells)}
+			return checkpointForCells(t, m, u.Cells), st, nil
+		},
+		Log: logs.logf(t),
+	})
+	if err != nil {
+		t.Fatalf("worker died on the panic: %v", err)
+	}
+	if done != 1 {
+		t.Fatalf("worker submitted %d units, want the 1 healthy unit", done)
+	}
+	entries, err := q.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Unit != 0 {
+		t.Fatalf("quarantine ledger %+v, want unit 0", entries)
+	}
+	if !strings.Contains(entries[0].LastFailure, "panicked") || !strings.Contains(entries[0].LastFailure, "poison unit") {
+		t.Fatalf("LastFailure %q does not name the panic", entries[0].LastFailure)
+	}
+}
+
+// TestRenderQueueReportDegraded pins the degraded render contract:
+// quarantined cells are labeled distinctly from pending ones, and an
+// all-quarantined grid still renders (no NaN, no panic).
+func TestRenderQueueReportDegraded(t *testing.T) {
+	m := dispatch.NewManifest(testConfig(t), 2, time.Minute)
+	m.MaxStrikes = 1
+	q, err := dispatch.NewMemQueue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Quarantine one unit, leave the other pending.
+	l, err := q.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(l, "poison"); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := dispatch.RenderQueueReport(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "quarantined") {
+		t.Fatalf("degraded report never says quarantined:\n%s", out)
+	}
+	if !strings.Contains(out, "pending") {
+		t.Fatalf("mixed report lost its pending cells:\n%s", out)
+	}
+	if !strings.Contains(out, "cells quarantined") {
+		t.Fatalf("coverage line not annotated:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("degraded report rendered NaN:\n%s", out)
+	}
+
+	// All-quarantined: every unit dead-lettered, zero results.
+	l2, err := q.Acquire("w2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Fail(l2, "poison"); err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := dispatch.RenderQueueReport(&buf, q); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "degraded:") {
+		t.Fatalf("settled all-quarantined grid not marked degraded:\n%s", out)
+	}
+	if strings.Contains(out, "pending") {
+		t.Fatalf("all-quarantined grid still claims pending cells:\n%s", out)
+	}
+	if strings.Contains(out, "NaN") {
+		t.Fatalf("all-quarantined report rendered NaN:\n%s", out)
+	}
+}
+
+// syncedLog adapts t.Logf for concurrent worker goroutines.
+type syncedLog struct{ mu sync.Mutex }
+
+func (s *syncedLog) logf(t *testing.T) func(string, ...any) {
+	return func(format string, args ...any) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		t.Logf(format, args...)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"rowfuse/internal/dispatch"
+	"rowfuse/internal/faultpoint"
 )
 
 // CreateRequest is the POST /v1/campaigns body: the campaign spec
@@ -15,6 +16,9 @@ type CreateRequest struct {
 	Campaign dispatch.CampaignSpec `json:"campaign"`
 	Units    int                   `json:"units,omitempty"`
 	TTLMs    int64                 `json:"ttlMs,omitempty"`
+	// MaxStrikes overrides the quarantine threshold
+	// (dispatch.DefaultMaxStrikes when omitted or zero).
+	MaxStrikes int `json:"maxStrikes,omitempty"`
 }
 
 // CreateResponse echoes the committed campaign identity — including
@@ -35,6 +39,7 @@ var workerOps = map[string]bool{
 	"heartbeat": true,
 	"submit":    true,
 	"partial":   true,
+	"fail":      true,
 }
 
 // Handler exposes the registry as the campaign-service HTTP API:
@@ -43,6 +48,9 @@ var workerOps = map[string]bool{
 //	GET    /v1/campaigns             list -> {"campaigns": [Info]}
 //	GET    /v1/campaigns/{id}        one campaign's Info
 //	DELETE /v1/campaigns/{id}        cancel (durable) -> 204
+//	POST   /v1/campaigns/{id}/rotate-token  mint a fresh worker token
+//	                                 (previous one stays valid until the
+//	                                 next rotation) -> Meta
 //	*      /v1/campaigns/{id}/{op}   the single-campaign dispatch API,
 //	                                 namespaced per campaign; worker
 //	                                 mutations demand the campaign
@@ -57,6 +65,7 @@ func (r *Registry) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/campaigns", r.handleList)
 	mux.HandleFunc("GET /v1/campaigns/{id}", r.handleDescribe)
 	mux.HandleFunc("DELETE /v1/campaigns/{id}", r.handleCancel)
+	mux.HandleFunc("POST /v1/campaigns/{id}/rotate-token", r.handleRotate)
 	mux.HandleFunc("/v1/campaigns/{id}/{op...}", r.handleCampaignOp)
 	return mux
 }
@@ -79,7 +88,12 @@ func (r *Registry) handleCreate(w http.ResponseWriter, req *http.Request) {
 	if ttl <= 0 {
 		ttl = 2 * time.Minute
 	}
+	if cr.MaxStrikes < 0 {
+		http.Error(w, "maxStrikes must be non-negative", http.StatusBadRequest)
+		return
+	}
 	m := dispatch.NewManifest(cfg, cr.Units, ttl)
+	m.MaxStrikes = cr.MaxStrikes
 	meta, err := r.Create(m)
 	if err != nil {
 		dispatch.WriteError(w, err)
@@ -116,6 +130,19 @@ func (r *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
+// handleRotate mints a campaign a fresh worker token. The response is
+// the only place the new token is ever handed out; the outgoing token
+// keeps working until the next rotation so a live fleet re-keys
+// without a synchronized restart.
+func (r *Registry) handleRotate(w http.ResponseWriter, req *http.Request) {
+	meta, err := r.Rotate(req.PathValue("id"))
+	if err != nil {
+		dispatch.WriteError(w, err)
+		return
+	}
+	writeJSON(w, meta)
+}
+
 // handleCampaignOp routes a campaign-scoped dispatch call to the
 // campaign's own single-campaign handler, after the namespace checks:
 // the campaign must exist, and worker mutations must present its
@@ -123,6 +150,10 @@ func (r *Registry) handleCancel(w http.ResponseWriter, req *http.Request) {
 // classic /v1/{op} route, so the entire single-campaign API —
 // semantics, error mapping, wire format — is reused verbatim.
 func (r *Registry) handleCampaignOp(w http.ResponseWriter, req *http.Request) {
+	if err := faultpoint.Check("registry.op"); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
 	id, op := req.PathValue("id"), req.PathValue("op")
 	c, err := r.lookup(id)
 	if err != nil {

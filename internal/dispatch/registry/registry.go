@@ -35,10 +35,14 @@ const metaFile = "meta.json"
 type Meta struct {
 	ID string `json:"id"`
 	// Token authenticates this campaign's workers. Returned once at
-	// creation and never listed again.
+	// creation (and at each rotation) and never listed again.
 	Token       string    `json:"token"`
 	Fingerprint string    `json:"fingerprint"`
 	CreatedAt   time.Time `json:"createdAt"`
+	// PrevToken is the previously-issued worker token, still honored
+	// for one rotation's grace so a live fleet can be re-keyed without
+	// a synchronized restart. Cleared by the next rotation.
+	PrevToken string `json:"prevToken,omitempty"`
 }
 
 // Info is the public listing entry: identity plus a live progress
@@ -177,16 +181,57 @@ func (r *Registry) Get(id string) (*dispatch.WALQueue, error) {
 // dispatch.ErrUnknownCampaign and a wrong token to
 // dispatch.ErrBadCampaignToken — two distinct sentinels, so a worker
 // pointed at the wrong campaign and a worker holding a stale token
-// are told apart.
+// are told apart. Both the current token and (during a rotation's
+// grace window) the previous one are accepted; each comparison is
+// constant-time, and both run unconditionally so the check's timing
+// does not reveal which token matched.
 func (r *Registry) Authorize(id, token string) error {
-	c, err := r.lookup(id)
-	if err != nil {
-		return err
+	r.mu.Lock()
+	c, ok := r.campaigns[id]
+	if !ok {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: %s", dispatch.ErrUnknownCampaign, id)
 	}
-	if subtle.ConstantTimeCompare([]byte(token), []byte(c.meta.Token)) != 1 {
+	cur, prev := c.meta.Token, c.meta.PrevToken
+	r.mu.Unlock()
+	okCur := subtle.ConstantTimeCompare([]byte(token), []byte(cur))
+	okPrev := 0
+	if prev != "" {
+		okPrev = subtle.ConstantTimeCompare([]byte(token), []byte(prev))
+	}
+	if okCur|okPrev != 1 {
 		return fmt.Errorf("%w: campaign %s", dispatch.ErrBadCampaignToken, id)
 	}
 	return nil
+}
+
+// Rotate re-keys a campaign: a fresh worker token is minted and
+// persisted, and the outgoing token is retained as PrevToken — still
+// authorized until the *next* rotation, so a fleet can pick up the new
+// token at its own pace. Rotating twice in a row therefore revokes the
+// original token entirely.
+func (r *Registry) Rotate(id string) (Meta, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return Meta{}, errors.New("registry: closed")
+	}
+	c, ok := r.campaigns[id]
+	if !ok {
+		return Meta{}, fmt.Errorf("%w: %s", dispatch.ErrUnknownCampaign, id)
+	}
+	meta := c.meta
+	meta.PrevToken = meta.Token
+	meta.Token = randHex(16)
+	data, err := json.MarshalIndent(meta, "", "  ")
+	if err != nil {
+		return Meta{}, err
+	}
+	if err := resultio.WriteFileAtomic(filepath.Join(r.dir, id, metaFile), append(data, '\n')); err != nil {
+		return Meta{}, fmt.Errorf("registry: rotate campaign %s: %w", id, err)
+	}
+	c.meta = meta
+	return meta, nil
 }
 
 // Cancel durably cancels a campaign: its queue journals the

@@ -412,3 +412,122 @@ func TestRetentionSweep(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestTokenRotation exercises the re-keying protocol end to end over
+// the wire: one rotation keeps the outgoing token alive for a grace
+// window, a second rotation revokes the original entirely, and the
+// rotated tokens survive a coordinator restart.
+func TestTokenRotation(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(reg.Handler())
+
+	ca := createCampaign(t, srv.URL, twoModuleConfig(t), 3, time.Minute)
+	token0 := ca.Token
+
+	// probe answers "does this token authorize worker mutations?"
+	// without consuming a unit grant: a heartbeat on a lease nobody
+	// holds passes the token check and then fails with ErrLeaseLost,
+	// while a bad token is rejected before unit state is touched.
+	probe := func(base, token string) error {
+		cl, err := dispatch.DialCampaign(base, ca.ID, token, nil)
+		if err != nil {
+			return err
+		}
+		err = cl.Heartbeat(dispatch.Lease{Unit: 0, Worker: "probe", Token: "nobody"})
+		if errors.Is(err, dispatch.ErrLeaseLost) {
+			return nil
+		}
+		return err
+	}
+	rotate := func(base, id string) (registry.Meta, int) {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/campaigns/"+id+"/rotate-token", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var meta registry.Meta
+		if resp.StatusCode == http.StatusOK {
+			if err := json.NewDecoder(resp.Body).Decode(&meta); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return meta, resp.StatusCode
+	}
+
+	if err := probe(srv.URL, token0); err != nil {
+		t.Fatalf("original token refused before any rotation: %v", err)
+	}
+
+	// First rotation: a fresh token is minted, and both generations
+	// authorize during the grace window.
+	meta1, code := rotate(srv.URL, ca.ID)
+	if code != http.StatusOK {
+		t.Fatalf("rotate: status %d", code)
+	}
+	token1 := meta1.Token
+	if token1 == "" || token1 == token0 {
+		t.Fatalf("rotation minted token %q (old %q)", token1, token0)
+	}
+	if meta1.PrevToken != token0 {
+		t.Fatalf("rotation retained PrevToken %q, want the outgoing %q", meta1.PrevToken, token0)
+	}
+	if err := probe(srv.URL, token1); err != nil {
+		t.Fatalf("fresh token refused: %v", err)
+	}
+	if err := probe(srv.URL, token0); err != nil {
+		t.Fatalf("outgoing token refused inside its grace window: %v", err)
+	}
+
+	// Second rotation: the original token is now fully revoked; the
+	// middle and newest generations still work.
+	meta2, code := rotate(srv.URL, ca.ID)
+	if code != http.StatusOK {
+		t.Fatalf("second rotate: status %d", code)
+	}
+	token2 := meta2.Token
+	if meta2.PrevToken != token1 {
+		t.Fatalf("second rotation PrevToken %q, want %q", meta2.PrevToken, token1)
+	}
+	if err := probe(srv.URL, token0); !errors.Is(err, dispatch.ErrBadCampaignToken) {
+		t.Fatalf("doubly-rotated token: %v, want ErrBadCampaignToken", err)
+	}
+	if err := probe(srv.URL, token1); err != nil {
+		t.Fatalf("grace-window token refused: %v", err)
+	}
+	if err := probe(srv.URL, token2); err != nil {
+		t.Fatalf("current token refused: %v", err)
+	}
+
+	// Rotating an unknown campaign is a 404, not a minted token.
+	if _, code := rotate(srv.URL, "c-ffffffff-00000000"); code != http.StatusNotFound {
+		t.Fatalf("rotate unknown campaign: status %d, want 404", code)
+	}
+
+	// The rotation is durable: a restarted coordinator honors exactly
+	// the same two generations.
+	srv.Close()
+	if err := reg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	reg2, err := registry.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg2.Close()
+	srv2 := httptest.NewServer(reg2.Handler())
+	defer srv2.Close()
+	if err := probe(srv2.URL, token2); err != nil {
+		t.Fatalf("restart lost the rotated token: %v", err)
+	}
+	if err := probe(srv2.URL, token1); err != nil {
+		t.Fatalf("restart lost the grace-window token: %v", err)
+	}
+	if err := probe(srv2.URL, token0); !errors.Is(err, dispatch.ErrBadCampaignToken) {
+		t.Fatalf("revoked token resurrected by restart: %v", err)
+	}
+}

@@ -1,0 +1,134 @@
+package dispatch_test
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rowfuse/internal/dispatch"
+)
+
+func newQuarantineServer(t *testing.T, units, maxStrikes int) (*dispatch.Client, *dispatch.MemQueue) {
+	t.Helper()
+	m := dispatch.NewManifest(testConfig(t), units, time.Minute)
+	m.MaxStrikes = maxStrikes
+	q, err := dispatch.NewMemQueue(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(dispatch.NewHandler(q))
+	t.Cleanup(srv.Close)
+	c, err := dispatch.Dial(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, q
+}
+
+// TestHTTPQuarantineRoundTrip drives the whole dead-letter lifecycle
+// over the wire: POST /v1/fail strikes, GET /v1/quarantine lists,
+// POST /v1/quarantine requeues and drops.
+func TestHTTPQuarantineRoundTrip(t *testing.T) {
+	c, _ := newQuarantineServer(t, 1, 1)
+
+	// Empty ledger decodes as an empty list, not an error.
+	entries, err := c.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("fresh campaign has dead letters: %+v", entries)
+	}
+
+	l, err := c.Acquire("w1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(l, "remote solver crashed"); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = c.Quarantined()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].State != dispatch.UnitQuarantined {
+		t.Fatalf("ledger over HTTP: %+v", entries)
+	}
+	if !strings.Contains(entries[0].LastFailure, "remote solver crashed (worker w1)") {
+		t.Fatalf("LastFailure %q lost the reason in transit", entries[0].LastFailure)
+	}
+
+	if err := c.Requeue(entries[0].Unit); err != nil {
+		t.Fatal(err)
+	}
+	l, err = c.Acquire("w2")
+	if err != nil {
+		t.Fatalf("acquire after remote requeue: %v", err)
+	}
+	if err := c.Fail(l, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop(l.Unit); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Drained() || st.Dropped != 1 {
+		t.Fatalf("status over HTTP %+v, want drained with 1 dropped", st)
+	}
+}
+
+// TestHTTPFollowStreams: GET /v1/report?follow=1 streams frames
+// (FollowSeparator-terminated) while the campaign runs and closes the
+// stream once it drains, so characterize -watch needs no polling loop.
+func TestHTTPFollowStreams(t *testing.T) {
+	c, q := newQuarantineServer(t, 1, dispatch.DefaultMaxStrikes)
+	m, err := q.Manifest()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Let at least one in-flight frame render, then finish the
+		// campaign so the stream's drain check ends it.
+		time.Sleep(150 * time.Millisecond)
+		l, err := q.Acquire("bg")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if err := q.Submit(l, checkpointForCells(t, m, l.Cells), 0); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	var buf bytes.Buffer
+	if err := c.Follow(&buf, 50*time.Millisecond); err != nil {
+		t.Fatalf("follow stream: %v", err)
+	}
+	wg.Wait()
+
+	out := buf.String()
+	frames := strings.Split(out, dispatch.FollowSeparator)
+	// The split leaves a trailing empty element after the last
+	// separator; at least two real frames must have streamed (one
+	// pending, one drained).
+	if len(frames) < 3 {
+		t.Fatalf("stream carried %d frames, want >= 2:\n%s", len(frames)-1, out)
+	}
+	first, last := frames[0], frames[len(frames)-2]
+	if !strings.Contains(first, "partial: 0 of 18 cells") {
+		t.Fatalf("first frame is not the pending campaign:\n%s", first)
+	}
+	if !strings.Contains(last, "complete: 18 of 18 cells") {
+		t.Fatalf("final frame is not the drained campaign:\n%s", last)
+	}
+}

@@ -42,6 +42,7 @@ import (
 	"io"
 	"os"
 
+	"rowfuse/internal/faultpoint"
 	"rowfuse/internal/resultio"
 )
 
@@ -245,6 +246,9 @@ func (l *Log) Append(kind uint8, payload []byte) (uint64, error) {
 	if l.closed {
 		return 0, ErrClosed
 	}
+	if err := faultpoint.Check("wal.append"); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
 	seq := l.seq + 1
 	if _, err := l.f.Write(encodeRecord(kind, seq, payload)); err != nil {
 		return 0, fmt.Errorf("wal: append: %w", err)
@@ -261,6 +265,9 @@ func (l *Log) LastSeq() uint64 { return l.seq }
 func (l *Log) Sync() error {
 	if l.closed {
 		return ErrClosed
+	}
+	if err := faultpoint.Check("wal.sync"); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
 	}
 	return l.f.Sync()
 }
@@ -301,6 +308,9 @@ func (l *Log) Close() error {
 // temp-write/fsync/rename replace means a crash mid-compaction leaves
 // either the old snapshot or the new one, never a torn file.
 func WriteSnapshot(path string, lastSeq uint64, payload []byte) error {
+	if err := faultpoint.Check("wal.snapshot"); err != nil {
+		return fmt.Errorf("wal: snapshot: %w", err)
+	}
 	buf := make([]byte, headerSize, headerSize+recHeadSize+len(payload)+crcSize)
 	binary.LittleEndian.PutUint32(buf[0:4], fileMagic)
 	binary.LittleEndian.PutUint16(buf[4:6], Version)

@@ -81,6 +81,7 @@ const (
 	kindSubmit    uint8 = 6 // unit checkpoint accepted
 	kindPartial   uint8 = 7 // intra-unit checkpoint stored
 	kindCancel    uint8 = 8 // campaign canceled
+	kindStrike    uint8 = 9 // unit strike / quarantine / requeue / drop
 )
 
 type recInit struct {
@@ -107,6 +108,17 @@ type recPartial struct {
 	Unit       int                  `json:"unit"`
 	Token      string               `json:"token"`
 	Checkpoint *resultio.Checkpoint `json:"checkpoint"`
+}
+
+// recStrike carries the *resulting* strike state of a unit — expiry
+// strikes, worker-reported failures, operator requeues (strikes back
+// to 0, state pending) and drops all journal as this one kind, so
+// replay is pure state application.
+type recStrike struct {
+	Unit    int    `json:"unit"`
+	Strikes int    `json:"strikes"`
+	State   string `json:"state"`
+	Reason  string `json:"reason,omitempty"`
 }
 
 // walSnapshot is the compaction snapshot payload.
@@ -309,6 +321,12 @@ func (q *WALQueue) apply(rec wal.Record) error {
 		return q.mem.restorePartial(r.Unit, r.Token, r.Checkpoint)
 	case kindCancel:
 		return q.mem.restoreCancel()
+	case kindStrike:
+		var r recStrike
+		if err := json.Unmarshal(rec.Payload, &r); err != nil {
+			return err
+		}
+		return q.mem.restoreStrike(r.Unit, r.Strikes, r.State, r.Reason)
 	default:
 		return fmt.Errorf("unknown record kind %d", rec.Kind)
 	}
@@ -345,6 +363,9 @@ func (q *WALQueue) journalPartial(unit int, token string, cp *resultio.Checkpoin
 	q.stage(kindPartial, recPartial{Unit: unit, Token: token, Checkpoint: cp}, true)
 }
 func (q *WALQueue) journalCancel() { q.stage(kindCancel, nil, true) }
+func (q *WALQueue) journalStrike(unit, strikes int, state, reason string) {
+	q.stage(kindStrike, recStrike{Unit: unit, Strikes: strikes, State: state, Reason: reason}, true)
+}
 
 // usable gates mutations; callers hold q.mu.
 func (q *WALQueue) usable() error {
@@ -498,6 +519,65 @@ func (q *WALQueue) SavePartial(l Lease, cp *resultio.Checkpoint) error {
 	return err
 }
 
+// Fail implements Queue; the strike (and a possible quarantine) is
+// journaled and fsynced before the worker hears "recorded".
+func (q *WALQueue) Fail(l Lease, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.usable(); err != nil {
+		return err
+	}
+	q.buf, q.bufErr = q.buf[:0], nil
+	err := q.mem.Fail(l, reason)
+	if ferr := q.flushLocked(); ferr != nil {
+		return ferr
+	}
+	return err
+}
+
+// Quarantined implements Queue (read-only: nothing to journal).
+func (q *WALQueue) Quarantined() ([]QuarantineEntry, error) { return q.mem.Quarantined() }
+
+// Requeue implements Queue; the reset is journaled and fsynced.
+func (q *WALQueue) Requeue(unit int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.usable(); err != nil {
+		return err
+	}
+	q.buf, q.bufErr = q.buf[:0], nil
+	err := q.mem.Requeue(unit)
+	if ferr := q.flushLocked(); ferr != nil {
+		return ferr
+	}
+	return err
+}
+
+// Drop implements Queue; the drop is journaled and fsynced.
+func (q *WALQueue) Drop(unit int) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if err := q.usable(); err != nil {
+		return err
+	}
+	q.buf, q.bufErr = q.buf[:0], nil
+	err := q.mem.Drop(unit)
+	if ferr := q.flushLocked(); ferr != nil {
+		return ferr
+	}
+	return err
+}
+
+// Failed returns the journal error that poisoned the queue, or nil.
+// A poisoned queue rejects every mutation; the owner should reopen
+// the directory (OpenWALQueue) to resume from the durable state —
+// chaos tests use exactly that loop.
+func (q *WALQueue) Failed() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.failed
+}
+
 // LoadPartial implements Queue (read-only: nothing to journal).
 func (q *WALQueue) LoadPartial(l Lease) (*resultio.Checkpoint, error) {
 	return q.mem.LoadPartial(l)
@@ -547,13 +627,15 @@ type queueState struct {
 
 // unitState is one serialized unit slot.
 type unitState struct {
-	State   string               `json:"state"`
-	Cells   []int                `json:"cells,omitempty"`
-	Worker  string               `json:"worker,omitempty"`
-	Token   string               `json:"token,omitempty"`
-	Expires time.Time            `json:"expires"`
-	Done    *resultio.Checkpoint `json:"done,omitempty"`
-	Partial *resultio.Checkpoint `json:"partial,omitempty"`
+	State       string               `json:"state"`
+	Cells       []int                `json:"cells,omitempty"`
+	Worker      string               `json:"worker,omitempty"`
+	Token       string               `json:"token,omitempty"`
+	Expires     time.Time            `json:"expires"`
+	Done        *resultio.Checkpoint `json:"done,omitempty"`
+	Partial     *resultio.Checkpoint `json:"partial,omitempty"`
+	Strikes     int                  `json:"strikes,omitempty"`
+	LastFailure string               `json:"lastFailure,omitempty"`
 }
 
 // snapshotState captures the queue's full state for a compaction
@@ -571,13 +653,15 @@ func (q *MemQueue) snapshotState() queueState {
 	for i := range q.units {
 		u := &q.units[i]
 		s.Units[i] = unitState{
-			State:   u.state,
-			Cells:   append([]int(nil), u.cells...),
-			Worker:  u.worker,
-			Token:   u.token,
-			Expires: u.expires,
-			Done:    u.cp,
-			Partial: u.partial,
+			State:       u.state,
+			Cells:       append([]int(nil), u.cells...),
+			Worker:      u.worker,
+			Token:       u.token,
+			Expires:     u.expires,
+			Done:        u.cp,
+			Partial:     u.partial,
+			Strikes:     u.strikes,
+			LastFailure: u.lastFailure,
 		}
 	}
 	return s
@@ -593,18 +677,20 @@ func (q *MemQueue) restoreState(s queueState) error {
 	q.units = make([]memUnit, len(s.Units))
 	for i, us := range s.Units {
 		switch us.State {
-		case UnitPending, UnitLeased, UnitDone, UnitRetired:
+		case UnitPending, UnitLeased, UnitDone, UnitRetired, UnitQuarantined, UnitDropped:
 		default:
 			return fmt.Errorf("unit %d: unknown state %q", i, us.State)
 		}
 		q.units[i] = memUnit{
-			state:   us.State,
-			cells:   append([]int(nil), us.Cells...),
-			worker:  us.Worker,
-			token:   us.Token,
-			expires: us.Expires,
-			cp:      us.Done,
-			partial: us.Partial,
+			state:       us.State,
+			cells:       append([]int(nil), us.Cells...),
+			worker:      us.Worker,
+			token:       us.Token,
+			expires:     us.Expires,
+			cp:          us.Done,
+			partial:     us.Partial,
+			strikes:     us.Strikes,
+			lastFailure: us.LastFailure,
 		}
 	}
 	q.replanDirty = s.ReplanDirty
@@ -710,6 +796,34 @@ func (q *MemQueue) restorePartial(unit int, token string, cp *resultio.Checkpoin
 		return fmt.Errorf("partial for unit %d under a foreign token", unit)
 	}
 	u.partial = cp
+	return nil
+}
+
+// restoreStrike applies a journaled strike-state transition: the
+// record carries the resulting strike count and unit state (pending,
+// quarantined or dropped), so expiry strikes, worker failures,
+// requeues and drops all replay the same way. The lease fields clear;
+// when a steal followed the strike, the next grant record restores
+// them.
+func (q *MemQueue) restoreStrike(unit, strikes int, state, reason string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if unit < 0 || unit >= len(q.units) {
+		return fmt.Errorf("strike for unit %d of %d", unit, len(q.units))
+	}
+	switch state {
+	case UnitPending, UnitQuarantined, UnitDropped:
+	default:
+		return fmt.Errorf("strike for unit %d: state %q", unit, state)
+	}
+	u := &q.units[unit]
+	if u.state == UnitDone || u.state == UnitRetired {
+		return fmt.Errorf("strike for unit %d in state %q", unit, u.state)
+	}
+	u.state = state
+	u.strikes = strikes
+	u.lastFailure = reason
+	u.worker, u.token = "", ""
 	return nil
 }
 

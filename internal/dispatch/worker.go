@@ -75,6 +75,11 @@ type WorkerOptions struct {
 	// raise it if checkpoint I/O to the coordinator is expensive
 	// relative to a cell's compute time).
 	PartialEvery int
+	// UnitTimeout bounds a single unit's compute (0 = unbounded). A
+	// unit that exceeds it is canceled and reported to the queue as a
+	// failure — converting a wedged solve into a strike toward
+	// quarantine instead of a worker that never comes back.
+	UnitTimeout time.Duration
 	// RunShard computes one unit, reporting how much of it was really
 	// computed vs resumed (the stats scale the elapsed time submitted
 	// to the queue's cost model). Nil means RunUnitWork (the real
@@ -395,7 +400,7 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 			},
 		}
 		start := time.Now()
-		cp, stats, runErr := opt.RunShard(unitCtx, m, work)
+		cp, stats, runErr := runUnit(unitCtx, opt, m, work)
 		elapsed := time.Since(start)
 		// A resumed unit's wall time covers only the cells actually
 		// computed; scale it to the full-unit equivalent so the queue's
@@ -414,7 +419,26 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 				opt.Log("worker %s: unit %d lease lost mid-run; abandoning", opt.Name, lease.Unit)
 				continue
 			}
-			return done, fmt.Errorf("dispatch: unit %d: %w", lease.Unit, runErr)
+			if err := ctx.Err(); err != nil {
+				// The worker itself is shutting down; the lease expires
+				// and another worker resumes from the last partial. Not
+				// the unit's fault — no strike.
+				return done, err
+			}
+			// A run failure is the unit's problem, not the worker's:
+			// report it so the queue can strike the unit toward
+			// quarantine, and move on to other work. A poison unit thus
+			// burns MaxStrikes grants fleet-wide instead of crashing
+			// every worker that touches it.
+			reason := runErr.Error()
+			if errors.Is(runErr, context.DeadlineExceeded) {
+				reason = fmt.Sprintf("unit timeout %v exceeded", opt.UnitTimeout)
+			}
+			if ferr := q.Fail(lease, reason); ferr != nil && !errors.Is(ferr, ErrLeaseLost) {
+				opt.Log("worker %s: unit %d: reporting failure: %v", opt.Name, lease.Unit, ferr)
+			}
+			opt.Log("worker %s: unit %d failed: %v", opt.Name, lease.Unit, runErr)
+			continue
 		}
 		submitted := false
 		for attempt := 0; ; attempt++ {
@@ -454,6 +478,31 @@ func Work(ctx context.Context, q Queue, opt WorkerOptions) (int, error) {
 		done++
 		opt.Log("worker %s: submitted unit %d", opt.Name, lease.Unit)
 	}
+}
+
+// runUnit executes one unit's shard runner under the worker's optional
+// unit timeout, converting a panic into an ordinary run error so one
+// poison unit cannot kill the worker process.
+func runUnit(parent context.Context, opt WorkerOptions, m Manifest, u UnitWork) (cp *resultio.Checkpoint, stats UnitRunStats, err error) {
+	ctx := parent
+	if opt.UnitTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, opt.UnitTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			cp, err = nil, fmt.Errorf("shard runner panicked: %v", r)
+		}
+	}()
+	cp, stats, err = opt.RunShard(ctx, m, u)
+	// Surface the timeout as the canonical sentinel even when the
+	// runner wrapped or swallowed the context error, but never mistake
+	// the worker's own shutdown for a unit timeout.
+	if err != nil && parent.Err() == nil && errors.Is(ctx.Err(), context.DeadlineExceeded) && !errors.Is(err, context.DeadlineExceeded) {
+		err = fmt.Errorf("%v: %w", err, context.DeadlineExceeded)
+	}
+	return cp, stats, err
 }
 
 // prefetchedLease is a lease acquired ahead of need: a babysitter

@@ -1,0 +1,304 @@
+// Package faultpoint is a deterministic fault-injection harness for
+// tests and chaos runs. Production code threads named injection points
+// through its failure-prone paths:
+//
+//	if err := faultpoint.Check("wal.sync"); err != nil {
+//	    return err
+//	}
+//
+// When no schedule is armed — the production default — Check is a
+// single atomic load and a branch: zero allocations, no locks, no
+// measurable cost. Tests (or an operator exporting ROWFUSE_FAULTPOINTS)
+// arm a Schedule of rules; each rule names a point and describes when
+// it fires (skip the first N hits, fire the next M, or fire each hit
+// with probability P) and what it does (return an error, sleep, or
+// both). Probabilistic rules are deterministic: the decision for hit i
+// of a point is a pure hash of (seed, point, i), so a seeded chaos run
+// replays identically.
+//
+// Schedules serialize to a compact spec string so they can travel
+// through an environment variable:
+//
+//	seed=42;wal.sync:skip=2,count=1;http.client:prob=0.5,delay=10ms
+//
+// Fields per rule: skip=N (pass the first N hits), count=M (fire at
+// most M times; 0 = unlimited), prob=P (fire each eligible hit with
+// probability P in [0,1]; omitted = always), delay=D (sleep D when
+// firing), err=no|yes (yes, the default, returns ErrInjected when
+// firing; no makes the rule delay-only).
+package faultpoint
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the error returned by a firing fault point. Callers
+// under test can errors.Is against it to distinguish injected faults
+// from organic ones.
+var ErrInjected = errors.New("faultpoint: injected fault")
+
+// Rule describes when one named point fires and what it does.
+type Rule struct {
+	// Point is the injection-point name the rule applies to.
+	Point string
+	// Skip passes the first Skip hits of the point untouched.
+	Skip int
+	// Count caps how many times the rule fires; 0 means unlimited.
+	Count int
+	// Prob, when in (0, 1), fires each eligible hit with that
+	// probability, decided deterministically from the schedule seed.
+	// 0 (or >= 1) means every eligible hit fires.
+	Prob float64
+	// Delay, when > 0, sleeps before returning — a slow response.
+	Delay time.Duration
+	// NoError makes the rule delay-only: it sleeps (if Delay is set)
+	// but returns nil instead of ErrInjected.
+	NoError bool
+}
+
+// Schedule is a seeded set of rules. Arm installs it globally.
+type Schedule struct {
+	Seed  uint64
+	Rules []Rule
+}
+
+var (
+	armed atomic.Bool
+
+	mu    sync.Mutex
+	sched *Schedule
+	hits  map[string]int // total hits per point
+	fired map[string]int // fired count per point (for Count caps)
+	log   []string       // fired point names, in order
+)
+
+func init() {
+	if spec := os.Getenv("ROWFUSE_FAULTPOINTS"); spec != "" {
+		s, err := ParseSchedule(spec)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultpoint: ignoring ROWFUSE_FAULTPOINTS: %v\n", err)
+			return
+		}
+		Arm(s)
+	}
+}
+
+// Arm installs the schedule. Hit counters reset; a nil schedule
+// disarms. Arm and Disarm are test/operator entry points — production
+// code never calls them.
+func Arm(s *Schedule) {
+	mu.Lock()
+	defer mu.Unlock()
+	if s == nil || len(s.Rules) == 0 {
+		sched, hits, fired, log = nil, nil, nil, nil
+		armed.Store(false)
+		return
+	}
+	sched = s
+	hits = make(map[string]int)
+	fired = make(map[string]int)
+	log = nil
+	armed.Store(true)
+}
+
+// Disarm removes any armed schedule, restoring zero-overhead passes.
+func Disarm() { Arm(nil) }
+
+// Fired returns the names of the points that fired so far, in order.
+// Test helper for asserting a schedule actually exercised its points.
+func Fired() []string {
+	mu.Lock()
+	defer mu.Unlock()
+	return append([]string(nil), log...)
+}
+
+// Check records a hit of the named point and returns ErrInjected (after
+// any configured delay) if an armed rule says this hit fires, nil
+// otherwise. The disarmed fast path is one atomic load and a branch —
+// zero allocations — so production call sites pay nothing.
+func Check(name string) error {
+	if !armed.Load() {
+		return nil
+	}
+	return check(name)
+}
+
+func check(name string) error {
+	mu.Lock()
+	if sched == nil {
+		mu.Unlock()
+		return nil
+	}
+	hit := hits[name]
+	hits[name] = hit + 1
+	var match *Rule
+	for i := range sched.Rules {
+		r := &sched.Rules[i]
+		if r.Point != name {
+			continue
+		}
+		if hit < r.Skip {
+			continue
+		}
+		if r.Count > 0 && fired[name] >= r.Count {
+			continue
+		}
+		if r.Prob > 0 && r.Prob < 1 && !decide(sched.Seed, name, hit, r.Prob) {
+			continue
+		}
+		match = r
+		break
+	}
+	if match == nil {
+		mu.Unlock()
+		return nil
+	}
+	fired[name]++
+	log = append(log, name)
+	delay, noErr := match.Delay, match.NoError
+	mu.Unlock() // sleep outside the lock; other points must keep moving
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	if noErr {
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// decide maps (seed, point, hit) to a uniform [0,1) draw and compares
+// against p. FNV-1a keeps it dependency-free and stable across runs.
+func decide(seed uint64, point string, hit int, p float64) bool {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(point))
+	for i := range b {
+		b[i] = byte(uint64(hit) >> (8 * i))
+	}
+	h.Write(b[:])
+	draw := float64(h.Sum64()>>11) / float64(1<<53) // 53-bit mantissa
+	return draw < p
+}
+
+// ParseSchedule parses the spec-string form documented on the package:
+// ";"-separated clauses, the optional first being "seed=N", each other
+// clause "point:field=val,field=val,...".
+func ParseSchedule(spec string) (*Schedule, error) {
+	s := &Schedule{}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		if v, ok := strings.CutPrefix(clause, "seed="); ok && !strings.Contains(clause, ":") {
+			seed, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: bad seed %q: %v", v, err)
+			}
+			s.Seed = seed
+			continue
+		}
+		point, fields, ok := strings.Cut(clause, ":")
+		if !ok || point == "" {
+			return nil, fmt.Errorf("faultpoint: clause %q not of the form point:field=val,...", clause)
+		}
+		r := Rule{Point: point}
+		for _, f := range strings.Split(fields, ",") {
+			f = strings.TrimSpace(f)
+			if f == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(f, "=")
+			if !ok {
+				return nil, fmt.Errorf("faultpoint: field %q in clause %q not key=val", f, clause)
+			}
+			var err error
+			switch k {
+			case "skip":
+				r.Skip, err = strconv.Atoi(v)
+				if err == nil && r.Skip < 0 {
+					err = errors.New("negative")
+				}
+			case "count":
+				r.Count, err = strconv.Atoi(v)
+				if err == nil && r.Count < 0 {
+					err = errors.New("negative")
+				}
+			case "prob":
+				r.Prob, err = strconv.ParseFloat(v, 64)
+				if err == nil && (math.IsNaN(r.Prob) || r.Prob < 0 || r.Prob > 1) {
+					err = errors.New("outside [0,1]")
+				}
+			case "delay":
+				r.Delay, err = time.ParseDuration(v)
+				if err == nil && r.Delay < 0 {
+					err = errors.New("negative")
+				}
+			case "err":
+				switch v {
+				case "yes":
+					r.NoError = false
+				case "no":
+					r.NoError = true
+				default:
+					err = errors.New("want yes or no")
+				}
+			default:
+				err = errors.New("unknown field")
+			}
+			if err != nil {
+				return nil, fmt.Errorf("faultpoint: field %q in clause %q: %v", f, clause, err)
+			}
+		}
+		s.Rules = append(s.Rules, r)
+	}
+	if len(s.Rules) == 0 {
+		return nil, errors.New("faultpoint: schedule has no rules")
+	}
+	return s, nil
+}
+
+// String renders the schedule back to its spec form (rules in order,
+// seed first when non-zero). ParseSchedule(s.String()) is equivalent
+// to s for every parseable schedule.
+func (s *Schedule) String() string {
+	var parts []string
+	if s.Seed != 0 {
+		parts = append(parts, "seed="+strconv.FormatUint(s.Seed, 10))
+	}
+	for _, r := range s.Rules {
+		var fs []string
+		if r.Skip > 0 {
+			fs = append(fs, "skip="+strconv.Itoa(r.Skip))
+		}
+		if r.Count > 0 {
+			fs = append(fs, "count="+strconv.Itoa(r.Count))
+		}
+		if r.Prob > 0 {
+			fs = append(fs, "prob="+strconv.FormatFloat(r.Prob, 'g', -1, 64))
+		}
+		if r.Delay > 0 {
+			fs = append(fs, "delay="+r.Delay.String())
+		}
+		if r.NoError {
+			fs = append(fs, "err=no")
+		}
+		sort.Strings(fs)
+		parts = append(parts, r.Point+":"+strings.Join(fs, ","))
+	}
+	return strings.Join(parts, ";")
+}

@@ -26,6 +26,14 @@ func coverageTag(cov core.GridCoverage) string {
 	if cov.Complete() {
 		return fmt.Sprintf("complete: %s", cov)
 	}
+	if cov.Quarantined > 0 {
+		// Quarantined cells are not coming: a settled grid is the
+		// degraded campaign's *final* report, not a converging one.
+		if cov.Settled() {
+			return fmt.Sprintf("degraded: %s; %d cells quarantined", cov, cov.Quarantined)
+		}
+		return fmt.Sprintf("partial: %s; %d cells quarantined", cov, cov.Quarantined)
+	}
 	return fmt.Sprintf("partial: %s", cov)
 }
 
@@ -42,6 +50,9 @@ func Table2Partial(w io.Writer, rows []core.Table2PartialRow, cov core.GridCover
 	for _, r := range rows {
 		p, m := r.Info.Paper, r.Measured
 		pendOr := func(j int, s string) string {
+			if r.Quarantined[j] {
+				return "quarantined"
+			}
 			if r.Pending[j] {
 				return "pending"
 			}
@@ -65,9 +76,11 @@ func Table2Partial(w io.Writer, rows []core.Table2PartialRow, cov core.GridCover
 
 // Fig4Partial renders coverage-annotated Fig. 4 tables (plus the ASCII
 // chart over whatever data exists) from a possibly incomplete grid. A
-// point whose modules are all pending renders "pending"; a point with
-// some modules in and some pending keeps its provisional value and is
-// annotated with how many module cells are still outstanding.
+// point whose modules are all pending renders "pending" (or
+// "quarantined" when its cells are dead-lettered and not coming); a
+// point with some modules in and some outstanding keeps its
+// provisional value and is annotated with how many module cells are
+// still pending or quarantined.
 func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 	for _, mfr := range mfrOrder {
 		series, ok := p.Data[mfr]
@@ -75,6 +88,7 @@ func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 			continue
 		}
 		pending := p.Pending[mfr]
+		quarantined := p.Quarantined[mfr]
 		if _, err := fmt.Fprintf(w, "\nFig. 4 — %s (%s)\n", mfr, coverageTag(p.Coverage)); err != nil {
 			return err
 		}
@@ -103,14 +117,20 @@ func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 				if !haveAgg {
 					agg, haveAgg = pt.AggOn, true
 				}
-				pend := 0
+				pend, quar := 0, 0
 				if pending != nil && i < len(pending[k]) {
 					pend = pending[k][i]
+				}
+				if quarantined != nil && i < len(quarantined[k]) {
+					quar = quarantined[k][i]
 				}
 				switch {
 				case pt.Modules == 0 && pend > 0:
 					cols[j] = "pending"
 					cols[j+3] = "pending"
+				case pt.Modules == 0 && quar > 0:
+					cols[j] = "quarantined"
+					cols[j+3] = "quarantined"
 				case pt.Modules == 0:
 					cols[j] = "No Bitflip"
 					cols[j+3] = "No Bitflip"
@@ -120,6 +140,10 @@ func Fig4Partial(w io.Writer, p core.Fig4Partial) error {
 					if pend > 0 {
 						cols[j] += fmt.Sprintf(" (%d pending)", pend)
 						cols[j+3] += fmt.Sprintf(" (%d pending)", pend)
+					}
+					if quar > 0 {
+						cols[j] += fmt.Sprintf(" (%d quarantined)", quar)
+						cols[j+3] += fmt.Sprintf(" (%d quarantined)", quar)
 					}
 				}
 			}
